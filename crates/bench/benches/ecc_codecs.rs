@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks for the coding substrate: the SECDED codecs
+//! that model on-die ECC (the paper argues CRC8-ATM fits in a single cycle
+//! via a 256-entry table — its software encode should be branch-free and
+//! fast) and the Reed–Solomon chipkill codecs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xed_ecc::chipkill::{Chipkill, DoubleChipkill};
+use xed_ecc::secded::SecDed;
+use xed_ecc::{Crc8Atm, Hamming7264};
+
+fn secded_benches(c: &mut Criterion) {
+    let hamming = Hamming7264::new();
+    let crc = Crc8Atm::new();
+    let data = 0xDEAD_BEEF_0BAD_F00Du64;
+    let clean_h = hamming.encode(data);
+    let clean_c = crc.encode(data);
+    let corrupt_h = clean_h.with_bit_flipped(17);
+    let corrupt_c = clean_c.with_bit_flipped(17);
+
+    let mut g = c.benchmark_group("secded");
+    g.bench_function("hamming_encode", |b| b.iter(|| hamming.encode(black_box(data))));
+    g.bench_function("crc8_encode", |b| b.iter(|| crc.encode(black_box(data))));
+    g.bench_function("hamming_decode_clean", |b| b.iter(|| hamming.decode(black_box(clean_h))));
+    g.bench_function("crc8_decode_clean", |b| b.iter(|| crc.decode(black_box(clean_c))));
+    g.bench_function("hamming_decode_correct", |b| {
+        b.iter(|| hamming.decode(black_box(corrupt_h)))
+    });
+    g.bench_function("crc8_decode_correct", |b| b.iter(|| crc.decode(black_box(corrupt_c))));
+    g.finish();
+}
+
+fn rs_benches(c: &mut Criterion) {
+    let ck = Chipkill::new();
+    let dck = DoubleChipkill::new();
+    let data16: Vec<u8> = (0..16).collect();
+    let data32: Vec<u8> = (0..32).collect();
+    let beat = ck.encode(&data16);
+    let mut bad = beat.clone();
+    bad[5] ^= 0x5A;
+    let dbeat = dck.encode(&data32);
+    let mut dbad = dbeat.clone();
+    dbad[7] ^= 0xFF;
+    dbad[29] ^= 0x0F;
+
+    let mut g = c.benchmark_group("reed_solomon");
+    g.bench_function("chipkill_encode", |b| b.iter(|| ck.encode(black_box(&data16))));
+    g.bench_function("chipkill_decode_clean", |b| b.iter(|| ck.decode(black_box(&beat))));
+    g.bench_function("chipkill_decode_1err", |b| b.iter(|| ck.decode(black_box(&bad))));
+    g.bench_function("chipkill_decode_2erasures", |b| {
+        b.iter(|| ck.decode_with_erasures(black_box(&bad), black_box(&[5, 9])))
+    });
+    g.bench_function("double_chipkill_decode_2err", |b| b.iter(|| dck.decode(black_box(&dbad))));
+    g.finish();
+}
+
+criterion_group!(benches, secded_benches, rs_benches);
+criterion_main!(benches);

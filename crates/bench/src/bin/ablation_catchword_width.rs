@@ -1,0 +1,65 @@
+//! Ablation: catch-word width vs collision behavior.
+//!
+//! Section IX-A notes that x4 devices shrink the catch-word to 32 bits,
+//! collapsing the expected time between collisions from millennia to
+//! seconds–hours — and argues this is fine because collisions are
+//! detected and re-keyed in hundreds of nanoseconds. This sweep computes
+//! the collision statistics across widths and *functionally demonstrates*
+//! a 32-bit collision storm on the XED-on-Chipkill system.
+//!
+//! `cargo run --release -p xed-bench --bin ablation_catchword_width`
+
+use xed_bench::rule;
+use xed_core::analysis::CollisionModel;
+use xed_core::fault::{FaultKind, InjectedFault};
+use xed_core::xed_chipkill::XedChipkillSystem;
+
+fn main() {
+    println!("Ablation: catch-word width vs expected collision interval (write every 4 ns)\n");
+    println!("{:>8} {:>24} {:>24}", "bits", "mean time to collision", "P(collision in 7y)");
+    rule(60);
+    for bits in [16u32, 24, 32, 40, 48, 56, 64] {
+        let m = CollisionModel { word_bits: bits, write_interval_secs: 4e-9 };
+        let mean = m.mean_secs_to_collision();
+        let human = if mean < 120.0 {
+            format!("{mean:.2} s")
+        } else if mean < 86400.0 * 2.0 {
+            format!("{:.2} h", mean / 3600.0)
+        } else {
+            format!("{:.2e} years", mean / (365.25 * 86400.0))
+        };
+        println!("{:>8} {:>24} {:>24.3e}", bits, human, m.p_collision_by(7.0));
+    }
+    rule(60);
+
+    // Functional demonstration: hammer the 32-bit XED-on-Chipkill system
+    // with lines containing its own catch-words; every collision must be
+    // detected, re-keyed and served correctly.
+    let mut sys = XedChipkillSystem::new(11);
+    let mut collisions = 0u64;
+    for round in 0..50u64 {
+        let victim = (round % 16) as usize;
+        let mut line = [0x1111_1111u32 * (round as u32 % 14 + 1); 16];
+        line[victim] = sys.catch_word(victim);
+        sys.write_line(round % 8, &line);
+        let out = sys.read_line(round % 8).expect("collisions are always recoverable");
+        assert_eq!(out.data, line, "round {round}");
+        if out.collision {
+            collisions += 1;
+        }
+    }
+    println!(
+        "\nfunctional check: 50 deliberate 32-bit collisions on XED+Chipkill -> \
+         {collisions} detected+re-keyed, 0 data errors"
+    );
+
+    // And collisions coexist safely with a real chip failure.
+    let mut sys = XedChipkillSystem::new(13);
+    sys.inject_fault(9, InjectedFault::chip(FaultKind::Permanent));
+    let mut line = [7u32; 16];
+    line[2] = sys.catch_word(2);
+    sys.write_line(0, &line);
+    let out = sys.read_line(0).expect("1 failure + 1 collision = 2 erasures, correctable");
+    assert_eq!(out.data, line);
+    println!("functional check: chip failure + simultaneous collision -> corrected");
+}

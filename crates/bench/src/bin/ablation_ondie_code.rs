@@ -1,0 +1,98 @@
+//! End-to-end ablation across all three layers: **which on-die code
+//! should vendors pick?** (the paper's Section V-E recommendation, traced
+//! from code properties to system reliability).
+//!
+//! Pipeline:
+//! 1. measure each code's *undetected* fraction empirically on the error
+//!    patterns real chip faults produce — dense random corruption and
+//!    burst corruption (`xed-ecc`);
+//! 2. feed the resulting on-die miss rate into the fault-response model;
+//! 3. Monte-Carlo the XED system's 7-year failure probability
+//!    (`xed-faultsim`).
+//!
+//! `cargo run --release -p xed-bench --bin ablation_ondie_code`
+
+use xed_bench::{rule, sci, Options};
+use xed_ecc::detection::{measure, ErrorModel};
+use xed_ecc::secded::SecDed;
+use xed_ecc::{Crc8Atm, Hamming7264};
+use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
+use xed_faultsim::schemes::{ModelParams, Scheme};
+
+/// Fraction of multi-bit chip-fault patterns assumed burst-shaped (I/O,
+/// column-decoder and wordline failures produce adjacent-bit damage).
+const BURST_FRACTION: f64 = 0.5;
+
+fn main() {
+    let opts = Options::from_args();
+    println!(
+        "Ablation: on-die code choice -> measured miss rate -> XED system reliability\n"
+    );
+    println!(
+        "{:16} {:>16} {:>16} {:>16} {:>14}",
+        "on-die code", "random-8 miss", "burst-8 miss", "weighted miss", "XED P(fail,7y)"
+    );
+    rule(84);
+
+    let hamming = Hamming7264::new();
+    let crc = Crc8Atm::new();
+    let mut results = Vec::new();
+    for (name, code) in [("Hamming(72,64)", &hamming as &dyn SecDed), ("CRC8-ATM(72,64)", &crc)]
+    {
+        let random =
+            1.0 - measure_dyn(code, 8, ErrorModel::Random, opts.trials, opts.seed).percent() / 100.0;
+        let burst =
+            1.0 - measure_dyn(code, 8, ErrorModel::Burst, opts.trials, opts.seed ^ 1).percent() / 100.0;
+        let weighted = random * (1.0 - BURST_FRACTION) + burst * BURST_FRACTION;
+
+        let params = ModelParams { on_die_miss: weighted, ..Default::default() };
+        let p = MonteCarlo::new(MonteCarloConfig {
+            samples: opts.samples,
+            seed: opts.seed,
+            params,
+            ..Default::default()
+        })
+        .run(Scheme::Xed)
+        .failure_probability(7.0);
+
+        println!(
+            "{:16} {:>15.3}% {:>15.3}% {:>15.3}% {:>14}",
+            name,
+            random * 100.0,
+            burst * 100.0,
+            weighted * 100.0,
+            sci(p)
+        );
+        results.push(p);
+    }
+    rule(84);
+    println!(
+        "\nCRC8-ATM's zero burst-miss rate keeps XED's DUE term at the multi-chip floor;\n\
+         Hamming's ~25% burst-8 miss rate lifts it by {:.1}x — the quantitative form of\n\
+         the paper's \"we recommend CRC8-ATM as a design choice for On-Die ECC\".",
+        results[0] / results[1].max(1e-12)
+    );
+}
+
+fn measure_dyn(
+    code: &dyn SecDed,
+    k: u32,
+    model: ErrorModel,
+    trials: u64,
+    seed: u64,
+) -> xed_ecc::detection::DetectionRate {
+    // `measure` is generic; a small shim keeps the table loop tidy.
+    struct Shim<'a>(&'a dyn SecDed);
+    impl SecDed for Shim<'_> {
+        fn encode(&self, data: u64) -> xed_ecc::CodeWord72 {
+            self.0.encode(data)
+        }
+        fn decode(&self, received: xed_ecc::CodeWord72) -> xed_ecc::DecodeOutcome {
+            self.0.decode(received)
+        }
+        fn is_valid(&self, received: xed_ecc::CodeWord72) -> bool {
+            self.0.is_valid(received)
+        }
+    }
+    measure(&Shim(code), k, model, trials, seed)
+}

@@ -1,0 +1,47 @@
+//! Ablation: how strong must the on-die code's multi-bit *detection* be?
+//!
+//! XED hinges on the on-die ECC flagging multi-bit errors so the chip can
+//! send its catch-word (Section V-E argues for CRC8-ATM over Hamming for
+//! this reason). This sweep varies the on-die detection miss rate from the
+//! paper's 0.8% (an 8-bit-syndrome code's design point) up to 50% and
+//! measures XED's system failure probability and DUE composition.
+//!
+//! `cargo run --release -p xed-bench --bin ablation_ondie_detection`
+
+use xed_bench::{rule, sci, Options};
+use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
+use xed_faultsim::schemes::{ModelParams, Scheme};
+
+fn main() {
+    let opts = Options::from_args();
+    println!(
+        "Ablation: XED reliability vs on-die multi-bit detection miss rate\n\
+         ({} systems per point)\n",
+        opts.samples
+    );
+    println!("{:>12} {:>14} {:>10} {:>10}", "miss rate", "P(fail,7y)", "DUE", "SDC");
+    rule(52);
+    for miss in [0.0, 0.004, 0.008, 0.05, 0.2, 0.5] {
+        let params = ModelParams { on_die_miss: miss, ..Default::default() };
+        let r = MonteCarlo::new(MonteCarloConfig {
+            samples: opts.samples,
+            seed: opts.seed,
+            params,
+            ..Default::default()
+        })
+        .run(Scheme::Xed);
+        println!(
+            "{:>11}% {:>14} {:>10} {:>10}",
+            miss * 100.0,
+            sci(r.failure_probability(7.0)),
+            r.due,
+            r.sdc
+        );
+    }
+    rule(52);
+    println!(
+        "\nAt the paper's 0.8% the transient-word DUE term is negligible next to the\n\
+         multi-chip floor; by tens of percent it dominates — quantifying why the\n\
+         paper recommends a burst-proof code (CRC8-ATM) for the on-die engine."
+    );
+}

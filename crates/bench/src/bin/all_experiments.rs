@@ -1,0 +1,49 @@
+//! Runs every table/figure reproduction in sequence (the full evaluation
+//! of the paper). Pass `--quick` for a fast smoke pass, or the individual
+//! binaries for deeper runs of one experiment.
+//!
+//! `cargo run --release -p xed-bench --bin all_experiments`
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig01_motivation",
+    "table2_detection",
+    "fig06_collision",
+    "table3_multi_catchword",
+    "fig07_reliability",
+    "fig08_scaling",
+    "table4_sdc_due",
+    "fig09_double_chipkill",
+    "fig10_double_chipkill_scaling",
+    "fig11_exec_time",
+    "fig12_power",
+    "fig13_alternatives",
+    "fig14_lotecc",
+    "ablation_intersection",
+    "ablation_ondie_detection",
+    "ablation_scrubbing",
+    "ablation_serial_mode",
+    "ablation_catchword_width",
+    "ablation_ondie_code",
+    "failure_attribution",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let me = std::env::current_exe().expect("own path");
+    let bin_dir = me.parent().expect("bin dir").to_path_buf();
+
+    for (i, exp) in EXPERIMENTS.iter().enumerate() {
+        println!("\n{}", "=".repeat(100));
+        println!("[{}/{}] {exp}", i + 1, EXPERIMENTS.len());
+        println!("{}", "=".repeat(100));
+        let path = bin_dir.join(exp);
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp} at {path:?}: {e}"));
+        assert!(status.success(), "{exp} exited with {status}");
+    }
+    println!("\nall {} experiments completed", EXPERIMENTS.len());
+}

@@ -1,0 +1,49 @@
+//! Diagnostic study: which fault mode actually kills each scheme?
+//!
+//! The paper's core argument rests on *large-granularity* faults dominating
+//! system failures once on-die ECC absorbs bit faults (Section I). This
+//! study attributes every Monte-Carlo failure to the extent of the fault
+//! whose arrival triggered it.
+//!
+//! `cargo run --release -p xed-bench --bin failure_attribution`
+
+use xed_bench::{rule, Options};
+use xed_faultsim::fault::FaultExtent;
+use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
+use xed_faultsim::schemes::Scheme;
+
+fn main() {
+    let opts = Options::from_args();
+    let mc = MonteCarlo::new(MonteCarloConfig {
+        samples: opts.samples,
+        seed: opts.seed,
+        ..Default::default()
+    });
+
+    println!(
+        "Failure attribution by triggering fault extent ({} systems/scheme)\n",
+        opts.samples
+    );
+    print!("{:42}", "scheme");
+    for e in FaultExtent::ALL {
+        print!(" {:>8}", e.to_string());
+    }
+    println!(" {:>8}", "total");
+    rule(104);
+
+    for scheme in [Scheme::EccDimm, Scheme::Xed, Scheme::Chipkill, Scheme::DoubleChipkill] {
+        let r = mc.run(scheme);
+        print!("{:42}", scheme.label());
+        for (_, count) in r.attribution() {
+            print!(" {:>8}", count);
+        }
+        println!(" {:>8}", r.failures());
+    }
+    rule(104);
+    println!(
+        "\nReading: for ECC-DIMM, bank/row/column faults dominate (the \"9th chip is\n\
+         superfluous\" argument); for XED and Chipkill, failures require a *pair* of\n\
+         faults intersecting, so the attribution shifts toward the wide extents\n\
+         (chip/bank) that overlap everything."
+    );
+}

@@ -1,0 +1,63 @@
+//! Figure 1: probability of system failure over 7 years for a Non-ECC
+//! DIMM, an ECC-DIMM (SECDED) and Chipkill — all with On-Die ECC inside
+//! the devices.
+//!
+//! Paper result: with on-die ECC, the 9-chip ECC-DIMM is barely better
+//! than the 8-chip non-ECC DIMM (large-granularity faults defeat SECDED
+//! either way), while Chipkill is ~43x more reliable than the ECC-DIMM.
+//!
+//! `cargo run --release -p xed-bench --bin fig01_motivation`
+//! (`--samples N` to change the Monte-Carlo size, `--show-fits` to print
+//! the Table I input rates.)
+
+use xed_bench::{rule, sci, Options};
+use xed_faultsim::fit::FitRates;
+use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
+use xed_faultsim::schemes::Scheme;
+
+fn main() {
+    let opts = Options::from_args();
+    if std::env::args().any(|a| a == "--show-fits") {
+        print_table_i();
+    }
+
+    let mc = MonteCarlo::new(MonteCarloConfig {
+        samples: opts.samples,
+        seed: opts.seed,
+        ..Default::default()
+    });
+
+    println!("Figure 1: effectiveness of reliability solutions in presence of On-Die ECC");
+    println!("({} systems/scheme, 7-year lifetime)\n", opts.samples);
+    println!("{:42} {:>10}  cumulative by year 1..7", "scheme", "P(fail,7y)");
+    rule(100);
+
+    let schemes = [Scheme::NonEcc, Scheme::EccDimm, Scheme::Chipkill];
+    let mut probs = Vec::new();
+    for scheme in schemes {
+        let r = mc.run(scheme);
+        let curve: Vec<String> = r.curve().iter().map(|&p| sci(p)).collect();
+        println!("{:42} {:>10}  [{}]", scheme.label(), sci(r.failure_probability(7.0)), curve.join(", "));
+        probs.push(r.failure_probability(7.0));
+    }
+    rule(100);
+    if probs[2] > 0.0 {
+        println!(
+            "Chipkill vs ECC-DIMM: {:.0}x more reliable (paper: 43x)",
+            probs[1] / probs[2]
+        );
+    }
+    println!(
+        "ECC-DIMM vs Non-ECC:  {:.2}x (paper: \"almost no reliability benefit\")",
+        probs[0] / probs[1]
+    );
+}
+
+fn print_table_i() {
+    println!("Table I: DRAM failures per billion hours (FIT) [Sridharan & Liberty]");
+    println!("{:12} {:>10} {:>10}", "mode", "transient", "permanent");
+    for row in FitRates::table_i().rows() {
+        println!("{:12} {:>10} {:>10}", row.extent.to_string(), row.transient_fit, row.permanent_fit);
+    }
+    println!();
+}

@@ -1,0 +1,50 @@
+//! Figure 7: reliability of ECC-DIMM, XED and Chipkill (all with On-Die
+//! ECC, no scaling faults).
+//!
+//! Paper result: XED is 172x more reliable than the ECC-DIMM and ~4x more
+//! reliable than Chipkill, because XED's erasure domain is one 9-chip rank
+//! while Chipkill's is 18 chips.
+//!
+//! `cargo run --release -p xed-bench --bin fig07_reliability`
+
+use xed_bench::{rule, sci, Options};
+use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
+use xed_faultsim::schemes::Scheme;
+
+fn main() {
+    let opts = Options::from_args();
+    let mc = MonteCarlo::new(MonteCarloConfig {
+        samples: opts.samples,
+        seed: opts.seed,
+        ..Default::default()
+    });
+
+    println!("Figure 7: reliability of ECC-DIMM, XED, and Chipkill");
+    println!("({} systems/scheme, 7-year lifetime, Table I FITs)\n", opts.samples);
+    println!("{:42} {:>10}  cumulative by year 1..7", "scheme", "P(fail,7y)");
+    rule(100);
+
+    let mut results = Vec::new();
+    for scheme in [Scheme::EccDimm, Scheme::Chipkill, Scheme::Xed] {
+        let r = mc.run(scheme);
+        let curve: Vec<String> = r.curve().iter().map(|&p| sci(p)).collect();
+        println!(
+            "{:42} {:>10}  [{}]",
+            scheme.label(),
+            sci(r.failure_probability(7.0)),
+            curve.join(", ")
+        );
+        results.push((scheme, r.failure_probability(7.0)));
+    }
+    rule(100);
+    let ecc = results[0].1;
+    let ck = results[1].1;
+    let xed = results[2].1;
+    if xed > 0.0 {
+        println!("XED vs ECC-DIMM:   {:.0}x   (paper: 172x)", ecc / xed);
+        println!("XED vs Chipkill:   {:.1}x   (paper: 4x)", ck / xed);
+    }
+    if ck > 0.0 {
+        println!("Chipkill vs ECC:   {:.0}x   (paper: 43x)", ecc / ck);
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 12: normalized memory power (vs the SECDED ECC-DIMM baseline)
+//! for XED, Chipkill, XED-on-Chipkill and Double-Chipkill.
+//!
+//! Paper result: XED ≈ 1.00; Chipkill ≈ 0.92 (its longer execution time
+//! spreads the energy); XED-on-Chipkill ≈ 0.92; Double-Chipkill ≈ 1.084
+//! (36 activated chips overwhelm the time-stretching effect).
+//!
+//! `cargo run --release -p xed-bench --bin fig12_power`
+
+use xed_bench::Options;
+use xed_memsim::overlay::ReliabilityScheme;
+use xed_memsim::sim::{SimConfig, SimResult, Simulation};
+use xed_memsim::workloads::{geometric_mean, ALL};
+
+fn main() {
+    let opts = Options::from_args();
+    let schemes = ReliabilityScheme::figure11_set();
+
+    println!(
+        "Figure 12: normalized memory power (8 cores x {} instructions, DDR3-1600)\n",
+        opts.instructions
+    );
+    print!("{:12}", "benchmark");
+    for s in &schemes[1..] {
+        print!(" {:>12}", s.name.split(' ').next().unwrap());
+    }
+    println!();
+
+    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len() - 1];
+    let mut suite = None;
+    for w in ALL {
+        if suite != Some(w.suite) {
+            suite = Some(w.suite);
+            println!("--- {} ---", w.suite.label());
+        }
+        let base = run(w.name, schemes[0], opts.instructions, opts.seed).power_mw();
+        print!("{:12}", w.name);
+        for (i, s) in schemes[1..].iter().enumerate() {
+            let r = run(w.name, *s, opts.instructions, opts.seed);
+            let ratio = r.power_mw() / base;
+            per_scheme[i].push(ratio);
+            print!(" {:>12.3}", ratio);
+        }
+        println!();
+    }
+
+    print!("{:12}", "Gmean");
+    for ratios in &per_scheme {
+        print!(" {:>12.3}", geometric_mean(ratios.iter().copied()));
+    }
+    println!(
+        "\n\npaper Gmeans: XED 1.00, Chipkill 0.92, XED+Chipkill 0.92, Double-Chipkill 1.084\n\
+         (our Chipkill lands above 1.0 because we charge ganged x8 accesses their physical\n\
+         2x activation + overfetch transfer energy; see EXPERIMENTS.md)"
+    );
+}
+
+fn run(name: &str, scheme: ReliabilityScheme, instructions: u64, seed: u64) -> SimResult {
+    Simulation::new(SimConfig {
+        workload: xed_memsim::workloads::Workload::by_name(name).unwrap(),
+        scheme,
+        instructions_per_core: instructions,
+        seed,
+        ..Default::default()
+    })
+    .run()
+}

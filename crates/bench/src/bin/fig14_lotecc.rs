@@ -1,0 +1,50 @@
+//! Figure 14: execution time of LOT-ECC (with write coalescing) relative
+//! to XED, by benchmark suite.
+//!
+//! Paper result: LOT-ECC — a chipkill alternative that maintains tiered
+//! localized checksums — runs ~6.6% slower than XED because every write
+//! spawns checksum-update writes.
+//!
+//! `cargo run --release -p xed-bench --bin fig14_lotecc`
+
+use xed_bench::Options;
+use xed_memsim::overlay::ReliabilityScheme;
+use xed_memsim::sim::{SimConfig, Simulation};
+use xed_memsim::workloads::{geometric_mean, Suite, ALL};
+
+fn main() {
+    let opts = Options::from_args();
+    println!(
+        "Figure 14: LOT-ECC (write-coalescing) execution time normalized to XED\n\
+         (8 cores x {} instructions)\n",
+        opts.instructions
+    );
+    println!("{:12} {:>14}", "suite", "LOT-ECC / XED");
+
+    let mut all_ratios = Vec::new();
+    for suite in [Suite::Spec2006, Suite::Parsec, Suite::BioBench, Suite::Commercial] {
+        let mut ratios = Vec::new();
+        for w in ALL.iter().filter(|w| w.suite == suite) {
+            let xed = run(w.name, ReliabilityScheme::xed(), opts.instructions, opts.seed);
+            let lot = run(w.name, ReliabilityScheme::lot_ecc(), opts.instructions, opts.seed);
+            ratios.push(lot as f64 / xed as f64);
+        }
+        let g = geometric_mean(ratios.iter().copied());
+        all_ratios.extend(ratios);
+        println!("{:12} {:>14.3}", suite.label(), g);
+    }
+    println!("{:12} {:>14.3}", "GMEAN", geometric_mean(all_ratios.iter().copied()));
+    println!("\npaper reference: LOT-ECC is 6.6% slower than XED on average (write overheads).");
+}
+
+fn run(name: &str, scheme: ReliabilityScheme, instructions: u64, seed: u64) -> u64 {
+    Simulation::new(SimConfig {
+        workload: xed_memsim::workloads::Workload::by_name(name).unwrap(),
+        scheme,
+        instructions_per_core: instructions,
+        seed,
+        ..Default::default()
+    })
+    .run()
+    .cycles
+}

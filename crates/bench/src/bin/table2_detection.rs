@@ -1,0 +1,49 @@
+//! Table II: detection rate of random and burst errors for the (72,64)
+//! Hamming code and the (72,64) CRC8-ATM code.
+//!
+//! Paper result: both codes detect 1–3 bit errors perfectly; Hamming drops
+//! to ~51% on 4- and 8-bit *burst* errors while CRC8-ATM detects 100% of
+//! all bursts up to 8 bits — the paper's reason for recommending CRC8-ATM
+//! as the on-die code.
+//!
+//! `cargo run --release -p xed-bench --bin table2_detection`
+//! (`--trials N` to change the Monte-Carlo size per cell.)
+
+use xed_bench::{rule, Options};
+use xed_ecc::detection::table2_rows;
+use xed_ecc::{Crc8Atm, Hamming7264};
+
+fn main() {
+    let opts = Options::from_args();
+    println!("Table II: detection rate of random and burst errors ({} trials/cell)\n", opts.trials);
+    println!(
+        "{:>7} | {:>17} {:>17} | {:>17} {:>17}",
+        "", "(72,64) Hamming", "", "(72,64) CRC8-ATM", ""
+    );
+    println!(
+        "{:>7} | {:>17} {:>17} | {:>17} {:>17}",
+        "errors", "random", "burst", "random", "burst"
+    );
+    rule(84);
+
+    let hamming = table2_rows(&Hamming7264::new(), opts.trials, opts.seed);
+    let crc = table2_rows(&Crc8Atm::new(), opts.trials, opts.seed);
+    for k in 0..8 {
+        let (hr, hb) = &hamming[k];
+        let (cr, cb) = &crc[k];
+        println!(
+            "{:>7} | {:>16.2}% {:>16.2}% | {:>16.2}% {:>16.2}%",
+            k + 1,
+            hr.percent(),
+            hb.percent(),
+            cr.percent(),
+            cb.percent()
+        );
+    }
+    rule(84);
+    println!(
+        "Paper reference: Hamming burst-4 = 50.73%, burst-8 = 50.75%; CRC8-ATM burst = 100%.\n\
+         (Exact Hamming burst rates depend on the bit layout of the specific H-matrix;\n\
+         the qualitative gap — Hamming misses aligned bursts, CRC8-ATM never does — holds.)"
+    );
+}

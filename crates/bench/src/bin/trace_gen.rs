@@ -1,0 +1,47 @@
+//! Utility: export a synthetic benchmark's memory behavior as a
+//! USIMM-format trace file, consumable by `xed_memsim::tracefile` (or by
+//! USIMM itself).
+//!
+//! ```text
+//! cargo run --release -p xed-bench --bin trace_gen -- libquantum 100000 > lq.trace
+//! ```
+//!
+//! Arguments: `<benchmark> [operations] [seed]`. The output format is one
+//! operation per line: `<instruction-gap> <R|W> <hex byte address>`.
+
+use xed_memsim::addrmap::Topology;
+use xed_memsim::trace::TraceGen;
+use xed_memsim::tracefile::LINE_BYTES;
+use xed_memsim::workloads::Workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("libquantum");
+    let Some(workload) = Workload::by_name(name) else {
+        eprintln!("unknown benchmark {name:?}; available:");
+        for w in xed_memsim::workloads::ALL {
+            eprintln!("  {}", w.name);
+        }
+        std::process::exit(1);
+    };
+    let ops: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2016);
+
+    println!("# synthetic {} trace ({} operations, seed {})", workload.name, ops, seed);
+    println!(
+        "# profile: {:.1} read MPKI, {:.1} write MPKI, {:.0}% row-buffer locality",
+        workload.read_mpki,
+        workload.write_mpki,
+        workload.row_hit * 100.0
+    );
+    let mut generator = TraceGen::new(workload, Topology::baseline(), 0, 1, seed);
+    for _ in 0..ops {
+        let op = generator.next_op();
+        println!(
+            "{} {} {:#x}",
+            op.gap,
+            if op.is_write { "W" } else { "R" },
+            op.line_addr * LINE_BYTES
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Catch-words: the error-signaling data values at the heart of XED.
+//!
+//! A catch-word is a randomly selected data value agreed upon by the memory
+//! controller and a DRAM chip at boot (stored in the chip's Catch-Word
+//! Register via the MRS interface, paper Section V-A). When the chip's
+//! on-die ECC detects or corrects an error, the chip transmits the
+//! catch-word *instead of data* — conveying "this chip is faulty" without
+//! extra pins, bursts or protocol changes.
+
+use rand::Rng;
+use std::fmt;
+
+/// A 64-bit catch-word value (x8 devices; x4 devices use 32 significant
+/// bits — see [`CatchWord::random_x4`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CatchWord(u64);
+
+impl CatchWord {
+    /// Draws a fresh random catch-word, as the memory controller does at
+    /// boot and after a collision (paper Section V-D3).
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self(rng.gen())
+    }
+
+    /// Draws a 32-bit catch-word for x4 devices (paper Section IX-A: with
+    /// x4 parts a transfer carries 32 bits, so collisions are ~2³² times
+    /// likelier and the expected time to collision is only hours).
+    pub fn random_x4<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self(rng.gen::<u32>() as u64)
+    }
+
+    /// Constructs a catch-word from a fixed value (tests, reproducibility).
+    pub fn from_value(value: u64) -> Self {
+        Self(value)
+    }
+
+    /// The raw catch-word value the chip transmits.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// `true` if a word received from a chip equals this catch-word —
+    /// the memory controller's detection criterion.
+    pub fn matches(self, word: u64) -> bool {
+        self.0 == word
+    }
+}
+
+impl fmt::Display for CatchWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
+}
+
+/// The per-chip catch-word state the memory controller retains (its copy of
+/// each chip's Catch-Word Register).
+#[derive(Debug, Clone)]
+pub struct CatchWordTable {
+    words: Vec<CatchWord>,
+}
+
+impl CatchWordTable {
+    /// Generates a unique random catch-word for each of `chips` chips.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, chips: usize) -> Self {
+        let mut words = Vec::with_capacity(chips);
+        while words.len() < chips {
+            let cw = CatchWord::random(rng);
+            // "unique random Catch-Word ... in each chip" (Section V-A).
+            if !words.contains(&cw) {
+                words.push(cw);
+            }
+        }
+        Self { words }
+    }
+
+    /// Number of chips covered.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` if the table covers no chips.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The catch-word of chip `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn word(&self, i: usize) -> CatchWord {
+        self.words[i]
+    }
+
+    /// Replaces chip `i`'s catch-word after a collision, returning the new
+    /// word (guaranteed different from every current word).
+    pub fn regenerate<R: Rng + ?Sized>(&mut self, rng: &mut R, i: usize) -> CatchWord {
+        loop {
+            let cw = CatchWord::random(rng);
+            if !self.words.contains(&cw) {
+                self.words[i] = cw;
+                return cw;
+            }
+        }
+    }
+
+    /// Which chip (if any) a received word identifies as faulty.
+    pub fn identify(&self, chip: usize, word: u64) -> bool {
+        self.words[chip].matches(word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_only_its_value() {
+        let cw = CatchWord::from_value(0x1234);
+        assert!(cw.matches(0x1234));
+        assert!(!cw.matches(0x1235));
+        assert_eq!(cw.value(), 0x1234);
+    }
+
+    #[test]
+    fn x4_catch_word_fits_32_bits() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(CatchWord::random_x4(&mut rng).value() <= u32::MAX as u64);
+        }
+    }
+
+    #[test]
+    fn table_generates_unique_words() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = CatchWordTable::generate(&mut rng, 9);
+        assert_eq!(t.len(), 9);
+        for i in 0..9 {
+            for j in (i + 1)..9 {
+                assert_ne!(t.word(i), t.word(j));
+            }
+        }
+    }
+
+    #[test]
+    fn regenerate_changes_word_and_stays_unique() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut t = CatchWordTable::generate(&mut rng, 9);
+        let old = t.word(4);
+        let new = t.regenerate(&mut rng, 4);
+        assert_ne!(old, new);
+        assert_eq!(t.word(4), new);
+        for i in 0..9 {
+            if i != 4 {
+                assert_ne!(t.word(i), new);
+            }
+        }
+    }
+
+    #[test]
+    fn identify_is_per_chip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = CatchWordTable::generate(&mut rng, 3);
+        assert!(t.identify(0, t.word(0).value()));
+        assert!(!t.identify(0, t.word(1).value()));
+    }
+
+    #[test]
+    fn display_hex() {
+        assert_eq!(CatchWord::from_value(0xAB).to_string(), "0x00000000000000ab");
+    }
+}

@@ -1,0 +1,57 @@
+//! Error types of the XED memory system.
+
+use std::fmt;
+
+/// Failure modes a XED memory controller can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum XedError {
+    /// Detected uncorrectable error: the DIMM-level parity mismatched and
+    /// neither Inter-Line nor Intra-Line diagnosis could pin down a single
+    /// faulty chip (paper Section VIII). The system should restart or
+    /// restore a checkpoint.
+    DetectedUncorrectable {
+        /// Number of chips the diagnosis suspected (0 = none, ≥2 = too
+        /// many for single-parity reconstruction).
+        suspects: u32,
+    },
+    /// More than one chip transmitted a catch-word *and* serial-mode
+    /// re-read still mismatched parity with multiple unresolved chips.
+    MultipleFaultyChips {
+        /// How many chips presented catch-words.
+        catch_words: u32,
+    },
+}
+
+impl fmt::Display for XedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XedError::DetectedUncorrectable { suspects } => {
+                write!(f, "detected uncorrectable error (diagnosis found {suspects} suspects)")
+            }
+            XedError::MultipleFaultyChips { catch_words } => {
+                write!(f, "multiple concurrently faulty chips ({catch_words} catch-words)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = XedError::DetectedUncorrectable { suspects: 2 };
+        assert!(e.to_string().contains("uncorrectable"));
+        let e = XedError::MultipleFaultyChips { catch_words: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<XedError>();
+    }
+}

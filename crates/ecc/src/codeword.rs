@@ -1,0 +1,194 @@
+//! A 72-bit codeword: 64 data bits plus 8 check bits.
+//!
+//! Both SECDED codes in this crate ([`crate::hamming`] and [`crate::crc8`])
+//! operate on (72,64) codewords, matching the paper's assumption of 8 bits of
+//! on-die ECC per 64-bit word (Section II-B) and the layout of a 72-bit wide
+//! ECC-DIMM beat.
+
+use std::fmt;
+
+/// A 72-bit codeword stored as 64 data bits plus 8 check bits.
+///
+/// The *physical* bit order — the order in which bits are serialized out of
+/// a DRAM array onto the bus, and therefore the order over which a "burst
+/// error" is contiguous — is most-significant-first: physical bit `i` for
+/// `i < 64` is data bit `63 − i`, and physical bit `i` for `i ≥ 64` is check
+/// bit `71 − i`. This matches the polynomial-degree order a CRC processes,
+/// so a physically contiguous burst is also polynomial-contiguous (the
+/// property behind CRC8-ATM's 100% burst detection in Table II).
+///
+/// ```
+/// use xed_ecc::CodeWord72;
+///
+/// let w = CodeWord72::new(0x1234, 0xAB);
+/// assert_eq!(w.data(), 0x1234);
+/// assert_eq!(w.check(), 0xAB);
+/// assert_eq!(w.bit(0), 0);               // data bit 63
+/// assert_eq!(w.bit(64), (0xAB >> 7) & 1); // check bit 7
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CodeWord72 {
+    data: u64,
+    check: u8,
+}
+
+impl CodeWord72 {
+    /// Total number of bits in the codeword.
+    pub const BITS: u32 = 72;
+    /// Number of data bits.
+    pub const DATA_BITS: u32 = 64;
+    /// Number of check bits.
+    pub const CHECK_BITS: u32 = 8;
+
+    /// Creates a codeword from its data and check parts.
+    #[inline]
+    pub fn new(data: u64, check: u8) -> Self {
+        Self { data, check }
+    }
+
+    /// The 64 data bits.
+    #[inline]
+    pub fn data(self) -> u64 {
+        self.data
+    }
+
+    /// The 8 check bits.
+    #[inline]
+    pub fn check(self) -> u8 {
+        self.check
+    }
+
+    /// Reads physical bit `i` (0–71).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 72`.
+    #[inline]
+    pub fn bit(self, i: u32) -> u8 {
+        assert!(i < Self::BITS, "bit index {i} out of range");
+        if i < 64 {
+            ((self.data >> (63 - i)) & 1) as u8
+        } else {
+            (self.check >> (71 - i)) & 1
+        }
+    }
+
+    /// Returns a copy with physical bit `i` flipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 72`.
+    #[inline]
+    #[must_use]
+    pub fn with_bit_flipped(self, i: u32) -> Self {
+        assert!(i < Self::BITS, "bit index {i} out of range");
+        let mut w = self;
+        if i < 64 {
+            w.data ^= 1u64 << (63 - i);
+        } else {
+            w.check ^= 1u8 << (71 - i);
+        }
+        w
+    }
+
+    /// XORs an error pattern (same layout) into the codeword.
+    #[inline]
+    #[must_use]
+    pub fn with_error(self, error: CodeWord72) -> Self {
+        Self {
+            data: self.data ^ error.data,
+            check: self.check ^ error.check,
+        }
+    }
+
+    /// Number of set bits (used to weigh error patterns).
+    #[inline]
+    pub fn weight(self) -> u32 {
+        self.data.count_ones() + self.check.count_ones()
+    }
+
+    /// Builds an error pattern with the given physical bit positions set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any position is `>= 72`.
+    pub fn error_pattern<I: IntoIterator<Item = u32>>(bits: I) -> Self {
+        let mut w = Self::default();
+        for i in bits {
+            w = w.with_bit_flipped(i);
+        }
+        w
+    }
+}
+
+impl fmt::Debug for CodeWord72 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CodeWord72 {{ data: {:#018x}, check: {:#04x} }}", self.data, self.check)
+    }
+}
+
+impl fmt::Display for CodeWord72 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}|{:02x}", self.data, self.check)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_accessors_cover_data_and_check() {
+        let w = CodeWord72::new(u64::MAX, 0);
+        for i in 0..64 {
+            assert_eq!(w.bit(i), 1);
+        }
+        for i in 64..72 {
+            assert_eq!(w.bit(i), 0);
+        }
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        let w = CodeWord72::new(0x0123_4567_89AB_CDEF, 0x5A);
+        for i in 0..72 {
+            assert_eq!(w.with_bit_flipped(i).with_bit_flipped(i), w);
+            assert_ne!(w.with_bit_flipped(i), w);
+        }
+    }
+
+    #[test]
+    fn error_pattern_weight() {
+        let e = CodeWord72::error_pattern([0, 5, 63, 64, 71]);
+        assert_eq!(e.weight(), 5);
+        assert_eq!(e.bit(0), 1);
+        assert_eq!(e.bit(63), 1);
+        assert_eq!(e.bit(64), 1);
+        assert_eq!(e.bit(71), 1);
+        assert_eq!(e.bit(1), 0);
+    }
+
+    #[test]
+    fn with_error_is_xor() {
+        let w = CodeWord72::new(0xFF, 0x0F);
+        let e = CodeWord72::new(0x0F, 0xFF);
+        let r = w.with_error(e);
+        assert_eq!(r.data(), 0xF0);
+        assert_eq!(r.check(), 0xF0);
+        assert_eq!(r.with_error(e), w);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bit_out_of_range_panics() {
+        CodeWord72::default().bit(72);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = format!("{}", CodeWord72::new(1, 2));
+        assert!(s.contains('|'));
+        let d = format!("{:?}", CodeWord72::default());
+        assert!(d.contains("CodeWord72"));
+    }
+}

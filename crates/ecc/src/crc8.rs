@@ -1,0 +1,212 @@
+//! A (72,64) SECDED code built from the CRC8-ATM polynomial.
+//!
+//! The paper (Section V-E) recommends CRC8-ATM (`g(x) = x^8 + x^2 + x + 1`,
+//! the ATM HEC polynomial from ITU-T I.432.1) for the on-die ECC because it
+//! matches Hamming's SECDED guarantees while detecting **100% of burst
+//! errors up to 8 bits long** (Table II) — a property Hamming codes lack.
+//!
+//! # Why CRC8-ATM is SECDED over 72 bits
+//!
+//! `g(x) = (x + 1)·p(x)` where `p(x)` is primitive of degree 7 (order 127):
+//!
+//! * Single-bit errors at positions `0..127` have **distinct, nonzero**
+//!   syndromes (`x^i mod g` are pairwise distinct because `x` has order 127
+//!   modulo `p` and the `(x+1)` factor separates parities) → single-error
+//!   *correction* via a syndrome lookup table.
+//! * Any double-bit error is detected and never mis-corrected: if
+//!   `x^i + x^j ≡ x^k (mod g)` then `g` would divide a weight-3 polynomial,
+//!   impossible because `(x+1) | g` forces even weight on all multiples.
+//! * Any burst of length ≤ 8 leaves a nonzero remainder modulo a degree-8
+//!   polynomial → 100% burst detection.
+//!
+//! These properties are verified exhaustively by this module's tests.
+
+use crate::codeword::CodeWord72;
+use crate::secded::{DecodeOutcome, SecDed};
+
+/// The CRC8-ATM generator polynomial x^8 + x^2 + x + 1 (low 8 bits).
+pub const POLY: u8 = 0x07;
+
+/// The (72,64) CRC8-ATM SECDED codec.
+///
+/// Encoding appends `crc8(data)` as the check byte; decoding uses a
+/// 256-entry syndrome→position table (exactly the single-cycle table-lookup
+/// implementation the paper cites from the ATM literature).
+///
+/// ```
+/// use xed_ecc::{Crc8Atm, SecDed, DecodeOutcome};
+///
+/// let code = Crc8Atm::new();
+/// let w = code.encode(0xFEED_FACE_CAFE_BABE);
+/// let r = w.with_bit_flipped(70); // corrupt a check bit
+/// assert!(matches!(code.decode(r), DecodeOutcome::Corrected { bit: 70, .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc8Atm {
+    /// Byte-at-a-time CRC table: `crc_table[b]` = crc of byte `b`.
+    crc_table: [u8; 256],
+    /// `syndrome_pos[s]` = physical bit position whose single-bit error has
+    /// syndrome `s`, or -1 if `s` is not a single-bit syndrome.
+    syndrome_pos: [i8; 256],
+}
+
+impl Default for Crc8Atm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc8Atm {
+    /// Builds the codec, generating the CRC and syndrome lookup tables.
+    pub fn new() -> Self {
+        let mut crc_table = [0u8; 256];
+        for (b, entry) in crc_table.iter_mut().enumerate() {
+            let mut crc = b as u8;
+            for _ in 0..8 {
+                crc = if crc & 0x80 != 0 { (crc << 1) ^ POLY } else { crc << 1 };
+            }
+            *entry = crc;
+        }
+
+        let mut codec = Self { crc_table, syndrome_pos: [-1i8; 256] };
+        // Tabulate the syndrome of each of the 72 single-bit errors. The
+        // syndrome of flipping physical bit i of a valid codeword equals the
+        // syndrome of the error pattern with only bit i set.
+        let mut syndrome_pos = [-1i8; 256];
+        for i in 0..72u32 {
+            let e = CodeWord72::default().with_bit_flipped(i);
+            let s = codec.raw_syndrome(e);
+            assert_ne!(s, 0, "single-bit syndrome must be nonzero (bit {i})");
+            assert_eq!(syndrome_pos[s as usize], -1, "syndrome collision at bit {i}");
+            syndrome_pos[s as usize] = i as i8;
+        }
+        codec.syndrome_pos = syndrome_pos;
+        codec
+    }
+
+    /// CRC8-ATM of a 64-bit data word (big-endian byte order, standard
+    /// MSB-first bit order).
+    pub fn crc8(&self, data: u64) -> u8 {
+        let mut crc = 0u8;
+        for byte in data.to_be_bytes() {
+            crc = self.crc_table[(crc ^ byte) as usize];
+        }
+        crc
+    }
+
+    /// The 8-bit syndrome of a received word: `crc8(data) ^ check`.
+    ///
+    /// Zero ⟺ valid codeword.
+    pub fn raw_syndrome(&self, received: CodeWord72) -> u8 {
+        self.crc8(received.data()) ^ received.check()
+    }
+}
+
+impl SecDed for Crc8Atm {
+    fn encode(&self, data: u64) -> CodeWord72 {
+        CodeWord72::new(data, self.crc8(data))
+    }
+
+    fn decode(&self, received: CodeWord72) -> DecodeOutcome {
+        let s = self.raw_syndrome(received);
+        if s == 0 {
+            return DecodeOutcome::Clean { data: received.data() };
+        }
+        match self.syndrome_pos[s as usize] {
+            -1 => DecodeOutcome::Detected,
+            pos => {
+                let phys = pos as u32;
+                let fixed = received.with_bit_flipped(phys);
+                DecodeOutcome::Corrected { data: fixed.data(), bit: phys }
+            }
+        }
+    }
+
+    fn is_valid(&self, received: CodeWord72) -> bool {
+        self.raw_syndrome(received) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::secded::conformance;
+
+    #[test]
+    fn roundtrip() {
+        conformance::roundtrip(&Crc8Atm::new());
+    }
+
+    #[test]
+    fn corrects_all_single_bit_errors() {
+        conformance::corrects_all_single_bit_errors(&Crc8Atm::new());
+    }
+
+    #[test]
+    fn detects_all_double_bit_errors() {
+        conformance::detects_all_double_bit_errors(&Crc8Atm::new());
+    }
+
+    #[test]
+    fn crc_of_zero_is_zero() {
+        assert_eq!(Crc8Atm::new().crc8(0), 0);
+    }
+
+    #[test]
+    fn crc_is_linear() {
+        // CRC over GF(2) is linear: crc(a ^ b) == crc(a) ^ crc(b).
+        let c = Crc8Atm::new();
+        let pairs = [(0x1234u64, 0x9876u64), (u64::MAX, 0x0F0F), (1 << 63, 1)];
+        for (a, b) in pairs {
+            assert_eq!(c.crc8(a ^ b), c.crc8(a) ^ c.crc8(b));
+        }
+    }
+
+    #[test]
+    fn detects_every_burst_up_to_8() {
+        // The paper's Table II claim: 100% detection of bursts of length
+        // 1..=8. Exhaustive over all start positions and all interior
+        // patterns of the burst (endpoints fixed to 1).
+        let code = Crc8Atm::new();
+        let w = code.encode(0xABCD_EF01_2345_6789);
+        for len in 1..=8u32 {
+            for start in 0..=(72 - len) {
+                let interior = len.saturating_sub(2);
+                for pat in 0..(1u32 << interior) {
+                    let mut r = w.with_bit_flipped(start);
+                    if len > 1 {
+                        r = r.with_bit_flipped(start + len - 1);
+                    }
+                    for k in 0..interior {
+                        if (pat >> k) & 1 == 1 {
+                            r = r.with_bit_flipped(start + 1 + k);
+                        }
+                    }
+                    assert!(
+                        !code.is_valid(r),
+                        "burst len {len} at {start} pattern {pat:#b} undetected"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_matches_bitwise_crc() {
+        // Cross-check the table-driven CRC against a bit-at-a-time reference.
+        fn crc_bitwise(data: u64) -> u8 {
+            let mut crc = 0u8;
+            for byte in data.to_be_bytes() {
+                crc ^= byte;
+                for _ in 0..8 {
+                    crc = if crc & 0x80 != 0 { (crc << 1) ^ POLY } else { crc << 1 };
+                }
+            }
+            crc
+        }
+        let c = Crc8Atm::new();
+        for d in [0u64, 1, u64::MAX, 0xDEAD_BEEF, 0x0123_4567_89AB_CDEF] {
+            assert_eq!(c.crc8(d), crc_bitwise(d));
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Finite-field arithmetic GF(2^m) for m ≤ 8, backed by log/antilog tables.
+//!
+//! Chipkill-style codes operate on DRAM-device-sized *symbols* rather than
+//! bits. This module provides the field arithmetic for the Reed–Solomon
+//! codecs in [`crate::rs`]: GF(16) for x4-device symbols and GF(256) for
+//! 8-bit symbols (and for pairing two x4 beats into one byte symbol, the
+//! construction commercial chipkill uses).
+
+use std::fmt;
+
+/// A GF(2^m) field defined by a primitive polynomial.
+///
+/// Elements are represented as integers `0..2^m` in polynomial basis.
+/// Multiplication and inversion go through log/antilog tables built at
+/// construction.
+#[derive(Clone)]
+pub struct Field {
+    m: u32,
+    size: usize,
+    poly: u32,
+    log: Vec<u16>,
+    exp: Vec<u8>,
+}
+
+impl fmt::Debug for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Field")
+            .field("m", &self.m)
+            .field("poly", &format_args!("{:#x}", self.poly))
+            .finish()
+    }
+}
+
+impl Field {
+    /// Builds GF(2^m) from a primitive polynomial given including the leading
+    /// term (e.g. `0x11D` = x^8+x^4+x^3+x^2+1 for GF(256)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not in `1..=8` or the polynomial is not primitive
+    /// (i.e. `x` does not generate the multiplicative group).
+    pub fn new(m: u32, poly: u32) -> Self {
+        assert!((1..=8).contains(&m), "only GF(2^1)..GF(2^8) supported");
+        let size = 1usize << m;
+        let order = size - 1;
+        let mut log = vec![0u16; size];
+        let mut exp = vec![0u8; 2 * order];
+        let mut x = 1u32;
+        for i in 0..order {
+            assert!(
+                i == 0 || x != 1,
+                "polynomial {poly:#x} is not primitive for m={m} (x has order {i})"
+            );
+            exp[i] = x as u8;
+            exp[i + order] = x as u8;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & (1 << m) != 0 {
+                x ^= poly;
+            }
+        }
+        assert_eq!(x, 1, "polynomial {poly:#x} is not primitive for m={m}");
+        Self { m, size, poly, log, exp }
+    }
+
+    /// The standard GF(256) field used by the byte-symbol Reed–Solomon
+    /// codecs (primitive polynomial x^8+x^4+x^3+x^2+1).
+    pub fn gf256() -> Self {
+        Self::new(8, 0x11D)
+    }
+
+    /// GF(16) with primitive polynomial x^4+x+1, for x4-device symbols.
+    pub fn gf16() -> Self {
+        Self::new(4, 0x13)
+    }
+
+    /// Field extension degree m.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Number of field elements (2^m).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Order of the multiplicative group (2^m − 1).
+    pub fn order(&self) -> usize {
+        self.size - 1
+    }
+
+    /// α^i for the primitive element α = x.
+    #[inline]
+    pub fn alpha_pow(&self, i: usize) -> u8 {
+        self.exp[i % self.order()]
+    }
+
+    /// Discrete log base α of a nonzero element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0` (zero has no logarithm).
+    #[inline]
+    pub fn log(&self, a: u8) -> usize {
+        assert!(a != 0, "log of zero");
+        self.log[a as usize] as usize
+    }
+
+    /// Field addition (XOR).
+    #[inline]
+    pub fn add(&self, a: u8, b: u8) -> u8 {
+        a ^ b
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(&self, a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0`.
+    #[inline]
+    pub fn inv(&self, a: u8) -> u8 {
+        assert!(a != 0, "inverse of zero");
+        self.exp[self.order() - self.log[a as usize] as usize]
+    }
+
+    /// Field division `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    #[inline]
+    pub fn div(&self, a: u8, b: u8) -> u8 {
+        if a == 0 {
+            0
+        } else {
+            self.mul(a, self.inv(b))
+        }
+    }
+
+    /// a^n by repeated table lookups.
+    pub fn pow(&self, a: u8, n: usize) -> u8 {
+        if a == 0 {
+            return if n == 0 { 1 } else { 0 };
+        }
+        self.exp[(self.log[a as usize] as usize * n) % self.order()]
+    }
+
+    /// Evaluates a polynomial (coefficients ascending, `poly[i]·x^i`) at `x`.
+    pub fn poly_eval(&self, poly: &[u8], x: u8) -> u8 {
+        let mut acc = 0u8;
+        for &c in poly.iter().rev() {
+            acc = self.mul(acc, x) ^ c;
+        }
+        acc
+    }
+
+    /// Multiplies two polynomials over the field (ascending coefficients).
+    pub fn poly_mul(&self, a: &[u8], b: &[u8]) -> Vec<u8> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u8; a.len() + b.len() - 1];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            for (j, &bj) in b.iter().enumerate() {
+                out[i + j] ^= self.mul(ai, bj);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fields() -> Vec<Field> {
+        vec![Field::gf256(), Field::gf16()]
+    }
+
+    #[test]
+    fn mul_identity_and_zero() {
+        for f in fields() {
+            for a in 0..f.size() as u16 {
+                let a = a as u8;
+                assert_eq!(f.mul(a, 1), a);
+                assert_eq!(f.mul(1, a), a);
+                assert_eq!(f.mul(a, 0), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_commutative_associative_distributive_gf16() {
+        let f = Field::gf16();
+        for a in 0..16u8 {
+            for b in 0..16u8 {
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                for c in 0..16u8 {
+                    assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+                    assert_eq!(f.mul(a, b ^ c), f.mul(a, b) ^ f.mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for f in fields() {
+            for a in 1..f.size() as u16 {
+                let a = a as u8;
+                assert_eq!(f.mul(a, f.inv(a)), 1, "a={a} in GF(2^{})", f.m());
+                assert_eq!(f.div(f.mul(a, 7.min(f.order() as u8)), a), 7.min(f.order() as u8));
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_generates_group() {
+        for f in fields() {
+            let mut seen = vec![false; f.size()];
+            for i in 0..f.order() {
+                let v = f.alpha_pow(i);
+                assert!(!seen[v as usize], "α^{i} repeats in GF(2^{})", f.m());
+                seen[v as usize] = true;
+            }
+            assert!(!seen[0]);
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let f = Field::gf256();
+        for a in [1u8, 2, 3, 0x53, 0xFF] {
+            let mut acc = 1u8;
+            for n in 0..20 {
+                assert_eq!(f.pow(a, n), acc);
+                acc = f.mul(acc, a);
+            }
+        }
+        assert_eq!(f.pow(0, 0), 1);
+        assert_eq!(f.pow(0, 5), 0);
+    }
+
+    #[test]
+    fn poly_eval_horner() {
+        let f = Field::gf256();
+        // p(x) = 3 + 2x + x^2 at x=2 : 3 ^ mul(2,2) ^ mul(1,4) = 3^4^4 = 3
+        let p = [3u8, 2, 1];
+        assert_eq!(f.poly_eval(&p, 2), 3);
+        assert_eq!(f.poly_eval(&p, 0), 3);
+        assert_eq!(f.poly_eval(&[], 5), 0);
+    }
+
+    #[test]
+    fn poly_mul_degree_and_linearity() {
+        let f = Field::gf256();
+        let a = [1u8, 1]; // (1 + x)
+        let b = [1u8, 2]; // (1 + 2x)
+        let prod = f.poly_mul(&a, &b);
+        assert_eq!(prod.len(), 3);
+        // roots of the product are roots of either factor
+        assert_eq!(f.poly_eval(&prod, 1), 0);
+        assert_eq!(f.poly_eval(&prod, f.inv(2)), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_primitive_poly_rejected() {
+        // x^4 + x^3 + x^2 + x + 1 has order 5, not primitive for GF(16).
+        let _ = Field::new(4, 0x1F);
+    }
+
+    #[test]
+    fn log_exp_inverse() {
+        let f = Field::gf256();
+        for a in 1..=255u8 {
+            assert_eq!(f.alpha_pow(f.log(a)), a);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! A (72,64) extended Hamming SECDED code.
+//!
+//! This is the conventional code used for DIMM-level ECC and assumed for
+//! on-die ECC by default (paper Section II-B). It corrects any single-bit
+//! error and detects any double-bit error, but — as the paper's Table II
+//! shows — it is *weak against burst errors*: certain aligned multi-bit
+//! bursts produce a zero syndrome and escape detection entirely. That
+//! weakness is the paper's motivation for recommending CRC8-ATM
+//! ([`crate::crc8::Crc8Atm`]) as the on-die code instead.
+//!
+//! # Construction
+//!
+//! We use the textbook extended Hamming construction: 71 positions indexed
+//! `1..=71`, where the power-of-two positions (1, 2, 4, 8, 16, 32, 64) hold
+//! the seven Hamming check bits and the remaining 64 positions hold the data
+//! bits in ascending order; one additional overall-parity bit extends the
+//! minimum distance to 4 (SECDED).
+//!
+//! The physical bit order of [`CodeWord72`] (data bits 0–63, then check bits
+//! 64–71) is mapped onto Hamming positions via a fixed permutation computed
+//! at construction.
+
+use crate::codeword::CodeWord72;
+use crate::secded::{DecodeOutcome, SecDed};
+
+/// Number of Hamming positions (1..=71) in the inner (71,64) code.
+const POSITIONS: usize = 71;
+/// Number of Hamming check bits (positions 1,2,4,...,64).
+const CHECKS: usize = 7;
+
+/// The (72,64) extended Hamming SECDED codec.
+///
+/// The codec is cheap to construct and stateless after construction; build
+/// one and reuse it.
+///
+/// ```
+/// use xed_ecc::{Hamming7264, SecDed, DecodeOutcome};
+///
+/// let code = Hamming7264::new();
+/// let w = code.encode(123456789);
+/// assert_eq!(code.decode(w), DecodeOutcome::Clean { data: 123456789 });
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hamming7264 {
+    /// `data_pos[i]` = Hamming position (1..=71) of data bit `i`.
+    data_pos: [u8; 64],
+    /// `pos_kind[p]` for p in 1..=71: data-bit index or check-bit index.
+    pos_to_databit: [i8; POSITIONS + 1],
+}
+
+impl Default for Hamming7264 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hamming7264 {
+    /// Builds the codec (computes the position permutation).
+    pub fn new() -> Self {
+        let mut data_pos = [0u8; 64];
+        let mut pos_to_databit = [-1i8; POSITIONS + 1];
+        let mut di = 0usize;
+        for (p, slot) in pos_to_databit.iter_mut().enumerate().skip(1) {
+            if !p.is_power_of_two() {
+                data_pos[di] = p as u8;
+                *slot = di as i8;
+                di += 1;
+            }
+        }
+        debug_assert_eq!(di, 64);
+        Self { data_pos, pos_to_databit }
+    }
+
+    /// Computes the 7-bit Hamming syndrome and overall parity of a received
+    /// word, as `(syndrome, overall_parity)`.
+    ///
+    /// `syndrome == 0 && overall_parity == 0` ⟺ valid codeword.
+    fn syndrome(&self, received: CodeWord72) -> (u8, u8) {
+        let mut syn = 0u8;
+        let mut overall = 0u8;
+        // Data bits contribute their Hamming position to the syndrome.
+        for (i, &p) in self.data_pos.iter().enumerate() {
+            let b = ((received.data() >> i) & 1) as u8;
+            if b == 1 {
+                syn ^= p;
+                overall ^= 1;
+            }
+        }
+        // Check bits: physical check bit c (0..7 exclusive of last) sits at
+        // Hamming position 2^c; physical check bit 7 is the overall parity.
+        let check = received.check();
+        for c in 0..CHECKS {
+            if (check >> c) & 1 == 1 {
+                syn ^= 1u8 << c;
+                overall ^= 1;
+            }
+        }
+        overall ^= (check >> 7) & 1;
+        (syn, overall)
+    }
+
+    /// Recomputes the expected check byte for `data`.
+    fn check_bits(&self, data: u64) -> u8 {
+        let mut syn = 0u8;
+        let mut ones = 0u8;
+        for (i, &p) in self.data_pos.iter().enumerate() {
+            if (data >> i) & 1 == 1 {
+                syn ^= p;
+                ones ^= 1;
+            }
+        }
+        // Check bits are chosen to zero the syndrome.
+        let mut check = syn & 0x7F;
+        // Overall parity covers all 71 inner bits.
+        let inner_parity = ones ^ ((check.count_ones() & 1) as u8);
+        check |= inner_parity << 7;
+        check
+    }
+
+    /// Translates a Hamming position (1..=71) into a physical bit index
+    /// (see [`CodeWord72`] for the physical order: MSB-first).
+    fn position_to_physical(&self, p: u8) -> u32 {
+        if (p as usize).is_power_of_two() {
+            // Hamming check bit c sits in check-byte bit c = physical 71 - c.
+            71 - p.trailing_zeros()
+        } else {
+            // Data bit di of the u64 word = physical 63 - di.
+            63 - self.pos_to_databit[p as usize] as u32
+        }
+    }
+}
+
+impl SecDed for Hamming7264 {
+    fn encode(&self, data: u64) -> CodeWord72 {
+        CodeWord72::new(data, self.check_bits(data))
+    }
+
+    fn decode(&self, received: CodeWord72) -> DecodeOutcome {
+        let (syn, overall) = self.syndrome(received);
+        match (syn, overall) {
+            (0, 0) => DecodeOutcome::Clean { data: received.data() },
+            (0, 1) => {
+                // Error in the overall parity bit itself (check-byte bit 7,
+                // physical bit 64).
+                DecodeOutcome::Corrected { data: received.data(), bit: 64 }
+            }
+            (s, 1) if (s as usize) <= POSITIONS => {
+                // Odd number of errors with a syndrome pointing at a
+                // position: correct it as a single-bit error.
+                let phys = self.position_to_physical(s);
+                let fixed = received.with_bit_flipped(phys);
+                DecodeOutcome::Corrected { data: fixed.data(), bit: phys }
+            }
+            // Even number of errors (syndrome != 0, overall parity even), or
+            // a syndrome pointing outside the code: detected, uncorrectable.
+            _ => DecodeOutcome::Detected,
+        }
+    }
+
+    fn is_valid(&self, received: CodeWord72) -> bool {
+        self.syndrome(received) == (0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::secded::conformance;
+
+    #[test]
+    fn roundtrip() {
+        conformance::roundtrip(&Hamming7264::new());
+    }
+
+    #[test]
+    fn corrects_all_single_bit_errors() {
+        conformance::corrects_all_single_bit_errors(&Hamming7264::new());
+    }
+
+    #[test]
+    fn detects_all_double_bit_errors() {
+        conformance::detects_all_double_bit_errors(&Hamming7264::new());
+    }
+
+    #[test]
+    fn position_permutation_is_bijective() {
+        let c = Hamming7264::new();
+        let mut seen = [false; 72];
+        for p in 1..=POSITIONS as u8 {
+            let phys = c.position_to_physical(p);
+            assert!(!seen[phys as usize], "physical bit {phys} mapped twice");
+            seen[phys as usize] = true;
+        }
+        // position 0 does not exist; the 72nd physical bit is the overall
+        // parity bit (physical 64 = check-byte bit 7), which has no Hamming
+        // position.
+        assert_eq!(seen.iter().filter(|&&s| s).count(), 71);
+        assert!(!seen[64]);
+    }
+
+    #[test]
+    fn some_aligned_burst4_is_undetected() {
+        // The motivating weakness from Table II: there exists a 4-bit
+        // physically contiguous burst whose error pattern is a codeword.
+        let code = Hamming7264::new();
+        let w = code.encode(0);
+        let mut found = false;
+        for start in 0..=(72 - 4) {
+            let r = (0..4).fold(w, |acc, k| acc.with_bit_flipped(start + k));
+            if code.is_valid(r) && r != w {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "expected at least one undetected burst-4 pattern");
+    }
+
+    #[test]
+    fn zero_data_codeword_has_zero_check() {
+        let code = Hamming7264::new();
+        assert_eq!(code.encode(0).check(), 0);
+    }
+
+    #[test]
+    fn check_bits_differ_across_data() {
+        let code = Hamming7264::new();
+        // Not a guarantee in general, but these particular words differ.
+        assert_ne!(code.encode(1).check(), code.encode(2).check());
+    }
+}

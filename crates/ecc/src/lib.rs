@@ -1,0 +1,57 @@
+//! Coding-theory substrate for the XED reproduction.
+//!
+//! This crate implements every error-correcting code the paper
+//! *"XED: Exposing On-Die Error Detection Information for Strong Memory
+//! Reliability"* (ISCA 2016) relies on:
+//!
+//! * [`hamming`] — a (72,64) extended Hamming SECDED code, the conventional
+//!   choice for on-die ECC and DIMM-level ECC.
+//! * [`crc8`] — a (72,64) CRC8-ATM based SECDED code, the paper's
+//!   recommended on-die code because it detects **all** burst errors of
+//!   length ≤ 8 (Section V-E, Table II).
+//! * [`parity`] — RAID-3 style XOR parity across the chips of an ECC-DIMM,
+//!   used by the XED memory controller for erasure correction.
+//! * [`gf`] — GF(2^m) arithmetic (m = 4, 8) backed by log/antilog tables.
+//! * [`rs`] — Reed–Solomon codes with both error decoding
+//!   (Berlekamp–Massey + Chien + Forney) and erasure decoding, used to model
+//!   Chipkill and Double-Chipkill.
+//! * [`chipkill`] — symbol-organized Chipkill / Double-Chipkill codecs built
+//!   on [`rs`].
+//! * [`detection`] — the Monte-Carlo harness that regenerates Table II
+//!   (detection rate of random and burst errors).
+//!
+//! # Quick example
+//!
+//! ```
+//! use xed_ecc::secded::{SecDed, DecodeOutcome};
+//! use xed_ecc::crc8::Crc8Atm;
+//!
+//! let code = Crc8Atm::new();
+//! let word = code.encode(0xDEAD_BEEF_0BAD_F00D);
+//! // Flip one bit: the code corrects it.
+//! let corrupted = word.with_bit_flipped(17);
+//! match code.decode(corrupted) {
+//!     DecodeOutcome::Corrected { data, bit } => {
+//!         assert_eq!(data, 0xDEAD_BEEF_0BAD_F00D);
+//!         assert_eq!(bit, 17);
+//!     }
+//!     other => panic!("expected correction, got {other:?}"),
+//! }
+//! ```
+
+pub mod bits;
+pub mod chipkill;
+pub mod codeword;
+pub mod crc8;
+pub mod detection;
+pub mod gf;
+pub mod hamming;
+pub mod parity;
+pub mod rs;
+pub mod secded;
+pub mod secded32;
+
+pub use codeword::CodeWord72;
+pub use crc8::Crc8Atm;
+pub use hamming::Hamming7264;
+pub use secded::{DecodeOutcome, SecDed};

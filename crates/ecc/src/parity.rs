@@ -1,0 +1,114 @@
+//! RAID-3 style XOR parity across the chips of an ECC-DIMM.
+//!
+//! XED repurposes the 9th chip of a commodity ECC-DIMM: instead of a SECDED
+//! check byte it stores the XOR of the eight data chips' 64-bit words
+//! (paper Equation 1). Combined with the erasure location that catch-words
+//! provide, this allows the memory controller to reconstruct the word of any
+//! single faulty chip (Equation 3) — exactly how RAID-3 reconstructs a
+//! failed disk.
+
+/// Computes the parity word of a set of data words (paper Equation 1).
+///
+/// ```
+/// let parity = xed_ecc::parity::compute(&[1, 2, 4]);
+/// assert_eq!(parity, 7);
+/// ```
+pub fn compute(words: &[u64]) -> u64 {
+    words.iter().fold(0, |acc, &w| acc ^ w)
+}
+
+/// Checks Equation 1: XOR of all data words and the parity word is zero.
+pub fn holds(words: &[u64], parity: u64) -> bool {
+    compute(words) == parity
+}
+
+/// Reconstructs the word of the chip at `erased` from the remaining words
+/// and the parity word (paper Equation 3).
+///
+/// The value currently stored at `words[erased]` is ignored, so callers can
+/// pass the received burst unchanged (including a catch-word in the erased
+/// slot).
+///
+/// # Panics
+///
+/// Panics if `erased >= words.len()`.
+///
+/// ```
+/// let data = [10u64, 20, 30, 40];
+/// let parity = xed_ecc::parity::compute(&data);
+/// let mut received = data;
+/// received[2] = 0xDEAD; // chip 2 returned garbage (or a catch-word)
+/// assert_eq!(xed_ecc::parity::reconstruct(&received, parity, 2), 30);
+/// ```
+pub fn reconstruct(words: &[u64], parity: u64, erased: usize) -> u64 {
+    assert!(erased < words.len(), "erased index {erased} out of range");
+    words
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != erased)
+        .fold(parity, |acc, (_, &w)| acc ^ w)
+}
+
+/// Incrementally updates a parity word after one data word changes.
+///
+/// RAID small-write optimization: `new_parity = parity ^ old ^ new`. XED's
+/// memory controller uses this on writes so it never needs to read the other
+/// seven chips.
+#[inline]
+#[must_use]
+pub fn update(parity: u64, old_word: u64, new_word: u64) -> u64 {
+    parity ^ old_word ^ new_word
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_of_empty_is_zero() {
+        assert_eq!(compute(&[]), 0);
+    }
+
+    #[test]
+    fn parity_self_inverse() {
+        let words = [0xDEADu64, 0xBEEF, 0xF00D, 0xCAFE, 1, 2, 3, 4];
+        let p = compute(&words);
+        assert!(holds(&words, p));
+        assert_eq!(compute(&words) ^ p, 0);
+    }
+
+    #[test]
+    fn reconstruct_every_position() {
+        let words: Vec<u64> = (0..8).map(|i| 0x1111_1111_1111_1111u64 * (i + 3)).collect();
+        let p = compute(&words);
+        for erased in 0..8 {
+            let mut corrupted = words.clone();
+            corrupted[erased] = !words[erased]; // garbage
+            assert_eq!(reconstruct(&corrupted, p, erased), words[erased]);
+        }
+    }
+
+    #[test]
+    fn update_matches_full_recompute() {
+        let mut words = [5u64, 6, 7, 8];
+        let mut p = compute(&words);
+        p = update(p, words[1], 999);
+        words[1] = 999;
+        assert_eq!(p, compute(&words));
+    }
+
+    #[test]
+    fn holds_detects_corruption() {
+        let words = [1u64, 2, 3];
+        let p = compute(&words);
+        let mut bad = words;
+        bad[0] ^= 0x10;
+        assert!(!holds(&bad, p));
+    }
+
+    #[test]
+    #[should_panic]
+    fn reconstruct_out_of_range_panics() {
+        reconstruct(&[1, 2], 3, 2);
+    }
+}

@@ -1,0 +1,541 @@
+//! Reed–Solomon codes with error *and* erasure decoding.
+//!
+//! Chipkill treats each DRAM device as one symbol of a Reed–Solomon code:
+//! check symbols locate **and** correct a faulty device. XED turns the same
+//! check symbols into pure *erasure* correctors because the catch-word
+//! already identifies the faulty device (paper Section II-D3 and IX-A) —
+//! which is why XED-on-Chipkill corrects two chip failures with only two
+//! check symbols.
+//!
+//! The decoder implements the classic pipeline: syndromes → Forney
+//! syndromes (to fold in known erasures) → Berlekamp–Massey → Chien search
+//! → Forney magnitude algorithm, with a final re-syndrome verification.
+//! A codeword with `nsym` check symbols decodes successfully whenever
+//! `2·errors + erasures ≤ nsym`.
+
+use crate::gf::Field;
+use std::fmt;
+
+/// Error returned when a received word cannot be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RsError {
+    /// More errors/erasures than the code can handle; the corruption was
+    /// detected but could not be corrected.
+    Detected,
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsError::Detected => write!(f, "uncorrectable reed-solomon codeword"),
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+/// Outcome of a successful decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decoded {
+    /// The corrected full codeword (data symbols followed by check symbols).
+    pub codeword: Vec<u8>,
+    /// Indices of the symbols that were corrected (sorted ascending).
+    pub corrected: Vec<usize>,
+}
+
+impl Decoded {
+    /// The corrected data symbols (first *k* symbols of the codeword).
+    pub fn data(&self, k: usize) -> &[u8] {
+        &self.codeword[..k]
+    }
+}
+
+/// A systematic Reed–Solomon code RS(n, k) over GF(2^m).
+///
+/// * `n` — total symbols per codeword (data + check), `n ≤ 2^m − 1`;
+/// * `k` — data symbols; `nsym = n − k` check symbols.
+///
+/// ```
+/// use xed_ecc::rs::ReedSolomon;
+/// use xed_ecc::gf::Field;
+///
+/// // The Chipkill geometry: 18 chips = 16 data + 2 check symbols.
+/// let rs = ReedSolomon::new(Field::gf256(), 18, 16);
+/// let data: Vec<u8> = (0..16).collect();
+/// let cw = rs.encode(&data);
+/// let mut rx = cw.clone();
+/// rx[3] ^= 0xFF; // one chip returns garbage
+/// let out = rs.decode(&rx, &[]).unwrap();
+/// assert_eq!(out.data(16), &data[..]);
+/// assert_eq!(out.corrected, vec![3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    field: Field,
+    n: usize,
+    k: usize,
+    /// Generator polynomial, ascending coefficients, degree `nsym`.
+    generator: Vec<u8>,
+}
+
+impl ReedSolomon {
+    /// Builds RS(n, k) over the given field.
+    ///
+    /// The generator polynomial has roots `α^0 .. α^(n-k-1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k < n ≤ 2^m − 1`.
+    pub fn new(field: Field, n: usize, k: usize) -> Self {
+        assert!(k > 0 && k < n, "need 0 < k < n (got n={n}, k={k})");
+        assert!(n <= field.order(), "n={n} exceeds field order {}", field.order());
+        let nsym = n - k;
+        // g(x) = Π_{j=0..nsym-1} (x + α^j), ascending coefficients.
+        let mut generator = vec![1u8];
+        for j in 0..nsym {
+            generator = field.poly_mul(&generator, &[field.alpha_pow(j), 1]);
+        }
+        Self { field, n, k, generator }
+    }
+
+    /// Total codeword length in symbols.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of data symbols.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of check symbols.
+    pub fn nsym(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// The underlying field.
+    pub fn field(&self) -> &Field {
+        &self.field
+    }
+
+    /// Encodes `data` (length `k`) into a systematic codeword of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != k` or a symbol exceeds the field size.
+    pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+        assert_eq!(data.len(), self.k, "expected {} data symbols", self.k);
+        let max = (self.field.size() - 1) as u8;
+        assert!(data.iter().all(|&s| s <= max), "symbol exceeds field size");
+        let nsym = self.nsym();
+        // Synthetic division of data(x)·x^nsym by g(x); codeword index i
+        // corresponds to the coefficient of x^(n-1-i).
+        let mut out = vec![0u8; self.n];
+        out[..self.k].copy_from_slice(data);
+        for i in 0..self.k {
+            let coef = out[i];
+            if coef != 0 {
+                for j in 1..=nsym {
+                    // generator is ascending; g[nsym] = 1 is the lead term.
+                    out[i + j] ^= self.field.mul(self.generator[nsym - j], coef);
+                }
+            }
+        }
+        // The division clobbered the data prefix's trailing part? No: it only
+        // touches positions > i, and we re-copy data to be explicit.
+        out[..self.k].copy_from_slice(data);
+        out
+    }
+
+    /// Evaluates the received word (codeword index i ↔ coefficient of
+    /// x^(n-1-i)) at `x`.
+    fn eval_received(&self, received: &[u8], x: u8) -> u8 {
+        let mut acc = 0u8;
+        for &c in received {
+            acc = self.field.mul(acc, x) ^ c;
+        }
+        acc
+    }
+
+    /// Computes the `nsym` syndromes `S_j = r(α^j)`.
+    pub fn syndromes(&self, received: &[u8]) -> Vec<u8> {
+        (0..self.nsym())
+            .map(|j| self.eval_received(received, self.field.alpha_pow(j)))
+            .collect()
+    }
+
+    /// `true` if `received` is a valid codeword.
+    pub fn is_valid(&self, received: &[u8]) -> bool {
+        self.syndromes(received).iter().all(|&s| s == 0)
+    }
+
+    /// Decodes a received word, correcting up to `nsym` erased symbols (at
+    /// the given indices) and unknown errors, provided
+    /// `2·errors + erasures ≤ nsym`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::Detected`] when the corruption exceeds the code's
+    /// capability (including decoder-detected inconsistencies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `received.len() != n` or an erasure index is out of range.
+    pub fn decode(&self, received: &[u8], erasures: &[usize]) -> Result<Decoded, RsError> {
+        assert_eq!(received.len(), self.n, "expected {} symbols", self.n);
+        for &e in erasures {
+            assert!(e < self.n, "erasure index {e} out of range");
+        }
+        let nsym = self.nsym();
+        if erasures.len() > nsym {
+            return Err(RsError::Detected);
+        }
+
+        let synd = self.syndromes(received);
+        if synd.iter().all(|&s| s == 0) {
+            return Ok(Decoded { codeword: received.to_vec(), corrected: Vec::new() });
+        }
+
+        let f = &self.field;
+        // Erasure locator Γ(x) = Π (1 + X_i·x), X_i = α^(n-1-index).
+        let mut gamma = vec![1u8];
+        for &idx in erasures {
+            let x = f.alpha_pow(self.n - 1 - idx);
+            gamma = f.poly_mul(&gamma, &[1, x]);
+        }
+
+        // Forney syndromes: coefficients e..nsym-1 of Γ(x)·S(x).
+        let e = erasures.len();
+        let prod = f.poly_mul(&gamma, &synd);
+        let forney: Vec<u8> = (e..nsym).map(|i| prod.get(i).copied().unwrap_or(0)).collect();
+
+        // Berlekamp–Massey on the Forney syndromes finds the error locator σ.
+        let sigma = berlekamp_massey(f, &forney);
+        let errors = sigma.len() - 1;
+        if 2 * errors + e > nsym {
+            return Err(RsError::Detected);
+        }
+
+        // Errata locator Ψ = σ·Γ; Chien search for its roots.
+        let psi = f.poly_mul(&sigma, &gamma);
+        let mut positions = Vec::new();
+        for i in 0..self.n {
+            let x_inv = f.alpha_pow(f.order() - ((self.n - 1 - i) % f.order()));
+            if f.poly_eval(&psi, x_inv) == 0 {
+                positions.push(i);
+            }
+        }
+        if positions.len() != psi.len() - 1 {
+            return Err(RsError::Detected);
+        }
+
+        // Error evaluator Ω = (S·Ψ) mod x^nsym.
+        let mut omega = f.poly_mul(&synd, &psi);
+        omega.truncate(nsym);
+
+        // Formal derivative Ψ'(x): over GF(2^m) only odd-degree terms survive.
+        let mut psi_prime = vec![0u8; psi.len().saturating_sub(1)];
+        for (i, slot) in psi_prime.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *slot = psi[i + 1];
+            }
+        }
+
+        // Forney magnitudes: e_k = X_k · Ω(X_k⁻¹) / Ψ'(X_k⁻¹).
+        let mut corrected_word = received.to_vec();
+        for &i in &positions {
+            let xk = f.alpha_pow(self.n - 1 - i);
+            let xk_inv = f.inv(xk);
+            let denom = f.poly_eval(&psi_prime, xk_inv);
+            if denom == 0 {
+                return Err(RsError::Detected);
+            }
+            let num = f.mul(xk, f.poly_eval(&omega, xk_inv));
+            corrected_word[i] ^= f.div(num, denom);
+        }
+
+        // Verify: the corrected word must be a valid codeword.
+        if !self.is_valid(&corrected_word) {
+            return Err(RsError::Detected);
+        }
+        // Report only positions whose value actually changed (an erasure may
+        // have held the correct value by luck).
+        let corrected: Vec<usize> =
+            positions.into_iter().filter(|&i| corrected_word[i] != received[i]).collect();
+        Ok(Decoded { codeword: corrected_word, corrected })
+    }
+}
+
+/// Berlekamp–Massey: smallest LFSR (as locator polynomial σ, ascending,
+/// σ(0)=1) generating the syndrome sequence.
+fn berlekamp_massey(f: &Field, synd: &[u8]) -> Vec<u8> {
+    let mut sigma = vec![1u8];
+    let mut prev = vec![1u8];
+    let mut l = 0usize;
+    let mut m = 1usize;
+    let mut b = 1u8;
+    for n in 0..synd.len() {
+        let mut delta = synd[n];
+        for i in 1..=l.min(sigma.len() - 1) {
+            delta ^= f.mul(sigma[i], synd[n - i]);
+        }
+        if delta == 0 {
+            m += 1;
+        } else if 2 * l <= n {
+            let t = sigma.clone();
+            let coef = f.div(delta, b);
+            sigma = poly_sub_shifted(f, &sigma, &prev, coef, m);
+            l = n + 1 - l;
+            prev = t;
+            b = delta;
+            m = 1;
+        } else {
+            let coef = f.div(delta, b);
+            sigma = poly_sub_shifted(f, &sigma, &prev, coef, m);
+            m += 1;
+        }
+    }
+    // Trim trailing zeros so sigma.len()-1 == degree.
+    while sigma.len() > 1 && *sigma.last().unwrap() == 0 {
+        sigma.pop();
+    }
+    sigma
+}
+
+/// Returns `a(x) + coef·x^shift·b(x)` (subtraction == addition in GF(2^m)).
+fn poly_sub_shifted(f: &Field, a: &[u8], b: &[u8], coef: u8, shift: usize) -> Vec<u8> {
+    let mut out = a.to_vec();
+    if out.len() < b.len() + shift {
+        out.resize(b.len() + shift, 0);
+    }
+    for (i, &bi) in b.iter().enumerate() {
+        out[i + shift] ^= f.mul(coef, bi);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn chipkill_rs() -> ReedSolomon {
+        ReedSolomon::new(Field::gf256(), 18, 16)
+    }
+
+    fn double_chipkill_rs() -> ReedSolomon {
+        ReedSolomon::new(Field::gf256(), 36, 32)
+    }
+
+    #[test]
+    fn encode_is_systematic_and_valid() {
+        let rs = chipkill_rs();
+        let data: Vec<u8> = (100..116).collect();
+        let cw = rs.encode(&data);
+        assert_eq!(&cw[..16], &data[..]);
+        assert!(rs.is_valid(&cw));
+    }
+
+    #[test]
+    fn clean_word_decodes_unchanged() {
+        let rs = chipkill_rs();
+        let cw = rs.encode(&[7u8; 16]);
+        let out = rs.decode(&cw, &[]).unwrap();
+        assert_eq!(out.codeword, cw);
+        assert!(out.corrected.is_empty());
+    }
+
+    #[test]
+    fn corrects_every_single_symbol_error() {
+        let rs = chipkill_rs();
+        let data: Vec<u8> = (0..16).map(|i| i * 3 + 1).collect();
+        let cw = rs.encode(&data);
+        for pos in 0..18 {
+            for val in [1u8, 0x80, 0xFF] {
+                let mut rx = cw.clone();
+                rx[pos] ^= val;
+                let out = rs.decode(&rx, &[]).unwrap();
+                assert_eq!(out.codeword, cw, "pos {pos} val {val:#x}");
+                assert_eq!(out.corrected, vec![pos]);
+            }
+        }
+    }
+
+    #[test]
+    fn two_errors_exceed_single_correction() {
+        // d = 3 code: two symbol errors are beyond its correction radius.
+        // They must never be silently "fixed" into the wrong data; either
+        // the decoder reports Detected or (rarely) lands on a different
+        // valid codeword — with RS(18,16) a 2-error pattern is at distance
+        // ≥ 1 from some codeword, so miscorrection to a *wrong* word is
+        // possible in principle; assert we never return the original.
+        let rs = chipkill_rs();
+        let data: Vec<u8> = (0..16).collect();
+        let cw = rs.encode(&data);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut detected = 0;
+        for _ in 0..200 {
+            let mut rx = cw.clone();
+            let a = rng.gen_range(0..18);
+            let mut b = rng.gen_range(0..18);
+            while b == a {
+                b = rng.gen_range(0..18);
+            }
+            rx[a] ^= rng.gen_range(1..=255u8);
+            rx[b] ^= rng.gen_range(1..=255u8);
+            match rs.decode(&rx, &[]) {
+                Err(RsError::Detected) => detected += 1,
+                Ok(out) => assert_ne!(out.codeword, cw, "2-error decoded back to original?"),
+            }
+        }
+        // The overwhelming majority must be flagged.
+        assert!(detected >= 150, "only {detected}/200 double errors detected");
+    }
+
+    #[test]
+    fn corrects_two_erasures_with_two_check_symbols() {
+        // The XED-on-Chipkill configuration (paper Section IX-A).
+        let rs = chipkill_rs();
+        let data: Vec<u8> = (0..16).map(|i| 0xA0 | i).collect();
+        let cw = rs.encode(&data);
+        for a in 0..18 {
+            for b in (a + 1)..18 {
+                let mut rx = cw.clone();
+                rx[a] = 0x5A; // catch-word-like garbage
+                rx[b] = 0xC3;
+                let out = rs.decode(&rx, &[a, b]).unwrap();
+                assert_eq!(out.codeword, cw, "erasures ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn double_chipkill_corrects_two_errors() {
+        let rs = double_chipkill_rs();
+        let data: Vec<u8> = (0..32).map(|i| i ^ 0x55).collect();
+        let cw = rs.encode(&data);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let mut rx = cw.clone();
+            let a = rng.gen_range(0..36);
+            let mut b = rng.gen_range(0..36);
+            while b == a {
+                b = rng.gen_range(0..36);
+            }
+            rx[a] ^= rng.gen_range(1..=255u8);
+            rx[b] ^= rng.gen_range(1..=255u8);
+            let out = rs.decode(&rx, &[]).unwrap();
+            assert_eq!(out.codeword, cw);
+            let mut exp = vec![a, b];
+            exp.sort_unstable();
+            assert_eq!(out.corrected, exp);
+        }
+    }
+
+    #[test]
+    fn double_chipkill_mixed_error_and_erasure() {
+        // 1 erasure + 1 unknown error: needs nsym ≥ 1 + 2 = 3 ≤ 4. ✓
+        let rs = double_chipkill_rs();
+        let cw = rs.encode(&[9u8; 32]);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let mut rx = cw.clone();
+            let er = rng.gen_range(0..36);
+            let mut ep = rng.gen_range(0..36);
+            while ep == er {
+                ep = rng.gen_range(0..36);
+            }
+            rx[er] = rng.gen();
+            rx[ep] ^= rng.gen_range(1..=255u8);
+            let out = rs.decode(&rx, &[er]).unwrap();
+            assert_eq!(out.codeword, cw);
+        }
+    }
+
+    #[test]
+    fn three_errors_overwhelm_double_chipkill() {
+        let rs = double_chipkill_rs();
+        let cw = rs.encode(&[1u8; 32]);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut detected = 0;
+        for _ in 0..200 {
+            let mut rx = cw.clone();
+            let mut idx: Vec<usize> = (0..36).collect();
+            for _ in 0..3 {
+                let j = rng.gen_range(0..idx.len());
+                let pos = idx.swap_remove(j);
+                rx[pos] ^= rng.gen_range(1..=255u8);
+            }
+            match rs.decode(&rx, &[]) {
+                Err(RsError::Detected) => detected += 1,
+                Ok(out) => assert_ne!(out.codeword, cw),
+            }
+        }
+        assert!(detected >= 150, "only {detected}/200 triple errors detected");
+    }
+
+    #[test]
+    fn gf16_code_roundtrip() {
+        // A small x4-symbol code within GF(16): RS(15, 11), d=5.
+        let rs = ReedSolomon::new(Field::gf16(), 15, 11);
+        let data: Vec<u8> = (0..11).map(|i| i % 16).collect();
+        let cw = rs.encode(&data);
+        assert!(rs.is_valid(&cw));
+        let mut rx = cw.clone();
+        rx[2] ^= 0xF;
+        rx[9] ^= 0x3;
+        let out = rs.decode(&rx, &[]).unwrap();
+        assert_eq!(out.codeword, cw);
+    }
+
+    #[test]
+    fn erasures_beyond_capability_detected() {
+        let rs = chipkill_rs();
+        let cw = rs.encode(&[3u8; 16]);
+        let mut rx = cw.clone();
+        rx[0] ^= 1;
+        rx[1] ^= 2;
+        rx[2] ^= 3;
+        assert_eq!(rs.decode(&rx, &[0, 1, 2]), Err(RsError::Detected));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_length_panics() {
+        chipkill_rs().decode(&[0u8; 17], &[]).unwrap();
+    }
+
+    #[test]
+    fn full_random_errata_sweep() {
+        // Property: for random data, any (errors, erasures) combination with
+        // 2e + f ≤ nsym decodes to the original codeword.
+        let rs = double_chipkill_rs(); // nsym = 4
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..300 {
+            let data: Vec<u8> = (0..32).map(|_| rng.gen()).collect();
+            let cw = rs.encode(&data);
+            let combos: &[(usize, usize)] =
+                &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 0), (1, 1), (1, 2), (2, 0)];
+            let (errors, erasures) = combos[trial % combos.len()];
+            let mut rx = cw.clone();
+            let mut idx: Vec<usize> = (0..36).collect();
+            let mut erased = Vec::new();
+            for _ in 0..erasures {
+                let j = rng.gen_range(0..idx.len());
+                let pos = idx.swap_remove(j);
+                rx[pos] = rng.gen(); // may coincidentally be correct
+                erased.push(pos);
+            }
+            for _ in 0..errors {
+                let j = rng.gen_range(0..idx.len());
+                let pos = idx.swap_remove(j);
+                rx[pos] ^= rng.gen_range(1..=255u8);
+            }
+            let out = rs
+                .decode(&rx, &erased)
+                .unwrap_or_else(|e| panic!("trial {trial} ({errors}e+{erasures}f): {e}"));
+            assert_eq!(out.codeword, cw, "trial {trial}");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! The common interface of (72,64) SECDED codes.
+
+use crate::codeword::CodeWord72;
+
+/// Result of decoding a (possibly corrupted) 72-bit codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeOutcome {
+    /// The codeword was valid; the stored data is returned unchanged.
+    Clean {
+        /// Decoded data word.
+        data: u64,
+    },
+    /// A single-bit error was detected and corrected.
+    Corrected {
+        /// Corrected data word.
+        data: u64,
+        /// Physical bit position (0–71) that was corrected.
+        bit: u32,
+    },
+    /// An error was detected that the code cannot correct
+    /// (e.g. a double-bit error).
+    Detected,
+}
+
+impl DecodeOutcome {
+    /// The decoded data if the decoder produced any (`Clean` or `Corrected`).
+    pub fn data(self) -> Option<u64> {
+        match self {
+            DecodeOutcome::Clean { data } | DecodeOutcome::Corrected { data, .. } => Some(data),
+            DecodeOutcome::Detected => None,
+        }
+    }
+
+    /// `true` for every outcome other than [`DecodeOutcome::Clean`].
+    ///
+    /// This is exactly the condition on which a XED-enabled chip transmits a
+    /// catch-word (paper Section V-B: the DC-Mux selects the catch-word when
+    /// the on-die ECC *detects or corrects* an error).
+    pub fn is_event(self) -> bool {
+        !matches!(self, DecodeOutcome::Clean { .. })
+    }
+}
+
+/// A (72,64) single-error-correct double-error-detect code.
+///
+/// Implemented by [`crate::hamming::Hamming7264`] (the conventional choice)
+/// and [`crate::crc8::Crc8Atm`] (the paper's recommendation for on-die ECC).
+///
+/// Invariants every implementation upholds (enforced by the shared test
+/// suite in this crate):
+///
+/// * `decode(encode(d)) == Clean { data: d }` for all `d`;
+/// * flipping any single bit of a valid codeword decodes to
+///   `Corrected { data: d, bit }` with the flipped position;
+/// * flipping any two bits decodes to `Detected` (never a mis-correction).
+pub trait SecDed {
+    /// Encodes a 64-bit data word into a 72-bit codeword.
+    fn encode(&self, data: u64) -> CodeWord72;
+
+    /// Decodes a received codeword, correcting a single-bit error if present.
+    fn decode(&self, received: CodeWord72) -> DecodeOutcome;
+
+    /// `true` if `received` is a valid codeword (zero syndrome).
+    ///
+    /// The default implementation re-encodes the decoded data; codecs
+    /// override it with a cheaper syndrome check.
+    fn is_valid(&self, received: CodeWord72) -> bool {
+        matches!(self.decode(received), DecodeOutcome::Clean { .. })
+    }
+
+    /// `true` if the decoder reports *any* non-clean event for `received`.
+    ///
+    /// This models the signal the XED DC-Mux taps: detection **or**
+    /// correction by the on-die ECC triggers catch-word transmission.
+    fn detects_event(&self, received: CodeWord72) -> bool {
+        self.decode(received).is_event()
+    }
+}
+
+/// Shared conformance checks used by the unit tests of both codecs.
+#[cfg(test)]
+pub(crate) mod conformance {
+    use super::*;
+
+    pub(crate) const SAMPLE_DATA: &[u64] = &[
+        0,
+        u64::MAX,
+        1,
+        0x8000_0000_0000_0000,
+        0xDEAD_BEEF_0BAD_F00D,
+        0x0123_4567_89AB_CDEF,
+        0x5555_5555_5555_5555,
+        0xAAAA_AAAA_AAAA_AAAA,
+        42,
+        0xFFFF_0000_FFFF_0000,
+    ];
+
+    pub(crate) fn roundtrip<C: SecDed>(code: &C) {
+        for &d in SAMPLE_DATA {
+            let w = code.encode(d);
+            assert_eq!(code.decode(w), DecodeOutcome::Clean { data: d });
+            assert!(code.is_valid(w));
+            assert!(!code.detects_event(w));
+        }
+    }
+
+    pub(crate) fn corrects_all_single_bit_errors<C: SecDed>(code: &C) {
+        for &d in SAMPLE_DATA {
+            let w = code.encode(d);
+            for i in 0..72 {
+                let r = w.with_bit_flipped(i);
+                match code.decode(r) {
+                    DecodeOutcome::Corrected { data, bit } => {
+                        assert_eq!(data, d, "data mismatch for flipped bit {i}");
+                        assert_eq!(bit, i, "wrong bit located for flipped bit {i}");
+                    }
+                    other => panic!("bit {i}: expected Corrected, got {other:?}"),
+                }
+                assert!(code.detects_event(r));
+            }
+        }
+    }
+
+    pub(crate) fn detects_all_double_bit_errors<C: SecDed>(code: &C) {
+        // Exhaustive over all C(72,2) = 2556 pairs for a handful of words.
+        for &d in &SAMPLE_DATA[..4] {
+            let w = code.encode(d);
+            for i in 0..72u32 {
+                for j in (i + 1)..72 {
+                    let r = w.with_bit_flipped(i).with_bit_flipped(j);
+                    assert_eq!(
+                        code.decode(r),
+                        DecodeOutcome::Detected,
+                        "double error ({i},{j}) not flagged Detected"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_data_accessor() {
+        assert_eq!(DecodeOutcome::Clean { data: 7 }.data(), Some(7));
+        assert_eq!(DecodeOutcome::Corrected { data: 9, bit: 3 }.data(), Some(9));
+        assert_eq!(DecodeOutcome::Detected.data(), None);
+    }
+
+    #[test]
+    fn outcome_is_event() {
+        assert!(!DecodeOutcome::Clean { data: 0 }.is_event());
+        assert!(DecodeOutcome::Corrected { data: 0, bit: 0 }.is_event());
+        assert!(DecodeOutcome::Detected.is_event());
+    }
+}

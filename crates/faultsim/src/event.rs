@@ -1,0 +1,158 @@
+//! Poisson sampling of fault arrivals over a system lifetime.
+//!
+//! Faults arrive in each device as a Poisson process with the Table I FIT
+//! rates. Rather than drawing per-chip arrival counts (slow for large
+//! systems), the sampler draws the *system-wide* fault count from a single
+//! Poisson distribution and assigns each fault a uniformly random chip,
+//! arrival time and mode — statistically identical because the per-chip
+//! processes are i.i.d.
+
+use crate::fault::Fault;
+use crate::fit::{FitRates, HOURS_PER_YEAR};
+use crate::geometry::DramGeometry;
+use rand::Rng;
+
+/// One fault arrival in the system timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Arrival time, in hours since system start.
+    pub time_hours: f64,
+    /// Global chip index the fault struck.
+    pub chip: u32,
+    /// The fault itself.
+    pub fault: Fault,
+}
+
+/// Samples a Poisson-distributed count with mean `lambda`.
+///
+/// Uses Knuth's product-of-uniforms method (exact) for small means — the
+/// paper configurations all have λ < 1 — and splits larger means into
+/// chunks, exploiting that sums of independent Poissons are Poisson.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u32 {
+    assert!(lambda.is_finite() && lambda >= 0.0, "poisson mean {lambda} must be finite and ≥ 0");
+    const CHUNK: f64 = 30.0;
+    let mut total = 0u32;
+    let mut remaining = lambda;
+    while remaining > CHUNK {
+        total += poisson_knuth(rng, CHUNK);
+        remaining -= CHUNK;
+    }
+    total + poisson_knuth(rng, remaining)
+}
+
+fn poisson_knuth<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u32 {
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Samples the full fault timeline of one system over `years`, sorted by
+/// arrival time.
+pub fn sample_lifetime<R: Rng + ?Sized>(
+    rng: &mut R,
+    rates: &FitRates,
+    geom: &DramGeometry,
+    total_chips: u32,
+    years: f64,
+) -> Vec<FaultEvent> {
+    let hours = years * HOURS_PER_YEAR;
+    let lambda = rates.total_fit() * 1e-9 * hours * total_chips as f64;
+    let count = poisson(rng, lambda);
+    let mut events = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let (extent, persistence) = rates.sample_mode(rng);
+        events.push(FaultEvent {
+            time_hours: rng.gen_range(0.0..hours),
+            chip: rng.gen_range(0..total_chips),
+            fault: Fault::sample(rng, extent, persistence, geom),
+        });
+    }
+    events.sort_by(|a, b| a.time_hours.total_cmp(&b.time_hours));
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::LIFETIME_YEARS;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lambda = 3.7;
+        let n = 100_000;
+        let samples: Vec<u32> = (0..n).map(|_| poisson(&mut rng, lambda)).collect();
+        let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() < 0.05, "mean {mean}");
+        assert!((var - lambda).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(poisson(&mut rng, 0.0), 0);
+        }
+    }
+
+    #[test]
+    fn lifetime_event_count_matches_expectation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let rates = FitRates::table_i();
+        let geom = DramGeometry::x8_2gb();
+        let chips = 72;
+        let runs = 20_000;
+        let total: usize = (0..runs)
+            .map(|_| sample_lifetime(&mut rng, &rates, &geom, chips, LIFETIME_YEARS).len())
+            .sum();
+        let mean = total as f64 / runs as f64;
+        // λ = 66.1e-9 · 61320 · 72 ≈ 0.2919
+        let expected = 66.1e-9 * LIFETIME_YEARS * HOURS_PER_YEAR * chips as f64;
+        assert!((mean - expected).abs() < 0.02, "mean {mean} expected {expected}");
+    }
+
+    #[test]
+    fn events_sorted_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let rates = FitRates::table_i();
+        let geom = DramGeometry::x8_2gb();
+        // Crank the chip count so most samples have several events.
+        for _ in 0..50 {
+            let ev = sample_lifetime(&mut rng, &rates, &geom, 100_000, LIFETIME_YEARS);
+            for w in ev.windows(2) {
+                assert!(w[0].time_hours <= w[1].time_hours);
+            }
+            for e in &ev {
+                assert!(e.chip < 100_000);
+                assert!(e.time_hours >= 0.0 && e.time_hours <= LIFETIME_YEARS * HOURS_PER_YEAR);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn poisson_rejects_negative_lambda() {
+        let mut rng = StdRng::seed_from_u64(5);
+        poisson(&mut rng, -1.0);
+    }
+
+    #[test]
+    fn poisson_large_lambda_chunked() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let lambda = 120.0;
+        let n = 20_000;
+        let mean =
+            (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() < 0.5, "mean {mean}");
+    }
+}

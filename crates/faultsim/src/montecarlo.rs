@@ -1,0 +1,374 @@
+//! The threaded Monte-Carlo simulation driver.
+//!
+//! Reproduces the paper's methodology (Section III): simulate many
+//! independent systems over a 7-year lifetime, record whether and when each
+//! encounters an uncorrectable (DUE) or silent (SDC) error, and report the
+//! probability of system failure as a function of time.
+
+use crate::event::sample_lifetime;
+use crate::fault::{FaultExtent, Persistence};
+use crate::fit::{FitRates, HOURS_PER_YEAR, LIFETIME_YEARS};
+use crate::schemes::{ModelParams, Scheme, SchemeModel, Verdict};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Monte-Carlo run configuration.
+#[derive(Debug, Clone)]
+pub struct MonteCarloConfig {
+    /// Number of independent systems to simulate per scheme. The paper uses
+    /// 10⁹; 10⁶–10⁸ gives tight estimates at the probabilities involved.
+    pub samples: u64,
+    /// Lifetime in years (paper: 7).
+    pub years: f64,
+    /// Base RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+    /// Worker threads; `0` = use all available cores.
+    pub threads: usize,
+    /// Fault-response model parameters (on-die ECC, scaling faults, …).
+    pub params: ModelParams,
+    /// Per-chip FIT rates.
+    pub rates: FitRates,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        Self {
+            samples: 1_000_000,
+            years: LIFETIME_YEARS,
+            seed: 0x5EED,
+            threads: 0,
+            params: ModelParams::default(),
+            rates: FitRates::table_i(),
+        }
+    }
+}
+
+/// Aggregated outcome of simulating one scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeResult {
+    /// The simulated scheme.
+    pub scheme: Scheme,
+    /// Systems simulated.
+    pub samples: u64,
+    /// Failures (DUE + SDC) whose failure time fell in year `i`
+    /// (`failures_by_year[0]` = failures during the first year).
+    pub failures_by_year: Vec<u64>,
+    /// Total detected-uncorrectable failures.
+    pub due: u64,
+    /// Total silent failures.
+    pub sdc: u64,
+    /// Failures attributed to the extent of the fault whose arrival
+    /// triggered them, indexed like [`FaultExtent::ALL`].
+    pub failures_by_extent: [u64; 6],
+}
+
+impl SchemeResult {
+    /// Total failed systems.
+    pub fn failures(&self) -> u64 {
+        self.due + self.sdc
+    }
+
+    /// Probability that a system fails within the first `years` years
+    /// (cumulative; fractional years round up to the enclosing year bucket).
+    pub fn failure_probability(&self, years: f64) -> f64 {
+        let buckets = (years.ceil() as usize).min(self.failures_by_year.len());
+        let failed: u64 = self.failures_by_year[..buckets].iter().sum();
+        failed as f64 / self.samples as f64
+    }
+
+    /// Cumulative failure-probability curve, one point per year boundary —
+    /// the series plotted in the paper's Figures 1 and 7–10.
+    pub fn curve(&self) -> Vec<f64> {
+        let mut acc = 0u64;
+        self.failures_by_year
+            .iter()
+            .map(|&f| {
+                acc += f;
+                acc as f64 / self.samples as f64
+            })
+            .collect()
+    }
+
+    /// Failure share attributed to each triggering fault extent, as
+    /// `(extent, count)` pairs in [`FaultExtent::ALL`] order.
+    pub fn attribution(&self) -> [(FaultExtent, u64); 6] {
+        let mut out = [(FaultExtent::Bit, 0u64); 6];
+        for (i, (slot, &count)) in
+            out.iter_mut().zip(self.failures_by_extent.iter()).enumerate()
+        {
+            *slot = (FaultExtent::ALL[i], count);
+        }
+        out
+    }
+
+    /// Two-sided 95% binomial confidence half-width on the lifetime
+    /// failure probability.
+    pub fn confidence95(&self) -> f64 {
+        let p = self.failure_probability(f64::INFINITY.min(self.failures_by_year.len() as f64));
+        1.96 * (p * (1.0 - p) / self.samples as f64).sqrt()
+    }
+}
+
+/// The Monte-Carlo simulator.
+#[derive(Debug, Clone)]
+pub struct MonteCarlo {
+    config: MonteCarloConfig,
+}
+
+impl MonteCarlo {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: MonteCarloConfig) -> Self {
+        assert!(config.samples > 0, "need at least one sample");
+        assert!(config.years > 0.0, "lifetime must be positive");
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MonteCarloConfig {
+        &self.config
+    }
+
+    /// Simulates one scheme across all samples, in parallel.
+    pub fn run(&self, scheme: Scheme) -> SchemeResult {
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+        let model = SchemeModel::new(scheme, self.config.params);
+        let years = self.config.years.ceil() as usize;
+        let per_thread = self.config.samples.div_ceil(threads as u64);
+
+        let partials = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let model = &model;
+                let config = &self.config;
+                let start = t as u64 * per_thread;
+                let count = per_thread.min(config.samples.saturating_sub(start));
+                let seed = config
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(t as u64)
+                    .wrapping_add(scheme.ienable());
+                handles.push(scope.spawn(move |_| run_chunk(model, config, seed, count, years)));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
+        })
+        .expect("scope failed");
+
+        let mut result = SchemeResult {
+            scheme,
+            samples: self.config.samples,
+            failures_by_year: vec![0; years],
+            due: 0,
+            sdc: 0,
+            failures_by_extent: [0; 6],
+        };
+        for p in partials {
+            result.due += p.due;
+            result.sdc += p.sdc;
+            for (a, b) in result.failures_by_year.iter_mut().zip(&p.failures_by_year) {
+                *a += b;
+            }
+            for (a, b) in result.failures_by_extent.iter_mut().zip(&p.failures_by_extent) {
+                *a += b;
+            }
+        }
+        result
+    }
+
+    /// Runs every scheme in `schemes` and returns the results in order.
+    pub fn run_all(&self, schemes: &[Scheme]) -> Vec<SchemeResult> {
+        schemes.iter().map(|&s| self.run(s)).collect()
+    }
+}
+
+struct Partial {
+    failures_by_year: Vec<u64>,
+    due: u64,
+    sdc: u64,
+    failures_by_extent: [u64; 6],
+}
+
+fn run_chunk(
+    model: &SchemeModel,
+    config: &MonteCarloConfig,
+    seed: u64,
+    count: u64,
+    years: usize,
+) -> Partial {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut partial =
+        Partial { failures_by_year: vec![0; years], due: 0, sdc: 0, failures_by_extent: [0; 6] };
+    let chips = model.config().total_chips();
+    let geom = model.config().geometry;
+    let exposure = model.params().transient_exposure_hours;
+    // (expiry time, fault): permanent faults never expire; corrected
+    // transient faults linger for the configured exposure window before a
+    // read/scrub cleans them.
+    let mut active: Vec<(f64, crate::event::FaultEvent)> = Vec::new();
+    let mut view: Vec<crate::event::FaultEvent> = Vec::new();
+    for _ in 0..count {
+        let events = sample_lifetime(&mut rng, &config.rates, &geom, chips, config.years);
+        if events.is_empty() {
+            continue;
+        }
+        active.clear();
+        for e in &events {
+            active.retain(|&(expiry, _)| expiry > e.time_hours);
+            view.clear();
+            view.extend(active.iter().map(|&(_, f)| f));
+            let verdict = model.evaluate(&mut rng, e, &view);
+            match verdict {
+                Verdict::Due | Verdict::Sdc => {
+                    let year = ((e.time_hours / HOURS_PER_YEAR) as usize).min(years - 1);
+                    partial.failures_by_year[year] += 1;
+                    let extent_idx = FaultExtent::ALL
+                        .iter()
+                        .position(|&x| x == e.fault.extent)
+                        .expect("extent in canonical list");
+                    partial.failures_by_extent[extent_idx] += 1;
+                    if verdict == Verdict::Due {
+                        partial.due += 1;
+                    } else {
+                        partial.sdc += 1;
+                    }
+                    break;
+                }
+                Verdict::Corrected | Verdict::Benign => {
+                    match e.fault.persistence {
+                        Persistence::Permanent => active.push((f64::INFINITY, *e)),
+                        Persistence::Transient if exposure > 0.0 => {
+                            active.push((e.time_hours + exposure, *e));
+                        }
+                        Persistence::Transient => {}
+                    }
+                }
+            }
+        }
+    }
+    partial
+}
+
+/// Helper so schemes hash into distinct seeds.
+trait SchemeSeed {
+    fn ienable(self) -> u64;
+}
+
+impl SchemeSeed for Scheme {
+    fn ienable(self) -> u64 {
+        match self {
+            Scheme::NonEcc => 1,
+            Scheme::EccDimm => 2,
+            Scheme::Xed => 3,
+            Scheme::Chipkill => 4,
+            Scheme::ChipkillX4 => 5,
+            Scheme::XedChipkill => 6,
+            Scheme::DoubleChipkill => 7,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(samples: u64) -> MonteCarlo {
+        MonteCarlo::new(MonteCarloConfig { samples, seed: 7, ..MonteCarloConfig::default() })
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mc = quick(20_000);
+        let a = mc.run(Scheme::EccDimm);
+        let b = mc.run(Scheme::EccDimm);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ecc_dimm_fails_around_13_percent() {
+        // Analytic: P ≈ 1 − exp(−72 · 33.3e-9 · 61320) ≈ 0.137.
+        let r = quick(60_000).run(Scheme::EccDimm);
+        let p = r.failure_probability(7.0);
+        assert!((0.11..0.16).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn xed_orders_of_magnitude_better_than_ecc_dimm() {
+        let mc = quick(120_000);
+        let ecc = mc.run(Scheme::EccDimm).failure_probability(7.0);
+        let xed = mc.run(Scheme::Xed).failure_probability(7.0);
+        assert!(xed > 0.0, "xed should see some failures at 120k samples");
+        assert!(ecc / xed > 30.0, "ecc {ecc} / xed {xed} = {}", ecc / xed);
+    }
+
+    #[test]
+    fn chipkill_between_ecc_and_xed() {
+        let mc = quick(120_000);
+        let ecc = mc.run(Scheme::EccDimm).failure_probability(7.0);
+        let ck = mc.run(Scheme::Chipkill).failure_probability(7.0);
+        let xed = mc.run(Scheme::Xed).failure_probability(7.0);
+        assert!(ck < ecc, "chipkill {ck} vs ecc {ecc}");
+        assert!(xed <= ck, "xed {xed} vs chipkill {ck}");
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let r = quick(40_000).run(Scheme::EccDimm);
+        let c = r.curve();
+        assert_eq!(c.len(), 7);
+        assert!(c.windows(2).all(|w| w[0] <= w[1]));
+        assert!((c[6] - r.failure_probability(7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_ecc_failures_are_silent() {
+        let r = quick(30_000).run(Scheme::NonEcc);
+        assert_eq!(r.due, 0);
+        assert!(r.sdc > 0);
+    }
+
+    #[test]
+    fn double_chipkill_very_reliable() {
+        let r = quick(50_000).run(Scheme::DoubleChipkill);
+        assert!(r.failure_probability(7.0) < 2e-3);
+    }
+
+    #[test]
+    fn coarse_intersection_model_is_more_pessimistic() {
+        use crate::schemes::ModelParams;
+        let strict = quick(400_000).run(Scheme::Xed).failure_probability(7.0);
+        let coarse = MonteCarlo::new(MonteCarloConfig {
+            samples: 400_000,
+            seed: 7,
+            params: ModelParams { require_line_intersection: false, ..Default::default() },
+            ..MonteCarloConfig::default()
+        })
+        .run(Scheme::Xed)
+        .failure_probability(7.0);
+        assert!(coarse > strict, "coarse {coarse} vs strict {strict}");
+    }
+
+    #[test]
+    fn transient_exposure_window_increases_failures() {
+        use crate::schemes::ModelParams;
+        let immediate = quick(400_000).run(Scheme::Xed).failure_probability(7.0);
+        // A month-long exposure lets transient faults pair up.
+        let exposed = MonteCarlo::new(MonteCarloConfig {
+            samples: 400_000,
+            seed: 7,
+            params: ModelParams {
+                transient_exposure_hours: 30.0 * 24.0,
+                ..Default::default()
+            },
+            ..MonteCarloConfig::default()
+        })
+        .run(Scheme::Xed)
+        .failure_probability(7.0);
+        assert!(
+            exposed >= immediate,
+            "exposure must not reduce failures: {exposed} vs {immediate}"
+        );
+    }
+}

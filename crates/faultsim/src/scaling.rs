@@ -1,0 +1,151 @@
+//! Birthtime ("scaling") fault modeling.
+//!
+//! Scaling faults are weak cells introduced by process scaling (paper
+//! Section II-C). The paper assumes a scaling bit-fault rate of 10⁻⁴ and
+//! that vendors screen devices so **no 64-bit word holds more than one
+//! faulty bit** — single-bit faults that the on-die SECDED corrects on
+//! every access.
+//!
+//! A device has ~2²⁵ words, so at a 10⁻⁴ bit-fault rate essentially *every*
+//! device contains millions of scaling faults; materializing them per bit
+//! is infeasible and unnecessary. Instead this module provides the derived
+//! probabilities the Monte-Carlo and analytic models need:
+//!
+//! * the probability that a given word contains a scaling fault (drives the
+//!   rate of catch-words and of multi-catch-word accesses, Table III);
+//! * the probability that a runtime single-bit fault lands in a word that
+//!   already has a scaling fault, turning a correctable 1-bit error into a
+//!   detectable-but-uncorrectable 2-bit error for an on-die-only system
+//!   (Section VII / footnote 2).
+
+/// Scaling-fault configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingFaults {
+    /// Per-bit probability that a cell is a (screened, ≤1 per word) scaling
+    /// fault. The paper evaluates 10⁻⁴ (and 10⁻⁵, 10⁻⁶ in Table III).
+    pub bit_rate: f64,
+    /// Bits per on-die ECC word (64 for x8 devices).
+    pub word_bits: u32,
+}
+
+impl ScalingFaults {
+    /// No scaling faults (Figs. 1, 7, 9).
+    pub const fn none() -> Self {
+        Self { bit_rate: 0.0, word_bits: 64 }
+    }
+
+    /// The paper's high scaling rate, 10⁻⁴ per bit (Figs. 8, 10).
+    pub const fn paper_default() -> Self {
+        Self { bit_rate: 1e-4, word_bits: 64 }
+    }
+
+    /// With a different rate.
+    pub fn with_rate(rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} out of [0,1]");
+        Self { bit_rate: rate, word_bits: 64 }
+    }
+
+    /// `true` if scaling faults are enabled.
+    pub fn enabled(&self) -> bool {
+        self.bit_rate > 0.0
+    }
+
+    /// Probability that a given word contains (at least) one scaling fault:
+    /// `1 − (1−r)^word_bits`.
+    ///
+    /// Because vendors screen to ≤ 1 fault per word, this is also the
+    /// probability of *exactly one* fault in the word.
+    pub fn p_word_faulty(&self) -> f64 {
+        1.0 - (1.0 - self.bit_rate).powi(self.word_bits as i32)
+    }
+
+    /// Probability that an access to one cache line receives catch-words
+    /// from `k` or more of `chips` data chips simultaneously, assuming each
+    /// chip's word is independently faulty with [`Self::p_word_faulty`]
+    /// (Table III is the `k = 2` column).
+    pub fn p_multi_catch_word(&self, chips: u32, k: u32) -> f64 {
+        let p = self.p_word_faulty();
+        let n = chips;
+        // P(X ≥ k) for X ~ Binomial(n, p); exact sum (n ≤ 32 in practice).
+        let mut p_lt = 0.0;
+        for i in 0..k {
+            p_lt += binomial(n, i) * p.powi(i as i32) * (1.0 - p).powi((n - i) as i32);
+        }
+        (1.0 - p_lt).max(0.0)
+    }
+}
+
+impl Default for ScalingFaults {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Binomial coefficient as f64 (exact for the small arguments used here).
+pub fn binomial(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_disabled() {
+        let s = ScalingFaults::none();
+        assert!(!s.enabled());
+        assert_eq!(s.p_word_faulty(), 0.0);
+        assert_eq!(s.p_multi_catch_word(8, 2), 0.0);
+    }
+
+    #[test]
+    fn word_fault_probability_approximates_64r() {
+        let s = ScalingFaults::paper_default();
+        let p = s.p_word_faulty();
+        assert!((p - 64.0 * 1e-4).abs() / p < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn multi_catch_word_scales_quadratically() {
+        // Table III behavior: the multi-catch-word chance drops 100x per 10x
+        // drop in scaling rate (it is quadratic in the rate).
+        let p4 = ScalingFaults::with_rate(1e-4).p_multi_catch_word(8, 2);
+        let p5 = ScalingFaults::with_rate(1e-5).p_multi_catch_word(8, 2);
+        let p6 = ScalingFaults::with_rate(1e-6).p_multi_catch_word(8, 2);
+        assert!(p4 > 0.0);
+        assert!((p4 / p5 - 100.0).abs() < 5.0, "p4/p5 = {}", p4 / p5);
+        assert!((p5 / p6 - 100.0).abs() < 5.0, "p5/p6 = {}", p5 / p6);
+    }
+
+    #[test]
+    fn multi_catch_word_monotone_in_k() {
+        let s = ScalingFaults::paper_default();
+        let p1 = s.p_multi_catch_word(8, 1);
+        let p2 = s.p_multi_catch_word(8, 2);
+        let p3 = s.p_multi_catch_word(8, 3);
+        assert!(p1 > p2 && p2 > p3);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(8, 0), 1.0);
+        assert_eq!(binomial(8, 2), 28.0);
+        assert_eq!(binomial(8, 8), 1.0);
+        assert_eq!(binomial(3, 5), 0.0);
+        assert_eq!(binomial(36, 3), 7140.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn with_rate_rejects_out_of_range() {
+        ScalingFaults::with_rate(1.5);
+    }
+}

@@ -1,0 +1,685 @@
+//! The memory-protection schemes the paper compares, and their
+//! fault-response models.
+//!
+//! Each scheme is evaluated FaultSim-style: after every fault arrival the
+//! scheme decides whether the system *corrected* the error, suffered a
+//! *detected uncorrectable error* (DUE), or suffered *silent data
+//! corruption* (SDC). The decision depends on how many distinct chips in
+//! the scheme's protection domain hold concurrent faults that intersect a
+//! common cache line.
+//!
+//! | Scheme | Devices | Domain | Tolerates |
+//! |---|---|---|---|
+//! | `NonEcc` | x8, 8/rank | rank | nothing beyond on-die ECC |
+//! | `EccDimm` | x8, 9/rank | rank | 1 bit per 72-bit beat |
+//! | `Xed` | x8, 9/rank | rank | 1 chip (erasure via catch-word + parity) |
+//! | `Chipkill` | x8, 2 ranks ganged | channel (18 chips) | 1 chip (SSC-DSD) |
+//! | `ChipkillX4` | x4, 18/rank | rank | 1 chip (SSC-DSD) |
+//! | `XedChipkill` | x4, 18/rank | rank | 2 chips (erasures) |
+//! | `DoubleChipkill` | x4, 2 ranks ganged | channel (36 chips) | 2 chips |
+
+use crate::event::FaultEvent;
+use crate::fault::{FaultExtent, FaultRange, Persistence};
+use crate::scaling::ScalingFaults;
+use crate::system::SystemConfig;
+use rand::Rng;
+use std::fmt;
+
+/// Identifies one of the evaluated protection schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// 8-chip non-ECC DIMM (Figure 1 baseline).
+    NonEcc,
+    /// 9-chip ECC-DIMM running conventional (72,64) SECDED.
+    EccDimm,
+    /// XED: 9-chip ECC-DIMM with RAID-3 parity + exposed on-die detection.
+    Xed,
+    /// Commercial chipkill on x8 parts: two 9-chip ranks ganged (18 chips).
+    Chipkill,
+    /// Single-Chipkill on x4 parts: one 18-chip rank (Section IX baseline).
+    ChipkillX4,
+    /// XED on top of single-chipkill hardware: 18 x4 chips, check symbols
+    /// used as erasures (Double-Chipkill-level reliability, Section IX-A).
+    XedChipkill,
+    /// Double-Chipkill: 36 x4 chips across two ganged ranks.
+    DoubleChipkill,
+}
+
+impl Scheme {
+    /// Every scheme, in presentation order.
+    pub const ALL: [Scheme; 7] = [
+        Scheme::NonEcc,
+        Scheme::EccDimm,
+        Scheme::Xed,
+        Scheme::Chipkill,
+        Scheme::ChipkillX4,
+        Scheme::XedChipkill,
+        Scheme::DoubleChipkill,
+    ];
+
+    /// The physical system organization this scheme runs on.
+    pub fn system_config(self) -> SystemConfig {
+        match self {
+            Scheme::NonEcc => SystemConfig::x8_non_ecc(),
+            Scheme::EccDimm | Scheme::Xed | Scheme::Chipkill => SystemConfig::x8_ecc_dimm(),
+            Scheme::ChipkillX4 | Scheme::XedChipkill | Scheme::DoubleChipkill => {
+                SystemConfig::x4_chipkill()
+            }
+        }
+    }
+
+    /// Number of chips that share an ECC codeword (the protection domain).
+    pub fn domain_chips(self) -> u32 {
+        match self {
+            Scheme::NonEcc => 8,
+            Scheme::EccDimm | Scheme::Xed => 9,
+            Scheme::Chipkill | Scheme::ChipkillX4 | Scheme::XedChipkill => 18,
+            Scheme::DoubleChipkill => 36,
+        }
+    }
+
+    /// `true` if the protection domain spans both ranks of a channel
+    /// (rank-ganged schemes).
+    pub fn domain_is_channel(self) -> bool {
+        matches!(self, Scheme::Chipkill | Scheme::DoubleChipkill)
+    }
+
+    /// Human-readable name used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::NonEcc => "Non-ECC DIMM (8 chips)",
+            Scheme::EccDimm => "ECC-DIMM SECDED (9 chips)",
+            Scheme::Xed => "XED (9 chips)",
+            Scheme::Chipkill => "Chipkill (18 chips, x8 ganged)",
+            Scheme::ChipkillX4 => "Single-Chipkill (18 chips, x4)",
+            Scheme::XedChipkill => "XED + Single-Chipkill (18 chips, x4)",
+            Scheme::DoubleChipkill => "Double-Chipkill (36 chips, x4)",
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What happened to the system when a fault arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The fault is invisible outside the chip (on-die ECC absorbs it).
+    Benign,
+    /// The scheme detected and corrected the error.
+    Corrected,
+    /// Detected uncorrectable error — system failure.
+    Due,
+    /// Undetected or mis-corrected error — silent system failure.
+    Sdc,
+}
+
+impl Verdict {
+    /// `true` if the verdict terminates the system (DUE or SDC).
+    pub fn is_failure(self) -> bool {
+        matches!(self, Verdict::Due | Verdict::Sdc)
+    }
+}
+
+/// Tunable response-model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    /// Whether devices have on-die ECC (paper default: yes).
+    pub on_die_ecc: bool,
+    /// Probability that the on-die SECDED fails to flag a multi-bit error
+    /// (paper Section VI: 0.8%).
+    pub on_die_miss: f64,
+    /// Probability that the DIMM-level SECDED *detects* (rather than
+    /// silently mis-corrects) the 8-bit burst a faulty chip injects into a
+    /// 72-bit beat. Measured from this repo's (72,64) Hamming code under
+    /// burst-8 errors (cf. Table II, where the paper reports 50.75%).
+    pub dimm_secded_burst_detect: f64,
+    /// Scaling (birthtime) fault configuration.
+    pub scaling: ScalingFaults,
+    /// Whether two faults must intersect at a common cache line to defeat
+    /// a scheme (FaultSim's range model, the default), or merely coexist
+    /// anywhere in the protection domain (the coarser classical model —
+    /// the `ablation_intersection` bench quantifies the difference).
+    pub require_line_intersection: bool,
+    /// How long a *corrected transient* fault's corruption lingers before
+    /// a demand read or patrol scrub cleans it (hours). `0.0` (default)
+    /// models immediate read-and-scrub; larger values let two transient
+    /// faults coexist and defeat erasure schemes.
+    pub transient_exposure_hours: f64,
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        Self {
+            on_die_ecc: true,
+            on_die_miss: 0.008,
+            dimm_secded_burst_detect: 0.51,
+            scaling: ScalingFaults::none(),
+            require_line_intersection: true,
+            transient_exposure_hours: 0.0,
+        }
+    }
+}
+
+/// A scheme plus its response-model parameters; evaluates fault arrivals.
+#[derive(Debug, Clone)]
+pub struct SchemeModel {
+    scheme: Scheme,
+    params: ModelParams,
+    config: SystemConfig,
+}
+
+impl SchemeModel {
+    /// Builds the model for a scheme with the given parameters.
+    pub fn new(scheme: Scheme, params: ModelParams) -> Self {
+        let config = scheme.system_config();
+        Self { scheme, params, config }
+    }
+
+    /// The scheme being modeled.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The underlying system organization.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    /// `true` if chips `a` and `b` share this scheme's protection domain.
+    pub fn same_domain(&self, a: u32, b: u32) -> bool {
+        if self.scheme.domain_is_channel() {
+            self.config.channel_of(a) == self.config.channel_of(b)
+        } else {
+            self.config.rank_of(a) == self.config.rank_of(b)
+        }
+    }
+
+    /// Counts the largest set of distinct chips (including `e.chip`) in
+    /// `e`'s protection domain whose *visible* (multi-bit) faults all
+    /// intersect one common cache line with `e`'s fault (or, with
+    /// `require_line_intersection` disabled, merely coexist in the
+    /// domain).
+    pub fn concurrent_chips(&self, e: &FaultEvent, active: &[FaultEvent]) -> u32 {
+        let visible = |a: &&FaultEvent| {
+            a.chip != e.chip && a.fault.extent.is_multi_bit() && self.same_domain(a.chip, e.chip)
+        };
+        if !self.params.require_line_intersection {
+            let mut chips: Vec<u32> = active.iter().filter(visible).map(|a| a.chip).collect();
+            chips.sort_unstable();
+            chips.dedup();
+            return 1 + chips.len() as u32;
+        }
+        let line = FaultRange { bit: None, ..e.fault.range };
+        let cands: Vec<(u32, FaultRange)> = active
+            .iter()
+            .filter(visible)
+            .filter_map(|a| {
+                let r = FaultRange { bit: None, ..a.fault.range };
+                line.intersect(&r).map(|x| (a.chip, x))
+            })
+            .collect();
+        1 + max_chips_with_common_line(&line, &cands)
+    }
+
+    /// Evaluates one fault arrival against the currently active faults.
+    ///
+    /// `active` must contain only faults that are still uncorrected (the
+    /// Monte-Carlo driver drops transient faults once a scheme corrects
+    /// them, modeling scrub-on-correct).
+    pub fn evaluate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        e: &FaultEvent,
+        active: &[FaultEvent],
+    ) -> Verdict {
+        if e.fault.extent == FaultExtent::Bit {
+            self.evaluate_bit_fault(rng, e, active)
+        } else {
+            self.evaluate_large_fault(rng, e, active)
+        }
+    }
+
+    /// Response to a single-bit runtime fault.
+    fn evaluate_bit_fault<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        e: &FaultEvent,
+        active: &[FaultEvent],
+    ) -> Verdict {
+        if !self.params.on_die_ecc {
+            // Without on-die ECC the bit error reaches the bus.
+            return match self.scheme {
+                Scheme::NonEcc => Verdict::Sdc,
+                // Every other scheme corrects a single-bit (single-symbol)
+                // error at DIMM level.
+                _ => Verdict::Corrected,
+            };
+        }
+        // On-die SECDED corrects an isolated single-bit error invisibly —
+        // unless the struck word already holds a scaling fault, making it a
+        // 2-bit error the on-die code detects but cannot correct.
+        let collides_with_scaling =
+            self.params.scaling.enabled() && rng.gen::<f64>() < self.params.scaling.p_word_faulty();
+        if !collides_with_scaling {
+            return Verdict::Benign;
+        }
+        match self.scheme {
+            Scheme::NonEcc => Verdict::Sdc,
+            Scheme::EccDimm => {
+                // The chip emits the word with 2 bad bits. They land in the
+                // same 72-bit beat with probability 7/63 (2 of 8 beats × 8
+                // bits); same beat ⇒ DIMM SECDED flags a DUE, different
+                // beats ⇒ two correctable single-bit beats.
+                if rng.gen::<f64>() < 7.0 / 63.0 {
+                    Verdict::Due
+                } else {
+                    Verdict::Corrected
+                }
+            }
+            Scheme::Xed | Scheme::XedChipkill => {
+                // Catch-word identifies the chip; parity / erasure symbols
+                // reconstruct it — unless other chips are concurrently
+                // faulty at the same line.
+                let n = self.concurrent_chips(e, active);
+                if n <= self.erasure_budget() {
+                    Verdict::Corrected
+                } else {
+                    Verdict::Due
+                }
+            }
+            Scheme::Chipkill | Scheme::ChipkillX4 | Scheme::DoubleChipkill => {
+                // One garbage symbol: within symbol-correction budget.
+                let n = self.concurrent_chips(e, active);
+                self.symbol_verdict(n)
+            }
+        }
+    }
+
+    /// Response to a multi-bit (word or larger) fault.
+    fn evaluate_large_fault<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        e: &FaultEvent,
+        active: &[FaultEvent],
+    ) -> Verdict {
+        let n = self.concurrent_chips(e, active);
+        match self.scheme {
+            Scheme::NonEcc => Verdict::Sdc,
+            Scheme::EccDimm => {
+                // A multi-bit chip fault injects an 8-bit burst into each
+                // affected 72-bit beat. The DIMM SECDED usually flags it
+                // (DUE); otherwise it silently mis-corrects (SDC).
+                if rng.gen::<f64>() < self.params.dimm_secded_burst_detect {
+                    Verdict::Due
+                } else {
+                    Verdict::Sdc
+                }
+            }
+            Scheme::Xed => {
+                if n >= 2 {
+                    // Two chips faulty at one line: one parity chip cannot
+                    // reconstruct both.
+                    return Verdict::Due;
+                }
+                self.xed_single_chip_verdict(rng, e)
+            }
+            Scheme::XedChipkill => {
+                if n > 2 {
+                    return Verdict::Due;
+                }
+                if n == 2 {
+                    // Two erasures consume both check symbols; if either
+                    // chip's error additionally escapes on-die detection
+                    // (possible only for word faults) the erasure set is
+                    // wrong and decoding fails.
+                    if e.fault.extent == FaultExtent::Word
+                        && rng.gen::<f64>() < self.params.on_die_miss
+                    {
+                        return Verdict::Due;
+                    }
+                    return Verdict::Corrected;
+                }
+                // Single faulty chip: even an on-die miss is recoverable —
+                // RS(18,16) corrects one *unknown* symbol error.
+                Verdict::Corrected
+            }
+            Scheme::Chipkill | Scheme::ChipkillX4 | Scheme::DoubleChipkill => {
+                self.symbol_verdict(n)
+            }
+        }
+    }
+
+    /// XED's handling of exactly one faulty chip (paper Sections V–VI).
+    fn xed_single_chip_verdict<R: Rng + ?Sized>(&self, rng: &mut R, e: &FaultEvent) -> Verdict {
+        if e.fault.extent.spans_lines() {
+            // Column/row/bank/chip faults: even if the on-die ECC misses
+            // the requested line (0.8%), DIMM parity flags it and
+            // Inter-Line Fault Diagnosis identifies the chip from the
+            // neighboring faulty lines; parity reconstructs the data. The
+            // residual SDC from diagnosis misidentification is ~1e-12 over
+            // 7 years (Table IV) — below Monte-Carlo resolution, tracked
+            // analytically instead.
+            return Verdict::Corrected;
+        }
+        // Word fault confined to one line.
+        if rng.gen::<f64>() >= self.params.on_die_miss {
+            // Detected on die → catch-word → parity reconstruction.
+            return Verdict::Corrected;
+        }
+        // On-die miss: DIMM parity still detects the mismatch. Inter-line
+        // diagnosis finds nothing (neighboring lines are clean); intra-line
+        // diagnosis reproduces *permanent* faults only.
+        match e.fault.persistence {
+            Persistence::Permanent => Verdict::Corrected,
+            Persistence::Transient => Verdict::Due,
+        }
+    }
+
+    /// Verdict for symbol-correcting codes given `n` concurrently faulty
+    /// chips at one line.
+    fn symbol_verdict(&self, n: u32) -> Verdict {
+        let budget = self.symbol_correct_budget();
+        if n <= budget {
+            Verdict::Corrected
+        } else if n == budget + 1 {
+            // Within the guaranteed detection radius.
+            Verdict::Due
+        } else {
+            Verdict::Sdc
+        }
+    }
+
+    /// Chips correctable when locations are unknown (symbol codes).
+    fn symbol_correct_budget(&self) -> u32 {
+        match self.scheme {
+            Scheme::Chipkill | Scheme::ChipkillX4 => 1,
+            Scheme::DoubleChipkill => 2,
+            _ => 0,
+        }
+    }
+
+    /// Chips correctable when locations are known (erasure schemes).
+    fn erasure_budget(&self) -> u32 {
+        match self.scheme {
+            Scheme::Xed => 1,
+            Scheme::XedChipkill => 2,
+            _ => 0,
+        }
+    }
+}
+
+/// Finds the largest number of distinct chips whose candidate line-ranges
+/// (already intersected with the new fault's line range) share one common
+/// line. Brute-force subset search — candidate counts are tiny in practice.
+fn max_chips_with_common_line(base: &FaultRange, cands: &[(u32, FaultRange)]) -> u32 {
+    fn rec(
+        current: FaultRange,
+        cands: &[(u32, FaultRange)],
+        used: &mut Vec<u32>,
+        best: &mut u32,
+    ) {
+        *best = (*best).max(used.len() as u32);
+        for (i, (chip, range)) in cands.iter().enumerate() {
+            if used.contains(chip) {
+                continue;
+            }
+            if let Some(next) = current.intersect(range) {
+                used.push(*chip);
+                rec(next, &cands[i + 1..], used, best);
+                used.pop();
+            }
+        }
+    }
+    let mut best = 0;
+    rec(*base, cands, &mut Vec::new(), &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Fault;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ev(chip: u32, extent: FaultExtent, persistence: Persistence, range: FaultRange) -> FaultEvent {
+        FaultEvent { time_hours: 0.0, chip, fault: Fault { extent, persistence, range } }
+    }
+
+    fn bank_fault(chip: u32, bank: u32) -> FaultEvent {
+        ev(
+            chip,
+            FaultExtent::Bank,
+            Persistence::Permanent,
+            FaultRange { bank: Some(bank), row: None, col: None, bit: None },
+        )
+    }
+
+    fn chip_fault(chip: u32) -> FaultEvent {
+        ev(chip, FaultExtent::Chip, Persistence::Permanent, FaultRange::default())
+    }
+
+    fn model(scheme: Scheme) -> SchemeModel {
+        SchemeModel::new(scheme, ModelParams::default())
+    }
+
+    #[test]
+    fn bit_fault_is_benign_with_on_die() {
+        let m = model(Scheme::EccDimm);
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = ev(
+            0,
+            FaultExtent::Bit,
+            Persistence::Transient,
+            FaultRange { bank: Some(0), row: Some(0), col: Some(0), bit: Some(0) },
+        );
+        assert_eq!(m.evaluate(&mut rng, &e, &[]), Verdict::Benign);
+    }
+
+    #[test]
+    fn bit_fault_sdc_on_non_ecc_without_on_die() {
+        let params = ModelParams { on_die_ecc: false, ..ModelParams::default() };
+        let m = SchemeModel::new(Scheme::NonEcc, params);
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = ev(
+            0,
+            FaultExtent::Bit,
+            Persistence::Transient,
+            FaultRange { bank: Some(0), row: Some(0), col: Some(0), bit: Some(0) },
+        );
+        assert_eq!(m.evaluate(&mut rng, &e, &[]), Verdict::Sdc);
+    }
+
+    #[test]
+    fn large_fault_fails_ecc_dimm() {
+        let m = model(Scheme::EccDimm);
+        let mut rng = StdRng::seed_from_u64(2);
+        let e = bank_fault(0, 3);
+        let v = m.evaluate(&mut rng, &e, &[]);
+        assert!(v.is_failure());
+    }
+
+    #[test]
+    fn large_fault_fails_non_ecc_silently() {
+        let m = model(Scheme::NonEcc);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(m.evaluate(&mut rng, &bank_fault(0, 3), &[]), Verdict::Sdc);
+    }
+
+    #[test]
+    fn xed_corrects_single_chip_failure() {
+        let m = model(Scheme::Xed);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(m.evaluate(&mut rng, &chip_fault(0), &[]), Verdict::Corrected);
+        assert_eq!(m.evaluate(&mut rng, &bank_fault(5, 0), &[]), Verdict::Corrected);
+    }
+
+    #[test]
+    fn xed_two_chips_same_rank_due() {
+        let m = model(Scheme::Xed);
+        let mut rng = StdRng::seed_from_u64(4);
+        let active = [chip_fault(1)];
+        assert_eq!(m.evaluate(&mut rng, &chip_fault(0), &active), Verdict::Due);
+    }
+
+    #[test]
+    fn xed_two_chips_different_rank_independent() {
+        let m = model(Scheme::Xed);
+        let mut rng = StdRng::seed_from_u64(5);
+        // chip 9 is in rank 1; chip 0 in rank 0.
+        let active = [chip_fault(9)];
+        assert_eq!(m.evaluate(&mut rng, &chip_fault(0), &active), Verdict::Corrected);
+    }
+
+    #[test]
+    fn xed_bank_faults_interact_only_in_same_bank() {
+        let m = model(Scheme::Xed);
+        let mut rng = StdRng::seed_from_u64(6);
+        let active = [bank_fault(1, 2)];
+        assert_eq!(m.evaluate(&mut rng, &bank_fault(0, 3), &active), Verdict::Corrected);
+        assert_eq!(m.evaluate(&mut rng, &bank_fault(0, 2), &active), Verdict::Due);
+    }
+
+    #[test]
+    fn xed_transient_word_fault_due_on_miss() {
+        let params = ModelParams { on_die_miss: 1.0, ..ModelParams::default() };
+        let m = SchemeModel::new(Scheme::Xed, params);
+        let mut rng = StdRng::seed_from_u64(7);
+        let word = ev(
+            0,
+            FaultExtent::Word,
+            Persistence::Transient,
+            FaultRange { bank: Some(0), row: Some(1), col: Some(2), bit: None },
+        );
+        assert_eq!(m.evaluate(&mut rng, &word, &[]), Verdict::Due);
+        let word_perm = FaultEvent {
+            fault: Fault { persistence: Persistence::Permanent, ..word.fault },
+            ..word
+        };
+        assert_eq!(m.evaluate(&mut rng, &word_perm, &[]), Verdict::Corrected);
+    }
+
+    #[test]
+    fn chipkill_domain_spans_both_ranks_of_channel() {
+        let m = model(Scheme::Chipkill);
+        let mut rng = StdRng::seed_from_u64(8);
+        // chips 0 (rank 0) and 9 (rank 1) are in the same channel: ganged.
+        let active = [chip_fault(9)];
+        assert_eq!(m.evaluate(&mut rng, &chip_fault(0), &active), Verdict::Due);
+        // chip 18 is channel 1: independent.
+        let active = [chip_fault(18)];
+        assert_eq!(m.evaluate(&mut rng, &chip_fault(0), &active), Verdict::Corrected);
+    }
+
+    #[test]
+    fn chipkill_single_chip_corrected() {
+        let m = model(Scheme::Chipkill);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(m.evaluate(&mut rng, &chip_fault(0), &[]), Verdict::Corrected);
+    }
+
+    #[test]
+    fn chipkill_three_chips_sdc() {
+        let m = model(Scheme::Chipkill);
+        let mut rng = StdRng::seed_from_u64(10);
+        let active = [chip_fault(1), chip_fault(2)];
+        assert_eq!(m.evaluate(&mut rng, &chip_fault(0), &active), Verdict::Sdc);
+    }
+
+    #[test]
+    fn double_chipkill_corrects_two_fails_at_three() {
+        let m = model(Scheme::DoubleChipkill);
+        let mut rng = StdRng::seed_from_u64(11);
+        let active = [chip_fault(1)];
+        assert_eq!(m.evaluate(&mut rng, &chip_fault(0), &active), Verdict::Corrected);
+        let active = [chip_fault(1), chip_fault(2)];
+        assert_eq!(m.evaluate(&mut rng, &chip_fault(0), &active), Verdict::Due);
+    }
+
+    #[test]
+    fn xed_chipkill_corrects_two_chips() {
+        let m = model(Scheme::XedChipkill);
+        let mut rng = StdRng::seed_from_u64(12);
+        let active = [chip_fault(1)];
+        assert_eq!(m.evaluate(&mut rng, &chip_fault(0), &active), Verdict::Corrected);
+        let active = [chip_fault(1), chip_fault(2)];
+        assert_eq!(m.evaluate(&mut rng, &chip_fault(0), &active), Verdict::Due);
+    }
+
+    #[test]
+    fn concurrency_requires_common_line_not_just_pairwise() {
+        // Row faults in three different chips, same bank: row 5, row 5 and a
+        // column fault — rows at different rows don't stack.
+        let m = model(Scheme::DoubleChipkill);
+        let r5 = FaultRange { bank: Some(0), row: Some(5), col: None, bit: None };
+        let r6 = FaultRange { bank: Some(0), row: Some(6), col: None, bit: None };
+        let e = ev(0, FaultExtent::Row, Persistence::Permanent, r5);
+        let a1 = ev(1, FaultExtent::Row, Persistence::Permanent, r5);
+        let a2 = ev(2, FaultExtent::Row, Persistence::Permanent, r6);
+        // a2's row 6 never meets row 5: only chips {0,1} share a line.
+        assert_eq!(m.concurrent_chips(&e, &[a1, a2]), 2);
+        let a3 = ev(3, FaultExtent::Row, Persistence::Permanent, r5);
+        assert_eq!(m.concurrent_chips(&e, &[a1, a2, a3]), 3);
+    }
+
+    #[test]
+    fn bit_faults_do_not_count_as_concurrent() {
+        let m = model(Scheme::Xed);
+        let bit = ev(
+            1,
+            FaultExtent::Bit,
+            Persistence::Permanent,
+            FaultRange { bank: Some(0), row: Some(0), col: Some(0), bit: Some(0) },
+        );
+        let e = chip_fault(0);
+        assert_eq!(m.concurrent_chips(&e, &[bit]), 1);
+    }
+
+    #[test]
+    fn multiple_faults_same_chip_count_once() {
+        let m = model(Scheme::Xed);
+        let active = [bank_fault(1, 0), bank_fault(1, 1), chip_fault(1)];
+        assert_eq!(m.concurrent_chips(&chip_fault(0), &active), 2);
+    }
+
+    #[test]
+    fn without_intersection_any_coexisting_pair_counts() {
+        let params =
+            ModelParams { require_line_intersection: false, ..ModelParams::default() };
+        let m = SchemeModel::new(Scheme::Xed, params);
+        let mut rng = StdRng::seed_from_u64(20);
+        // Two row faults in *different* banks: disjoint ranges, but the
+        // coarse model still counts them as a fatal pair.
+        let active = [bank_fault(1, 2)];
+        assert_eq!(m.concurrent_chips(&bank_fault(0, 3), &active), 2);
+        assert_eq!(m.evaluate(&mut rng, &bank_fault(0, 3), &active), Verdict::Due);
+        // The intersection model disagrees (cf. xed_bank_faults test).
+        let strict = SchemeModel::new(Scheme::Xed, ModelParams::default());
+        assert_eq!(strict.concurrent_chips(&bank_fault(0, 3), &active), 1);
+    }
+
+    #[test]
+    fn verdict_failure_predicate() {
+        assert!(Verdict::Due.is_failure());
+        assert!(Verdict::Sdc.is_failure());
+        assert!(!Verdict::Corrected.is_failure());
+        assert!(!Verdict::Benign.is_failure());
+    }
+
+    #[test]
+    fn scheme_labels_unique() {
+        let labels: Vec<&str> = Scheme::ALL.iter().map(|s| s.label()).collect();
+        for (i, l) in labels.iter().enumerate() {
+            assert!(!labels[..i].contains(l));
+        }
+    }
+}

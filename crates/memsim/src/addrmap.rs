@@ -1,0 +1,129 @@
+//! Physical-address decomposition.
+//!
+//! Cache-line addresses interleave across channels first (consecutive lines
+//! hit different channels), then columns within a row (so streaming
+//! accesses enjoy row-buffer hits), then banks, ranks and rows — the
+//! baseline USIMM-style mapping.
+
+/// Memory-system topology visible to the address mapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Independent channels.
+    pub channels: u32,
+    /// Independently schedulable ranks per channel (rank-ganged schemes
+    /// have fewer).
+    pub ranks: u32,
+    /// Banks per rank.
+    pub banks: u32,
+    /// Rows per bank.
+    pub rows: u32,
+    /// Cache-line columns per row.
+    pub cols: u32,
+}
+
+impl Topology {
+    /// The paper's baseline (Table V): 4 channels × 2 ranks × 8 banks ×
+    /// 32K rows × 128 columns.
+    pub const fn baseline() -> Self {
+        Self { channels: 4, ranks: 2, banks: 8, rows: 32 * 1024, cols: 128 }
+    }
+
+    /// Total cache lines addressable.
+    pub fn lines(&self) -> u64 {
+        self.channels as u64 * self.ranks as u64 * self.banks as u64 * self.rows as u64
+            * self.cols as u64
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+/// A decoded cache-line location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank index within the channel.
+    pub rank: u32,
+    /// Bank index within the rank.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+    /// Column index within the row.
+    pub col: u32,
+}
+
+/// Decodes a cache-line address: channel bits lowest, then column, bank,
+/// rank, row.
+pub fn decode(topology: &Topology, line_addr: u64) -> Location {
+    let mut a = line_addr % topology.lines();
+    let channel = (a % topology.channels as u64) as u32;
+    a /= topology.channels as u64;
+    let col = (a % topology.cols as u64) as u32;
+    a /= topology.cols as u64;
+    let bank = (a % topology.banks as u64) as u32;
+    a /= topology.banks as u64;
+    let rank = (a % topology.ranks as u64) as u32;
+    a /= topology.ranks as u64;
+    let row = (a % topology.rows as u64) as u32;
+    Location { channel, rank, bank, row, col }
+}
+
+/// Inverse of [`decode`] (used by the trace generator to build addresses
+/// with intended locality).
+pub fn encode(topology: &Topology, loc: Location) -> u64 {
+    let mut a = loc.row as u64;
+    a = a * topology.ranks as u64 + loc.rank as u64;
+    a = a * topology.banks as u64 + loc.bank as u64;
+    a = a * topology.cols as u64 + loc.col as u64;
+    a * topology.channels as u64 + loc.channel as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let t = Topology::baseline();
+        for addr in [0u64, 1, 12345, 999_999, t.lines() - 1] {
+            let loc = decode(&t, addr);
+            assert_eq!(encode(&t, loc), addr, "addr {addr}");
+            assert!(loc.channel < t.channels);
+            assert!(loc.rank < t.ranks);
+            assert!(loc.bank < t.banks);
+            assert!(loc.row < t.rows);
+            assert!(loc.col < t.cols);
+        }
+    }
+
+    #[test]
+    fn consecutive_lines_rotate_channels() {
+        let t = Topology::baseline();
+        for i in 0..8u64 {
+            assert_eq!(decode(&t, i).channel, (i % 4) as u32);
+        }
+    }
+
+    #[test]
+    fn same_row_streaming_hits_same_bank() {
+        let t = Topology::baseline();
+        // Lines k*channels for k = 0..cols land in the same row,
+        // consecutive columns.
+        let base = decode(&t, 0);
+        for k in 0..t.cols as u64 {
+            let loc = decode(&t, k * t.channels as u64);
+            assert_eq!((loc.channel, loc.rank, loc.bank, loc.row), (0, 0, 0, base.row));
+            assert_eq!(loc.col, k as u32);
+        }
+    }
+
+    #[test]
+    fn lines_count() {
+        let t = Topology { channels: 2, ranks: 2, banks: 4, rows: 16, cols: 8 };
+        assert_eq!(t.lines(), 2 * 2 * 4 * 16 * 8);
+    }
+}

@@ -1,0 +1,57 @@
+//! A USIMM-style cycle-level DDR3 memory-system simulator.
+//!
+//! The paper's performance and power evaluation (Figures 11–14) uses USIMM,
+//! a cycle-accurate memory-system simulator enforcing the JEDEC DDR3 timing
+//! protocol, driven by multi-core instruction traces and a Micron-style
+//! power model. This crate rebuilds that stack:
+//!
+//! * [`timing`] — DDR3-1600 timing constraints (Table V system);
+//! * [`addrmap`] — physical-address → channel/rank/bank/row/column mapping;
+//! * [`dram`] — bank/rank/channel state machines enforcing the constraints;
+//! * [`scheduler`] — an FR-FCFS memory controller with write drain and
+//!   refresh;
+//! * [`workloads`] — the paper's benchmark set as synthetic memory-behavior
+//!   profiles (SPEC 2006 / PARSEC / BioBench / commercial);
+//! * [`trace`] — the per-core synthetic request generator;
+//! * [`cpu`] — a ROB-limited multi-core front end (Table V: 8 cores,
+//!   4-wide, 160-entry ROB, 3.2 GHz);
+//! * [`power`] — a Micron TN-41-01-style DDR3 power model (+12.5% for
+//!   on-die ECC);
+//! * [`overlay`] — reliability-scheme overlays: rank ganging (Chipkill,
+//!   Double-Chipkill), burst extension and extra transactions (Figure 13),
+//!   LOT-ECC write amplification (Figure 14), XED serial-mode reads;
+//! * [`sim`] — the top-level driver and results.
+//!
+//! # Example
+//!
+//! ```
+//! use xed_memsim::sim::{Simulation, SimConfig};
+//! use xed_memsim::overlay::ReliabilityScheme;
+//! use xed_memsim::workloads::Workload;
+//!
+//! let cfg = SimConfig {
+//!     workload: Workload::by_name("libquantum").unwrap(),
+//!     scheme: ReliabilityScheme::baseline_secded(),
+//!     instructions_per_core: 100_000,
+//!     ..SimConfig::default()
+//! };
+//! let result = Simulation::new(cfg).run();
+//! assert!(result.cycles > 0);
+//! assert!(result.reads > 0);
+//! ```
+
+pub mod addrmap;
+pub mod cpu;
+pub mod dram;
+pub mod overlay;
+pub mod power;
+pub mod scheduler;
+pub mod sim;
+pub mod timing;
+pub mod trace;
+pub mod tracefile;
+pub mod workloads;
+
+pub use overlay::ReliabilityScheme;
+pub use sim::{SimConfig, SimResult, Simulation};
+pub use workloads::Workload;

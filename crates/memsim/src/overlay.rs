@@ -1,0 +1,279 @@
+//! Reliability-scheme overlays: how each protection scheme reshapes the
+//! memory system's topology, traffic and power accounting.
+//!
+//! The key performance lever (paper Section XI-A) is **rank ganging**:
+//! Chipkill on x8 ECC-DIMMs activates both ranks of a channel per access
+//! (18 chips), halving rank-level parallelism; Double-Chipkill activates
+//! four ranks (36 x4 chips), quartering it. XED needs only the single
+//! 9-chip rank, so it keeps the baseline's parallelism and adds only the
+//! rare serial-mode re-read (once per ~200K accesses at a 10⁻⁴ scaling
+//! rate). Figure 13's alternatives add bus or transaction overhead instead,
+//! and LOT-ECC (Figure 14) adds checksum-update writes.
+
+use crate::addrmap::Topology;
+
+/// A reliability scheme's impact on the memory system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityScheme {
+    /// Display name.
+    pub name: &'static str,
+    /// Physical ranks activated together per access (1, 2 or 4).
+    pub ganged_ranks: u32,
+    /// DRAM devices per physical rank (9 for x8 ECC-DIMMs, 18 for x4).
+    pub chips_per_rank: u32,
+    /// `true` for x4 devices (lower per-chip power, 32-bit catch-words).
+    pub x4_devices: bool,
+    /// 100% overfetch: rank-ganged x8 Chipkill and Double-Chipkill obtain
+    /// *two* cache lines per access (paper Section II-D2), doubling bus
+    /// occupancy and transfer energy.
+    pub overfetch: bool,
+    /// Extra data-bus cycles per burst (Figure 13 "extra burst": BL8→BL10
+    /// adds one DDR cycle).
+    pub extra_burst_cycles: u64,
+    /// Additional reads injected per demand read (Figure 13 "extra
+    /// transaction" fetches the on-die ECC separately).
+    pub extra_reads_per_read: f64,
+    /// Additional writes injected per write (LOT-ECC checksum updates,
+    /// after write coalescing).
+    pub extra_writes_per_write: f64,
+    /// XED serial mode: one extra read+write round trip every N reads
+    /// (`None` = never).
+    pub serial_mode_every: Option<u64>,
+}
+
+impl ReliabilityScheme {
+    /// Baseline: ECC-DIMM running SECDED, one 9-chip rank per access.
+    pub const fn baseline_secded() -> Self {
+        Self {
+            name: "SECDED (ECC-DIMM, 9 chips)",
+            ganged_ranks: 1,
+            chips_per_rank: 9,
+            x4_devices: false,
+            overfetch: false,
+            extra_burst_cycles: 0,
+            extra_reads_per_read: 0.0,
+            extra_writes_per_write: 0.0,
+            serial_mode_every: None,
+        }
+    }
+
+    /// XED on the same ECC-DIMM: baseline traffic plus rare serial-mode
+    /// episodes (paper: once every 200K accesses at scaling rate 10⁻⁴).
+    pub const fn xed() -> Self {
+        Self {
+            name: "XED (9 chips)",
+            serial_mode_every: Some(200_000),
+            ..Self::baseline_secded()
+        }
+    }
+
+    /// Commercial Chipkill on x8 parts: both ranks ganged (18 chips).
+    pub const fn chipkill() -> Self {
+        Self {
+            name: "Chipkill (18 chips)",
+            ganged_ranks: 2,
+            overfetch: true,
+            ..Self::baseline_secded()
+        }
+    }
+
+    /// XED on top of Single-Chipkill hardware (x4 parts, two ganged ranks
+    /// of 9... physically 18 x4 chips in one DIMM access): Double-Chipkill
+    /// reliability at Chipkill cost (paper Section IX).
+    pub const fn xed_chipkill() -> Self {
+        Self {
+            name: "XED + Single Chipkill (18 chips)",
+            ganged_ranks: 2,
+            chips_per_rank: 9,
+            x4_devices: true,
+            serial_mode_every: Some(200_000),
+            ..Self::baseline_secded()
+        }
+    }
+
+    /// Traditional Double-Chipkill: four ganged ranks (36 x4 chips).
+    pub const fn double_chipkill() -> Self {
+        Self {
+            name: "Double-Chipkill (36 chips)",
+            ganged_ranks: 4,
+            overfetch: true,
+            chips_per_rank: 9,
+            x4_devices: true,
+            ..Self::baseline_secded()
+        }
+    }
+
+    /// Figure 13 alternative: expose on-die ECC with an extra burst
+    /// (BL8 → BL10) on the Chipkill-class configuration.
+    pub const fn chipkill_extra_burst() -> Self {
+        Self {
+            name: "Chipkill via extra burst",
+            extra_burst_cycles: 1,
+            serial_mode_every: None,
+            ..Self::xed()
+        }
+    }
+
+    /// Figure 13 alternative: expose on-die ECC with an additional
+    /// transaction per read on the Chipkill-class configuration.
+    pub const fn chipkill_extra_transaction() -> Self {
+        Self {
+            name: "Chipkill via extra transaction",
+            extra_reads_per_read: 1.0,
+            serial_mode_every: None,
+            ..Self::xed()
+        }
+    }
+
+    /// Figure 13 alternative: extra burst on the Double-Chipkill-class
+    /// configuration (18 ganged x4 chips).
+    pub const fn double_chipkill_extra_burst() -> Self {
+        Self {
+            name: "Double-Chipkill via extra burst",
+            extra_burst_cycles: 1,
+            serial_mode_every: None,
+            ..Self::xed_chipkill()
+        }
+    }
+
+    /// Figure 13 alternative: extra transaction on the
+    /// Double-Chipkill-class configuration.
+    pub const fn double_chipkill_extra_transaction() -> Self {
+        Self {
+            name: "Double-Chipkill via extra transaction",
+            extra_reads_per_read: 1.0,
+            serial_mode_every: None,
+            ..Self::xed_chipkill()
+        }
+    }
+
+    /// LOT-ECC (Figure 14): x8 chipkill-equivalent with localized tiered
+    /// checksums, updated with extra (write-coalesced) writes.
+    pub const fn lot_ecc() -> Self {
+        Self {
+            name: "LOT-ECC (write-coalescing)",
+            ganged_ranks: 1,
+            chips_per_rank: 9,
+            x4_devices: false,
+            overfetch: false,
+            extra_burst_cycles: 0,
+            extra_reads_per_read: 0.0,
+            extra_writes_per_write: 0.5,
+            serial_mode_every: None,
+        }
+    }
+
+    /// The schemes of Figure 11/12, in plot order.
+    pub fn figure11_set() -> [ReliabilityScheme; 5] {
+        [
+            Self::baseline_secded(),
+            Self::xed(),
+            Self::chipkill(),
+            Self::xed_chipkill(),
+            Self::double_chipkill(),
+        ]
+    }
+
+    /// The scheduling topology after rank ganging: ganged ranks behave as
+    /// one logical rank; four ganged ranks additionally gang channel pairs.
+    pub fn topology(&self) -> Topology {
+        let base = Topology::baseline();
+        match self.ganged_ranks {
+            1 => base,
+            2 => Topology { ranks: 1, ..base },
+            4 => Topology { ranks: 1, channels: base.channels / 2, ..base },
+            g => panic!("unsupported ganging factor {g}"),
+        }
+    }
+
+    /// DRAM devices carrying each access (drives activate/read energy).
+    pub fn chips_per_access(&self) -> u32 {
+        self.chips_per_rank * self.ganged_ranks
+    }
+
+    /// Total extra data-bus cycles per burst: explicit burst extension plus
+    /// a full second BL8 when the scheme overfetches.
+    pub fn total_extra_burst_cycles(&self) -> u64 {
+        self.extra_burst_cycles + if self.overfetch { 4 } else { 0 }
+    }
+
+    /// Data-bus occupancy (and transfer energy) relative to a BL8 access.
+    pub fn burst_factor(&self) -> f64 {
+        (4 + self.total_extra_burst_cycles()) as f64 / 4.0
+    }
+
+    /// Total devices in the system (drives background power): 4 channels ×
+    /// 2 physical ranks of 9 x8 devices (72 chips), or — for the same
+    /// capacity from half-width parts — 18 x4 devices per rank (144 chips).
+    pub fn total_chips(&self) -> u32 {
+        let base = Topology::baseline();
+        base.channels * base.ranks * if self.x4_devices { 18 } else { 9 }
+    }
+}
+
+impl Default for ReliabilityScheme {
+    fn default() -> Self {
+        Self::baseline_secded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_topology_unchanged() {
+        let t = ReliabilityScheme::baseline_secded().topology();
+        assert_eq!((t.channels, t.ranks), (4, 2));
+    }
+
+    #[test]
+    fn chipkill_halves_rank_parallelism() {
+        let t = ReliabilityScheme::chipkill().topology();
+        assert_eq!((t.channels, t.ranks), (4, 1));
+        assert_eq!(ReliabilityScheme::chipkill().chips_per_access(), 18);
+    }
+
+    #[test]
+    fn double_chipkill_quarters_parallelism() {
+        let t = ReliabilityScheme::double_chipkill().topology();
+        assert_eq!((t.channels, t.ranks), (2, 1));
+        assert_eq!(ReliabilityScheme::double_chipkill().chips_per_access(), 36);
+    }
+
+    #[test]
+    fn xed_matches_baseline_topology() {
+        assert_eq!(ReliabilityScheme::xed().topology(), ReliabilityScheme::baseline_secded().topology());
+        assert_eq!(ReliabilityScheme::xed().chips_per_access(), 9);
+    }
+
+    #[test]
+    fn xed_chipkill_matches_chipkill_topology() {
+        assert_eq!(
+            ReliabilityScheme::xed_chipkill().topology(),
+            ReliabilityScheme::chipkill().topology()
+        );
+        assert_eq!(ReliabilityScheme::xed_chipkill().chips_per_access(), 18);
+    }
+
+    #[test]
+    fn names_unique_across_all_constructors() {
+        let all = [
+            ReliabilityScheme::baseline_secded(),
+            ReliabilityScheme::xed(),
+            ReliabilityScheme::chipkill(),
+            ReliabilityScheme::xed_chipkill(),
+            ReliabilityScheme::double_chipkill(),
+            ReliabilityScheme::chipkill_extra_burst(),
+            ReliabilityScheme::chipkill_extra_transaction(),
+            ReliabilityScheme::double_chipkill_extra_burst(),
+            ReliabilityScheme::double_chipkill_extra_transaction(),
+            ReliabilityScheme::lot_ecc(),
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[..i] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! A Micron TN-41-01-style DDR3 power model.
+//!
+//! Memory power is computed from activity counters the way Micron's
+//! "Calculating Memory System Power for DDR3" technical note prescribes,
+//! with the refinements USIMM applies:
+//!
+//! * **Background** power per device interpolates between precharge
+//!   power-down (CKE low) and active standby according to how busy the
+//!   device's rank is — so a scheme that stretches execution time lets
+//!   devices idle in power-down longer and its *average* power drops (the
+//!   effect behind Chipkill's power reduction in the paper's Figure 12).
+//! * **Activate/precharge** energy is paid per ACT by every device in the
+//!   (possibly rank-ganged) access group.
+//! * **Read/write transfer** energy is per *access*: the same 64 B + ECC
+//!   moves over the 72-lane bus no matter how many devices share it, scaled
+//!   by the burst factor (overfetch doubles it, BL10 adds 25%).
+//! * **Refresh** energy is paid per device.
+//! * Devices with on-die ECC pay 12.5% more background, refresh and
+//!   activate current for the extra cells (paper Section X).
+
+use crate::dram::RankStats;
+
+/// Energy to move one BL8 cache-line read (64 B + ECC) across a 72-lane
+/// channel, in nJ (I/O + DLL across the rank's devices).
+pub const LINE_READ_NJ: f64 = 9.9;
+/// Energy for one BL8 cache-line write, in nJ.
+pub const LINE_WRITE_NJ: f64 = 10.8;
+
+/// Per-device power/energy constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipPower {
+    /// Precharge power-down floor, mW (CKE low).
+    pub powerdown_mw: f64,
+    /// Precharge standby power, mW (CKE high, bank idle).
+    pub standby_mw: f64,
+    /// Additional background power while a bank is open, mW.
+    pub active_standby_extra_mw: f64,
+    /// Energy per ACT+PRE pair, nJ.
+    pub act_energy_nj: f64,
+    /// Energy per REFRESH command, nJ.
+    pub refresh_energy_nj: f64,
+}
+
+impl ChipPower {
+    /// A 2Gb x8 DDR3-1600 part (derived from Micron IDD data at 1.5 V).
+    pub const fn x8_2gb() -> Self {
+        Self {
+            powerdown_mw: 18.0,
+            standby_mw: 60.0,
+            active_standby_extra_mw: 9.0,
+            act_energy_nj: 3.8,
+            refresh_energy_nj: 42.0,
+        }
+    }
+
+    /// A 2Gb x4 part: narrower I/O and core currents ≈ 55% of the x8 part.
+    pub const fn x4_2gb() -> Self {
+        Self {
+            powerdown_mw: 10.0,
+            standby_mw: 33.0,
+            active_standby_extra_mw: 5.0,
+            act_energy_nj: 2.1,
+            refresh_energy_nj: 23.0,
+        }
+    }
+
+    /// Applies the on-die ECC overhead: 12.5% more cells raise background,
+    /// refresh and activate/precharge power (paper Section X).
+    #[must_use]
+    pub fn with_on_die_ecc(mut self) -> Self {
+        const F: f64 = 1.125;
+        self.powerdown_mw *= F;
+        self.standby_mw *= F;
+        self.active_standby_extra_mw *= F;
+        self.act_energy_nj *= F;
+        self.refresh_energy_nj *= F;
+        self
+    }
+}
+
+/// System-level inputs to the power calculation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerInputs {
+    /// Aggregated activity of all (logical) ranks, with `active_cycles`
+    /// normalized to a per-rank average.
+    pub totals: RankStats,
+    /// Execution time in memory cycles.
+    pub cycles: u64,
+    /// Memory-bus cycle time in nanoseconds.
+    pub cycle_ns: f64,
+    /// Devices participating in each access.
+    pub chips_per_access: u32,
+    /// Devices in the system (background + refresh).
+    pub total_chips: u32,
+    /// Bus-occupancy multiplier per access (1.0 = BL8; 2.0 = overfetch).
+    pub burst_factor: f64,
+}
+
+/// Computed power breakdown, in milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerBreakdown {
+    /// Background (power-down / standby) power.
+    pub background_mw: f64,
+    /// Activate/precharge power.
+    pub activate_mw: f64,
+    /// Read/write transfer power.
+    pub rw_mw: f64,
+    /// Refresh power.
+    pub refresh_mw: f64,
+}
+
+impl PowerBreakdown {
+    /// Total memory power, mW.
+    pub fn total_mw(&self) -> f64 {
+        self.background_mw + self.activate_mw + self.rw_mw + self.refresh_mw
+    }
+}
+
+/// Computes the memory power for a run.
+///
+/// # Panics
+///
+/// Panics if `cycles == 0`.
+pub fn memory_power(chip: &ChipPower, inputs: &PowerInputs) -> PowerBreakdown {
+    assert!(inputs.cycles > 0, "power over zero cycles");
+    let time_ns = inputs.cycles as f64 * inputs.cycle_ns;
+    let per_access_chips = inputs.chips_per_access as f64;
+    let all_chips = inputs.total_chips as f64;
+    let t = &inputs.totals;
+
+    // Fraction of time a device's rank is busy (banks open): drives both
+    // the CKE-high fraction and the active-standby increment.
+    let busy_frac = (t.active_cycles as f64 / inputs.cycles as f64).min(1.0);
+    let per_chip_bg = chip.powerdown_mw
+        + (chip.standby_mw - chip.powerdown_mw) * busy_frac
+        + chip.active_standby_extra_mw * busy_frac;
+    let background_mw = all_chips * per_chip_bg;
+
+    let activate_mw = per_access_chips * t.acts as f64 * chip.act_energy_nj / time_ns * 1000.0;
+
+    // Transfer energy is per access (the line is striped over the group).
+    let rw_nj = (t.reads as f64 * LINE_READ_NJ + t.writes as f64 * LINE_WRITE_NJ)
+        * inputs.burst_factor;
+    let rw_mw = rw_nj / time_ns * 1000.0;
+
+    // `refreshes` counts logical-rank refreshes; each refreshes the whole
+    // ganged group, and the groups together cover every device.
+    let refresh_mw =
+        per_access_chips * t.refreshes as f64 * chip.refresh_energy_nj / time_ns * 1000.0;
+
+    PowerBreakdown { background_mw, activate_mw, rw_mw, refresh_mw }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(acts: u64, reads: u64, writes: u64, cycles: u64) -> PowerInputs {
+        PowerInputs {
+            totals: RankStats {
+                acts,
+                reads,
+                writes,
+                refreshes: cycles / 6240 * 8,
+                active_cycles: cycles / 2,
+            },
+            cycles,
+            cycle_ns: 1.25,
+            chips_per_access: 9,
+            total_chips: 72,
+            burst_factor: 1.0,
+        }
+    }
+
+    #[test]
+    fn idle_system_sits_near_powerdown_floor() {
+        let chip = ChipPower::x8_2gb().with_on_die_ecc();
+        let mut i = inputs(0, 0, 0, 1_000_000);
+        i.totals.active_cycles = 0;
+        let p = memory_power(&chip, &i);
+        assert_eq!(p.activate_mw, 0.0);
+        assert_eq!(p.rw_mw, 0.0);
+        let floor = 72.0 * 18.0 * 1.125;
+        assert!((p.background_mw - floor).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_activity_more_power() {
+        let chip = ChipPower::x8_2gb();
+        let idle = memory_power(&chip, &inputs(0, 0, 0, 1_000_000)).total_mw();
+        let busy = memory_power(&chip, &inputs(100_000, 400_000, 150_000, 1_000_000)).total_mw();
+        assert!(busy > idle);
+    }
+
+    #[test]
+    fn on_die_ecc_raises_power() {
+        let base = ChipPower::x8_2gb();
+        let ecc = base.with_on_die_ecc();
+        let i = inputs(50_000, 200_000, 80_000, 1_000_000);
+        assert!(memory_power(&ecc, &i).total_mw() > memory_power(&base, &i).total_mw());
+    }
+
+    #[test]
+    fn ganged_access_doubles_activate_power_only() {
+        let chip = ChipPower::x8_2gb();
+        let mut i = inputs(100_000, 300_000, 100_000, 1_000_000);
+        let p9 = memory_power(&chip, &i);
+        i.chips_per_access = 18;
+        let p18 = memory_power(&chip, &i);
+        assert!((p18.activate_mw / p9.activate_mw - 2.0).abs() < 1e-9);
+        assert_eq!(p18.rw_mw, p9.rw_mw, "transfer energy is per access");
+    }
+
+    #[test]
+    fn overfetch_doubles_transfer_power() {
+        let chip = ChipPower::x8_2gb();
+        let mut i = inputs(100_000, 300_000, 100_000, 1_000_000);
+        let p1 = memory_power(&chip, &i);
+        i.burst_factor = 2.0;
+        let p2 = memory_power(&chip, &i);
+        assert!((p2.rw_mw / p1.rw_mw - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn x4_chip_cheaper_than_x8() {
+        let i = inputs(100_000, 300_000, 100_000, 1_000_000);
+        let x8 = memory_power(&ChipPower::x8_2gb(), &i).total_mw();
+        let x4 = memory_power(&ChipPower::x4_2gb(), &i).total_mw();
+        assert!(x4 < x8);
+    }
+
+    #[test]
+    fn stretching_time_reduces_average_power() {
+        // Same work over twice the time: activity amortizes *and* the
+        // background falls toward the power-down floor.
+        let chip = ChipPower::x8_2gb();
+        let short = inputs(100_000, 300_000, 100_000, 1_000_000);
+        let mut long = inputs(100_000, 300_000, 100_000, 2_000_000);
+        long.totals.refreshes = short.totals.refreshes;
+        long.totals.active_cycles = short.totals.active_cycles;
+        let p_short = memory_power(&chip, &short).total_mw();
+        let p_long = memory_power(&chip, &long).total_mw();
+        assert!(p_long < p_short);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cycles_panics() {
+        memory_power(&ChipPower::x8_2gb(), &inputs(0, 0, 0, 0));
+    }
+}

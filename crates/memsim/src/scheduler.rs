@@ -1,0 +1,431 @@
+//! The memory controller: per-channel queues, FR-FCFS scheduling, write
+//! drain and refresh management (USIMM's baseline scheduler).
+
+use crate::addrmap::{decode, Location, Topology};
+use crate::dram::Dram;
+use crate::timing::DdrTiming;
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+/// A queued memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Unique request id (completion routing).
+    pub id: u64,
+    /// Decoded location.
+    pub loc: Location,
+    /// Writeback?
+    pub is_write: bool,
+    /// Cycle the request entered the queue.
+    pub arrival: u64,
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedConfig {
+    /// Read-queue capacity per channel.
+    pub read_queue_cap: usize,
+    /// Write-queue capacity per channel.
+    pub write_queue_cap: usize,
+    /// Start draining writes above this occupancy.
+    pub write_drain_hi: usize,
+    /// Stop draining below this occupancy.
+    pub write_drain_lo: usize,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        Self { read_queue_cap: 64, write_queue_cap: 64, write_drain_hi: 40, write_drain_lo: 20 }
+    }
+}
+
+/// Aggregate scheduler statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Reads completed.
+    pub reads_done: u64,
+    /// Writes issued to DRAM.
+    pub writes_done: u64,
+    /// Sum of read latencies (enqueue → last data beat), in cycles.
+    pub total_read_latency: u64,
+}
+
+/// The multi-channel memory controller.
+#[derive(Debug)]
+pub struct MemController {
+    topology: Topology,
+    dram: Dram,
+    read_q: Vec<Vec<Request>>,
+    write_q: Vec<Vec<Request>>,
+    /// Writes left in the current drain episode, per channel. A drain
+    /// episode is sized when it starts (queue depth minus low watermark),
+    /// so continuously arriving writes cannot starve reads.
+    drain_remaining: Vec<u32>,
+    /// Read-priority cycles guaranteed after each drain episode, per
+    /// channel; a new episode cannot start while grace remains (unless the
+    /// read queue is empty), so saturated channels alternate fairly.
+    read_grace: Vec<u32>,
+    config: SchedConfig,
+    /// (completion cycle, request id) min-heap.
+    completions: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Statistics.
+    pub stats: SchedStats,
+}
+
+impl MemController {
+    /// Builds the controller and its DRAM state.
+    pub fn new(topology: Topology, timing: DdrTiming, config: SchedConfig) -> Self {
+        let dram = Dram::new(timing, topology.channels, topology.ranks, topology.banks);
+        Self {
+            topology,
+            dram,
+            read_q: (0..topology.channels).map(|_| Vec::new()).collect(),
+            write_q: (0..topology.channels).map(|_| Vec::new()).collect(),
+            drain_remaining: vec![0; topology.channels as usize],
+            read_grace: vec![0; topology.channels as usize],
+            config,
+            completions: BinaryHeap::new(),
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// The DRAM state (activity counters for the power model).
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// The topology in force.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Attempts to enqueue a demand read. Returns `false` if the channel's
+    /// read queue is full.
+    pub fn enqueue_read(&mut self, id: u64, line_addr: u64, now: u64) -> bool {
+        let loc = decode(&self.topology, line_addr);
+        let q = &mut self.read_q[loc.channel as usize];
+        if q.len() >= self.config.read_queue_cap {
+            return false;
+        }
+        q.push(Request { id, loc, is_write: false, arrival: now });
+        true
+    }
+
+    /// Attempts to enqueue a writeback. Returns `false` if the channel's
+    /// write queue is full.
+    pub fn enqueue_write(&mut self, id: u64, line_addr: u64, now: u64) -> bool {
+        let loc = decode(&self.topology, line_addr);
+        let q = &mut self.write_q[loc.channel as usize];
+        if q.len() >= self.config.write_queue_cap {
+            return false;
+        }
+        q.push(Request { id, loc, is_write: true, arrival: now });
+        true
+    }
+
+    /// Outstanding requests across all channels.
+    pub fn pending(&self) -> usize {
+        self.read_q.iter().map(Vec::len).sum::<usize>()
+            + self.write_q.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Advances one memory cycle: issues at most one command per channel
+    /// and returns the ids of reads whose data completed this cycle.
+    pub fn tick(&mut self, now: u64) -> Vec<u64> {
+        for ch in 0..self.topology.channels {
+            self.tick_channel(ch, now);
+        }
+        self.dram.tick_stats(now);
+        let mut done = Vec::new();
+        while let Some(&Reverse((cycle, id))) = self.completions.peek() {
+            if cycle > now {
+                break;
+            }
+            self.completions.pop();
+            done.push(id);
+        }
+        done
+    }
+
+    fn tick_channel(&mut self, ch: u32, now: u64) {
+        // 1. Refresh has absolute priority: when a rank is due, quiesce it.
+        for rank in 0..self.topology.ranks {
+            if self.dram.refresh_due(ch, rank, now) && !self.dram.refreshing(ch, rank, now) {
+                if self.dram.channel(ch).rank(rank).any_bank_open() {
+                    // Close one open bank per cycle until quiesced.
+                    for bank in 0..self.topology.banks {
+                        if self.dram.channel(ch).rank(rank).bank(bank).open_row.is_some()
+                            && self.dram.can_precharge(ch, rank, bank, now)
+                        {
+                            self.dram.issue_precharge(ch, rank, bank, now);
+                            return;
+                        }
+                    }
+                    // Banks open but not yet precharge-able: wait.
+                    return;
+                }
+                self.dram.issue_refresh(ch, rank, now);
+                return;
+            }
+        }
+
+        // 2. Choose read service or write drain. Drain episodes have a
+        // fixed budget set when they start, and each completed episode
+        // grants the read queue a grace window before the next may begin —
+        // so a steady write stream can never starve reads.
+        let ci = ch as usize;
+        let wq_len = self.write_q[ci].len();
+        let rq_empty = self.read_q[ci].is_empty();
+        if self.drain_remaining[ci] == 0
+            && wq_len >= self.config.write_drain_hi
+            && (self.read_grace[ci] == 0 || rq_empty)
+        {
+            self.drain_remaining[ci] = (wq_len - self.config.write_drain_lo) as u32;
+        }
+        let write_mode = wq_len > 0 && (self.drain_remaining[ci] > 0 || rq_empty);
+
+        if write_mode {
+            let issued_column = self.schedule_queue(ch, now, true);
+            if issued_column && self.drain_remaining[ci] > 0 {
+                self.drain_remaining[ci] -= 1;
+                if self.drain_remaining[ci] == 0 {
+                    // Episode over: guarantee the reads a matching window.
+                    self.read_grace[ci] =
+                        (self.config.write_drain_hi - self.config.write_drain_lo) as u32;
+                }
+            }
+        } else if !rq_empty {
+            if self.schedule_queue(ch, now, false) {
+                self.read_grace[ci] = self.read_grace[ci].saturating_sub(1);
+            }
+        } else {
+            self.read_grace[ci] = 0;
+        }
+    }
+
+    /// FR-FCFS over one queue: oldest row-hit column access first, then
+    /// oldest-first activates, then precharges for row conflicts. Returns
+    /// `true` if a column access (read/write burst) was issued.
+    fn schedule_queue(&mut self, ch: u32, now: u64, writes: bool) -> bool {
+        let queue: &Vec<Request> =
+            if writes { &self.write_q[ch as usize] } else { &self.read_q[ch as usize] };
+
+        // Pass 1: column access for an open matching row (row hit).
+        let mut hit_idx = None;
+        for (i, req) in queue.iter().enumerate() {
+            let l = req.loc;
+            let ok = if writes {
+                self.dram.can_write(ch, l.rank, l.bank, l.row, now)
+            } else {
+                self.dram.can_read(ch, l.rank, l.bank, l.row, now)
+            };
+            if ok {
+                hit_idx = Some(i);
+                break;
+            }
+        }
+        if let Some(i) = hit_idx {
+            let req = if writes {
+                self.write_q[ch as usize].remove(i)
+            } else {
+                self.read_q[ch as usize].remove(i)
+            };
+            let l = req.loc;
+            if writes {
+                self.dram.issue_write(ch, l.rank, l.bank, l.row, now);
+                self.stats.writes_done += 1;
+            } else {
+                let data_end = self.dram.issue_read(ch, l.rank, l.bank, l.row, now);
+                self.stats.reads_done += 1;
+                self.stats.total_read_latency += data_end - req.arrival;
+                self.completions.push(Reverse((data_end, req.id)));
+            }
+            return true;
+        }
+
+        // Pass 2: activate for the oldest request whose bank is closed.
+        for req in queue {
+            let l = req.loc;
+            let bank_open = self.dram.channel(ch).rank(l.rank).bank(l.bank).open_row;
+            if bank_open.is_none() && self.dram.can_activate(ch, l.rank, l.bank, now) {
+                let (rank, bank, row) = (l.rank, l.bank, l.row);
+                self.dram.issue_activate(ch, rank, bank, row, now);
+                return false;
+            }
+        }
+
+        // Pass 3: precharge a conflicting row for the oldest request.
+        for req in queue {
+            let l = req.loc;
+            let bank_open = self.dram.channel(ch).rank(l.rank).bank(l.bank).open_row;
+            if let Some(open) = bank_open {
+                if open != l.row && self.dram.can_precharge(ch, l.rank, l.bank, now) {
+                    self.dram.issue_precharge(ch, l.rank, l.bank, now);
+                    return false;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> MemController {
+        MemController::new(Topology::baseline(), DdrTiming::ddr3_1600(), SchedConfig::default())
+    }
+
+    fn run_until_complete(mc: &mut MemController, ids: &[u64], limit: u64) -> Vec<(u64, u64)> {
+        let mut done = Vec::new();
+        for now in 0..limit {
+            for id in mc.tick(now) {
+                done.push((now, id));
+            }
+            if done.len() == ids.len() {
+                break;
+            }
+        }
+        done
+    }
+
+    #[test]
+    fn single_read_completes_with_miss_latency() {
+        let mut mc = controller();
+        assert!(mc.enqueue_read(1, 0, 0));
+        let done = run_until_complete(&mut mc, &[1], 1000);
+        assert_eq!(done.len(), 1);
+        let t = DdrTiming::ddr3_1600();
+        // ACT at ~0, READ at tRCD, data at tRCD+CL+BL.
+        let expected = t.t_rcd + t.t_cas + t.t_burst;
+        assert!(
+            (done[0].0 as i64 - expected as i64).abs() <= 2,
+            "completed at {} expected ~{expected}",
+            done[0].0
+        );
+        assert_eq!(mc.stats.reads_done, 1);
+    }
+
+    #[test]
+    fn row_hit_faster_than_row_miss() {
+        let mut mc = controller();
+        // Two reads to the same row, consecutive columns (addresses 0 and
+        // 4: channel-interleaved, so 0 and 4 share row/bank on channel 0).
+        assert!(mc.enqueue_read(1, 0, 0));
+        assert!(mc.enqueue_read(2, 4, 0));
+        let done = run_until_complete(&mut mc, &[1, 2], 1000);
+        assert_eq!(done.len(), 2);
+        let gap = done[1].0 - done[0].0;
+        // Second read is a row hit: only tCCD apart on the data bus.
+        assert!(gap <= DdrTiming::ddr3_1600().t_ccd + 1, "gap {gap}");
+    }
+
+    #[test]
+    fn different_channels_proceed_in_parallel() {
+        let mut mc = controller();
+        assert!(mc.enqueue_read(1, 0, 0)); // channel 0
+        assert!(mc.enqueue_read(2, 1, 0)); // channel 1
+        let done = run_until_complete(&mut mc, &[1, 2], 1000);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].0, done[1].0, "independent channels complete together");
+    }
+
+    #[test]
+    fn queue_capacity_enforced() {
+        let mut mc = MemController::new(
+            Topology::baseline(),
+            DdrTiming::ddr3_1600(),
+            SchedConfig { read_queue_cap: 2, ..SchedConfig::default() },
+        );
+        assert!(mc.enqueue_read(1, 0, 0));
+        assert!(mc.enqueue_read(2, 4, 0));
+        assert!(!mc.enqueue_read(3, 8, 0), "third read to channel 0 must bounce");
+        assert!(mc.enqueue_read(4, 1, 0), "other channels unaffected");
+    }
+
+    #[test]
+    fn writes_drain_when_read_queue_empty() {
+        let mut mc = controller();
+        assert!(mc.enqueue_write(1, 0, 0));
+        for now in 0..500 {
+            mc.tick(now);
+            if mc.stats.writes_done == 1 {
+                return;
+            }
+        }
+        panic!("write never drained");
+    }
+
+    #[test]
+    fn reads_prioritized_over_writes_below_watermark() {
+        let mut mc = controller();
+        // A few writes (below hi watermark) plus a read: read goes first.
+        for i in 0..5 {
+            assert!(mc.enqueue_write(100 + i, (8 * i) * 4, 0));
+        }
+        assert!(mc.enqueue_read(1, 4, 0));
+        let mut read_done_at = None;
+        for now in 0..2000 {
+            for id in mc.tick(now) {
+                if id == 1 {
+                    read_done_at = Some(now);
+                }
+            }
+            if read_done_at.is_some() {
+                break;
+            }
+        }
+        let read_at = read_done_at.expect("read completes");
+        assert!(mc.stats.writes_done <= 1, "writes mostly waited for the read");
+        assert!(read_at < 100);
+    }
+
+    #[test]
+    fn refresh_eventually_issues() {
+        let mut mc = controller();
+        let t_refi = DdrTiming::ddr3_1600().t_refi;
+        for now in 0..(t_refi * 2) {
+            mc.tick(now);
+        }
+        let mut refreshes = 0;
+        for ch in 0..4 {
+            for r in 0..2 {
+                refreshes += mc.dram().channel(ch).rank(r).stats.refreshes;
+            }
+        }
+        assert!(refreshes >= 8, "each rank refreshes at least once, got {refreshes}");
+    }
+
+    #[test]
+    fn saturating_writes_cannot_starve_reads() {
+        // Regression: open-loop write pressure must not hold the channel
+        // in drain mode forever (bounded drain episodes + read grace).
+        let mut mc = controller();
+        let mut next_id = 1u64;
+        assert!(mc.enqueue_read(0, 0, 0));
+        let mut read_done = false;
+        for now in 0..50_000 {
+            // Keep the write queue topped up on channel 0.
+            loop {
+                if !mc.enqueue_write(next_id, (next_id % 512) * 4, now) {
+                    break;
+                }
+                next_id += 1;
+            }
+            if mc.tick(now).contains(&0) {
+                read_done = true;
+                break;
+            }
+        }
+        assert!(read_done, "read starved behind saturating writes");
+    }
+
+    #[test]
+    fn read_latency_accumulates() {
+        let mut mc = controller();
+        assert!(mc.enqueue_read(1, 0, 0));
+        run_until_complete(&mut mc, &[1], 1000);
+        assert!(mc.stats.total_read_latency >= DdrTiming::ddr3_1600().read_latency());
+    }
+}

@@ -1,0 +1,152 @@
+//! DDR3 timing parameters, in memory-bus cycles.
+//!
+//! The paper's system (Table V) runs the memory bus at 800 MHz
+//! (DDR3-1600, tCK = 1.25 ns) with a 3.2 GHz processor — a 4:1 core-to-bus
+//! clock ratio. All simulator state advances in memory-bus cycles.
+
+/// DDR3 timing constraints in memory-bus cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DdrTiming {
+    /// ACT → internal READ/WRITE delay (tRCD).
+    pub t_rcd: u64,
+    /// PRE → ACT delay (tRP).
+    pub t_rp: u64,
+    /// READ → first data (CAS latency, CL).
+    pub t_cas: u64,
+    /// WRITE → first data (CWL).
+    pub t_cwd: u64,
+    /// ACT → PRE minimum (tRAS).
+    pub t_ras: u64,
+    /// ACT → ACT same bank (tRC).
+    pub t_rc: u64,
+    /// Data burst length on the bus, in cycles (BL8 = 4 cycles at DDR).
+    pub t_burst: u64,
+    /// CAS → CAS same rank (tCCD).
+    pub t_ccd: u64,
+    /// ACT → ACT different banks, same rank (tRRD).
+    pub t_rrd: u64,
+    /// Four-activate window per rank (tFAW).
+    pub t_faw: u64,
+    /// Write data end → READ same rank (tWTR).
+    pub t_wtr: u64,
+    /// Write recovery: write data end → PRE (tWR).
+    pub t_wr: u64,
+    /// READ → PRE (tRTP).
+    pub t_rtp: u64,
+    /// Rank-to-rank data-bus switch penalty (tRTRS).
+    pub t_rtrs: u64,
+    /// Refresh interval (tREFI).
+    pub t_refi: u64,
+    /// Refresh cycle time (tRFC).
+    pub t_rfc: u64,
+}
+
+impl DdrTiming {
+    /// DDR3-1600 (11-11-11) parameters for 2Gb parts.
+    pub const fn ddr3_1600() -> Self {
+        Self {
+            t_rcd: 11,
+            t_rp: 11,
+            t_cas: 11,
+            t_cwd: 8,
+            t_ras: 28,
+            t_rc: 39,
+            t_burst: 4,
+            t_ccd: 4,
+            t_rrd: 5,
+            t_faw: 24,
+            t_wtr: 6,
+            t_wr: 12,
+            t_rtp: 6,
+            t_rtrs: 2,
+            t_refi: 6240, // 7.8 µs at 800 MHz
+            t_rfc: 128,   // 160 ns for 2Gb parts
+        }
+    }
+
+    /// DDR4-2400 (17-17-17) parameters for 4Gb parts, in 1200 MHz bus
+    /// cycles (tCK = 0.833 ns). Provided for what-if studies beyond the
+    /// paper's DDR3 baseline — the schemes' *relative* behavior is
+    /// unchanged, the absolute latencies shrink.
+    pub const fn ddr4_2400() -> Self {
+        Self {
+            t_rcd: 17,
+            t_rp: 17,
+            t_cas: 17,
+            t_cwd: 12,
+            t_ras: 39,
+            t_rc: 56,
+            t_burst: 4,
+            t_ccd: 6,
+            t_rrd: 6,
+            t_faw: 26,
+            t_wtr: 9,
+            t_wr: 18,
+            t_rtp: 9,
+            t_rtrs: 3,
+            t_refi: 9360, // 7.8 µs at 1200 MHz
+            t_rfc: 312,   // 260 ns for 4Gb parts
+        }
+    }
+
+    /// Read latency from command issue to last data beat.
+    pub fn read_latency(&self) -> u64 {
+        self.t_cas + self.t_burst
+    }
+
+    /// Returns a copy with the burst lengthened by `extra` cycles (the
+    /// Figure 13 "extra burst" alternative: BL10 adds one cycle).
+    #[must_use]
+    pub fn with_extra_burst(mut self, extra: u64) -> Self {
+        self.t_burst += extra;
+        // CAS-to-CAS spacing must cover the longer burst.
+        self.t_ccd = self.t_ccd.max(self.t_burst);
+        self
+    }
+}
+
+impl Default for DdrTiming {
+    fn default() -> Self {
+        Self::ddr3_1600()
+    }
+}
+
+/// Core clock cycles per memory-bus cycle (3.2 GHz / 800 MHz).
+pub const CORE_CLOCK_RATIO: u64 = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanity_relations() {
+        let t = DdrTiming::ddr3_1600();
+        assert!(t.t_rc >= t.t_ras + t.t_rp);
+        assert!(t.t_ras >= t.t_rcd);
+        assert!(t.t_faw >= 4 * t.t_rrd);
+    }
+
+    #[test]
+    fn read_latency() {
+        assert_eq!(DdrTiming::ddr3_1600().read_latency(), 15);
+    }
+
+    #[test]
+    fn ddr4_sanity() {
+        let t = DdrTiming::ddr4_2400();
+        assert!(t.t_rc >= t.t_ras + t.t_rp);
+        assert!(t.t_ras >= t.t_rcd);
+        assert!(t.t_faw >= 4 * t.t_rrd);
+        // DDR4's absolute read latency (ns) is comparable to DDR3's.
+        let ddr3_ns = DdrTiming::ddr3_1600().read_latency() as f64 * 1.25;
+        let ddr4_ns = t.read_latency() as f64 * 0.833;
+        assert!((ddr4_ns - ddr3_ns).abs() / ddr3_ns < 0.2);
+    }
+
+    #[test]
+    fn extra_burst_extends_ccd() {
+        let t = DdrTiming::ddr3_1600().with_extra_burst(1);
+        assert_eq!(t.t_burst, 5);
+        assert_eq!(t.t_ccd, 5);
+    }
+}

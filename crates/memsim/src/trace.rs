@@ -1,0 +1,228 @@
+//! Per-core synthetic memory-request generation.
+//!
+//! Each core runs an infinite synthetic instruction stream shaped by its
+//! [`Workload`] profile: memory operations are
+//! spaced by (approximately geometric) instruction gaps matching the MPKI,
+//! and addresses follow a row-streaming model — with probability `row_hit`
+//! the next access continues sequentially in the current row, otherwise it
+//! jumps to a random row of the core's working set.
+
+use crate::addrmap::{encode, Location, Topology};
+use crate::workloads::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOp {
+    /// Instructions between the previous operation and this one.
+    pub gap: u64,
+    /// Cache-line address.
+    pub line_addr: u64,
+    /// `true` for a writeback, `false` for a demand read.
+    pub is_write: bool,
+}
+
+/// Deterministic per-core request generator.
+#[derive(Debug, Clone)]
+pub struct TraceGen {
+    workload: Workload,
+    topology: Topology,
+    rng: StdRng,
+    core_id: u32,
+    cores: u32,
+    current: Location,
+}
+
+impl TraceGen {
+    /// Creates the generator for one core. Cores partition the row space so
+    /// their working sets do not alias.
+    pub fn new(workload: Workload, topology: Topology, core_id: u32, cores: u32, seed: u64) -> Self {
+        assert!(core_id < cores);
+        let mut rng = StdRng::seed_from_u64(seed ^ ((core_id as u64) << 32));
+        let current = Self::random_location(&workload, &topology, &mut rng, core_id, cores);
+        Self { workload, topology, rng, core_id, cores, current }
+    }
+
+    fn random_location(
+        workload: &Workload,
+        topology: &Topology,
+        rng: &mut StdRng,
+        core_id: u32,
+        cores: u32,
+    ) -> Location {
+        // Each core owns a contiguous region of rows in every bank.
+        let region_rows = topology.rows / cores;
+        let footprint = workload.footprint_rows.min(region_rows.max(1));
+        let base_row = core_id * region_rows;
+        Location {
+            channel: rng.gen_range(0..topology.channels),
+            rank: rng.gen_range(0..topology.ranks),
+            bank: rng.gen_range(0..topology.banks),
+            row: base_row + rng.gen_range(0..footprint),
+            col: rng.gen_range(0..topology.cols),
+        }
+    }
+
+    /// Generates the next memory operation.
+    pub fn next_op(&mut self) -> MemOp {
+        // Instruction gap: geometric with the profile's mean (min 1).
+        let mean = self.workload.mean_gap();
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let gap = (-u.ln() * mean).ceil().max(1.0) as u64;
+
+        // Address: stream within the row or jump.
+        if self.rng.gen::<f64>() < self.workload.row_hit {
+            let next_col = self.current.col + 1;
+            if next_col >= self.topology.cols {
+                // Row exhausted: move to the next row of the same bank
+                // (still a stream, but a new activate).
+                self.current.row = self.bump_row(self.current.row);
+                self.current.col = 0;
+            } else {
+                self.current.col = next_col;
+            }
+        } else {
+            self.current = Self::random_location(
+                &self.workload,
+                &self.topology,
+                &mut self.rng,
+                self.core_id,
+                self.cores,
+            );
+        }
+
+        let is_write = self.rng.gen::<f64>() < self.workload.write_fraction();
+        MemOp { gap, line_addr: encode(&self.topology, self.current), is_write }
+    }
+
+    fn bump_row(&mut self, row: u32) -> u32 {
+        let region_rows = self.topology.rows / self.cores;
+        let footprint = self.workload.footprint_rows.min(region_rows.max(1));
+        let base = self.core_id * region_rows;
+        base + (row - base + 1) % footprint
+    }
+}
+
+/// A per-core request source: either the synthetic generator or a replayed
+/// trace file (rate mode).
+// A parsed trace is necessarily larger than the generator; sources are
+// created once per core, so the size skew is irrelevant.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum Source {
+    /// Synthetic workload-profile generator.
+    Synthetic(TraceGen),
+    /// Captured trace replayed from a file.
+    File(crate::tracefile::FileTrace),
+}
+
+impl Source {
+    /// The next memory operation.
+    pub fn next_op(&mut self) -> MemOp {
+        match self {
+            Source::Synthetic(g) => g.next_op(),
+            Source::File(t) => t.next_op(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addrmap::decode;
+
+    fn gen_for(name: &str, core: u32) -> TraceGen {
+        TraceGen::new(Workload::by_name(name).unwrap(), Topology::baseline(), core, 8, 42)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = gen_for("mcf", 0);
+        let mut b = gen_for("mcf", 0);
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn mean_gap_tracks_mpki() {
+        let mut g = gen_for("libquantum", 0);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| g.next_op().gap).sum();
+        let mean = total as f64 / n as f64;
+        let expected = Workload::by_name("libquantum").unwrap().mean_gap();
+        assert!((mean - expected).abs() / expected < 0.05, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn write_fraction_tracks_profile() {
+        let mut g = gen_for("lbm", 0);
+        let n = 20_000;
+        let writes = (0..n).filter(|_| g.next_op().is_write).count();
+        let f = writes as f64 / n as f64;
+        let expected = Workload::by_name("lbm").unwrap().write_fraction();
+        assert!((f - expected).abs() < 0.02, "{f} vs {expected}");
+    }
+
+    #[test]
+    fn streaming_workload_mostly_sequential() {
+        let t = Topology::baseline();
+        let mut g = gen_for("libquantum", 0);
+        let mut prev = decode(&t, g.next_op().line_addr);
+        let mut sequential = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            let loc = decode(&t, g.next_op().line_addr);
+            if loc.row == prev.row && loc.bank == prev.bank && loc.col == prev.col + 1 {
+                sequential += 1;
+            }
+            prev = loc;
+        }
+        assert!(sequential as f64 / n as f64 > 0.8, "{sequential}/{n}");
+    }
+
+    #[test]
+    fn random_workload_rarely_sequential() {
+        let t = Topology::baseline();
+        let mut g = gen_for("mcf", 0);
+        let mut prev = decode(&t, g.next_op().line_addr);
+        let mut sequential = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            let loc = decode(&t, g.next_op().line_addr);
+            if loc.row == prev.row && loc.bank == prev.bank && loc.col == prev.col + 1 {
+                sequential += 1;
+            }
+            prev = loc;
+        }
+        assert!((sequential as f64 / n as f64) < 0.35, "{sequential}/{n}");
+    }
+
+    #[test]
+    fn cores_use_disjoint_row_regions() {
+        let t = Topology::baseline();
+        let region = t.rows / 8;
+        for core in 0..8 {
+            let mut g = gen_for("comm1", core);
+            for _ in 0..500 {
+                let loc = decode(&t, g.next_op().line_addr);
+                assert!(
+                    loc.row >= core * region && loc.row < (core + 1) * region,
+                    "core {core} row {}",
+                    loc.row
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn addresses_within_topology() {
+        let t = Topology::baseline();
+        let mut g = gen_for("bwaves", 3);
+        for _ in 0..1000 {
+            let op = g.next_op();
+            assert!(op.line_addr < t.lines());
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The paper's benchmark set as synthetic memory-behavior profiles.
+//!
+//! The paper drives USIMM with Pinpoints-sampled traces of SPEC CPU2006,
+//! PARSEC, BioBench and five commercial applications (Section X), selecting
+//! benchmarks with more than 1 miss per 1000 instructions (MPKI) from the
+//! last-level cache. Those traces are proprietary, so this reproduction
+//! characterizes each benchmark by the parameters that matter to a memory
+//! simulator — LLC read/write MPKI, row-buffer locality and working-set
+//! size — with values drawn from the published characterizations of these
+//! suites. The *relative* behaviors the paper's Figures 11–14 rely on are
+//! preserved: `libquantum` is a streaming bandwidth hog, `mcf` is
+//! latency-bound pointer chasing, `dealII` is nearly compute-bound, and so
+//! on.
+
+/// Benchmark suite grouping (the figure x-axis sections).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CPU2006.
+    Spec2006,
+    /// PARSEC.
+    Parsec,
+    /// BioBench.
+    BioBench,
+    /// Commercial server applications (USIMM MSC `comm` traces).
+    Commercial,
+}
+
+impl Suite {
+    /// Display label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::Spec2006 => "SPEC 2006",
+            Suite::Parsec => "PARSEC",
+            Suite::BioBench => "BIOBENCH",
+            Suite::Commercial => "COMMERCIAL",
+        }
+    }
+}
+
+/// A benchmark's memory-behavior profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Benchmark name (paper Figure 11 x-axis).
+    pub name: &'static str,
+    /// Suite grouping.
+    pub suite: Suite,
+    /// LLC read misses per 1000 instructions.
+    pub read_mpki: f64,
+    /// LLC writebacks per 1000 instructions.
+    pub write_mpki: f64,
+    /// Probability that the next access continues the current row-buffer
+    /// stream (spatial locality).
+    pub row_hit: f64,
+    /// Working-set rows per bank the benchmark cycles through.
+    pub footprint_rows: u32,
+}
+
+impl Workload {
+    /// Looks a workload up by name.
+    pub fn by_name(name: &str) -> Option<Workload> {
+        ALL.iter().copied().find(|w| w.name == name)
+    }
+
+    /// Total memory operations per 1000 instructions.
+    pub fn total_mpki(&self) -> f64 {
+        self.read_mpki + self.write_mpki
+    }
+
+    /// Mean instructions between memory operations.
+    pub fn mean_gap(&self) -> f64 {
+        1000.0 / self.total_mpki()
+    }
+
+    /// Fraction of memory operations that are writes.
+    pub fn write_fraction(&self) -> f64 {
+        self.write_mpki / self.total_mpki()
+    }
+}
+
+const fn w(
+    name: &'static str,
+    suite: Suite,
+    read_mpki: f64,
+    write_mpki: f64,
+    row_hit: f64,
+    footprint_rows: u32,
+) -> Workload {
+    Workload { name, suite, read_mpki, write_mpki, row_hit, footprint_rows }
+}
+
+/// Every benchmark of the paper's Figure 11, in its x-axis order.
+pub const ALL: &[Workload] = &[
+    // SPEC CPU2006 (memory-intensive subset, > 1 MPKI).
+    w("bwaves", Suite::Spec2006, 18.0, 5.5, 0.74, 512),
+    w("gcc", Suite::Spec2006, 2.5, 1.1, 0.50, 256),
+    w("GemsFDTD", Suite::Spec2006, 15.5, 6.5, 0.62, 512),
+    w("lbm", Suite::Spec2006, 20.0, 11.0, 0.80, 512),
+    w("leslie3d", Suite::Spec2006, 14.0, 5.0, 0.70, 384),
+    w("libquantum", Suite::Spec2006, 25.0, 7.5, 0.92, 256),
+    w("mcf", Suite::Spec2006, 48.0, 11.0, 0.18, 2048),
+    w("milc", Suite::Spec2006, 15.5, 6.0, 0.52, 768),
+    w("omnetpp", Suite::Spec2006, 10.0, 4.2, 0.28, 1024),
+    w("soplex", Suite::Spec2006, 21.0, 5.5, 0.58, 768),
+    w("sphinx", Suite::Spec2006, 10.5, 1.8, 0.56, 384),
+    w("wrf", Suite::Spec2006, 7.0, 3.0, 0.65, 384),
+    w("cactusADM", Suite::Spec2006, 4.8, 2.0, 0.60, 256),
+    w("zeusmp", Suite::Spec2006, 4.9, 2.1, 0.62, 384),
+    w("bzip2", Suite::Spec2006, 3.1, 1.4, 0.46, 256),
+    w("dealII", Suite::Spec2006, 2.1, 0.8, 0.52, 192),
+    w("xalancbmk", Suite::Spec2006, 2.4, 1.0, 0.34, 512),
+    // PARSEC.
+    w("black", Suite::Parsec, 1.6, 0.5, 0.50, 128),
+    w("face", Suite::Parsec, 6.0, 2.4, 0.62, 384),
+    w("ferret", Suite::Parsec, 5.0, 1.9, 0.50, 384),
+    w("fluid", Suite::Parsec, 4.2, 1.9, 0.60, 384),
+    w("freq", Suite::Parsec, 2.9, 1.1, 0.50, 256),
+    w("stream", Suite::Parsec, 12.0, 2.2, 0.76, 256),
+    w("swapt", Suite::Parsec, 1.5, 0.5, 0.42, 128),
+    // BioBench.
+    w("mummer", Suite::BioBench, 19.5, 2.8, 0.64, 512),
+    w("tigr", Suite::BioBench, 17.5, 2.2, 0.70, 512),
+    // Commercial.
+    w("comm1", Suite::Commercial, 13.5, 6.8, 0.44, 1024),
+    w("comm2", Suite::Commercial, 11.5, 5.8, 0.40, 1024),
+    w("comm3", Suite::Commercial, 8.0, 4.0, 0.45, 768),
+    w("comm4", Suite::Commercial, 4.1, 2.0, 0.40, 512),
+    w("comm5", Suite::Commercial, 3.2, 1.5, 0.40, 512),
+];
+
+/// Geometric mean over a sequence of positive values (the figures' final
+/// `Gmean` column).
+pub fn geometric_mean<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0u32;
+    for v in values {
+        assert!(v > 0.0, "geometric mean requires positive values");
+        log_sum += v.ln();
+        n += 1;
+    }
+    assert!(n > 0, "geometric mean of empty sequence");
+    (log_sum / n as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_exceed_1_mpki() {
+        // The paper's selection criterion (Section X).
+        for w in ALL {
+            assert!(w.total_mpki() > 1.0, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn roster_matches_figure_11() {
+        assert_eq!(ALL.len(), 31);
+        for name in ["libquantum", "mcf", "comm5", "tigr", "stream"] {
+            assert!(Workload::by_name(name).is_some(), "{name} missing");
+        }
+        assert!(Workload::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn names_unique() {
+        for (i, a) in ALL.iter().enumerate() {
+            for b in &ALL[..i] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let lq = Workload::by_name("libquantum").unwrap();
+        assert!((lq.mean_gap() - 1000.0 / 32.5).abs() < 1e-9);
+        assert!(lq.write_fraction() > 0.0 && lq.write_fraction() < 0.5);
+    }
+
+    #[test]
+    fn probabilities_valid() {
+        for w in ALL {
+            assert!((0.0..=1.0).contains(&w.row_hit), "{}", w.name);
+            assert!(w.footprint_rows > 0);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_basic() {
+        assert!((geometric_mean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean([5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn geometric_mean_rejects_nonpositive() {
+        geometric_mean([1.0, 0.0]);
+    }
+}

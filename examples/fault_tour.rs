@@ -1,0 +1,132 @@
+//! A guided tour of every fault mode the paper discusses and how the XED
+//! machinery responds: on-die correction, catch-words, serial mode,
+//! collisions, and both fault-diagnosis procedures.
+//!
+//! Run with: `cargo run --example fault_tour`
+
+use xed::core::fault::{FaultKind, InjectedFault};
+use xed::core::{XedConfig, XedDimm};
+
+const LINE: [u64; 8] = [0xA1, 0xB2, 0xC3, 0xD4, 0xE5, 0xF6, 0x07, 0x18];
+
+fn fresh() -> XedDimm {
+    let mut dimm = XedDimm::new(XedConfig::default());
+    for line in 0..256 {
+        dimm.write_line(line, &LINE);
+    }
+    dimm
+}
+
+fn main() {
+    scenario_scaling_fault();
+    scenario_transient_word();
+    scenario_row_failure();
+    scenario_two_chips_with_scaling();
+    scenario_collision();
+    scenario_bank_failure_parity_chip();
+}
+
+// 1. A scaling (single-bit) fault: the on-die SECDED corrects it; with
+// XED enabled the chip still announces the event via its catch-word, and
+// parity rebuilds the word — the data is never wrong.
+fn scenario_scaling_fault() {
+    let mut dimm = fresh();
+    let addr = dimm.line_addr(5);
+    dimm.inject_fault(2, InjectedFault::bit(addr, 17, FaultKind::Permanent));
+    let out = dimm.read_line(5).unwrap();
+    assert_eq!(out.data, LINE);
+    assert_eq!(out.reconstructed_chip, Some(2));
+    println!("[scaling fault]     1-bit fault in chip 2 -> catch-word -> parity rebuild: OK");
+}
+
+// 2. A transient word fault: the catch-word identifies the chip, parity
+// rebuilds the data, and the scrub-on-correct write-back *heals* the
+// corrupted cells — the next read takes the clean fast path.
+fn scenario_transient_word() {
+    let mut dimm = fresh();
+    let addr = dimm.line_addr(9);
+    dimm.inject_fault(4, InjectedFault::word(addr, FaultKind::Transient));
+    let first = dimm.read_line(9).unwrap();
+    assert_eq!(first.data, LINE);
+    let before = dimm.stats().reconstructions;
+    let second = dimm.read_line(9).unwrap();
+    assert_eq!(second.data, LINE);
+    assert_eq!(dimm.stats().reconstructions, before, "scrub healed the line");
+    println!("[transient word]    corrected once, scrubbed, second read clean: OK");
+}
+
+// 3. A permanent row failure: every line of the row is reconstructed on
+// demand; the data keeps flowing.
+fn scenario_row_failure() {
+    let mut dimm = fresh();
+    let addr = dimm.line_addr(0);
+    dimm.inject_fault(7, InjectedFault::row(addr.bank, addr.row, FaultKind::Permanent));
+    let cols = dimm.geometry().cols as u64;
+    let mut reconstructed = 0;
+    for line in 0..cols {
+        let out = dimm.read_line(line).unwrap();
+        assert_eq!(out.data, LINE, "line {line}");
+        if out.reconstructed_chip == Some(7) {
+            reconstructed += 1;
+        }
+    }
+    println!(
+        "[row failure]       {reconstructed}/{cols} lines of the row reconstructed from parity: OK"
+    );
+}
+
+// 4. Section VII-C: a runtime chip failure concurrent with a scaling
+// fault in another chip. Two catch-words arrive; the controller enters
+// serial mode, lets on-die ECC fix the scaling fault, and diagnosis pins
+// the broken chip.
+fn scenario_two_chips_with_scaling() {
+    let mut dimm = fresh();
+    let addr = dimm.line_addr(40);
+    dimm.inject_fault(1, InjectedFault::bit(addr, 30, FaultKind::Permanent));
+    dimm.inject_fault(5, InjectedFault::row(addr.bank, addr.row, FaultKind::Permanent));
+    let out = dimm.read_line(40).unwrap();
+    assert_eq!(out.data, LINE);
+    assert!(dimm.stats().serial_modes >= 1);
+    println!(
+        "[failure + scaling] 2 catch-words -> serial mode -> diagnosis -> corrected: OK \
+         (serial modes: {})",
+        dimm.stats().serial_modes
+    );
+}
+
+// 5. A catch-word collision: legitimate data happens to equal a chip's
+// catch-word. XED reconstructs the same value from parity, *detects* the
+// collision and re-keys the catch-word (Section V-D).
+fn scenario_collision() {
+    let mut dimm = XedDimm::new(XedConfig::default());
+    // A program legitimately stores the exact 64-bit value that happens to
+    // be chip 6's catch-word (a 1-in-2^64 event, Figure 6).
+    let unlucky_value = dimm.controller().catch_word(6).value();
+    let mut line = LINE;
+    line[6] = unlucky_value;
+    dimm.write_line(77, &line);
+    // The read still returns the right data: the controller "corrects" the
+    // suspected chip from parity, notices the reconstruction equals the
+    // catch-word — a collision — and re-keys chip 6's CWR.
+    let out = dimm.read_line(77).unwrap();
+    assert_eq!(out.data, line);
+    assert!(out.collision);
+    assert_eq!(dimm.stats().collisions, 1);
+    assert_ne!(dimm.controller().catch_word(6).value(), unlucky_value);
+    // With the new catch-word, the same data no longer trips anything.
+    let again = dimm.read_line(77).unwrap();
+    assert!(!again.collision);
+    println!("[collision]         data == catch-word detected, CWR re-keyed, data correct: OK");
+}
+
+// 6. The parity chip itself can die: data chips are unaffected and the
+// controller keeps serving lines (rebuilding parity on scrub).
+fn scenario_bank_failure_parity_chip() {
+    let mut dimm = fresh();
+    let addr = dimm.line_addr(0);
+    dimm.inject_fault(8, InjectedFault::bank(addr.bank, FaultKind::Permanent));
+    let out = dimm.read_line(0).unwrap();
+    assert_eq!(out.data, LINE);
+    assert_eq!(out.reconstructed_chip, Some(8));
+    println!("[parity-chip fail]  bank failure in the 9th chip -> data unaffected: OK");
+}

@@ -1,0 +1,37 @@
+//! # XED — Exposing On-Die Error Detection Information for Strong Memory Reliability
+//!
+//! A full Rust reproduction of the ISCA 2016 paper by Nair, Sridharan and
+//! Qureshi. This meta-crate re-exports the four constituent crates:
+//!
+//! * [`ecc`] — SECDED codes (Hamming, CRC8-ATM), RAID-3 parity, GF
+//!   arithmetic and Reed–Solomon Chipkill codecs.
+//! * [`faultsim`] — a FaultSim-style Monte-Carlo DRAM fault/repair
+//!   simulator used for all reliability results.
+//! * [`core`] — the XED mechanism itself: catch-words, functional
+//!   on-die-ECC DRAM chips, the RAID-3 memory controller and fault
+//!   diagnosis.
+//! * [`memsim`] — a USIMM-style cycle-level DDR3 simulator with a power
+//!   model, used for all performance/power results.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xed::core::{XedDimm, XedConfig};
+//! use xed::core::fault::{InjectedFault, FaultKind};
+//!
+//! // Build a 9-chip XED DIMM, write a cache line, break a chip, read back.
+//! let mut dimm = XedDimm::new(XedConfig::default());
+//! let line = [0x0123_4567_89AB_CDEFu64; 8];
+//! dimm.write_line(0, &line);
+//! dimm.inject_fault(3, InjectedFault::chip(FaultKind::Permanent));
+//! let read = dimm.read_line(0).expect("XED corrects a full chip failure");
+//! assert_eq!(read.data, line);
+//! ```
+
+pub use xed_core as core;
+pub use xed_ecc as ecc;
+pub use xed_faultsim as faultsim;
+pub use xed_memsim as memsim;

@@ -1,0 +1,119 @@
+//! Cross-crate interop tests: the coding substrate pieces composed the way
+//! the XED designs use them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xed::ecc::chipkill::{Chipkill, SymbolOutcome};
+use xed::ecc::secded::{DecodeOutcome, SecDed};
+use xed::ecc::{parity, Crc8Atm, Hamming7264};
+
+/// The full XED data path at the word level, built from the raw codec
+/// pieces: on-die CRC8 detection inside each "chip" + catch-word
+/// substitution + RAID-3 reconstruction at the "controller".
+#[test]
+fn manual_xed_datapath_from_codec_pieces() {
+    let on_die = Crc8Atm::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let data: Vec<u64> = (0..8).map(|_| rng.gen()).collect();
+    let catch_words: Vec<u64> = (0..9).map(|_| rng.gen()).collect();
+
+    // "Chips" store codewords; chip 3 suffers a multi-bit error.
+    let mut stored: Vec<_> = data.iter().map(|&d| on_die.encode(d)).collect();
+    let parity_word = parity::compute(&data);
+    stored.push(on_die.encode(parity_word));
+    let corrupted = stored[3]
+        .with_bit_flipped(2)
+        .with_bit_flipped(40)
+        .with_bit_flipped(41)
+        .with_bit_flipped(66);
+    stored[3] = corrupted;
+
+    // Read path: each chip decodes; events become catch-words (DC-Mux).
+    let bus: Vec<u64> = stored
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| match on_die.decode(w) {
+            DecodeOutcome::Clean { data } => data,
+            _ => catch_words[i],
+        })
+        .collect();
+
+    // Controller: exactly one catch-word → erasure-reconstruct via parity.
+    let catching: Vec<usize> = (0..9).filter(|&i| bus[i] == catch_words[i]).collect();
+    assert_eq!(catching, vec![3], "only chip 3 signals");
+    let recovered = parity::reconstruct(&bus[..8], bus[8], 3);
+    assert_eq!(recovered, data[3]);
+}
+
+/// XED-on-Chipkill (Section IX): catch-word-identified erasures let the
+/// RS(18,16) code fix two chips; blind decoding fixes only one.
+#[test]
+fn erasures_double_the_correction_budget() {
+    let ck = Chipkill::new();
+    let data: Vec<u8> = (0..16).map(|i| i * 5 + 1).collect();
+    let beat = ck.encode(&data);
+    let mut rx = beat.clone();
+    rx[2] = 0xAA;
+    rx[14] = 0x55;
+
+    // Without location knowledge: DUE (beyond single-symbol correction).
+    assert_eq!(ck.decode(&rx), SymbolOutcome::Due);
+
+    // With the two chips identified (as catch-words provide): corrected.
+    match ck.decode_with_erasures(&rx, &[2, 14]) {
+        SymbolOutcome::Corrected { data: d, .. } => assert_eq!(d, data),
+        other => panic!("{other:?}"),
+    }
+}
+
+/// The two SECDED codes agree on every single-bit-error verdict, differing
+/// only in multi-bit behavior (Table II).
+#[test]
+fn secded_codes_agree_on_secded_contract() {
+    let h = Hamming7264::new();
+    let c = Crc8Atm::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..200 {
+        let d: u64 = rng.gen();
+        // Round trip.
+        assert_eq!(h.decode(h.encode(d)).data(), Some(d));
+        assert_eq!(c.decode(c.encode(d)).data(), Some(d));
+        // Single-bit: same corrected position.
+        let bit = rng.gen_range(0..72);
+        match (h.decode(h.encode(d).with_bit_flipped(bit)), c.decode(c.encode(d).with_bit_flipped(bit))) {
+            (
+                DecodeOutcome::Corrected { data: dh, bit: bh },
+                DecodeOutcome::Corrected { data: dc, bit: bc },
+            ) => {
+                assert_eq!((dh, bh), (dc, bc));
+                assert_eq!(dh, d);
+            }
+            other => panic!("disagreement: {other:?}"),
+        }
+    }
+}
+
+/// Dense random corruption (what a broken chip emits) escapes each code at
+/// roughly its design rate: ~2^-8 for an 8-bit-syndrome code — the
+/// "on-die miss" probability the reliability model uses (paper's 0.8%).
+#[test]
+fn dense_corruption_miss_rate_near_design_point() {
+    let c = Crc8Atm::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let trials = 200_000;
+    let mut missed = 0u32;
+    for _ in 0..trials {
+        let d: u64 = rng.gen();
+        let w = c.encode(d);
+        let garbled = xed::ecc::CodeWord72::new(w.data() ^ rng.gen::<u64>(), w.check() ^ rng.gen::<u8>());
+        if garbled != w && c.is_valid(garbled) {
+            missed += 1;
+        }
+    }
+    let rate = missed as f64 / trials as f64;
+    let design = 1.0 / 256.0;
+    assert!(
+        (rate - design).abs() / design < 0.15,
+        "miss rate {rate} vs design {design}"
+    );
+}
