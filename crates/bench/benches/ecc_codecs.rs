@@ -1,14 +1,18 @@
-//! Criterion micro-benchmarks for the coding substrate: the SECDED codecs
-//! that model on-die ECC (the paper argues CRC8-ATM fits in a single cycle
-//! via a 256-entry table — its software encode should be branch-free and
-//! fast) and the Reed–Solomon chipkill codecs.
+//! Micro-benchmarks for the coding substrate: the SECDED codecs that model
+//! on-die ECC (the paper argues CRC8-ATM fits in a single cycle via a
+//! 256-entry table — its software encode should be branch-free and fast)
+//! and the Reed–Solomon chipkill codecs.
+//!
+//! Runs on the std-only harness in `xed_bench::timing` (no Criterion; the
+//! workspace builds offline).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xed_bench::timing::Group;
 use xed_ecc::chipkill::{Chipkill, DoubleChipkill};
 use xed_ecc::secded::SecDed;
 use xed_ecc::{Crc8Atm, Hamming7264};
 
-fn secded_benches(c: &mut Criterion) {
+fn secded_benches() {
     let hamming = Hamming7264::new();
     let crc = Crc8Atm::new();
     let data = 0xDEAD_BEEF_0BAD_F00Du64;
@@ -17,19 +21,20 @@ fn secded_benches(c: &mut Criterion) {
     let corrupt_h = clean_h.with_bit_flipped(17);
     let corrupt_c = clean_c.with_bit_flipped(17);
 
-    let mut g = c.benchmark_group("secded");
-    g.bench_function("hamming_encode", |b| b.iter(|| hamming.encode(black_box(data))));
-    g.bench_function("crc8_encode", |b| b.iter(|| crc.encode(black_box(data))));
-    g.bench_function("hamming_decode_clean", |b| b.iter(|| hamming.decode(black_box(clean_h))));
-    g.bench_function("crc8_decode_clean", |b| b.iter(|| crc.decode(black_box(clean_c))));
-    g.bench_function("hamming_decode_correct", |b| {
-        b.iter(|| hamming.decode(black_box(corrupt_h)))
+    let g = Group::new("secded");
+    g.bench("hamming_encode", || hamming.encode(black_box(data)));
+    g.bench("crc8_encode", || crc.encode(black_box(data)));
+    g.bench("hamming_decode_clean", || {
+        hamming.decode(black_box(clean_h))
     });
-    g.bench_function("crc8_decode_correct", |b| b.iter(|| crc.decode(black_box(corrupt_c))));
-    g.finish();
+    g.bench("crc8_decode_clean", || crc.decode(black_box(clean_c)));
+    g.bench("hamming_decode_correct", || {
+        hamming.decode(black_box(corrupt_h))
+    });
+    g.bench("crc8_decode_correct", || crc.decode(black_box(corrupt_c)));
 }
 
-fn rs_benches(c: &mut Criterion) {
+fn rs_benches() {
     let ck = Chipkill::new();
     let dck = DoubleChipkill::new();
     let data16: Vec<u8> = (0..16).collect();
@@ -42,16 +47,19 @@ fn rs_benches(c: &mut Criterion) {
     dbad[7] ^= 0xFF;
     dbad[29] ^= 0x0F;
 
-    let mut g = c.benchmark_group("reed_solomon");
-    g.bench_function("chipkill_encode", |b| b.iter(|| ck.encode(black_box(&data16))));
-    g.bench_function("chipkill_decode_clean", |b| b.iter(|| ck.decode(black_box(&beat))));
-    g.bench_function("chipkill_decode_1err", |b| b.iter(|| ck.decode(black_box(&bad))));
-    g.bench_function("chipkill_decode_2erasures", |b| {
-        b.iter(|| ck.decode_with_erasures(black_box(&bad), black_box(&[5, 9])))
+    let g = Group::new("reed_solomon");
+    g.bench("chipkill_encode", || ck.encode(black_box(&data16)));
+    g.bench("chipkill_decode_clean", || ck.decode(black_box(&beat)));
+    g.bench("chipkill_decode_1err", || ck.decode(black_box(&bad)));
+    g.bench("chipkill_decode_2erasures", || {
+        ck.decode_with_erasures(black_box(&bad), black_box(&[5, 9]))
     });
-    g.bench_function("double_chipkill_decode_2err", |b| b.iter(|| dck.decode(black_box(&dbad))));
-    g.finish();
+    g.bench("double_chipkill_decode_2err", || {
+        dck.decode(black_box(&dbad))
+    });
 }
 
-criterion_group!(benches, secded_benches, rs_benches);
-criterion_main!(benches);
+fn main() {
+    secded_benches();
+    rs_benches();
+}

@@ -1,8 +1,14 @@
-//! Criterion throughput benchmarks for the two simulators: systems/second
-//! for the FaultSim-style Monte-Carlo (the paper runs 10⁹ systems) and
+//! Throughput benchmarks for the two simulators: systems/second for the
+//! FaultSim-style Monte-Carlo (the paper runs 10⁹ systems) and
 //! cycles/second for the USIMM-style memory simulator.
+//!
+//! Runs on the std-only harness in `xed_bench::timing` (no Criterion; the
+//! workspace builds offline).
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use xed_bench::timing::Group;
 use xed_faultsim::event::sample_lifetime;
 use xed_faultsim::fit::{FitRates, LIFETIME_YEARS};
 use xed_faultsim::geometry::DramGeometry;
@@ -11,50 +17,41 @@ use xed_faultsim::schemes::Scheme;
 use xed_memsim::overlay::ReliabilityScheme;
 use xed_memsim::sim::{SimConfig, Simulation};
 use xed_memsim::workloads::Workload;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn faultsim_benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("faultsim");
-    g.bench_function("sample_lifetime_72chips", |b| {
-        let rates = FitRates::table_i();
-        let geom = DramGeometry::x8_2gb();
-        let mut rng = StdRng::seed_from_u64(1);
-        b.iter(|| sample_lifetime(&mut rng, &rates, &geom, black_box(72), LIFETIME_YEARS));
+fn faultsim_benches() {
+    let g = Group::new("faultsim");
+    let rates = FitRates::table_i();
+    let geom = DramGeometry::x8_2gb();
+    let mut rng = StdRng::seed_from_u64(1);
+    g.bench("sample_lifetime_72chips", || {
+        sample_lifetime(&mut rng, &rates, &geom, black_box(72), LIFETIME_YEARS)
     });
-    g.bench_function("mc_10k_systems_xed", |b| {
-        b.iter_batched(
-            || {
-                MonteCarlo::new(MonteCarloConfig {
-                    samples: 10_000,
-                    seed: 9,
-                    threads: 1,
-                    ..Default::default()
-                })
-            },
-            |mc| mc.run(black_box(Scheme::Xed)),
-            BatchSize::SmallInput,
-        );
-    });
-    g.finish();
-}
 
-fn memsim_benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("memsim");
-    g.sample_size(10);
-    g.bench_function("sim_8cores_20k_instr", |b| {
-        b.iter(|| {
-            Simulation::new(SimConfig {
-                workload: Workload::by_name("comm1").unwrap(),
-                scheme: ReliabilityScheme::baseline_secded(),
-                instructions_per_core: black_box(20_000),
-                ..Default::default()
-            })
-            .run()
+    g.bench("mc_10k_systems_xed", || {
+        let mc = MonteCarlo::new(MonteCarloConfig {
+            samples: 10_000,
+            seed: 9,
+            threads: 1,
+            ..Default::default()
         });
+        mc.run(black_box(Scheme::Xed))
     });
-    g.finish();
 }
 
-criterion_group!(benches, faultsim_benches, memsim_benches);
-criterion_main!(benches);
+fn memsim_benches() {
+    let g = Group::new("memsim").slow();
+    g.bench("sim_8cores_20k_instr", || {
+        Simulation::new(SimConfig {
+            workload: Workload::by_name("comm1").unwrap(),
+            scheme: ReliabilityScheme::baseline_secded(),
+            instructions_per_core: black_box(20_000),
+            ..Default::default()
+        })
+        .run()
+    });
+}
+
+fn main() {
+    faultsim_benches();
+    memsim_benches();
+}

@@ -1,80 +1,76 @@
-//! Criterion micro-benchmarks for the XED controller's read paths: the
-//! clean fast path (no catch-word), the reconstruction path (one faulty
-//! chip), and the serial-mode path (multiple catch-words). The clean path
-//! must dominate — XED's performance claim rests on correction work being
-//! off the common case.
+//! Micro-benchmarks for the XED controller's read paths: the clean fast
+//! path (no catch-word), the reconstruction path (one faulty chip), and
+//! the serial-mode path (multiple catch-words). The clean path must
+//! dominate — XED's performance claim rests on correction work being off
+//! the common case.
+//!
+//! Runs on the std-only harness in `xed_bench::timing` (no Criterion; the
+//! workspace builds offline).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xed_bench::timing::Group;
 use xed_core::fault::{FaultKind, InjectedFault};
 use xed_core::{XedConfig, XedDimm};
 
 const LINE: [u64; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
 
-fn controller_benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("xed_controller");
+fn controller_benches() {
+    let g = Group::new("xed_controller");
 
-    g.bench_function("write_line", |b| {
-        let mut dimm = XedDimm::new(XedConfig::default());
-        b.iter(|| dimm.write_line(black_box(3), &LINE));
+    let mut dimm = XedDimm::new(XedConfig::default());
+    g.bench("write_line", || dimm.write_line(black_box(3), &LINE));
+
+    let mut dimm = XedDimm::new(XedConfig::default());
+    dimm.write_line(3, &LINE);
+    g.bench("read_clean", || dimm.read_line(black_box(3)).unwrap());
+
+    let mut dimm = XedDimm::new(XedConfig::default());
+    dimm.write_line(3, &LINE);
+    dimm.inject_fault(4, InjectedFault::chip(FaultKind::Permanent));
+    g.bench("read_reconstruct_chip_failure", || {
+        dimm.read_line(black_box(3)).unwrap()
     });
 
-    g.bench_function("read_clean", |b| {
-        let mut dimm = XedDimm::new(XedConfig::default());
-        dimm.write_line(3, &LINE);
-        b.iter(|| dimm.read_line(black_box(3)).unwrap());
+    let mut dimm = XedDimm::new(XedConfig::default());
+    dimm.write_line(3, &LINE);
+    let addr = dimm.line_addr(3);
+    dimm.inject_fault(0, InjectedFault::bit(addr, 5, FaultKind::Permanent));
+    dimm.inject_fault(6, InjectedFault::bit(addr, 40, FaultKind::Permanent));
+    g.bench("read_serial_mode_two_scaling_faults", || {
+        dimm.read_line(black_box(3)).unwrap()
     });
-
-    g.bench_function("read_reconstruct_chip_failure", |b| {
-        let mut dimm = XedDimm::new(XedConfig::default());
-        dimm.write_line(3, &LINE);
-        dimm.inject_fault(4, InjectedFault::chip(FaultKind::Permanent));
-        b.iter(|| dimm.read_line(black_box(3)).unwrap());
-    });
-
-    g.bench_function("read_serial_mode_two_scaling_faults", |b| {
-        let mut dimm = XedDimm::new(XedConfig::default());
-        dimm.write_line(3, &LINE);
-        let addr = dimm.line_addr(3);
-        dimm.inject_fault(0, InjectedFault::bit(addr, 5, FaultKind::Permanent));
-        dimm.inject_fault(6, InjectedFault::bit(addr, 40, FaultKind::Permanent));
-        b.iter(|| dimm.read_line(black_box(3)).unwrap());
-    });
-
-    g.finish();
 }
 
-fn xed_chipkill_benches(c: &mut Criterion) {
+fn xed_chipkill_benches() {
     use xed_core::xed_chipkill::XedChipkillSystem;
-    let mut g = c.benchmark_group("xed_chipkill_x4");
+    let g = Group::new("xed_chipkill_x4");
     const LINE32: [u32; 16] = [0xC0DE; 16];
 
-    g.bench_function("read_clean", |b| {
-        let mut sys = XedChipkillSystem::new(1);
-        sys.write_line(0, &LINE32);
-        b.iter(|| sys.read_line(black_box(0)).unwrap());
-    });
+    let mut sys = XedChipkillSystem::new(1);
+    sys.write_line(0, &LINE32);
+    g.bench("read_clean", || sys.read_line(black_box(0)).unwrap());
 
-    g.bench_function("read_two_dead_chips", |b| {
-        let mut sys = XedChipkillSystem::new(1);
-        sys.write_line(0, &LINE32);
-        sys.inject_fault(2, InjectedFault::chip(FaultKind::Permanent));
-        sys.inject_fault(9, InjectedFault::chip(FaultKind::Permanent));
-        b.iter(|| sys.read_line(black_box(0)).unwrap());
+    let mut sys = XedChipkillSystem::new(1);
+    sys.write_line(0, &LINE32);
+    sys.inject_fault(2, InjectedFault::chip(FaultKind::Permanent));
+    sys.inject_fault(9, InjectedFault::chip(FaultKind::Permanent));
+    g.bench("read_two_dead_chips", || {
+        sys.read_line(black_box(0)).unwrap()
     });
-
-    g.finish();
 }
 
-fn secded32_benches(c: &mut Criterion) {
+fn secded32_benches() {
     use xed_ecc::secded32::Crc8Atm32;
     let code = Crc8Atm32::new();
     let w = code.encode(0xDEAD_BEEF);
     let bad = w.with_bit_flipped(11);
-    let mut g = c.benchmark_group("secded32");
-    g.bench_function("encode", |b| b.iter(|| code.encode(black_box(0xDEAD_BEEF))));
-    g.bench_function("decode_correct", |b| b.iter(|| code.decode(black_box(bad))));
-    g.finish();
+    let g = Group::new("secded32");
+    g.bench("encode", || code.encode(black_box(0xDEAD_BEEF)));
+    g.bench("decode_correct", || code.decode(black_box(bad)));
 }
 
-criterion_group!(benches, controller_benches, xed_chipkill_benches, secded32_benches);
-criterion_main!(benches);
+fn main() {
+    controller_benches();
+    xed_chipkill_benches();
+    secded32_benches();
+}

@@ -16,10 +16,16 @@ use xed_core::xed_chipkill::XedChipkillSystem;
 
 fn main() {
     println!("Ablation: catch-word width vs expected collision interval (write every 4 ns)\n");
-    println!("{:>8} {:>24} {:>24}", "bits", "mean time to collision", "P(collision in 7y)");
+    println!(
+        "{:>8} {:>24} {:>24}",
+        "bits", "mean time to collision", "P(collision in 7y)"
+    );
     rule(60);
     for bits in [16u32, 24, 32, 40, 48, 56, 64] {
-        let m = CollisionModel { word_bits: bits, write_interval_secs: 4e-9 };
+        let m = CollisionModel {
+            word_bits: bits,
+            write_interval_secs: 4e-9,
+        };
         let mean = m.mean_secs_to_collision();
         let human = if mean < 120.0 {
             format!("{mean:.2} s")
@@ -42,7 +48,9 @@ fn main() {
         let mut line = [0x1111_1111u32 * (round as u32 % 14 + 1); 16];
         line[victim] = sys.catch_word(victim);
         sys.write_line(round % 8, &line);
-        let out = sys.read_line(round % 8).expect("collisions are always recoverable");
+        let out = sys
+            .read_line(round % 8)
+            .expect("collisions are always recoverable");
         assert_eq!(out.data, line, "round {round}");
         if out.collision {
             collisions += 1;
@@ -59,7 +67,9 @@ fn main() {
     let mut line = [7u32; 16];
     line[2] = sys.catch_word(2);
     sys.write_line(0, &line);
-    let out = sys.read_line(0).expect("1 failure + 1 collision = 2 erasures, correctable");
+    let out = sys
+        .read_line(0)
+        .expect("1 failure + 1 collision = 2 erasures, correctable");
     assert_eq!(out.data, line);
     println!("functional check: chip failure + simultaneous collision -> corrected");
 }

@@ -26,10 +26,19 @@ fn main() {
         "scheme", "intersection", "coarse", "ratio"
     );
     rule(84);
-    for scheme in [Scheme::Xed, Scheme::Chipkill, Scheme::XedChipkill, Scheme::DoubleChipkill] {
+    for scheme in [
+        Scheme::Xed,
+        Scheme::Chipkill,
+        Scheme::XedChipkill,
+        Scheme::DoubleChipkill,
+    ] {
         let strict = run(scheme, true, opts.samples, opts.seed);
         let coarse = run(scheme, false, opts.samples, opts.seed);
-        let ratio = if strict > 0.0 { coarse / strict } else { f64::NAN };
+        let ratio = if strict > 0.0 {
+            coarse / strict
+        } else {
+            f64::NAN
+        };
         println!(
             "{:42} {:>14} {:>14} {:>7.1}x",
             scheme.label(),
@@ -47,8 +56,16 @@ fn main() {
 }
 
 fn run(scheme: Scheme, intersection: bool, samples: u64, seed: u64) -> f64 {
-    let params = ModelParams { require_line_intersection: intersection, ..Default::default() };
-    MonteCarlo::new(MonteCarloConfig { samples, seed, params, ..Default::default() })
-        .run(scheme)
-        .failure_probability(7.0)
+    let params = ModelParams {
+        require_line_intersection: intersection,
+        ..Default::default()
+    };
+    MonteCarlo::new(MonteCarloConfig {
+        samples,
+        seed,
+        params,
+        ..Default::default()
+    })
+    .run(scheme)
+    .failure_probability(7.0)
 }

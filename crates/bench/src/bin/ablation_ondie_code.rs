@@ -25,9 +25,7 @@ const BURST_FRACTION: f64 = 0.5;
 
 fn main() {
     let opts = Options::from_args();
-    println!(
-        "Ablation: on-die code choice -> measured miss rate -> XED system reliability\n"
-    );
+    println!("Ablation: on-die code choice -> measured miss rate -> XED system reliability\n");
     println!(
         "{:16} {:>16} {:>16} {:>16} {:>14}",
         "on-die code", "random-8 miss", "burst-8 miss", "weighted miss", "XED P(fail,7y)"
@@ -37,15 +35,20 @@ fn main() {
     let hamming = Hamming7264::new();
     let crc = Crc8Atm::new();
     let mut results = Vec::new();
-    for (name, code) in [("Hamming(72,64)", &hamming as &dyn SecDed), ("CRC8-ATM(72,64)", &crc)]
-    {
-        let random =
-            1.0 - measure_dyn(code, 8, ErrorModel::Random, opts.trials, opts.seed).percent() / 100.0;
-        let burst =
-            1.0 - measure_dyn(code, 8, ErrorModel::Burst, opts.trials, opts.seed ^ 1).percent() / 100.0;
+    for (name, code) in [
+        ("Hamming(72,64)", &hamming as &dyn SecDed),
+        ("CRC8-ATM(72,64)", &crc),
+    ] {
+        let random = 1.0
+            - measure_dyn(code, 8, ErrorModel::Random, opts.trials, opts.seed).percent() / 100.0;
+        let burst = 1.0
+            - measure_dyn(code, 8, ErrorModel::Burst, opts.trials, opts.seed ^ 1).percent() / 100.0;
         let weighted = random * (1.0 - BURST_FRACTION) + burst * BURST_FRACTION;
 
-        let params = ModelParams { on_die_miss: weighted, ..Default::default() };
+        let params = ModelParams {
+            on_die_miss: weighted,
+            ..Default::default()
+        };
         let p = MonteCarlo::new(MonteCarloConfig {
             samples: opts.samples,
             seed: opts.seed,

@@ -19,10 +19,16 @@ fn main() {
          ({} systems per point)\n",
         opts.samples
     );
-    println!("{:>12} {:>14} {:>10} {:>10}", "miss rate", "P(fail,7y)", "DUE", "SDC");
+    println!(
+        "{:>12} {:>14} {:>10} {:>10}",
+        "miss rate", "P(fail,7y)", "DUE", "SDC"
+    );
     rule(52);
     for miss in [0.0, 0.004, 0.008, 0.05, 0.2, 0.5] {
-        let params = ModelParams { on_die_miss: miss, ..Default::default() };
+        let params = ModelParams {
+            on_die_miss: miss,
+            ..Default::default()
+        };
         let r = MonteCarlo::new(MonteCarloConfig {
             samples: opts.samples,
             seed: opts.seed,

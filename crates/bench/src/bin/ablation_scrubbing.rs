@@ -42,8 +42,16 @@ fn main() {
 }
 
 fn run(scheme: Scheme, exposure: f64, samples: u64, seed: u64) -> f64 {
-    let params = ModelParams { transient_exposure_hours: exposure, ..Default::default() };
-    MonteCarlo::new(MonteCarloConfig { samples, seed, params, ..Default::default() })
-        .run(scheme)
-        .failure_probability(7.0)
+    let params = ModelParams {
+        transient_exposure_hours: exposure,
+        ..Default::default()
+    };
+    MonteCarlo::new(MonteCarloConfig {
+        samples,
+        seed,
+        params,
+        ..Default::default()
+    })
+    .run(scheme)
+    .failure_probability(7.0)
 }

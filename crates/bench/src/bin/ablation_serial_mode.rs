@@ -28,8 +28,10 @@ fn main() {
         let mut ratios = Vec::new();
         for name in names {
             let base = run(name, ReliabilityScheme::baseline_secded(), opts);
-            let scheme =
-                ReliabilityScheme { serial_mode_every: Some(every), ..ReliabilityScheme::xed() };
+            let scheme = ReliabilityScheme {
+                serial_mode_every: Some(every),
+                ..ReliabilityScheme::xed()
+            };
             let xed = run_scheme(name, scheme, opts);
             ratios.push(xed as f64 / base as f64);
         }

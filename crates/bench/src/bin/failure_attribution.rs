@@ -31,7 +31,12 @@ fn main() {
     println!(" {:>8}", "total");
     rule(104);
 
-    for scheme in [Scheme::EccDimm, Scheme::Xed, Scheme::Chipkill, Scheme::DoubleChipkill] {
+    for scheme in [
+        Scheme::EccDimm,
+        Scheme::Xed,
+        Scheme::Chipkill,
+        Scheme::DoubleChipkill,
+    ] {
         let r = mc.run(scheme);
         print!("{:42}", scheme.label());
         for (_, count) in r.attribution() {

@@ -29,7 +29,10 @@ fn main() {
 
     println!("Figure 1: effectiveness of reliability solutions in presence of On-Die ECC");
     println!("({} systems/scheme, 7-year lifetime)\n", opts.samples);
-    println!("{:42} {:>10}  cumulative by year 1..7", "scheme", "P(fail,7y)");
+    println!(
+        "{:42} {:>10}  cumulative by year 1..7",
+        "scheme", "P(fail,7y)"
+    );
     rule(100);
 
     let schemes = [Scheme::NonEcc, Scheme::EccDimm, Scheme::Chipkill];
@@ -37,7 +40,12 @@ fn main() {
     for scheme in schemes {
         let r = mc.run(scheme);
         let curve: Vec<String> = r.curve().iter().map(|&p| sci(p)).collect();
-        println!("{:42} {:>10}  [{}]", scheme.label(), sci(r.failure_probability(7.0)), curve.join(", "));
+        println!(
+            "{:42} {:>10}  [{}]",
+            scheme.label(),
+            sci(r.failure_probability(7.0)),
+            curve.join(", ")
+        );
         probs.push(r.failure_probability(7.0));
     }
     rule(100);
@@ -57,7 +65,12 @@ fn print_table_i() {
     println!("Table I: DRAM failures per billion hours (FIT) [Sridharan & Liberty]");
     println!("{:12} {:>10} {:>10}", "mode", "transient", "permanent");
     for row in FitRates::table_i().rows() {
-        println!("{:12} {:>10} {:>10}", row.extent.to_string(), row.transient_fit, row.permanent_fit);
+        println!(
+            "{:12} {:>10} {:>10}",
+            row.extent.to_string(),
+            row.transient_fit,
+            row.permanent_fit
+        );
     }
     println!();
 }

@@ -25,7 +25,11 @@ fn main() {
     rule(36);
     for exp in 0..=8 {
         let years = 10f64.powi(exp - 2);
-        println!("{:>12} {:>22.3e}", format!("1e{}", exp - 2), x8.p_collision_by(years));
+        println!(
+            "{:>12} {:>22.3e}",
+            format!("1e{}", exp - 2),
+            x8.p_collision_by(years)
+        );
     }
     rule(36);
     println!(

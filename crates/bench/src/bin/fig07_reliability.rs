@@ -20,8 +20,14 @@ fn main() {
     });
 
     println!("Figure 7: reliability of ECC-DIMM, XED, and Chipkill");
-    println!("({} systems/scheme, 7-year lifetime, Table I FITs)\n", opts.samples);
-    println!("{:42} {:>10}  cumulative by year 1..7", "scheme", "P(fail,7y)");
+    println!(
+        "({} systems/scheme, 7-year lifetime, Table I FITs)\n",
+        opts.samples
+    );
+    println!(
+        "{:42} {:>10}  cumulative by year 1..7",
+        "scheme", "P(fail,7y)"
+    );
     rule(100);
 
     let mut results = Vec::new();

@@ -15,7 +15,10 @@ use xed_faultsim::schemes::{ModelParams, Scheme};
 
 fn main() {
     let opts = Options::from_args();
-    let params = ModelParams { scaling: ScalingFaults::paper_default(), ..Default::default() };
+    let params = ModelParams {
+        scaling: ScalingFaults::paper_default(),
+        ..Default::default()
+    };
     let mc = MonteCarlo::new(MonteCarloConfig {
         samples: opts.samples,
         seed: opts.seed,
@@ -25,7 +28,10 @@ fn main() {
 
     println!("Figure 8: reliability with scaling faults at 1e-4");
     println!("({} systems/scheme, 7-year lifetime)\n", opts.samples);
-    println!("{:42} {:>10}  cumulative by year 1..7", "scheme", "P(fail,7y)");
+    println!(
+        "{:42} {:>10}  cumulative by year 1..7",
+        "scheme", "P(fail,7y)"
+    );
     rule(100);
 
     let mut results = Vec::new();

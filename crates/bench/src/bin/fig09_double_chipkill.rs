@@ -15,15 +15,26 @@ fn main() {
     let opts = Options::from_args();
     // The x4 schemes fail rarely; use more samples by default.
     let samples = opts.samples.max(4_000_000);
-    let mc = MonteCarlo::new(MonteCarloConfig { samples, seed: opts.seed, ..Default::default() });
+    let mc = MonteCarlo::new(MonteCarloConfig {
+        samples,
+        seed: opts.seed,
+        ..Default::default()
+    });
 
     println!("Figure 9: Single-Chipkill, Double-Chipkill, and XED-based Single-Chipkill (x4)");
     println!("({samples} systems/scheme, 7-year lifetime)\n");
-    println!("{:42} {:>10}  cumulative by year 1..7", "scheme", "P(fail,7y)");
+    println!(
+        "{:42} {:>10}  cumulative by year 1..7",
+        "scheme", "P(fail,7y)"
+    );
     rule(100);
 
     let mut results = Vec::new();
-    for scheme in [Scheme::ChipkillX4, Scheme::DoubleChipkill, Scheme::XedChipkill] {
+    for scheme in [
+        Scheme::ChipkillX4,
+        Scheme::DoubleChipkill,
+        Scheme::XedChipkill,
+    ] {
         let r = mc.run(scheme);
         let curve: Vec<String> = r.curve().iter().map(|&p| sci(p)).collect();
         println!(
@@ -37,10 +48,16 @@ fn main() {
     rule(100);
     let (single, double, xed) = (results[0], results[1], results[2]);
     if double > 0.0 {
-        println!("Double-CK vs Single-CK:  {:.1}x  (paper: ~10x)", single / double);
+        println!(
+            "Double-CK vs Single-CK:  {:.1}x  (paper: ~10x)",
+            single / double
+        );
     }
     if xed > 0.0 {
-        println!("XED+CK  vs Double-CK:    {:.1}x  (paper: 8.5x)", double / xed);
+        println!(
+            "XED+CK  vs Double-CK:    {:.1}x  (paper: 8.5x)",
+            double / xed
+        );
     } else {
         println!("XED+CK saw no failures at this sample count; increase --samples.");
     }

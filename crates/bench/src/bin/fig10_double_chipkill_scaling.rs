@@ -14,7 +14,10 @@ use xed_faultsim::schemes::{ModelParams, Scheme};
 fn main() {
     let opts = Options::from_args();
     let samples = opts.samples.max(4_000_000);
-    let params = ModelParams { scaling: ScalingFaults::paper_default(), ..Default::default() };
+    let params = ModelParams {
+        scaling: ScalingFaults::paper_default(),
+        ..Default::default()
+    };
     let mc = MonteCarlo::new(MonteCarloConfig {
         samples,
         seed: opts.seed,
@@ -24,11 +27,18 @@ fn main() {
 
     println!("Figure 10: x4 chipkill-class schemes with scaling faults at 1e-4");
     println!("({samples} systems/scheme, 7-year lifetime)\n");
-    println!("{:42} {:>10}  cumulative by year 1..7", "scheme", "P(fail,7y)");
+    println!(
+        "{:42} {:>10}  cumulative by year 1..7",
+        "scheme", "P(fail,7y)"
+    );
     rule(100);
 
     let mut results = Vec::new();
-    for scheme in [Scheme::ChipkillX4, Scheme::DoubleChipkill, Scheme::XedChipkill] {
+    for scheme in [
+        Scheme::ChipkillX4,
+        Scheme::DoubleChipkill,
+        Scheme::XedChipkill,
+    ] {
         let r = mc.run(scheme);
         let curve: Vec<String> = r.curve().iter().map(|&p| sci(p)).collect();
         println!(
@@ -42,10 +52,16 @@ fn main() {
     rule(100);
     let (single, double, xed) = (results[0], results[1], results[2]);
     if double > 0.0 {
-        println!("Double-CK vs Single-CK:  {:.1}x  (paper: 5.5x)", single / double);
+        println!(
+            "Double-CK vs Single-CK:  {:.1}x  (paper: 5.5x)",
+            single / double
+        );
     }
     if xed > 0.0 {
-        println!("XED+CK  vs Double-CK:    {:.1}x  (paper: 8.5x)", double / xed);
+        println!(
+            "XED+CK  vs Double-CK:    {:.1}x  (paper: 8.5x)",
+            double / xed
+        );
     } else {
         println!("XED+CK saw no failures at this sample count; increase --samples.");
     }

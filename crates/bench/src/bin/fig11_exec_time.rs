@@ -80,7 +80,10 @@ fn print_table_v() {
         ("Processor ROB size", "160"),
         ("Processor retire width", "4"),
         ("Processor fetch width", "4"),
-        ("Last Level Cache", "modeled via per-benchmark LLC MPKI profiles"),
+        (
+            "Last Level Cache",
+            "modeled via per-benchmark LLC MPKI profiles",
+        ),
         ("Memory bus speed", "800 MHz (DDR3-1600)"),
         ("DDR3 Memory channels", "4"),
         ("Ranks per channel", "2"),

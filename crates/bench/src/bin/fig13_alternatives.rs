@@ -17,7 +17,11 @@ use xed_memsim::workloads::{geometric_mean, ALL};
 fn main() {
     let opts = Options::from_args();
     let variants: [(&str, ReliabilityScheme, ReliabilityScheme); 4] = [
-        ("Chipkill / extra burst", ReliabilityScheme::xed(), ReliabilityScheme::chipkill_extra_burst()),
+        (
+            "Chipkill / extra burst",
+            ReliabilityScheme::xed(),
+            ReliabilityScheme::chipkill_extra_burst(),
+        ),
         (
             "Chipkill / extra transaction",
             ReliabilityScheme::xed(),
@@ -37,7 +41,16 @@ fn main() {
 
     // A representative subset keeps the sweep fast; pass --instructions to
     // deepen it.
-    let names = ["libquantum", "mcf", "lbm", "comm1", "comm3", "sphinx", "dealII", "stream"];
+    let names = [
+        "libquantum",
+        "mcf",
+        "lbm",
+        "comm1",
+        "comm3",
+        "sphinx",
+        "dealII",
+        "stream",
+    ];
 
     println!(
         "Figure 13: alternatives to catch-words, normalized to the XED implementation\n\
@@ -45,7 +58,10 @@ fn main() {
         names.len(),
         opts.instructions
     );
-    println!("{:38} {:>12} {:>12}", "alternative", "exec time", "memory power");
+    println!(
+        "{:38} {:>12} {:>12}",
+        "alternative", "exec time", "memory power"
+    );
 
     for (label, xed_base, alt) in variants {
         let mut time_ratios = Vec::new();

@@ -22,18 +22,37 @@ fn main() {
     println!("{:12} {:>14}", "suite", "LOT-ECC / XED");
 
     let mut all_ratios = Vec::new();
-    for suite in [Suite::Spec2006, Suite::Parsec, Suite::BioBench, Suite::Commercial] {
+    for suite in [
+        Suite::Spec2006,
+        Suite::Parsec,
+        Suite::BioBench,
+        Suite::Commercial,
+    ] {
         let mut ratios = Vec::new();
         for w in ALL.iter().filter(|w| w.suite == suite) {
-            let xed = run(w.name, ReliabilityScheme::xed(), opts.instructions, opts.seed);
-            let lot = run(w.name, ReliabilityScheme::lot_ecc(), opts.instructions, opts.seed);
+            let xed = run(
+                w.name,
+                ReliabilityScheme::xed(),
+                opts.instructions,
+                opts.seed,
+            );
+            let lot = run(
+                w.name,
+                ReliabilityScheme::lot_ecc(),
+                opts.instructions,
+                opts.seed,
+            );
             ratios.push(lot as f64 / xed as f64);
         }
         let g = geometric_mean(ratios.iter().copied());
         all_ratios.extend(ratios);
         println!("{:12} {:>14.3}", suite.label(), g);
     }
-    println!("{:12} {:>14.3}", "GMEAN", geometric_mean(all_ratios.iter().copied()));
+    println!(
+        "{:12} {:>14.3}",
+        "GMEAN",
+        geometric_mean(all_ratios.iter().copied())
+    );
     println!("\npaper reference: LOT-ECC is 6.6% slower than XED on average (write overheads).");
 }
 

@@ -15,7 +15,10 @@ use xed_ecc::{Crc8Atm, Hamming7264};
 
 fn main() {
     let opts = Options::from_args();
-    println!("Table II: detection rate of random and burst errors ({} trials/cell)\n", opts.trials);
+    println!(
+        "Table II: detection rate of random and burst errors ({} trials/cell)\n",
+        opts.trials
+    );
     println!(
         "{:>7} | {:>17} {:>17} | {:>17} {:>17}",
         "", "(72,64) Hamming", "", "(72,64) CRC8-ATM", ""

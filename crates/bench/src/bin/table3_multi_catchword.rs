@@ -25,7 +25,13 @@ fn main() {
         let scaling = ScalingFaults::with_rate(rate);
         let analytic = scaling.p_multi_catch_word(8, 2);
         let mc = monte_carlo(&scaling, opts.trials.max(2_000_000), opts.seed);
-        println!("{:>14e} {:>22} {:>22} {:>16}", rate, sci(analytic), sci(mc), paper[i]);
+        println!(
+            "{:>14e} {:>22} {:>22} {:>16}",
+            rate,
+            sci(analytic),
+            sci(mc),
+            paper[i]
+        );
     }
     rule(80);
     println!(

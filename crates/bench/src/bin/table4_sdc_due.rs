@@ -22,9 +22,15 @@ fn main() {
     let v = xed_vulnerability(&rates, &cfg, 9, 0.008, 7.0);
 
     println!("Table IV: SDC and DUE rate of XED (per 9-chip DIMM, 7 years)\n");
-    println!("{:48} {:>14} {:>12}", "source of vulnerability", "ours", "paper");
+    println!(
+        "{:48} {:>14} {:>12}",
+        "source of vulnerability", "ours", "paper"
+    );
     rule(80);
-    println!("{:48} {:>14} {:>12}", "scaling-related faults", "none", "none");
+    println!(
+        "{:48} {:>14} {:>12}",
+        "scaling-related faults", "none", "none"
+    );
     println!(
         "{:48} {:>14} {:>12}",
         "row/column/bank failure (SDC)",

@@ -27,7 +27,10 @@ fn main() {
     let ops: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10_000);
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2016);
 
-    println!("# synthetic {} trace ({} operations, seed {})", workload.name, ops, seed);
+    println!(
+        "# synthetic {} trace ({} operations, seed {})",
+        workload.name, ops, seed
+    );
     println!(
         "# profile: {:.1} read MPKI, {:.1} write MPKI, {:.0}% row-buffer locality",
         workload.read_mpki,

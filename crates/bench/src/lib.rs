@@ -8,6 +8,8 @@
 
 use std::env;
 
+pub mod timing;
+
 /// Command-line options shared by the reproduction binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Options {
@@ -23,7 +25,12 @@ pub struct Options {
 
 impl Default for Options {
     fn default() -> Self {
-        Self { samples: 2_000_000, instructions: 200_000, seed: 2016, trials: 1_000_000 }
+        Self {
+            samples: 2_000_000,
+            instructions: 200_000,
+            seed: 2016,
+            trials: 1_000_000,
+        }
     }
 }
 

@@ -63,8 +63,15 @@ impl AlertDimm {
     /// Boots the DIMM. Chips run with XED *disabled*: data always flows on
     /// the bus; detection travels on the (modeled) alert signal instead.
     pub fn new(geometry: ChipGeometry, code: OnDieCode, mode: AlertMode) -> Self {
-        let chips = (0..TOTAL_CHIPS).map(|_| DramChip::new(geometry, code)).collect();
-        Self { chips, mode, geometry, stats: AlertStats::default() }
+        let chips = (0..TOTAL_CHIPS)
+            .map(|_| DramChip::new(geometry, code))
+            .collect();
+        Self {
+            chips,
+            mode,
+            geometry,
+            stats: AlertStats::default(),
+        }
     }
 
     /// The signaling mode in force.
@@ -158,7 +165,9 @@ impl AlertDimm {
             }
             None => {
                 self.stats.due_events += 1;
-                Err(XedError::DetectedUncorrectable { suspects: alerting.len() as u32 })
+                Err(XedError::DetectedUncorrectable {
+                    suspects: alerting.len() as u32,
+                })
             }
         }
     }

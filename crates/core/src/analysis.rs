@@ -23,13 +23,19 @@ pub struct CollisionModel {
 impl CollisionModel {
     /// The paper's x8 model: 64-bit catch-word, a write every 4 ns.
     pub fn x8_paper() -> Self {
-        Self { word_bits: 64, write_interval_secs: 4e-9 }
+        Self {
+            word_bits: 64,
+            write_interval_secs: 4e-9,
+        }
     }
 
     /// The paper's x4 model: 32-bit catch-word, a write every 4 ns
     /// (Section IX-A).
     pub fn x4_paper() -> Self {
-        Self { word_bits: 32, write_interval_secs: 4e-9 }
+        Self {
+            word_bits: 32,
+            write_interval_secs: 4e-9,
+        }
     }
 
     /// Probability that one write collides with the catch-word.

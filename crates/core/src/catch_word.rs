@@ -169,6 +169,9 @@ mod tests {
 
     #[test]
     fn display_hex() {
-        assert_eq!(CatchWord::from_value(0xAB).to_string(), "0x00000000000000ab");
+        assert_eq!(
+            CatchWord::from_value(0xAB).to_string(),
+            "0x00000000000000ab"
+        );
     }
 }

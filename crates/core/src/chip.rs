@@ -55,7 +55,11 @@ pub struct ChipGeometry {
 impl ChipGeometry {
     /// Small functional-test geometry: 4 banks × 64 rows × 128 columns.
     pub const fn small() -> Self {
-        Self { banks: 4, rows: 64, cols: 128 }
+        Self {
+            banks: 4,
+            rows: 64,
+            cols: 128,
+        }
     }
 
     /// Linear address for an index in `0..words()`, row-major.
@@ -210,7 +214,10 @@ impl DramChip {
     ///
     /// Panics if `addr` is outside the chip geometry.
     pub fn write(&mut self, addr: WordAddr, data: u64) {
-        assert!(self.geometry.contains(addr), "address {addr:?} out of geometry");
+        assert!(
+            self.geometry.contains(addr),
+            "address {addr:?} out of geometry"
+        );
         self.store.insert(addr, self.engine.encode(data));
         for (fault, healed) in &mut self.faults {
             if fault.kind == FaultKind::Transient && fault.region.covers(addr) {
@@ -222,7 +229,10 @@ impl DramChip {
     /// The raw (possibly corrupted) codeword currently at `addr`, before
     /// on-die decoding.
     pub fn raw_codeword(&self, addr: WordAddr) -> CodeWord72 {
-        assert!(self.geometry.contains(addr), "address {addr:?} out of geometry");
+        assert!(
+            self.geometry.contains(addr),
+            "address {addr:?} out of geometry"
+        );
         let mut w = *self.store.get(&addr).unwrap_or(&self.zero);
         for (fault, healed) in &self.faults {
             let healed_here =
@@ -243,7 +253,13 @@ impl DramChip {
         let outcome = self.engine.decode(received);
         let event = outcome.is_event();
         let value = if event && self.xed_enable {
-            self.catch_word.expect("XED enabled without a catch word").value()
+            // invariant: the controller programs the Catch-Word Register
+            // (set_catch_word) before asserting xed_enable, mirroring the
+            // paper's boot-time MRS sequence; enabling XED without a catch
+            // word is a programming error worth failing loudly on.
+            self.catch_word
+                .expect("XED enabled without a catch word")
+                .value()
         } else {
             match outcome {
                 DecodeOutcome::Clean { data } | DecodeOutcome::Corrected { data, .. } => data,
@@ -252,7 +268,10 @@ impl DramChip {
                 DecodeOutcome::Detected => received.data(),
             }
         };
-        BusWord { value, on_die_event: event }
+        BusWord {
+            value,
+            on_die_event: event,
+        }
     }
 }
 
@@ -317,7 +336,10 @@ mod tests {
         c.write(a, 7);
         c.inject_fault(InjectedFault::word(a, FaultKind::Permanent));
         let b = c.read(a);
-        assert!(b.on_die_event || b.value != 7, "multi-bit fault must be visible somehow");
+        assert!(
+            b.on_die_event || b.value != 7,
+            "multi-bit fault must be visible somehow"
+        );
     }
 
     #[test]
@@ -349,7 +371,9 @@ mod tests {
         // The on-die SECDED flags the dense corruption on almost every
         // line; a small fraction (≈1/256 per word) aliases onto a valid
         // codeword — the paper's "on-die detection miss".
-        let events = (0..128).filter(|&col| c.read(addr(2, 10, col)).on_die_event).count();
+        let events = (0..128)
+            .filter(|&col| c.read(addr(2, 10, col)).on_die_event)
+            .count();
         assert!(events >= 120, "only {events}/128 lines flagged");
         // Every line of the row reads corrupted data or flags an event.
         for col in 0..128 {

@@ -105,8 +105,9 @@ impl XedController {
         );
         let mut rng = StdRng::seed_from_u64(seed);
         let catch_words = CatchWordTable::generate(&mut rng, TOTAL_CHIPS);
-        let mut chips: Vec<DramChip> =
-            (0..TOTAL_CHIPS).map(|_| DramChip::new(geometry, code)).collect();
+        let mut chips: Vec<DramChip> = (0..TOTAL_CHIPS)
+            .map(|_| DramChip::new(geometry, code))
+            .collect();
         for (i, chip) in chips.iter_mut().enumerate() {
             chip.set_catch_word(catch_words.word(i));
             chip.set_xed_enable(true);
@@ -218,7 +219,9 @@ impl XedController {
 
     /// Which chips transmitted their catch-word.
     pub(crate) fn catching_chips(&self, words: &[u64; TOTAL_CHIPS]) -> Vec<usize> {
-        (0..TOTAL_CHIPS).filter(|&i| self.catch_words.identify(i, words[i])).collect()
+        (0..TOTAL_CHIPS)
+            .filter(|&i| self.catch_words.identify(i, words[i]))
+            .collect()
     }
 
     /// Erasure-reconstructs `chip`'s word from the other eight (Equation 3),
@@ -314,11 +317,16 @@ impl XedController {
         let words = self.bus_read(addr);
         // Any *other* chip presenting its catch-word means two concurrent
         // erasures: uncorrectable.
-        let others: Vec<usize> =
-            self.catching_chips(&words).into_iter().filter(|&c| c != dead).collect();
+        let others: Vec<usize> = self
+            .catching_chips(&words)
+            .into_iter()
+            .filter(|&c| c != dead)
+            .collect();
         if !others.is_empty() {
             self.stats.due_events += 1;
-            return Err(XedError::MultipleFaultyChips { catch_words: others.len() as u32 + 1 });
+            return Err(XedError::MultipleFaultyChips {
+                catch_words: others.len() as u32 + 1,
+            });
         }
         self.reconstruct(addr, &words, dead)
     }
@@ -360,7 +368,10 @@ impl XedController {
     /// Records a diagnosis verdict in the FCT, condemning the chip if the
     /// tracker saturates on it.
     pub(crate) fn record_diagnosis(&mut self, addr: WordAddr, chip: usize) {
-        let row = RowAddr { bank: addr.bank, row: addr.row };
+        let row = RowAddr {
+            bank: addr.bank,
+            row: addr.row,
+        };
         if let FctOutcome::ChipCondemned { chip } = self.fct.record(row, chip) {
             self.condemned_chip = Some(chip);
         }
@@ -375,7 +386,12 @@ pub(crate) fn parity_holds(words: &[u64; TOTAL_CHIPS]) -> bool {
 pub(crate) fn clean_readout(words: &[u64; TOTAL_CHIPS]) -> LineReadout {
     let mut data = [0u64; DATA_CHIPS];
     data.copy_from_slice(&words[..DATA_CHIPS]);
-    LineReadout { data, reconstructed_chip: None, used_diagnosis: false, collision: false }
+    LineReadout {
+        data,
+        reconstructed_chip: None,
+        used_diagnosis: false,
+        collision: false,
+    }
 }
 
 #[cfg(test)]
@@ -535,7 +551,10 @@ mod tests {
         }
         c.inject_fault(3, InjectedFault::row(1, 7, FaultKind::Transient));
         let (corrected, uncorrectable) = c.patrol_scrub();
-        assert!(corrected >= 120, "most of the row scrubbed, got {corrected}");
+        assert!(
+            corrected >= 120,
+            "most of the row scrubbed, got {corrected}"
+        );
         assert_eq!(uncorrectable, 0);
         // Second pass: nothing left to fix.
         let (corrected2, _) = c.patrol_scrub();

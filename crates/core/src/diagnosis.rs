@@ -33,7 +33,10 @@ impl XedController {
         words: [u64; TOTAL_CHIPS],
     ) -> Result<LineReadout, XedError> {
         // 1. A previous diagnosis may already have blamed this row.
-        if let Some(chip) = self.fct.lookup(RowAddr { bank: addr.bank, row: addr.row }) {
+        if let Some(chip) = self.fct.lookup(RowAddr {
+            bank: addr.bank,
+            row: addr.row,
+        }) {
             self.stats.fct_hits += 1;
             return self.finish_diagnosed(addr, &words, chip);
         }
@@ -62,10 +65,16 @@ impl XedController {
     /// faulty-line count uniquely exceeds the threshold.
     pub(crate) fn inter_line_diagnosis(&mut self, addr: WordAddr) -> Option<usize> {
         let cols = self.geometry().cols;
-        let threshold = (cols * self.inter_line_threshold_percent).div_ceil(100).max(1);
+        let threshold = (cols * self.inter_line_threshold_percent)
+            .div_ceil(100)
+            .max(1);
         let mut counts = [0u32; TOTAL_CHIPS];
         for col in 0..cols {
-            let line = WordAddr { bank: addr.bank, row: addr.row, col };
+            let line = WordAddr {
+                bank: addr.bank,
+                row: addr.row,
+                col,
+            };
             let words = self.bus_read(line);
             for chip in self.catching_chips(&words) {
                 counts[chip] += 1;
@@ -74,8 +83,9 @@ impl XedController {
         // The verdict must be unambiguous: exactly one chip above the
         // threshold. Two chips both screaming catch-words (a double chip
         // failure) must fall through to a DUE, not a blind reconstruction.
-        let mut over: Vec<usize> =
-            (0..TOTAL_CHIPS).filter(|&i| counts[i] >= threshold).collect();
+        let mut over: Vec<usize> = (0..TOTAL_CHIPS)
+            .filter(|&i| counts[i] >= threshold)
+            .collect();
         match (over.len(), over.pop()) {
             (1, Some(chip)) => Some(chip),
             _ => None,
@@ -196,7 +206,8 @@ mod tests {
                 // fault everywhere else in the row
                 c.inject_fault(
                     3,
-                    InjectedFault::word(addr(1, 5, col), FaultKind::Permanent).with_seed(col as u64),
+                    InjectedFault::word(addr(1, 5, col), FaultKind::Permanent)
+                        .with_seed(col as u64),
                 );
             }
         }
@@ -221,7 +232,8 @@ mod tests {
             if col != 30 && col != 31 {
                 c.inject_fault(
                     2,
-                    InjectedFault::word(addr(0, 9, col), FaultKind::Permanent).with_seed(900 + col as u64),
+                    InjectedFault::word(addr(0, 9, col), FaultKind::Permanent)
+                        .with_seed(900 + col as u64),
                 );
             }
         }
@@ -293,7 +305,7 @@ mod tests {
         c.write_line(a, &LINE);
         desync_chip(&mut c, 4, a, 0xDEAD);
         let _ = c.read_line(a); // DUE path; patterns written and restored
-        // The line still holds the (desynced) words rather than a pattern.
+                                // The line still holds the (desynced) words rather than a pattern.
         let words = c.bus_read(a);
         assert_eq!(words[0], LINE[0]);
         assert_eq!(words[4], 0xDEAD);
@@ -303,7 +315,7 @@ mod tests {
     #[test]
     fn condemned_chip_after_fct_saturation() {
         let mut c = controller(); // fct capacity 4
-        // Column-failure-like pattern: four different rows blamed on chip 5.
+                                  // Column-failure-like pattern: four different rows blamed on chip 5.
         for row in 0..4 {
             for col in 0..128 {
                 c.write_line(addr(0, 10 + row, col), &LINE);

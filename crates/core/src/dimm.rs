@@ -176,7 +176,10 @@ mod tests {
 
     #[test]
     fn hamming_on_die_variant_boots() {
-        let cfg = XedConfig { code: OnDieCode::Hamming, ..XedConfig::default() };
+        let cfg = XedConfig {
+            code: OnDieCode::Hamming,
+            ..XedConfig::default()
+        };
         let mut d = XedDimm::new(cfg);
         d.write_line(0, &[1; 8]);
         assert_eq!(d.read_line(0).unwrap().data, [1; 8]);

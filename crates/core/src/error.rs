@@ -26,10 +26,16 @@ impl fmt::Display for XedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             XedError::DetectedUncorrectable { suspects } => {
-                write!(f, "detected uncorrectable error (diagnosis found {suspects} suspects)")
+                write!(
+                    f,
+                    "detected uncorrectable error (diagnosis found {suspects} suspects)"
+                )
             }
             XedError::MultipleFaultyChips { catch_words } => {
-                write!(f, "multiple concurrently faulty chips ({catch_words} catch-words)")
+                write!(
+                    f,
+                    "multiple concurrently faulty chips ({catch_words} catch-words)"
+                )
             }
         }
     }

@@ -106,27 +106,47 @@ pub struct InjectedFault {
 impl InjectedFault {
     /// A whole-chip fault.
     pub fn chip(kind: FaultKind) -> Self {
-        Self { region: FaultRegion::Chip, kind, seed: fresh_seed(0xC41B) }
+        Self {
+            region: FaultRegion::Chip,
+            kind,
+            seed: fresh_seed(0xC41B),
+        }
     }
 
     /// A single-bank fault.
     pub fn bank(bank: u32, kind: FaultKind) -> Self {
-        Self { region: FaultRegion::Bank { bank }, kind, seed: fresh_seed(0xBA2C) }
+        Self {
+            region: FaultRegion::Bank { bank },
+            kind,
+            seed: fresh_seed(0xBA2C),
+        }
     }
 
     /// A single-row fault.
     pub fn row(bank: u32, row: u32, kind: FaultKind) -> Self {
-        Self { region: FaultRegion::Row { bank, row }, kind, seed: fresh_seed(0x4019) }
+        Self {
+            region: FaultRegion::Row { bank, row },
+            kind,
+            seed: fresh_seed(0x4019),
+        }
     }
 
     /// A single-column fault.
     pub fn column(bank: u32, col: u32, kind: FaultKind) -> Self {
-        Self { region: FaultRegion::Column { bank, col }, kind, seed: fresh_seed(0xC071) }
+        Self {
+            region: FaultRegion::Column { bank, col },
+            kind,
+            seed: fresh_seed(0xC071),
+        }
     }
 
     /// A single-word fault.
     pub fn word(addr: WordAddr, kind: FaultKind) -> Self {
-        Self { region: FaultRegion::Word { addr }, kind, seed: fresh_seed(0x3040) }
+        Self {
+            region: FaultRegion::Word { addr },
+            kind,
+            seed: fresh_seed(0x3040),
+        }
     }
 
     /// A single-bit fault (bit 0–71 of the on-die codeword).
@@ -136,7 +156,11 @@ impl InjectedFault {
     /// Panics if `bit >= 72`.
     pub fn bit(addr: WordAddr, bit: u32, kind: FaultKind) -> Self {
         assert!(bit < 72, "bit index {bit} out of range");
-        Self { region: FaultRegion::Bit { addr, bit }, kind, seed: fresh_seed(0xB17) }
+        Self {
+            region: FaultRegion::Bit { addr, bit },
+            kind,
+            seed: fresh_seed(0xB17),
+        }
     }
 
     /// Overrides the corruption-pattern seed (patterns are a pure function
@@ -165,7 +189,10 @@ impl InjectedFault {
             };
         }
         // splitmix64 over (seed, addr) for a dense, reproducible pattern.
-        let mut x = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(addr.key());
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(addr.key());
         let mut next = || {
             x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
             let mut z = x;
@@ -196,8 +223,15 @@ impl InjectedFault {
             return (0, 0);
         }
         if let FaultRegion::Bit { bit, .. } = self.region {
-            assert!(bit < 40, "bit index {bit} out of range for a 40-bit codeword");
-            return if bit < 32 { (1u32 << (31 - bit), 0) } else { (0, 1u8 << (39 - bit)) };
+            assert!(
+                bit < 40,
+                "bit index {bit} out of range for a 40-bit codeword"
+            );
+            return if bit < 32 {
+                (1u32 << (31 - bit), 0)
+            } else {
+                (0, 1u8 << (39 - bit))
+            };
         }
         let (d64, check) = self.corruption(addr);
         let mut data = (d64 & 0xFFFF_FFFF) as u32;
@@ -239,7 +273,11 @@ mod tests {
         assert!(FaultRegion::Chip.spans_lines());
         assert!(FaultRegion::Row { bank: 0, row: 0 }.spans_lines());
         assert!(!FaultRegion::Word { addr: a(0, 0, 0) }.spans_lines());
-        assert!(!FaultRegion::Bit { addr: a(0, 0, 0), bit: 3 }.spans_lines());
+        assert!(!FaultRegion::Bit {
+            addr: a(0, 0, 0),
+            bit: 3
+        }
+        .spans_lines());
     }
 
     #[test]

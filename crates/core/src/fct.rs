@@ -49,7 +49,10 @@ impl FaultyRowChipTracker {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "FCT needs at least one entry");
-        Self { capacity, entries: Vec::with_capacity(capacity) }
+        Self {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
     }
 
     /// Number of live entries.
@@ -64,7 +67,10 @@ impl FaultyRowChipTracker {
 
     /// The chip previously blamed for `row`, if tracked.
     pub fn lookup(&self, row: RowAddr) -> Option<usize> {
-        self.entries.iter().find(|(r, _)| *r == row).map(|&(_, c)| c)
+        self.entries
+            .iter()
+            .find(|(r, _)| *r == row)
+            .map(|&(_, c)| c)
     }
 
     /// Records a diagnosis verdict.
@@ -81,9 +87,7 @@ impl FaultyRowChipTracker {
         }
         if self.entries.len() < self.capacity {
             self.entries.push((row, chip));
-            if self.entries.len() == self.capacity
-                && self.entries.iter().all(|&(_, c)| c == chip)
-            {
+            if self.entries.len() == self.capacity && self.entries.iter().all(|&(_, c)| c == chip) {
                 return FctOutcome::ChipCondemned { chip };
             }
             return FctOutcome::Recorded;
@@ -143,9 +147,15 @@ mod tests {
         fct.record(r(0, 1), 2);
         fct.record(r(0, 2), 2);
         fct.record(r(0, 3), 2);
-        assert_eq!(fct.record(r(0, 4), 2), FctOutcome::ChipCondemned { chip: 2 });
+        assert_eq!(
+            fct.record(r(0, 4), 2),
+            FctOutcome::ChipCondemned { chip: 2 }
+        );
         // Still condemned on further inserts.
-        assert_eq!(fct.record(r(0, 5), 2), FctOutcome::ChipCondemned { chip: 2 });
+        assert_eq!(
+            fct.record(r(0, 5), 2),
+            FctOutcome::ChipCondemned { chip: 2 }
+        );
     }
 
     #[test]

@@ -65,9 +65,15 @@ impl SecdedDimm {
     /// Builds the DIMM (chips carry on-die ECC, the paper's Figure 1
     /// world).
     pub fn new(geometry: ChipGeometry) -> Self {
-        let chips =
-            (0..TOTAL_CHIPS).map(|_| DramChip::new(geometry, OnDieCode::Crc8Atm)).collect();
-        Self { chips, code: Hamming7264::new(), geometry, stats: SecdedStats::default() }
+        let chips = (0..TOTAL_CHIPS)
+            .map(|_| DramChip::new(geometry, OnDieCode::Crc8Atm))
+            .collect();
+        Self {
+            chips,
+            code: Hamming7264::new(),
+            geometry,
+            stats: SecdedStats::default(),
+        }
     }
 
     /// The chip geometry.
@@ -132,7 +138,10 @@ impl SecdedDimm {
             self.stats.due_events += 1;
             SecdedReadout::Due { bad_beats }
         } else {
-            SecdedReadout::Ok { data, corrected_beats }
+            SecdedReadout::Ok {
+                data,
+                corrected_beats,
+            }
         }
     }
 }
@@ -190,7 +199,10 @@ mod tests {
     fn clean_roundtrip() {
         let mut d = dimm();
         match d.read_line(0) {
-            SecdedReadout::Ok { data, corrected_beats } => {
+            SecdedReadout::Ok {
+                data,
+                corrected_beats,
+            } => {
                 assert_eq!(data, LINE);
                 assert_eq!(corrected_beats, 0);
             }
@@ -246,7 +258,10 @@ mod tests {
         let addr = d.geometry().addr(1);
         d.inject_fault(5, InjectedFault::bit(addr, 20, FaultKind::Permanent));
         match d.read_line(1) {
-            SecdedReadout::Ok { data, corrected_beats } => {
+            SecdedReadout::Ok {
+                data,
+                corrected_beats,
+            } => {
                 assert_eq!(data, LINE);
                 assert_eq!(corrected_beats, 0, "on-die ECC fixed it first");
             }

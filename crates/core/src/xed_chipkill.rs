@@ -152,7 +152,10 @@ impl XedChipkillSystem {
                 catch_words.push(cw);
             }
         }
-        let chips = catch_words.iter().map(|&cw| X4Chip::new(geometry, cw)).collect();
+        let chips = catch_words
+            .iter()
+            .map(|&cw| X4Chip::new(geometry, cw))
+            .collect();
         Self {
             chips,
             catch_words,
@@ -239,8 +242,9 @@ impl XedChipkillSystem {
     pub fn read_line_at(&mut self, addr: WordAddr) -> Result<X4LineReadout, XedError> {
         self.stats.reads += 1;
         let words = self.bus_read(addr);
-        let catchers: Vec<usize> =
-            (0..TOTAL_CHIPS).filter(|&i| words[i] == self.catch_words[i]).collect();
+        let catchers: Vec<usize> = (0..TOTAL_CHIPS)
+            .filter(|&i| words[i] == self.catch_words[i])
+            .collect();
         self.stats.catch_words_observed += catchers.len() as u64;
 
         match catchers.len() {
@@ -266,7 +270,9 @@ impl XedChipkillSystem {
                     Ok(out) => Ok(out),
                     Err(_) => match self.diagnose_and_retry(addr, &raw, &[]) {
                         Ok(out) => Ok(out),
-                        Err(_) => Err(XedError::MultipleFaultyChips { catch_words: n as u32 }),
+                        Err(_) => Err(XedError::MultipleFaultyChips {
+                            catch_words: n as u32,
+                        }),
                     },
                 }
             }
@@ -316,7 +322,9 @@ impl XedChipkillSystem {
         }
         touched.sort_unstable();
         if touched.len() > 2 {
-            return Err(XedError::DetectedUncorrectable { suspects: touched.len() as u32 });
+            return Err(XedError::DetectedUncorrectable {
+                suspects: touched.len() as u32,
+            });
         }
 
         // Collision check: a reconstructed chip whose value equals its
@@ -348,7 +356,11 @@ impl XedChipkillSystem {
         for (slot, chip) in corrected_chips.iter_mut().zip(all) {
             *slot = Some(chip);
         }
-        Ok(X4LineReadout { data, corrected_chips, collision })
+        Ok(X4LineReadout {
+            data,
+            corrected_chips,
+            collision,
+        })
     }
 
     /// Inter-Line (row streaming) then Intra-Line (pattern test) diagnosis
@@ -404,7 +416,9 @@ impl XedChipkillSystem {
             }
         }
         self.stats.due_events += 1;
-        Err(XedError::DetectedUncorrectable { suspects: suspects.len() as u32 })
+        Err(XedError::DetectedUncorrectable {
+            suspects: suspects.len() as u32,
+        })
     }
 
     /// Writes all-zeros / all-ones and reads back raw (XED off); chips
@@ -541,7 +555,10 @@ mod tests {
         let mut sys = loaded();
         let addr = sys.geometry().addr(2);
         sys.inject_fault(4, InjectedFault::bit(addr, 7, FaultKind::Permanent));
-        sys.inject_fault(9, InjectedFault::row(addr.bank, addr.row, FaultKind::Permanent));
+        sys.inject_fault(
+            9,
+            InjectedFault::row(addr.bank, addr.row, FaultKind::Permanent),
+        );
         let out = sys.read_line(2).unwrap();
         assert_eq!(out.data, LINE);
     }

@@ -82,7 +82,9 @@ impl Chipkill {
 
     /// Builds the RS(18,16) codec over GF(256).
     pub fn new() -> Self {
-        Self { rs: ReedSolomon::new(Field::gf256(), Self::TOTAL_CHIPS, Self::DATA_CHIPS) }
+        Self {
+            rs: ReedSolomon::new(Field::gf256(), Self::TOTAL_CHIPS, Self::DATA_CHIPS),
+        }
     }
 
     /// Encodes 16 data symbols into an 18-symbol beat.
@@ -129,7 +131,9 @@ impl DoubleChipkill {
 
     /// Builds the RS(36,32) codec over GF(256).
     pub fn new() -> Self {
-        Self { rs: ReedSolomon::new(Field::gf256(), Self::TOTAL_CHIPS, Self::DATA_CHIPS) }
+        Self {
+            rs: ReedSolomon::new(Field::gf256(), Self::TOTAL_CHIPS, Self::DATA_CHIPS),
+        }
     }
 
     /// Encodes 32 data symbols into a 36-symbol beat.
@@ -153,7 +157,10 @@ fn to_outcome(result: Result<Decoded, RsError>, k: usize) -> SymbolOutcome {
         Ok(d) if d.corrected.is_empty() => SymbolOutcome::Clean(d.data(k).to_vec()),
         Ok(d) => {
             let chips = d.corrected.clone();
-            SymbolOutcome::Corrected { data: d.data(k).to_vec(), chips }
+            SymbolOutcome::Corrected {
+                data: d.data(k).to_vec(),
+                chips,
+            }
         }
         Err(RsError::Detected) => SymbolOutcome::Due,
     }

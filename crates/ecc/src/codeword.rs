@@ -123,7 +123,11 @@ impl CodeWord72 {
 
 impl fmt::Debug for CodeWord72 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CodeWord72 {{ data: {:#018x}, check: {:#04x} }}", self.data, self.check)
+        write!(
+            f,
+            "CodeWord72 {{ data: {:#018x}, check: {:#04x} }}",
+            self.data, self.check
+        )
     }
 }
 

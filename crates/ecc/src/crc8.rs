@@ -27,6 +27,130 @@ use crate::secded::{DecodeOutcome, SecDed};
 /// The CRC8-ATM generator polynomial x^8 + x^2 + x + 1 (low 8 bits).
 pub const POLY: u8 = 0x07;
 
+/// Byte-at-a-time CRC table: `CRC_TABLE[b]` = CRC of the single byte `b`.
+///
+/// Computed at compile time; the const proof blocks below consume it, so a
+/// corrupted entry is a *build failure*, not a latent decoder bug.
+pub(crate) const CRC_TABLE: [u8; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut crc = b as u8;
+        let mut k = 0;
+        while k < 8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ POLY
+            } else {
+                crc << 1
+            };
+            k += 1;
+        }
+        table[b] = crc;
+        b += 1;
+    }
+    table
+}
+
+/// CRC8-ATM of a 64-bit word (const-evaluable; same table as the runtime
+/// codec, big-endian byte order).
+pub(crate) const fn crc8_u64(data: u64) -> u8 {
+    let bytes = data.to_be_bytes();
+    let mut crc = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        crc = CRC_TABLE[(crc ^ bytes[i]) as usize];
+        i += 1;
+    }
+    crc
+}
+
+/// Syndrome of the single-bit error at physical position `i` of a (72,64)
+/// codeword: data bits contribute `crc8` of their weight-1 word, check bits
+/// contribute themselves.
+const fn single_bit_syndrome(i: u32) -> u8 {
+    if i < 64 {
+        crc8_u64(1u64 << (63 - i))
+    } else {
+        1u8 << (71 - i)
+    }
+}
+
+/// `SYNDROME_POS[s]` = physical bit whose single-bit error has syndrome
+/// `s`, or −1. Built at compile time; construction itself asserts the 72
+/// syndromes are nonzero and pairwise distinct.
+const SYNDROME_POS: [i8; 256] = build_syndrome_pos();
+
+const fn build_syndrome_pos() -> [i8; 256] {
+    let mut pos = [-1i8; 256];
+    let mut i = 0u32;
+    while i < 72 {
+        let s = single_bit_syndrome(i);
+        assert!(
+            s != 0,
+            "CRC8-ATM: a single-bit syndrome is zero (not even SEC)"
+        );
+        assert!(
+            pos[s as usize] == -1,
+            "CRC8-ATM: two single-bit errors share a syndrome"
+        );
+        pos[s as usize] = i as i8;
+        i += 1;
+    }
+    pos
+}
+
+// ---------------------------------------------------------------------------
+// Compile-time SECDED proof (distance ≥ 4 over the 72-bit codeword).
+//
+// `g(x) = (x+1)·p(x)` with p primitive of degree 7, so every multiple of g
+// has even weight, so every single-bit syndrome `x^i mod g` has ODD weight
+// (1 + weight(r) must be even). Two consequences, both machine-checked here:
+//
+//  * single-bit errors are correctable: 72 distinct odd-weight nonzero
+//    syndromes (distinctness is re-proved pairwise below and during
+//    `build_syndrome_pos`);
+//  * double-bit errors are always detected and never mis-corrected: the
+//    XOR of two distinct odd-weight syndromes is nonzero with EVEN weight,
+//    hence never zero (valid) and never equal to any single-bit syndrome.
+//
+// Together: minimum distance ≥ 4 ⟹ SECDED. `cargo build` fails if any of
+// this stops holding — e.g. if `POLY` or a `CRC_TABLE` entry is corrupted.
+// ---------------------------------------------------------------------------
+const _: () = {
+    let mut i = 0u32;
+    while i < 72 {
+        let si = single_bit_syndrome(i);
+        assert!(si != 0, "single-bit syndrome is zero");
+        assert!(
+            si.count_ones() % 2 == 1,
+            "single-bit syndrome has even weight"
+        );
+        let mut j = i + 1;
+        while j < 72 {
+            let sj = single_bit_syndrome(j);
+            let d = si ^ sj;
+            assert!(
+                d != 0,
+                "two single-bit syndromes collide (weight-2 codeword!)"
+            );
+            assert!(
+                d.count_ones().is_multiple_of(2),
+                "double-bit syndrome has odd weight"
+            );
+            // Even nonzero weight ⟹ not in the odd-weight single-bit set:
+            // the decoder reports Detected, never a wrong correction.
+            assert!(
+                SYNDROME_POS[d as usize] == -1,
+                "double-bit error aliases a single-bit one"
+            );
+            j += 1;
+        }
+        i += 1;
+    }
+};
+
 /// The (72,64) CRC8-ATM SECDED codec.
 ///
 /// Encoding appends `crc8(data)` as the check byte; decoding uses a
@@ -57,31 +181,15 @@ impl Default for Crc8Atm {
 }
 
 impl Crc8Atm {
-    /// Builds the codec, generating the CRC and syndrome lookup tables.
+    /// Builds the codec. The CRC and syndrome lookup tables are compile-time
+    /// constants whose SECDED invariants are proved by `const` assertions in
+    /// this module — a build that links this function has already verified
+    /// them.
     pub fn new() -> Self {
-        let mut crc_table = [0u8; 256];
-        for (b, entry) in crc_table.iter_mut().enumerate() {
-            let mut crc = b as u8;
-            for _ in 0..8 {
-                crc = if crc & 0x80 != 0 { (crc << 1) ^ POLY } else { crc << 1 };
-            }
-            *entry = crc;
+        Self {
+            crc_table: CRC_TABLE,
+            syndrome_pos: SYNDROME_POS,
         }
-
-        let mut codec = Self { crc_table, syndrome_pos: [-1i8; 256] };
-        // Tabulate the syndrome of each of the 72 single-bit errors. The
-        // syndrome of flipping physical bit i of a valid codeword equals the
-        // syndrome of the error pattern with only bit i set.
-        let mut syndrome_pos = [-1i8; 256];
-        for i in 0..72u32 {
-            let e = CodeWord72::default().with_bit_flipped(i);
-            let s = codec.raw_syndrome(e);
-            assert_ne!(s, 0, "single-bit syndrome must be nonzero (bit {i})");
-            assert_eq!(syndrome_pos[s as usize], -1, "syndrome collision at bit {i}");
-            syndrome_pos[s as usize] = i as i8;
-        }
-        codec.syndrome_pos = syndrome_pos;
-        codec
     }
 
     /// CRC8-ATM of a 64-bit data word (big-endian byte order, standard
@@ -110,14 +218,19 @@ impl SecDed for Crc8Atm {
     fn decode(&self, received: CodeWord72) -> DecodeOutcome {
         let s = self.raw_syndrome(received);
         if s == 0 {
-            return DecodeOutcome::Clean { data: received.data() };
+            return DecodeOutcome::Clean {
+                data: received.data(),
+            };
         }
         match self.syndrome_pos[s as usize] {
             -1 => DecodeOutcome::Detected,
             pos => {
                 let phys = pos as u32;
                 let fixed = received.with_bit_flipped(phys);
-                DecodeOutcome::Corrected { data: fixed.data(), bit: phys }
+                DecodeOutcome::Corrected {
+                    data: fixed.data(),
+                    bit: phys,
+                }
             }
         }
     }
@@ -150,6 +263,18 @@ mod tests {
     #[test]
     fn crc_of_zero_is_zero() {
         assert_eq!(Crc8Atm::new().crc8(0), 0);
+    }
+
+    #[test]
+    fn const_syndrome_table_matches_runtime_tabulation() {
+        // The compile-time table must agree with syndromes computed through
+        // the public runtime path (CodeWord72 bit flips).
+        let c = Crc8Atm::new();
+        for i in 0..72u32 {
+            let e = CodeWord72::default().with_bit_flipped(i);
+            let s = c.raw_syndrome(e);
+            assert_eq!(c.syndrome_pos[s as usize], i as i8, "bit {i}");
+        }
     }
 
     #[test]
@@ -199,7 +324,11 @@ mod tests {
             for byte in data.to_be_bytes() {
                 crc ^= byte;
                 for _ in 0..8 {
-                    crc = if crc & 0x80 != 0 { (crc << 1) ^ POLY } else { crc << 1 };
+                    crc = if crc & 0x80 != 0 {
+                        (crc << 1) ^ POLY
+                    } else {
+                        crc << 1
+                    };
                 }
             }
             crc

@@ -62,7 +62,9 @@ pub fn apply_error<R: Rng>(rng: &mut R, word: CodeWord72, k: u32, model: ErrorMo
                     positions.push(p);
                 }
             }
-            positions.into_iter().fold(word, |w, p| w.with_bit_flipped(p))
+            positions
+                .into_iter()
+                .fold(word, |w, p| w.with_bit_flipped(p))
         }
         ErrorModel::Burst => {
             let start = rng.gen_range(0..=(72 - k));
@@ -93,7 +95,12 @@ pub fn measure<C: SecDed>(
             detected += 1;
         }
     }
-    DetectionRate { errors: k, model, trials, detected }
+    DetectionRate {
+        errors: k,
+        model,
+        trials,
+        detected,
+    }
 }
 
 /// Exhaustively counts the *undetectable* error patterns of a given
@@ -111,7 +118,10 @@ pub fn measure<C: SecDed>(
 /// Panics if `weight` is not in `1..=4` (larger weights are
 /// combinatorially expensive; use [`measure`] instead).
 pub fn undetected_pattern_census<C: SecDed>(code: &C, weight: u32) -> u64 {
-    assert!((1..=4).contains(&weight), "census supported for weights 1-4");
+    assert!(
+        (1..=4).contains(&weight),
+        "census supported for weights 1-4"
+    );
     let base = code.encode(0);
     let mut count = 0u64;
     let mut idx = [0u32; 4];
@@ -145,11 +155,21 @@ pub fn undetected_pattern_census<C: SecDed>(code: &C, weight: u32) -> u64 {
 }
 
 /// Measures a full Table II row set: `k = 1..=8` for both error models.
-pub fn table2_rows<C: SecDed>(code: &C, trials: u64, seed: u64) -> Vec<(DetectionRate, DetectionRate)> {
+pub fn table2_rows<C: SecDed>(
+    code: &C,
+    trials: u64,
+    seed: u64,
+) -> Vec<(DetectionRate, DetectionRate)> {
     (1..=8)
         .map(|k| {
             let random = measure(code, k, ErrorModel::Random, trials, seed ^ (k as u64) << 8);
-            let burst = measure(code, k, ErrorModel::Burst, trials, seed ^ (k as u64) << 16 | 1);
+            let burst = measure(
+                code,
+                k,
+                ErrorModel::Burst,
+                trials,
+                seed ^ (k as u64) << 16 | 1,
+            );
             (random, burst)
         })
         .collect()
@@ -202,8 +222,14 @@ mod tests {
         let h = Hamming7264::new();
         let c = Crc8Atm::new();
         for k in [3u32, 5, 7] {
-            assert_eq!(measure(&h, k, ErrorModel::Random, TRIALS, 6).percent(), 100.0);
-            assert_eq!(measure(&c, k, ErrorModel::Random, TRIALS, 7).percent(), 100.0);
+            assert_eq!(
+                measure(&h, k, ErrorModel::Random, TRIALS, 6).percent(),
+                100.0
+            );
+            assert_eq!(
+                measure(&c, k, ErrorModel::Random, TRIALS, 7).percent(),
+                100.0
+            );
         }
     }
 

@@ -8,6 +8,124 @@
 
 use std::fmt;
 
+/// Builds the `(exp, log)` tables of GF(2^m) at compile time, where
+/// `SIZE = 2^m` and `EXP2 = 2·(2^m − 1)` (the exp table is doubled so
+/// `mul` can skip a modular reduction). Evaluation FAILS THE BUILD if the
+/// polynomial is not primitive — i.e. if `x` does not generate the full
+/// multiplicative group.
+const fn build_exp_log<const SIZE: usize, const EXP2: usize>(
+    m: u32,
+    poly: u32,
+) -> ([u8; EXP2], [u16; SIZE]) {
+    assert!(
+        EXP2 == 2 * (SIZE - 1),
+        "exp table must be twice the group order"
+    );
+    let order = SIZE - 1;
+    let mut exp = [0u8; EXP2];
+    let mut log = [0u16; SIZE];
+    let mut x = 1u32;
+    let mut i = 0usize;
+    while i < order {
+        assert!(
+            i == 0 || x != 1,
+            "polynomial is not primitive (x has smaller order)"
+        );
+        exp[i] = x as u8;
+        exp[i + order] = x as u8;
+        log[x as usize] = i as u16;
+        x <<= 1;
+        if x & (1 << m) != 0 {
+            x ^= poly;
+        }
+        i += 1;
+    }
+    assert!(x == 1, "polynomial is not primitive (x never returns to 1)");
+    (exp, log)
+}
+
+const GF256_TABLES: ([u8; 510], [u16; 256]) = build_exp_log::<256, 510>(8, 0x11D);
+/// Compile-time antilog table of GF(256): `GF256_EXP[i] = α^i` (doubled).
+pub(crate) const GF256_EXP: [u8; 510] = GF256_TABLES.0;
+/// Compile-time log table of GF(256) (entry 0 unused).
+pub(crate) const GF256_LOG: [u16; 256] = GF256_TABLES.1;
+
+const GF16_TABLES: ([u8; 30], [u16; 16]) = build_exp_log::<16, 30>(4, 0x13);
+const GF16_EXP: [u8; 30] = GF16_TABLES.0;
+const GF16_LOG: [u16; 16] = GF16_TABLES.1;
+
+/// GF(256) multiplication through the compile-time tables (const-evaluable
+/// mirror of [`Field::mul`]; used by the Reed–Solomon generator proofs).
+pub(crate) const fn gf256_mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        GF256_EXP[GF256_LOG[a as usize] as usize + GF256_LOG[b as usize] as usize]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compile-time field proofs. `build_exp_log` already proves α generates the
+// multiplicative group (primitivity); these blocks prove the tables are
+// mutually inverse and that every nonzero element has a multiplicative
+// inverse — the properties the Reed–Solomon decoder's divisions rely on.
+// A corrupted table entry fails `cargo build` here.
+// ---------------------------------------------------------------------------
+const _: () = {
+    // exp and log are mutual inverses on the nonzero elements.
+    let mut a = 1usize;
+    while a < 256 {
+        assert!(
+            GF256_EXP[GF256_LOG[a] as usize] as usize == a,
+            "GF256 exp∘log ≠ id"
+        );
+        let inv = GF256_EXP[255 - GF256_LOG[a] as usize];
+        assert!(
+            gf256_mul(a as u8, inv) == 1,
+            "GF256 element without inverse"
+        );
+        a += 1;
+    }
+    let mut i = 0usize;
+    while i < 255 {
+        assert!(
+            GF256_LOG[GF256_EXP[i] as usize] as usize == i,
+            "GF256 log∘exp ≠ id"
+        );
+        assert!(
+            GF256_EXP[i] == GF256_EXP[i + 255],
+            "GF256 doubled exp table mismatch"
+        );
+        i += 1;
+    }
+};
+
+const _: () = {
+    let mut a = 1usize;
+    while a < 16 {
+        assert!(
+            GF16_EXP[GF16_LOG[a] as usize] as usize == a,
+            "GF16 exp∘log ≠ id"
+        );
+        let la = GF16_LOG[a] as usize;
+        let inv = GF16_EXP[15 - la];
+        // mul through the tables: α^(log a + log inv) must be 1.
+        assert!(
+            GF16_EXP[la + GF16_LOG[inv as usize] as usize] == 1,
+            "GF16 element without inverse"
+        );
+        a += 1;
+    }
+    let mut i = 0usize;
+    while i < 15 {
+        assert!(
+            GF16_LOG[GF16_EXP[i] as usize] as usize == i,
+            "GF16 log∘exp ≠ id"
+        );
+        i += 1;
+    }
+};
+
 /// A GF(2^m) field defined by a primitive polynomial.
 ///
 /// Elements are represented as integers `0..2^m` in polynomial basis.
@@ -60,23 +178,49 @@ impl Field {
             }
         }
         assert_eq!(x, 1, "polynomial {poly:#x} is not primitive for m={m}");
-        Self { m, size, poly, log, exp }
+        Self {
+            m,
+            size,
+            poly,
+            log,
+            exp,
+        }
     }
 
     /// The standard GF(256) field used by the byte-symbol Reed–Solomon
-    /// codecs (primitive polynomial x^8+x^4+x^3+x^2+1).
+    /// codecs (primitive polynomial x^8+x^4+x^3+x^2+1). Backed by the
+    /// compile-time tables proved correct by this module's `const`
+    /// assertions.
     pub fn gf256() -> Self {
-        Self::new(8, 0x11D)
+        Self {
+            m: 8,
+            size: 256,
+            poly: 0x11D,
+            log: GF256_LOG.to_vec(),
+            exp: GF256_EXP.to_vec(),
+        }
     }
 
     /// GF(16) with primitive polynomial x^4+x+1, for x4-device symbols.
+    /// Backed by compile-time tables like [`Field::gf256`].
     pub fn gf16() -> Self {
-        Self::new(4, 0x13)
+        Self {
+            m: 4,
+            size: 16,
+            poly: 0x13,
+            log: GF16_LOG.to_vec(),
+            exp: GF16_EXP.to_vec(),
+        }
     }
 
     /// Field extension degree m.
     pub fn m(&self) -> u32 {
         self.m
+    }
+
+    /// The defining primitive polynomial, including the leading term.
+    pub fn poly(&self) -> u32 {
+        self.poly
     }
 
     /// Number of field elements (2^m).
@@ -222,7 +366,10 @@ mod tests {
             for a in 1..f.size() as u16 {
                 let a = a as u8;
                 assert_eq!(f.mul(a, f.inv(a)), 1, "a={a} in GF(2^{})", f.m());
-                assert_eq!(f.div(f.mul(a, 7.min(f.order() as u8)), a), 7.min(f.order() as u8));
+                assert_eq!(
+                    f.div(f.mul(a, 7.min(f.order() as u8)), a),
+                    7.min(f.order() as u8)
+                );
             }
         }
     }
@@ -288,6 +435,30 @@ mod tests {
         let f = Field::gf256();
         for a in 1..=255u8 {
             assert_eq!(f.alpha_pow(f.log(a)), a);
+        }
+    }
+
+    #[test]
+    fn const_tables_match_runtime_construction() {
+        // The compile-time tables must agree with Field::new's runtime
+        // generation for the same polynomials.
+        let runtime = Field::new(8, 0x11D);
+        let shipped = Field::gf256();
+        assert_eq!(runtime.log, shipped.log);
+        assert_eq!(runtime.exp, shipped.exp);
+        let runtime = Field::new(4, 0x13);
+        let shipped = Field::gf16();
+        assert_eq!(runtime.log, shipped.log);
+        assert_eq!(runtime.exp, shipped.exp);
+    }
+
+    #[test]
+    fn const_mul_matches_field_mul() {
+        let f = Field::gf256();
+        for a in [0u8, 1, 2, 0x53, 0xCA, 0xFF] {
+            for b in [0u8, 1, 3, 0x8E, 0xFF] {
+                assert_eq!(super::gf256_mul(a, b), f.mul(a, b));
+            }
         }
     }
 }

@@ -28,6 +28,109 @@ const POSITIONS: usize = 71;
 /// Number of Hamming check bits (positions 1,2,4,...,64).
 const CHECKS: usize = 7;
 
+/// Compile-time position permutation: `(data_pos, pos_to_databit)`.
+///
+/// `data_pos[i]` is the Hamming position (1..=71) of data bit `i`;
+/// `pos_to_databit[p]` inverts it (−1 for check-bit positions). The const
+/// proof blocks below consume these tables, so corrupting a column of the
+/// H-matrix (i.e. any entry here) fails `cargo build`.
+const POSITION_TABLES: ([u8; 64], [i8; POSITIONS + 1]) = build_position_tables();
+
+const fn build_position_tables() -> ([u8; 64], [i8; POSITIONS + 1]) {
+    let mut data_pos = [0u8; 64];
+    let mut pos_to_databit = [-1i8; POSITIONS + 1];
+    let mut di = 0usize;
+    let mut p = 1usize;
+    while p <= POSITIONS {
+        if !p.is_power_of_two() {
+            data_pos[di] = p as u8;
+            pos_to_databit[p] = di as i8;
+            di += 1;
+        }
+        p += 1;
+    }
+    assert!(
+        di == 64,
+        "expected exactly 64 non-power-of-two positions in 1..=71"
+    );
+    (data_pos, pos_to_databit)
+}
+
+const DATA_POS: [u8; 64] = POSITION_TABLES.0;
+const POS_TO_DATABIT: [i8; POSITIONS + 1] = POSITION_TABLES.1;
+
+/// The 7-bit Hamming syndrome of the single-bit error at physical position
+/// `i` of a [`CodeWord72`] (the overall parity always flips, so the pair is
+/// `(syndrome, 1)` for every `i`). Physical order: data bit `63−i` at
+/// physical `i < 64`; check-byte bit `71−i` at physical `i ≥ 64`; check-byte
+/// bit 7 is the extension (overall-parity) bit with no Hamming position.
+const fn single_bit_syndrome(i: u32) -> u8 {
+    if i < 64 {
+        DATA_POS[(63 - i) as usize]
+    } else {
+        let c = 71 - i;
+        if c == 7 {
+            0 // the overall-parity bit itself
+        } else {
+            1u8 << c
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compile-time SECDED proof for the extended Hamming code.
+//
+// Every single-bit error flips the overall parity, so its signature is the
+// pair `(syndrome, overall=1)`. The 72 syndromes are exactly the values
+// {0, 1, ..., 71}, each occurring once (0 for the extension bit). Checked
+// here:
+//
+//  * single-bit errors are correctable: the 72 `(syndrome, 1)` pairs are
+//    pairwise distinct and every nonzero syndrome points at a valid
+//    position `≤ 71`, so the decoder's correction arm is total;
+//  * double-bit errors are always detected, never mis-corrected: the two
+//    parity flips cancel (`overall=0`) while the syndromes differ, so the
+//    combined syndrome is NONZERO with even overall parity — the decoder's
+//    `Detected` arm, disjoint from every single-bit signature.
+//
+// Distinct singles + (nonzero, even) doubles ⟹ minimum distance ≥ 4.
+// ---------------------------------------------------------------------------
+const _: () = {
+    // The permutation is consistent and in range.
+    let mut di = 0usize;
+    while di < 64 {
+        let p = DATA_POS[di] as usize;
+        assert!(p >= 1 && p <= POSITIONS, "data position out of range");
+        assert!(
+            !p.is_power_of_two(),
+            "data bit mapped onto a check-bit position"
+        );
+        assert!(POS_TO_DATABIT[p] == di as i8, "position tables disagree");
+        di += 1;
+    }
+    // Single-bit syndromes are pairwise distinct; doubles are nonzero.
+    let mut i = 0u32;
+    while i < 72 {
+        let si = single_bit_syndrome(i);
+        assert!(
+            (si as usize) <= POSITIONS,
+            "syndrome points outside the code"
+        );
+        let mut j = i + 1;
+        while j < 72 {
+            let sj = single_bit_syndrome(j);
+            assert!(
+                si != sj,
+                "two single-bit errors share a syndrome (distance < 3)"
+            );
+            // With overall parity even, syndrome si^sj != 0 lands in the
+            // Detected arm of the decoder. (si != sj makes it nonzero.)
+            j += 1;
+        }
+        i += 1;
+    }
+};
+
 /// The (72,64) extended Hamming SECDED codec.
 ///
 /// The codec is cheap to construct and stateless after construction; build
@@ -55,20 +158,14 @@ impl Default for Hamming7264 {
 }
 
 impl Hamming7264 {
-    /// Builds the codec (computes the position permutation).
+    /// Builds the codec. The position permutation is a compile-time constant
+    /// whose SECDED invariants are proved by `const` assertions in this
+    /// module — a build that links this function has already verified them.
     pub fn new() -> Self {
-        let mut data_pos = [0u8; 64];
-        let mut pos_to_databit = [-1i8; POSITIONS + 1];
-        let mut di = 0usize;
-        for (p, slot) in pos_to_databit.iter_mut().enumerate().skip(1) {
-            if !p.is_power_of_two() {
-                data_pos[di] = p as u8;
-                *slot = di as i8;
-                di += 1;
-            }
+        Self {
+            data_pos: DATA_POS,
+            pos_to_databit: POS_TO_DATABIT,
         }
-        debug_assert_eq!(di, 64);
-        Self { data_pos, pos_to_databit }
     }
 
     /// Computes the 7-bit Hamming syndrome and overall parity of a received
@@ -138,18 +235,26 @@ impl SecDed for Hamming7264 {
     fn decode(&self, received: CodeWord72) -> DecodeOutcome {
         let (syn, overall) = self.syndrome(received);
         match (syn, overall) {
-            (0, 0) => DecodeOutcome::Clean { data: received.data() },
+            (0, 0) => DecodeOutcome::Clean {
+                data: received.data(),
+            },
             (0, 1) => {
                 // Error in the overall parity bit itself (check-byte bit 7,
                 // physical bit 64).
-                DecodeOutcome::Corrected { data: received.data(), bit: 64 }
+                DecodeOutcome::Corrected {
+                    data: received.data(),
+                    bit: 64,
+                }
             }
             (s, 1) if (s as usize) <= POSITIONS => {
                 // Odd number of errors with a syndrome pointing at a
                 // position: correct it as a single-bit error.
                 let phys = self.position_to_physical(s);
                 let fixed = received.with_bit_flipped(phys);
-                DecodeOutcome::Corrected { data: fixed.data(), bit: phys }
+                DecodeOutcome::Corrected {
+                    data: fixed.data(),
+                    bit: phys,
+                }
             }
             // Even number of errors (syndrome != 0, overall parity even), or
             // a syndrome pointing outside the code: detected, uncorrectable.

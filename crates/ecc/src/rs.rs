@@ -13,8 +13,93 @@
 //! A codeword with `nsym` check symbols decodes successfully whenever
 //! `2·errors + erasures ≤ nsym`.
 
-use crate::gf::Field;
+use crate::gf::{gf256_mul, Field, GF256_EXP};
 use std::fmt;
+
+/// Builds the RS generator `g(x) = Π_{j=0..L-2} (x + α^j)` over GF(256) at
+/// compile time (ascending coefficients, degree `L − 1`).
+const fn build_generator<const L: usize>() -> [u8; L] {
+    let mut g = [0u8; L];
+    g[0] = 1;
+    let mut deg = 0usize;
+    while deg + 1 < L {
+        let root = GF256_EXP[deg]; // α^deg
+                                   // Multiply the degree-`deg` polynomial by (root + x), in place from
+                                   // the top so each coefficient is read before it is overwritten.
+        let mut next = [0u8; L];
+        let mut i = 0usize;
+        while i <= deg {
+            next[i] ^= gf256_mul(g[i], root);
+            next[i + 1] ^= g[i];
+            i += 1;
+        }
+        g = next;
+        deg += 1;
+    }
+    g
+}
+
+/// Evaluates an ascending-coefficient polynomial over GF(256) at `x`
+/// (const-evaluable Horner mirror of [`Field::poly_eval`]).
+const fn gf256_poly_eval<const L: usize>(p: &[u8; L], x: u8) -> u8 {
+    let mut acc = 0u8;
+    let mut i = L;
+    while i > 0 {
+        i -= 1;
+        acc = gf256_mul(acc, x) ^ p[i];
+    }
+    acc
+}
+
+/// Generator of the Chipkill code RS(18,16): 2 check symbols, roots α^0, α^1.
+pub(crate) const GEN_2: [u8; 3] = build_generator::<3>();
+/// Generator of the Double-Chipkill code RS(36,32): 4 check symbols,
+/// roots α^0..α^3.
+pub(crate) const GEN_4: [u8; 5] = build_generator::<5>();
+
+// ---------------------------------------------------------------------------
+// Compile-time Reed–Solomon generator proof. A generator with `nsym`
+// CONSECUTIVE roots α^0..α^(nsym−1) is what gives BCH-bound distance
+// `nsym + 1` — i.e. Chipkill's single-symbol correction and XED's
+// two-erasure correction. Checked here: both shipped generators are monic
+// of the right degree, vanish at exactly the consecutive powers, and do
+// NOT vanish at the next power (the roots are exactly α^0..α^(nsym−1)).
+// A corrupted GF(256) table or generator coefficient fails `cargo build`.
+// ---------------------------------------------------------------------------
+const _: () = {
+    assert!(
+        GEN_2[2] == 1,
+        "RS(18,16) generator must be monic of degree 2"
+    );
+    assert!(
+        GEN_4[4] == 1,
+        "RS(36,32) generator must be monic of degree 4"
+    );
+    let mut j = 0usize;
+    while j < 2 {
+        assert!(
+            gf256_poly_eval(&GEN_2, GF256_EXP[j]) == 0,
+            "RS(18,16): missing root α^j"
+        );
+        j += 1;
+    }
+    assert!(
+        gf256_poly_eval(&GEN_2, GF256_EXP[2]) != 0,
+        "RS(18,16): spurious root α^2"
+    );
+    let mut j = 0usize;
+    while j < 4 {
+        assert!(
+            gf256_poly_eval(&GEN_4, GF256_EXP[j]) == 0,
+            "RS(36,32): missing root α^j"
+        );
+        j += 1;
+    }
+    assert!(
+        gf256_poly_eval(&GEN_4, GF256_EXP[4]) != 0,
+        "RS(36,32): spurious root α^4"
+    );
+};
 
 /// Error returned when a received word cannot be decoded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -88,14 +173,32 @@ impl ReedSolomon {
     /// Panics unless `0 < k < n ≤ 2^m − 1`.
     pub fn new(field: Field, n: usize, k: usize) -> Self {
         assert!(k > 0 && k < n, "need 0 < k < n (got n={n}, k={k})");
-        assert!(n <= field.order(), "n={n} exceeds field order {}", field.order());
+        assert!(
+            n <= field.order(),
+            "n={n} exceeds field order {}",
+            field.order()
+        );
         let nsym = n - k;
-        // g(x) = Π_{j=0..nsym-1} (x + α^j), ascending coefficients.
-        let mut generator = vec![1u8];
-        for j in 0..nsym {
-            generator = field.poly_mul(&generator, &[field.alpha_pow(j), 1]);
+        // g(x) = Π_{j=0..nsym-1} (x + α^j), ascending coefficients. The two
+        // paper configurations (Chipkill nsym=2, Double-Chipkill nsym=4 over
+        // GF(256)) use the compile-time generators proved correct above.
+        let generator = if field.poly() == 0x11D && nsym == 2 {
+            GEN_2.to_vec()
+        } else if field.poly() == 0x11D && nsym == 4 {
+            GEN_4.to_vec()
+        } else {
+            let mut g = vec![1u8];
+            for j in 0..nsym {
+                g = field.poly_mul(&g, &[field.alpha_pow(j), 1]);
+            }
+            g
+        };
+        Self {
+            field,
+            n,
+            k,
+            generator,
         }
-        Self { field, n, k, generator }
     }
 
     /// Total codeword length in symbols.
@@ -193,7 +296,10 @@ impl ReedSolomon {
 
         let synd = self.syndromes(received);
         if synd.iter().all(|&s| s == 0) {
-            return Ok(Decoded { codeword: received.to_vec(), corrected: Vec::new() });
+            return Ok(Decoded {
+                codeword: received.to_vec(),
+                corrected: Vec::new(),
+            });
         }
 
         let f = &self.field;
@@ -207,7 +313,9 @@ impl ReedSolomon {
         // Forney syndromes: coefficients e..nsym-1 of Γ(x)·S(x).
         let e = erasures.len();
         let prod = f.poly_mul(&gamma, &synd);
-        let forney: Vec<u8> = (e..nsym).map(|i| prod.get(i).copied().unwrap_or(0)).collect();
+        let forney: Vec<u8> = (e..nsym)
+            .map(|i| prod.get(i).copied().unwrap_or(0))
+            .collect();
 
         // Berlekamp–Massey on the Forney syndromes finds the error locator σ.
         let sigma = berlekamp_massey(f, &forney);
@@ -260,9 +368,14 @@ impl ReedSolomon {
         }
         // Report only positions whose value actually changed (an erasure may
         // have held the correct value by luck).
-        let corrected: Vec<usize> =
-            positions.into_iter().filter(|&i| corrected_word[i] != received[i]).collect();
-        Ok(Decoded { codeword: corrected_word, corrected })
+        let corrected: Vec<usize> = positions
+            .into_iter()
+            .filter(|&i| corrected_word[i] != received[i])
+            .collect();
+        Ok(Decoded {
+            codeword: corrected_word,
+            corrected,
+        })
     }
 }
 
@@ -296,7 +409,7 @@ fn berlekamp_massey(f: &Field, synd: &[u8]) -> Vec<u8> {
         }
     }
     // Trim trailing zeros so sigma.len()-1 == degree.
-    while sigma.len() > 1 && *sigma.last().unwrap() == 0 {
+    while sigma.len() > 1 && sigma[sigma.len() - 1] == 0 {
         sigma.pop();
     }
     sigma
@@ -326,6 +439,20 @@ mod tests {
 
     fn double_chipkill_rs() -> ReedSolomon {
         ReedSolomon::new(Field::gf256(), 36, 32)
+    }
+
+    #[test]
+    fn const_generators_match_runtime_construction() {
+        // The compile-time generators must equal what the general runtime
+        // product would build for the same (field, nsym).
+        let f = Field::gf256();
+        for (nsym, gen) in [(2usize, &super::GEN_2[..]), (4, &super::GEN_4[..])] {
+            let mut g = vec![1u8];
+            for j in 0..nsym {
+                g = f.poly_mul(&g, &[f.alpha_pow(j), 1]);
+            }
+            assert_eq!(g, gen, "nsym={nsym}");
+        }
     }
 
     #[test]
@@ -390,7 +517,10 @@ mod tests {
             }
         }
         // The overwhelming majority must be flagged.
-        assert!(detected >= 150, "only {detected}/200 double errors detected");
+        assert!(
+            detected >= 150,
+            "only {detected}/200 double errors detected"
+        );
     }
 
     #[test]
@@ -472,7 +602,10 @@ mod tests {
                 Ok(out) => assert_ne!(out.codeword, cw),
             }
         }
-        assert!(detected >= 150, "only {detected}/200 triple errors detected");
+        assert!(
+            detected >= 150,
+            "only {detected}/200 triple errors detected"
+        );
     }
 
     #[test]
@@ -515,8 +648,16 @@ mod tests {
         for trial in 0..300 {
             let data: Vec<u8> = (0..32).map(|_| rng.gen()).collect();
             let cw = rs.encode(&data);
-            let combos: &[(usize, usize)] =
-                &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 0), (1, 1), (1, 2), (2, 0)];
+            let combos: &[(usize, usize)] = &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (2, 0),
+            ];
             let (errors, erasures) = combos[trial % combos.len()];
             let mut rx = cw.clone();
             let mut idx: Vec<usize> = (0..36).collect();

@@ -12,8 +12,88 @@
 //! the degree-7 primitive factor), double errors are always detected, and
 //! every burst of length ≤ 8 is detected.
 
-use crate::crc8::POLY;
+use crate::crc8::CRC_TABLE;
 use std::fmt;
+
+/// CRC8-ATM of a 32-bit word (const-evaluable; leading zero bytes keep the
+/// CRC state at zero, so this agrees with the 64-bit codec on zero-extended
+/// words).
+pub(crate) const fn crc8_u32(data: u32) -> u8 {
+    let bytes = data.to_be_bytes();
+    let mut crc = 0u8;
+    let mut i = 0;
+    while i < 4 {
+        crc = CRC_TABLE[(crc ^ bytes[i]) as usize];
+        i += 1;
+    }
+    crc
+}
+
+/// Syndrome of the single-bit error at physical position `i` of a (40,32)
+/// codeword.
+const fn single_bit_syndrome(i: u32) -> u8 {
+    if i < 32 {
+        crc8_u32(1u32 << (31 - i))
+    } else {
+        1u8 << (39 - i)
+    }
+}
+
+/// `SYNDROME_POS[s]` = physical bit (0–39) whose single-bit error has
+/// syndrome `s`, or −1. Compile-time constant; construction asserts the 40
+/// syndromes are nonzero and pairwise distinct.
+const SYNDROME_POS: [i8; 256] = build_syndrome_pos();
+
+const fn build_syndrome_pos() -> [i8; 256] {
+    let mut pos = [-1i8; 256];
+    let mut i = 0u32;
+    while i < 40 {
+        let s = single_bit_syndrome(i);
+        assert!(
+            s != 0,
+            "CRC8-ATM/40: a single-bit syndrome is zero (not even SEC)"
+        );
+        assert!(
+            pos[s as usize] == -1,
+            "CRC8-ATM/40: two single-bit errors share a syndrome"
+        );
+        pos[s as usize] = i as i8;
+        i += 1;
+    }
+    pos
+}
+
+// Compile-time SECDED proof for the 40-bit regime; the argument is the one
+// in `crate::crc8` (odd-weight singles, even nonzero doubles ⟹ distance
+// ≥ 4), restricted to positions 0..40.
+const _: () = {
+    let mut i = 0u32;
+    while i < 40 {
+        let si = single_bit_syndrome(i);
+        assert!(
+            si != 0 && si.count_ones() % 2 == 1,
+            "single-bit syndrome not odd-weight"
+        );
+        let mut j = i + 1;
+        while j < 40 {
+            let d = si ^ single_bit_syndrome(j);
+            assert!(
+                d != 0,
+                "two single-bit syndromes collide (weight-2 codeword!)"
+            );
+            assert!(
+                d.count_ones().is_multiple_of(2),
+                "double-bit syndrome has odd weight"
+            );
+            assert!(
+                SYNDROME_POS[d as usize] == -1,
+                "double-bit error aliases a single-bit one"
+            );
+            j += 1;
+        }
+        i += 1;
+    }
+};
 
 /// A 40-bit codeword: 32 data bits plus 8 check bits, physical order
 /// MSB-first (data bit `31 − i` at physical `i`, check bit `39 − i` for
@@ -67,7 +147,11 @@ impl CodeWord40 {
 
 impl fmt::Debug for CodeWord40 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CodeWord40 {{ data: {:#010x}, check: {:#04x} }}", self.data, self.check)
+        write!(
+            f,
+            "CodeWord40 {{ data: {:#010x}, check: {:#04x} }}",
+            self.data, self.check
+        )
     }
 }
 
@@ -122,27 +206,13 @@ impl Default for Crc8Atm32 {
 }
 
 impl Crc8Atm32 {
-    /// Builds the codec.
+    /// Builds the codec. The lookup tables are compile-time constants whose
+    /// SECDED invariants are proved by `const` assertions in this module.
     pub fn new() -> Self {
-        let mut crc_table = [0u8; 256];
-        for (b, entry) in crc_table.iter_mut().enumerate() {
-            let mut crc = b as u8;
-            for _ in 0..8 {
-                crc = if crc & 0x80 != 0 { (crc << 1) ^ POLY } else { crc << 1 };
-            }
-            *entry = crc;
+        Self {
+            crc_table: CRC_TABLE,
+            syndrome_pos: SYNDROME_POS,
         }
-        let mut codec = Self { crc_table, syndrome_pos: [-1i8; 256] };
-        let mut syndrome_pos = [-1i8; 256];
-        for i in 0..40u32 {
-            let e = CodeWord40::default().with_bit_flipped(i);
-            let s = codec.raw_syndrome(e);
-            assert_ne!(s, 0, "single-bit syndrome must be nonzero (bit {i})");
-            assert_eq!(syndrome_pos[s as usize], -1, "syndrome collision at bit {i}");
-            syndrome_pos[s as usize] = i as i8;
-        }
-        codec.syndrome_pos = syndrome_pos;
-        codec
     }
 
     /// CRC8-ATM of a 32-bit word.
@@ -173,14 +243,19 @@ impl Crc8Atm32 {
     pub fn decode(&self, received: CodeWord40) -> Decode32 {
         let s = self.raw_syndrome(received);
         if s == 0 {
-            return Decode32::Clean { data: received.data() };
+            return Decode32::Clean {
+                data: received.data(),
+            };
         }
         match self.syndrome_pos[s as usize] {
             -1 => Decode32::Detected,
             pos => {
                 let bit = pos as u32;
                 let fixed = received.with_bit_flipped(bit);
-                Decode32::Corrected { data: fixed.data(), bit }
+                Decode32::Corrected {
+                    data: fixed.data(),
+                    bit,
+                }
             }
         }
     }

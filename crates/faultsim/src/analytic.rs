@@ -36,7 +36,11 @@ pub fn p_line_overlap(a: FaultExtent, b: FaultExtent, g: &DramGeometry) -> f64 {
         (Word, Row) => 1.0 / (banks * rows),
         (Word, Column) => 1.0 / (banks * cols),
         (Word, Word) => 1.0 / (banks * rows * cols),
-        _ => unreachable!("normalized extents"),
+        // invariant: unreachable — norm maps Bit to Word and the sort puts
+        // the smaller extent first, so only the ordered pairs above occur.
+        // The fallback is the finest (word) granularity, the conservative
+        // (smallest-probability) choice, instead of a panicking arm.
+        _ => 1.0 / (banks * rows * cols),
     }
 }
 
@@ -143,19 +147,27 @@ pub fn p_fail_triple_fault(
 ) -> f64 {
     let hours = years * HOURS_PER_YEAR;
     let g = &config.geometry;
-    let large: Vec<FaultExtent> =
-        FaultExtent::ALL.into_iter().filter(|e| e.is_multi_bit()).collect();
+    let large: Vec<FaultExtent> = FaultExtent::ALL
+        .into_iter()
+        .filter(|e| e.is_multi_bit())
+        .collect();
     let mut p_specific_triple = 0.0f64;
     for &e1 in &large {
         for &e2 in &large {
             for &e3 in &large {
                 let ov = p_line_overlap_n(&[e1, e2, e3], g);
-                let (p1p, p1t) =
-                    (p_mode(rates, e1, false, hours), p_mode(rates, e1, true, hours));
-                let (p2p, p2t) =
-                    (p_mode(rates, e2, false, hours), p_mode(rates, e2, true, hours));
-                let (p3p, p3t) =
-                    (p_mode(rates, e3, false, hours), p_mode(rates, e3, true, hours));
+                let (p1p, p1t) = (
+                    p_mode(rates, e1, false, hours),
+                    p_mode(rates, e1, true, hours),
+                );
+                let (p2p, p2t) = (
+                    p_mode(rates, e2, false, hours),
+                    p_mode(rates, e2, true, hours),
+                );
+                let (p3p, p3t) = (
+                    p_mode(rates, e3, false, hours),
+                    p_mode(rates, e3, true, hours),
+                );
                 let ppp = p1p * p2p * p3p;
                 let ppt = (p1p * p2p * p3t + p1p * p2t * p3p + p1t * p2p * p3p) / 3.0;
                 p_specific_triple += ov * (ppp + ppt);
@@ -202,9 +214,12 @@ pub fn xed_vulnerability(
     // paper's rounded constant scaled per chip count.
     let sdc_diagnosis = 1.4e-13 * chips as f64 / 9.0;
     let domains = config.total_ranks();
-    let multi_chip_loss =
-        p_fail_double_fault(rates, config, config.chips_per_rank, domains, years);
-    XedVulnerability { due_word_fault, sdc_diagnosis, multi_chip_loss }
+    let multi_chip_loss = p_fail_double_fault(rates, config, config.chips_per_rank, domains, years);
+    XedVulnerability {
+        due_word_fault,
+        sdc_diagnosis,
+        multi_chip_loss,
+    }
 }
 
 #[cfg(test)]
@@ -243,8 +258,14 @@ mod tests {
     #[test]
     fn bank_overlap_is_one_in_eight() {
         let g = DramGeometry::x8_2gb();
-        assert_eq!(p_line_overlap(FaultExtent::Bank, FaultExtent::Bank, &g), 0.125);
-        assert_eq!(p_line_overlap(FaultExtent::Row, FaultExtent::Bank, &g), 0.125);
+        assert_eq!(
+            p_line_overlap(FaultExtent::Bank, FaultExtent::Bank, &g),
+            0.125
+        );
+        assert_eq!(
+            p_line_overlap(FaultExtent::Row, FaultExtent::Bank, &g),
+            0.125
+        );
     }
 
     #[test]
@@ -306,7 +327,11 @@ mod tests {
         let v = xed_vulnerability(&FitRates::table_i(), &cfg, 9, 0.008, 7.0);
         // Paper: 7.7e-4 transient-word probability per 9-chip DIMM → DUE
         // 6.1e-6.
-        assert!((v.due_word_fault - 6.1e-6).abs() / 6.1e-6 < 0.05, "{}", v.due_word_fault);
+        assert!(
+            (v.due_word_fault - 6.1e-6).abs() / 6.1e-6 < 0.05,
+            "{}",
+            v.due_word_fault
+        );
         assert!(v.sdc_diagnosis < 1e-12);
         assert!(v.multi_chip_loss > v.due_word_fault * 10.0);
     }

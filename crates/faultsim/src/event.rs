@@ -29,7 +29,10 @@ pub struct FaultEvent {
 /// paper configurations all have λ < 1 — and splits larger means into
 /// chunks, exploiting that sums of independent Poissons are Poisson.
 pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u32 {
-    assert!(lambda.is_finite() && lambda >= 0.0, "poisson mean {lambda} must be finite and ≥ 0");
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "poisson mean {lambda} must be finite and ≥ 0"
+    );
     const CHUNK: f64 = 30.0;
     let mut total = 0u32;
     let mut remaining = lambda;
@@ -92,7 +95,11 @@ mod tests {
         let n = 100_000;
         let samples: Vec<u32> = (0..n).map(|_| poisson(&mut rng, lambda)).collect();
         let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
-        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - lambda).abs() < 0.05, "mean {mean}");
         assert!((var - lambda).abs() < 0.15, "var {var}");
     }
@@ -118,7 +125,10 @@ mod tests {
         let mean = total as f64 / runs as f64;
         // λ = 66.1e-9 · 61320 · 72 ≈ 0.2919
         let expected = 66.1e-9 * LIFETIME_YEARS * HOURS_PER_YEAR * chips as f64;
-        assert!((mean - expected).abs() < 0.02, "mean {mean} expected {expected}");
+        assert!(
+            (mean - expected).abs() < 0.02,
+            "mean {mean} expected {expected}"
+        );
     }
 
     #[test]
@@ -151,8 +161,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let lambda = 120.0;
         let n = 20_000;
-        let mean =
-            (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+        let mean = (0..n)
+            .map(|_| poisson(&mut rng, lambda) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - lambda).abs() < 0.5, "mean {mean}");
     }
 }

@@ -111,12 +111,42 @@ impl FaultRange {
         let col = Some(rng.gen_range(0..geom.cols));
         let bit = Some(rng.gen_range(0..geom.word_bits));
         match extent {
-            FaultExtent::Bit => Self { bank, row, col, bit },
-            FaultExtent::Word => Self { bank, row, col, bit: None },
-            FaultExtent::Column => Self { bank, row: None, col, bit: None },
-            FaultExtent::Row => Self { bank, row, col: None, bit: None },
-            FaultExtent::Bank => Self { bank, row: None, col: None, bit: None },
-            FaultExtent::Chip => Self { bank: None, row: None, col: None, bit: None },
+            FaultExtent::Bit => Self {
+                bank,
+                row,
+                col,
+                bit,
+            },
+            FaultExtent::Word => Self {
+                bank,
+                row,
+                col,
+                bit: None,
+            },
+            FaultExtent::Column => Self {
+                bank,
+                row: None,
+                col,
+                bit: None,
+            },
+            FaultExtent::Row => Self {
+                bank,
+                row,
+                col: None,
+                bit: None,
+            },
+            FaultExtent::Bank => Self {
+                bank,
+                row: None,
+                col: None,
+                bit: None,
+            },
+            FaultExtent::Chip => Self {
+                bank: None,
+                row: None,
+                col: None,
+                bit: None,
+            },
         }
     }
 
@@ -148,7 +178,10 @@ impl FaultRange {
     /// within the word each corrupts.
     pub fn shares_line(&self, other: &FaultRange) -> bool {
         let a = FaultRange { bit: None, ..*self };
-        let b = FaultRange { bit: None, ..*other };
+        let b = FaultRange {
+            bit: None,
+            ..*other
+        };
         a.overlaps(&b)
     }
 }
@@ -172,7 +205,11 @@ impl Fault {
         persistence: Persistence,
         geom: &DramGeometry,
     ) -> Self {
-        Self { extent, persistence, range: FaultRange::sample(rng, extent, geom) }
+        Self {
+            extent,
+            persistence,
+            range: FaultRange::sample(rng, extent, geom),
+        }
     }
 }
 
@@ -229,25 +266,68 @@ mod tests {
 
     #[test]
     fn rows_in_same_bank_do_not_overlap() {
-        let a = FaultRange { bank: Some(1), row: Some(10), col: None, bit: None };
-        let b = FaultRange { bank: Some(1), row: Some(11), col: None, bit: None };
+        let a = FaultRange {
+            bank: Some(1),
+            row: Some(10),
+            col: None,
+            bit: None,
+        };
+        let b = FaultRange {
+            bank: Some(1),
+            row: Some(11),
+            col: None,
+            bit: None,
+        };
         assert!(!a.overlaps(&b));
     }
 
     #[test]
     fn row_and_column_cross_in_same_bank() {
-        let row = FaultRange { bank: Some(2), row: Some(7), col: None, bit: None };
-        let col = FaultRange { bank: Some(2), row: None, col: Some(99), bit: None };
+        let row = FaultRange {
+            bank: Some(2),
+            row: Some(7),
+            col: None,
+            bit: None,
+        };
+        let col = FaultRange {
+            bank: Some(2),
+            row: None,
+            col: Some(99),
+            bit: None,
+        };
         let x = row.intersect(&col).unwrap();
-        assert_eq!(x, FaultRange { bank: Some(2), row: Some(7), col: Some(99), bit: None });
-        let other_bank = FaultRange { bank: Some(3), row: None, col: Some(99), bit: None };
+        assert_eq!(
+            x,
+            FaultRange {
+                bank: Some(2),
+                row: Some(7),
+                col: Some(99),
+                bit: None
+            }
+        );
+        let other_bank = FaultRange {
+            bank: Some(3),
+            row: None,
+            col: Some(99),
+            bit: None,
+        };
         assert!(!row.overlaps(&other_bank));
     }
 
     #[test]
     fn bits_in_same_word_share_line_but_not_address() {
-        let a = FaultRange { bank: Some(0), row: Some(0), col: Some(0), bit: Some(3) };
-        let b = FaultRange { bank: Some(0), row: Some(0), col: Some(0), bit: Some(5) };
+        let a = FaultRange {
+            bank: Some(0),
+            row: Some(0),
+            col: Some(0),
+            bit: Some(3),
+        };
+        let b = FaultRange {
+            bank: Some(0),
+            row: Some(0),
+            col: Some(0),
+            bit: Some(5),
+        };
         assert!(!a.overlaps(&b));
         assert!(a.shares_line(&b));
     }

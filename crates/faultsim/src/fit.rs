@@ -38,13 +38,37 @@ impl FitRates {
     pub fn table_i() -> Self {
         Self {
             rows: vec![
-                ModeRate { extent: FaultExtent::Bit, transient_fit: 14.2, permanent_fit: 18.6 },
-                ModeRate { extent: FaultExtent::Word, transient_fit: 1.4, permanent_fit: 0.3 },
-                ModeRate { extent: FaultExtent::Column, transient_fit: 1.4, permanent_fit: 5.6 },
-                ModeRate { extent: FaultExtent::Row, transient_fit: 0.2, permanent_fit: 8.2 },
-                ModeRate { extent: FaultExtent::Bank, transient_fit: 0.8, permanent_fit: 10.0 },
+                ModeRate {
+                    extent: FaultExtent::Bit,
+                    transient_fit: 14.2,
+                    permanent_fit: 18.6,
+                },
+                ModeRate {
+                    extent: FaultExtent::Word,
+                    transient_fit: 1.4,
+                    permanent_fit: 0.3,
+                },
+                ModeRate {
+                    extent: FaultExtent::Column,
+                    transient_fit: 1.4,
+                    permanent_fit: 5.6,
+                },
+                ModeRate {
+                    extent: FaultExtent::Row,
+                    transient_fit: 0.2,
+                    permanent_fit: 8.2,
+                },
+                ModeRate {
+                    extent: FaultExtent::Bank,
+                    transient_fit: 0.8,
+                    permanent_fit: 10.0,
+                },
                 // multi-bank (0.3t, 1.4p) + multi-rank (0.9t, 2.8p)
-                ModeRate { extent: FaultExtent::Chip, transient_fit: 1.2, permanent_fit: 4.2 },
+                ModeRate {
+                    extent: FaultExtent::Chip,
+                    transient_fit: 1.2,
+                    permanent_fit: 4.2,
+                },
             ],
         }
     }
@@ -56,7 +80,10 @@ impl FitRates {
     /// Panics if an extent appears twice or a rate is negative.
     pub fn custom(rows: Vec<ModeRate>) -> Self {
         for (i, r) in rows.iter().enumerate() {
-            assert!(r.transient_fit >= 0.0 && r.permanent_fit >= 0.0, "negative FIT");
+            assert!(
+                r.transient_fit >= 0.0 && r.permanent_fit >= 0.0,
+                "negative FIT"
+            );
             assert!(
                 rows[..i].iter().all(|p| p.extent != r.extent),
                 "duplicate extent {:?}",
@@ -73,7 +100,10 @@ impl FitRates {
 
     /// Total FIT per chip (all modes, transient + permanent).
     pub fn total_fit(&self) -> f64 {
-        self.rows.iter().map(|r| r.transient_fit + r.permanent_fit).sum()
+        self.rows
+            .iter()
+            .map(|r| r.transient_fit + r.permanent_fit)
+            .sum()
     }
 
     /// Total FIT per chip for multi-bit (non-bit-extent) modes only.
@@ -118,10 +148,9 @@ impl FitRates {
             x -= r.permanent_fit;
         }
         // Floating-point edge: fall back to the last nonzero row.
-        let last = self
-            .rows
-            .iter()
-            .rev()
+        // invariant: total > 0.0 was asserted above, and total is the sum of
+        // the per-row rates, so at least one row has a nonzero rate.
+        let last = (self.rows.iter().rev())
             .find(|r| r.transient_fit + r.permanent_fit > 0.0)
             .expect("nonzero total implies a nonzero row");
         if last.permanent_fit > 0.0 {
@@ -193,8 +222,14 @@ mod tests {
         }
         let p_bit_t = bit_transient as f64 / n as f64;
         let p_bank_p = bank_permanent as f64 / n as f64;
-        assert!((p_bit_t - 14.2 / 66.1).abs() < 0.01, "bit transient {p_bit_t}");
-        assert!((p_bank_p - 10.0 / 66.1).abs() < 0.01, "bank permanent {p_bank_p}");
+        assert!(
+            (p_bit_t - 14.2 / 66.1).abs() < 0.01,
+            "bit transient {p_bit_t}"
+        );
+        assert!(
+            (p_bank_p - 10.0 / 66.1).abs() < 0.01,
+            "bank permanent {p_bank_p}"
+        );
     }
 
     #[test]
@@ -208,8 +243,16 @@ mod tests {
     #[should_panic]
     fn custom_rejects_duplicates() {
         FitRates::custom(vec![
-            ModeRate { extent: FaultExtent::Bit, transient_fit: 1.0, permanent_fit: 1.0 },
-            ModeRate { extent: FaultExtent::Bit, transient_fit: 2.0, permanent_fit: 2.0 },
+            ModeRate {
+                extent: FaultExtent::Bit,
+                transient_fit: 1.0,
+                permanent_fit: 1.0,
+            },
+            ModeRate {
+                extent: FaultExtent::Bit,
+                transient_fit: 2.0,
+                permanent_fit: 2.0,
+            },
         ]);
     }
 

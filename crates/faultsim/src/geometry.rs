@@ -26,13 +26,23 @@ impl DramGeometry {
     /// The paper's 2Gb x8 device: 8 banks, 32K rows, 128 columns, 64-bit
     /// words (Table V).
     pub const fn x8_2gb() -> Self {
-        Self { banks: 8, rows: 32 * 1024, cols: 128, word_bits: 64 }
+        Self {
+            banks: 8,
+            rows: 32 * 1024,
+            cols: 128,
+            word_bits: 64,
+        }
     }
 
     /// A 2Gb x4 device: same array organization but each access supplies a
     /// 32-bit word, so twice the columns.
     pub const fn x4_2gb() -> Self {
-        Self { banks: 8, rows: 32 * 1024, cols: 256, word_bits: 32 }
+        Self {
+            banks: 8,
+            rows: 32 * 1024,
+            cols: 256,
+            word_bits: 32,
+        }
     }
 
     /// Total capacity in bits.

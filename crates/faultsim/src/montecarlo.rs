@@ -93,8 +93,10 @@ impl SchemeResult {
     /// `(extent, count)` pairs in [`FaultExtent::ALL`] order.
     pub fn attribution(&self) -> [(FaultExtent, u64); 6] {
         let mut out = [(FaultExtent::Bit, 0u64); 6];
-        for (i, (slot, &count)) in
-            out.iter_mut().zip(self.failures_by_extent.iter()).enumerate()
+        for (i, (slot, &count)) in out
+            .iter_mut()
+            .zip(self.failures_by_extent.iter())
+            .enumerate()
         {
             *slot = (FaultExtent::ALL[i], count);
         }
@@ -131,7 +133,9 @@ impl MonteCarlo {
     /// Simulates one scheme across all samples, in parallel.
     pub fn run(&self, scheme: Scheme) -> SchemeResult {
         let threads = if self.config.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             self.config.threads
         };
@@ -139,7 +143,7 @@ impl MonteCarlo {
         let years = self.config.years.ceil() as usize;
         let per_thread = self.config.samples.div_ceil(threads as u64);
 
-        let partials = crossbeam::thread::scope(|scope| {
+        let partials = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {
                 let model = &model;
@@ -151,11 +155,17 @@ impl MonteCarlo {
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     .wrapping_add(t as u64)
                     .wrapping_add(scheme.ienable());
-                handles.push(scope.spawn(move |_| run_chunk(model, config, seed, count, years)));
+                handles.push(scope.spawn(move || run_chunk(model, config, seed, count, years)));
             }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
-        })
-        .expect("scope failed");
+            handles
+                .into_iter()
+                .map(|h| {
+                    // invariant: run_chunk never panics; a worker panic is a
+                    // bug in the simulator itself, so propagate it.
+                    h.join().expect("monte-carlo worker panicked")
+                })
+                .collect::<Vec<_>>()
+        });
 
         let mut result = SchemeResult {
             scheme,
@@ -171,7 +181,11 @@ impl MonteCarlo {
             for (a, b) in result.failures_by_year.iter_mut().zip(&p.failures_by_year) {
                 *a += b;
             }
-            for (a, b) in result.failures_by_extent.iter_mut().zip(&p.failures_by_extent) {
+            for (a, b) in result
+                .failures_by_extent
+                .iter_mut()
+                .zip(&p.failures_by_extent)
+            {
                 *a += b;
             }
         }
@@ -199,8 +213,12 @@ fn run_chunk(
     years: usize,
 ) -> Partial {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut partial =
-        Partial { failures_by_year: vec![0; years], due: 0, sdc: 0, failures_by_extent: [0; 6] };
+    let mut partial = Partial {
+        failures_by_year: vec![0; years],
+        due: 0,
+        sdc: 0,
+        failures_by_extent: [0; 6],
+    };
     let chips = model.config().total_chips();
     let geom = model.config().geometry;
     let exposure = model.params().transient_exposure_hours;
@@ -224,10 +242,12 @@ fn run_chunk(
                 Verdict::Due | Verdict::Sdc => {
                     let year = ((e.time_hours / HOURS_PER_YEAR) as usize).min(years - 1);
                     partial.failures_by_year[year] += 1;
+                    // invariant: FaultExtent::ALL enumerates every variant,
+                    // so the position lookup cannot fail.
                     let extent_idx = FaultExtent::ALL
                         .iter()
                         .position(|&x| x == e.fault.extent)
-                        .expect("extent in canonical list");
+                        .unwrap_or(0);
                     partial.failures_by_extent[extent_idx] += 1;
                     if verdict == Verdict::Due {
                         partial.due += 1;
@@ -236,15 +256,13 @@ fn run_chunk(
                     }
                     break;
                 }
-                Verdict::Corrected | Verdict::Benign => {
-                    match e.fault.persistence {
-                        Persistence::Permanent => active.push((f64::INFINITY, *e)),
-                        Persistence::Transient if exposure > 0.0 => {
-                            active.push((e.time_hours + exposure, *e));
-                        }
-                        Persistence::Transient => {}
+                Verdict::Corrected | Verdict::Benign => match e.fault.persistence {
+                    Persistence::Permanent => active.push((f64::INFINITY, *e)),
+                    Persistence::Transient if exposure > 0.0 => {
+                        active.push((e.time_hours + exposure, *e));
                     }
-                }
+                    Persistence::Transient => {}
+                },
             }
         }
     }
@@ -275,7 +293,11 @@ mod tests {
     use super::*;
 
     fn quick(samples: u64) -> MonteCarlo {
-        MonteCarlo::new(MonteCarloConfig { samples, seed: 7, ..MonteCarloConfig::default() })
+        MonteCarlo::new(MonteCarloConfig {
+            samples,
+            seed: 7,
+            ..MonteCarloConfig::default()
+        })
     }
 
     #[test]
@@ -342,7 +364,10 @@ mod tests {
         let coarse = MonteCarlo::new(MonteCarloConfig {
             samples: 400_000,
             seed: 7,
-            params: ModelParams { require_line_intersection: false, ..Default::default() },
+            params: ModelParams {
+                require_line_intersection: false,
+                ..Default::default()
+            },
             ..MonteCarloConfig::default()
         })
         .run(Scheme::Xed)

@@ -31,18 +31,27 @@ pub struct ScalingFaults {
 impl ScalingFaults {
     /// No scaling faults (Figs. 1, 7, 9).
     pub const fn none() -> Self {
-        Self { bit_rate: 0.0, word_bits: 64 }
+        Self {
+            bit_rate: 0.0,
+            word_bits: 64,
+        }
     }
 
     /// The paper's high scaling rate, 10⁻⁴ per bit (Figs. 8, 10).
     pub const fn paper_default() -> Self {
-        Self { bit_rate: 1e-4, word_bits: 64 }
+        Self {
+            bit_rate: 1e-4,
+            word_bits: 64,
+        }
     }
 
     /// With a different rate.
     pub fn with_rate(rate: f64) -> Self {
         assert!((0.0..=1.0).contains(&rate), "rate {rate} out of [0,1]");
-        Self { bit_rate: rate, word_bits: 64 }
+        Self {
+            bit_rate: rate,
+            word_bits: 64,
+        }
     }
 
     /// `true` if scaling faults are enabled.

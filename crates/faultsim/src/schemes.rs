@@ -176,7 +176,11 @@ impl SchemeModel {
     /// Builds the model for a scheme with the given parameters.
     pub fn new(scheme: Scheme, params: ModelParams) -> Self {
         let config = scheme.system_config();
-        Self { scheme, params, config }
+        Self {
+            scheme,
+            params,
+            config,
+        }
     }
 
     /// The scheme being modeled.
@@ -218,12 +222,18 @@ impl SchemeModel {
             chips.dedup();
             return 1 + chips.len() as u32;
         }
-        let line = FaultRange { bit: None, ..e.fault.range };
+        let line = FaultRange {
+            bit: None,
+            ..e.fault.range
+        };
         let cands: Vec<(u32, FaultRange)> = active
             .iter()
             .filter(visible)
             .filter_map(|a| {
-                let r = FaultRange { bit: None, ..a.fault.range };
+                let r = FaultRange {
+                    bit: None,
+                    ..a.fault.range
+                };
                 line.intersect(&r).map(|x| (a.chip, x))
             })
             .collect();
@@ -421,12 +431,7 @@ impl SchemeModel {
 /// (already intersected with the new fault's line range) share one common
 /// line. Brute-force subset search — candidate counts are tiny in practice.
 fn max_chips_with_common_line(base: &FaultRange, cands: &[(u32, FaultRange)]) -> u32 {
-    fn rec(
-        current: FaultRange,
-        cands: &[(u32, FaultRange)],
-        used: &mut Vec<u32>,
-        best: &mut u32,
-    ) {
+    fn rec(current: FaultRange, cands: &[(u32, FaultRange)], used: &mut Vec<u32>, best: &mut u32) {
         *best = (*best).max(used.len() as u32);
         for (i, (chip, range)) in cands.iter().enumerate() {
             if used.contains(chip) {
@@ -451,8 +456,21 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn ev(chip: u32, extent: FaultExtent, persistence: Persistence, range: FaultRange) -> FaultEvent {
-        FaultEvent { time_hours: 0.0, chip, fault: Fault { extent, persistence, range } }
+    fn ev(
+        chip: u32,
+        extent: FaultExtent,
+        persistence: Persistence,
+        range: FaultRange,
+    ) -> FaultEvent {
+        FaultEvent {
+            time_hours: 0.0,
+            chip,
+            fault: Fault {
+                extent,
+                persistence,
+                range,
+            },
+        }
     }
 
     fn bank_fault(chip: u32, bank: u32) -> FaultEvent {
@@ -460,12 +478,22 @@ mod tests {
             chip,
             FaultExtent::Bank,
             Persistence::Permanent,
-            FaultRange { bank: Some(bank), row: None, col: None, bit: None },
+            FaultRange {
+                bank: Some(bank),
+                row: None,
+                col: None,
+                bit: None,
+            },
         )
     }
 
     fn chip_fault(chip: u32) -> FaultEvent {
-        ev(chip, FaultExtent::Chip, Persistence::Permanent, FaultRange::default())
+        ev(
+            chip,
+            FaultExtent::Chip,
+            Persistence::Permanent,
+            FaultRange::default(),
+        )
     }
 
     fn model(scheme: Scheme) -> SchemeModel {
@@ -480,21 +508,34 @@ mod tests {
             0,
             FaultExtent::Bit,
             Persistence::Transient,
-            FaultRange { bank: Some(0), row: Some(0), col: Some(0), bit: Some(0) },
+            FaultRange {
+                bank: Some(0),
+                row: Some(0),
+                col: Some(0),
+                bit: Some(0),
+            },
         );
         assert_eq!(m.evaluate(&mut rng, &e, &[]), Verdict::Benign);
     }
 
     #[test]
     fn bit_fault_sdc_on_non_ecc_without_on_die() {
-        let params = ModelParams { on_die_ecc: false, ..ModelParams::default() };
+        let params = ModelParams {
+            on_die_ecc: false,
+            ..ModelParams::default()
+        };
         let m = SchemeModel::new(Scheme::NonEcc, params);
         let mut rng = StdRng::seed_from_u64(1);
         let e = ev(
             0,
             FaultExtent::Bit,
             Persistence::Transient,
-            FaultRange { bank: Some(0), row: Some(0), col: Some(0), bit: Some(0) },
+            FaultRange {
+                bank: Some(0),
+                row: Some(0),
+                col: Some(0),
+                bit: Some(0),
+            },
         );
         assert_eq!(m.evaluate(&mut rng, &e, &[]), Verdict::Sdc);
     }
@@ -519,8 +560,14 @@ mod tests {
     fn xed_corrects_single_chip_failure() {
         let m = model(Scheme::Xed);
         let mut rng = StdRng::seed_from_u64(3);
-        assert_eq!(m.evaluate(&mut rng, &chip_fault(0), &[]), Verdict::Corrected);
-        assert_eq!(m.evaluate(&mut rng, &bank_fault(5, 0), &[]), Verdict::Corrected);
+        assert_eq!(
+            m.evaluate(&mut rng, &chip_fault(0), &[]),
+            Verdict::Corrected
+        );
+        assert_eq!(
+            m.evaluate(&mut rng, &bank_fault(5, 0), &[]),
+            Verdict::Corrected
+        );
     }
 
     #[test]
@@ -537,7 +584,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         // chip 9 is in rank 1; chip 0 in rank 0.
         let active = [chip_fault(9)];
-        assert_eq!(m.evaluate(&mut rng, &chip_fault(0), &active), Verdict::Corrected);
+        assert_eq!(
+            m.evaluate(&mut rng, &chip_fault(0), &active),
+            Verdict::Corrected
+        );
     }
 
     #[test]
@@ -545,24 +595,41 @@ mod tests {
         let m = model(Scheme::Xed);
         let mut rng = StdRng::seed_from_u64(6);
         let active = [bank_fault(1, 2)];
-        assert_eq!(m.evaluate(&mut rng, &bank_fault(0, 3), &active), Verdict::Corrected);
-        assert_eq!(m.evaluate(&mut rng, &bank_fault(0, 2), &active), Verdict::Due);
+        assert_eq!(
+            m.evaluate(&mut rng, &bank_fault(0, 3), &active),
+            Verdict::Corrected
+        );
+        assert_eq!(
+            m.evaluate(&mut rng, &bank_fault(0, 2), &active),
+            Verdict::Due
+        );
     }
 
     #[test]
     fn xed_transient_word_fault_due_on_miss() {
-        let params = ModelParams { on_die_miss: 1.0, ..ModelParams::default() };
+        let params = ModelParams {
+            on_die_miss: 1.0,
+            ..ModelParams::default()
+        };
         let m = SchemeModel::new(Scheme::Xed, params);
         let mut rng = StdRng::seed_from_u64(7);
         let word = ev(
             0,
             FaultExtent::Word,
             Persistence::Transient,
-            FaultRange { bank: Some(0), row: Some(1), col: Some(2), bit: None },
+            FaultRange {
+                bank: Some(0),
+                row: Some(1),
+                col: Some(2),
+                bit: None,
+            },
         );
         assert_eq!(m.evaluate(&mut rng, &word, &[]), Verdict::Due);
         let word_perm = FaultEvent {
-            fault: Fault { persistence: Persistence::Permanent, ..word.fault },
+            fault: Fault {
+                persistence: Persistence::Permanent,
+                ..word.fault
+            },
             ..word
         };
         assert_eq!(m.evaluate(&mut rng, &word_perm, &[]), Verdict::Corrected);
@@ -577,14 +644,20 @@ mod tests {
         assert_eq!(m.evaluate(&mut rng, &chip_fault(0), &active), Verdict::Due);
         // chip 18 is channel 1: independent.
         let active = [chip_fault(18)];
-        assert_eq!(m.evaluate(&mut rng, &chip_fault(0), &active), Verdict::Corrected);
+        assert_eq!(
+            m.evaluate(&mut rng, &chip_fault(0), &active),
+            Verdict::Corrected
+        );
     }
 
     #[test]
     fn chipkill_single_chip_corrected() {
         let m = model(Scheme::Chipkill);
         let mut rng = StdRng::seed_from_u64(9);
-        assert_eq!(m.evaluate(&mut rng, &chip_fault(0), &[]), Verdict::Corrected);
+        assert_eq!(
+            m.evaluate(&mut rng, &chip_fault(0), &[]),
+            Verdict::Corrected
+        );
     }
 
     #[test]
@@ -600,7 +673,10 @@ mod tests {
         let m = model(Scheme::DoubleChipkill);
         let mut rng = StdRng::seed_from_u64(11);
         let active = [chip_fault(1)];
-        assert_eq!(m.evaluate(&mut rng, &chip_fault(0), &active), Verdict::Corrected);
+        assert_eq!(
+            m.evaluate(&mut rng, &chip_fault(0), &active),
+            Verdict::Corrected
+        );
         let active = [chip_fault(1), chip_fault(2)];
         assert_eq!(m.evaluate(&mut rng, &chip_fault(0), &active), Verdict::Due);
     }
@@ -610,7 +686,10 @@ mod tests {
         let m = model(Scheme::XedChipkill);
         let mut rng = StdRng::seed_from_u64(12);
         let active = [chip_fault(1)];
-        assert_eq!(m.evaluate(&mut rng, &chip_fault(0), &active), Verdict::Corrected);
+        assert_eq!(
+            m.evaluate(&mut rng, &chip_fault(0), &active),
+            Verdict::Corrected
+        );
         let active = [chip_fault(1), chip_fault(2)];
         assert_eq!(m.evaluate(&mut rng, &chip_fault(0), &active), Verdict::Due);
     }
@@ -620,8 +699,18 @@ mod tests {
         // Row faults in three different chips, same bank: row 5, row 5 and a
         // column fault — rows at different rows don't stack.
         let m = model(Scheme::DoubleChipkill);
-        let r5 = FaultRange { bank: Some(0), row: Some(5), col: None, bit: None };
-        let r6 = FaultRange { bank: Some(0), row: Some(6), col: None, bit: None };
+        let r5 = FaultRange {
+            bank: Some(0),
+            row: Some(5),
+            col: None,
+            bit: None,
+        };
+        let r6 = FaultRange {
+            bank: Some(0),
+            row: Some(6),
+            col: None,
+            bit: None,
+        };
         let e = ev(0, FaultExtent::Row, Persistence::Permanent, r5);
         let a1 = ev(1, FaultExtent::Row, Persistence::Permanent, r5);
         let a2 = ev(2, FaultExtent::Row, Persistence::Permanent, r6);
@@ -638,7 +727,12 @@ mod tests {
             1,
             FaultExtent::Bit,
             Persistence::Permanent,
-            FaultRange { bank: Some(0), row: Some(0), col: Some(0), bit: Some(0) },
+            FaultRange {
+                bank: Some(0),
+                row: Some(0),
+                col: Some(0),
+                bit: Some(0),
+            },
         );
         let e = chip_fault(0);
         assert_eq!(m.concurrent_chips(&e, &[bit]), 1);
@@ -653,15 +747,20 @@ mod tests {
 
     #[test]
     fn without_intersection_any_coexisting_pair_counts() {
-        let params =
-            ModelParams { require_line_intersection: false, ..ModelParams::default() };
+        let params = ModelParams {
+            require_line_intersection: false,
+            ..ModelParams::default()
+        };
         let m = SchemeModel::new(Scheme::Xed, params);
         let mut rng = StdRng::seed_from_u64(20);
         // Two row faults in *different* banks: disjoint ranges, but the
         // coarse model still counts them as a fatal pair.
         let active = [bank_fault(1, 2)];
         assert_eq!(m.concurrent_chips(&bank_fault(0, 3), &active), 2);
-        assert_eq!(m.evaluate(&mut rng, &bank_fault(0, 3), &active), Verdict::Due);
+        assert_eq!(
+            m.evaluate(&mut rng, &bank_fault(0, 3), &active),
+            Verdict::Due
+        );
         // The intersection model disagrees (cf. xed_bank_faults test).
         let strict = SchemeModel::new(Scheme::Xed, ModelParams::default());
         assert_eq!(strict.concurrent_chips(&bank_fault(0, 3), &active), 1);

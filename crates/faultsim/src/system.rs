@@ -45,7 +45,10 @@ impl SystemConfig {
 
     /// The x8 non-ECC baseline: 4 channels × 2 ranks × 8 chips.
     pub fn x8_non_ecc() -> Self {
-        Self { chips_per_rank: 8, ..Self::x8_ecc_dimm() }
+        Self {
+            chips_per_rank: 8,
+            ..Self::x8_ecc_dimm()
+        }
     }
 
     /// The x4 chipkill organization: 4 channels × 2 ranks × 18 chips

@@ -25,12 +25,21 @@ impl Topology {
     /// The paper's baseline (Table V): 4 channels × 2 ranks × 8 banks ×
     /// 32K rows × 128 columns.
     pub const fn baseline() -> Self {
-        Self { channels: 4, ranks: 2, banks: 8, rows: 32 * 1024, cols: 128 }
+        Self {
+            channels: 4,
+            ranks: 2,
+            banks: 8,
+            rows: 32 * 1024,
+            cols: 128,
+        }
     }
 
     /// Total cache lines addressable.
     pub fn lines(&self) -> u64 {
-        self.channels as u64 * self.ranks as u64 * self.banks as u64 * self.rows as u64
+        self.channels as u64
+            * self.ranks as u64
+            * self.banks as u64
+            * self.rows as u64
             * self.cols as u64
     }
 }
@@ -69,7 +78,13 @@ pub fn decode(topology: &Topology, line_addr: u64) -> Location {
     let rank = (a % topology.ranks as u64) as u32;
     a /= topology.ranks as u64;
     let row = (a % topology.rows as u64) as u32;
-    Location { channel, rank, bank, row, col }
+    Location {
+        channel,
+        rank,
+        bank,
+        row,
+        col,
+    }
 }
 
 /// Inverse of [`decode`] (used by the trace generator to build addresses
@@ -116,14 +131,23 @@ mod tests {
         let base = decode(&t, 0);
         for k in 0..t.cols as u64 {
             let loc = decode(&t, k * t.channels as u64);
-            assert_eq!((loc.channel, loc.rank, loc.bank, loc.row), (0, 0, 0, base.row));
+            assert_eq!(
+                (loc.channel, loc.rank, loc.bank, loc.row),
+                (0, 0, 0, base.row)
+            );
             assert_eq!(loc.col, k as u32);
         }
     }
 
     #[test]
     fn lines_count() {
-        let t = Topology { channels: 2, ranks: 2, banks: 4, rows: 16, cols: 8 };
+        let t = Topology {
+            channels: 2,
+            ranks: 2,
+            banks: 4,
+            rows: 16,
+            cols: 8,
+        };
         assert_eq!(t.lines(), 2 * 2 * 4 * 16 * 8);
     }
 }

@@ -22,7 +22,13 @@ pub struct Bank {
 
 impl Bank {
     fn new() -> Self {
-        Self { open_row: None, next_act: 0, next_read: 0, next_write: 0, next_pre: 0 }
+        Self {
+            open_row: None,
+            next_act: 0,
+            next_read: 0,
+            next_write: 0,
+            next_pre: 0,
+        }
     }
 }
 
@@ -113,9 +119,8 @@ impl Dram {
             .map(|c| Channel {
                 ranks: (0..ranks)
                     .map(|r| {
-                        let offset =
-                            timing.t_refi * (c as u64 * ranks as u64 + r as u64 + 1)
-                                / (channels as u64 * ranks as u64);
+                        let offset = timing.t_refi * (c as u64 * ranks as u64 + r as u64 + 1)
+                            / (channels as u64 * ranks as u64);
                         Rank::new(banks, offset.max(1))
                     })
                     .collect(),

@@ -178,11 +178,21 @@ impl ReliabilityScheme {
     /// one logical rank; four ganged ranks additionally gang channel pairs.
     pub fn topology(&self) -> Topology {
         let base = Topology::baseline();
+        // invariant: the scheme constructors only produce ganging factors
+        // 1, 2 and 4; anything else is a malformed hand-built scheme.
+        assert!(
+            matches!(self.ganged_ranks, 1 | 2 | 4),
+            "unsupported ganging factor {}",
+            self.ganged_ranks
+        );
         match self.ganged_ranks {
             1 => base,
             2 => Topology { ranks: 1, ..base },
-            4 => Topology { ranks: 1, channels: base.channels / 2, ..base },
-            g => panic!("unsupported ganging factor {g}"),
+            _ => Topology {
+                ranks: 1,
+                channels: base.channels / 2,
+                ..base
+            },
         }
     }
 
@@ -243,7 +253,10 @@ mod tests {
 
     #[test]
     fn xed_matches_baseline_topology() {
-        assert_eq!(ReliabilityScheme::xed().topology(), ReliabilityScheme::baseline_secded().topology());
+        assert_eq!(
+            ReliabilityScheme::xed().topology(),
+            ReliabilityScheme::baseline_secded().topology()
+        );
         assert_eq!(ReliabilityScheme::xed().chips_per_access(), 9);
     }
 

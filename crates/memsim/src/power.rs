@@ -139,8 +139,8 @@ pub fn memory_power(chip: &ChipPower, inputs: &PowerInputs) -> PowerBreakdown {
     let activate_mw = per_access_chips * t.acts as f64 * chip.act_energy_nj / time_ns * 1000.0;
 
     // Transfer energy is per access (the line is striped over the group).
-    let rw_nj = (t.reads as f64 * LINE_READ_NJ + t.writes as f64 * LINE_WRITE_NJ)
-        * inputs.burst_factor;
+    let rw_nj =
+        (t.reads as f64 * LINE_READ_NJ + t.writes as f64 * LINE_WRITE_NJ) * inputs.burst_factor;
     let rw_mw = rw_nj / time_ns * 1000.0;
 
     // `refreshes` counts logical-rank refreshes; each refreshes the whole
@@ -148,7 +148,12 @@ pub fn memory_power(chip: &ChipPower, inputs: &PowerInputs) -> PowerBreakdown {
     let refresh_mw =
         per_access_chips * t.refreshes as f64 * chip.refresh_energy_nj / time_ns * 1000.0;
 
-    PowerBreakdown { background_mw, activate_mw, rw_mw, refresh_mw }
+    PowerBreakdown {
+        background_mw,
+        activate_mw,
+        rw_mw,
+        refresh_mw,
+    }
 }
 
 #[cfg(test)]

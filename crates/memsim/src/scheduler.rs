@@ -4,8 +4,8 @@
 use crate::addrmap::{decode, Location, Topology};
 use crate::dram::Dram;
 use crate::timing::DdrTiming;
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A queued memory request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +35,12 @@ pub struct SchedConfig {
 
 impl Default for SchedConfig {
     fn default() -> Self {
-        Self { read_queue_cap: 64, write_queue_cap: 64, write_drain_hi: 40, write_drain_lo: 20 }
+        Self {
+            read_queue_cap: 64,
+            write_queue_cap: 64,
+            write_drain_hi: 40,
+            write_drain_lo: 20,
+        }
     }
 }
 
@@ -107,7 +112,12 @@ impl MemController {
         if q.len() >= self.config.read_queue_cap {
             return false;
         }
-        q.push(Request { id, loc, is_write: false, arrival: now });
+        q.push(Request {
+            id,
+            loc,
+            is_write: false,
+            arrival: now,
+        });
         true
     }
 
@@ -119,7 +129,12 @@ impl MemController {
         if q.len() >= self.config.write_queue_cap {
             return false;
         }
-        q.push(Request { id, loc, is_write: true, arrival: now });
+        q.push(Request {
+            id,
+            loc,
+            is_write: true,
+            arrival: now,
+        });
         true
     }
 
@@ -154,7 +169,13 @@ impl MemController {
                 if self.dram.channel(ch).rank(rank).any_bank_open() {
                     // Close one open bank per cycle until quiesced.
                     for bank in 0..self.topology.banks {
-                        if self.dram.channel(ch).rank(rank).bank(bank).open_row.is_some()
+                        if self
+                            .dram
+                            .channel(ch)
+                            .rank(rank)
+                            .bank(bank)
+                            .open_row
+                            .is_some()
                             && self.dram.can_precharge(ch, rank, bank, now)
                         {
                             self.dram.issue_precharge(ch, rank, bank, now);
@@ -207,8 +228,11 @@ impl MemController {
     /// oldest-first activates, then precharges for row conflicts. Returns
     /// `true` if a column access (read/write burst) was issued.
     fn schedule_queue(&mut self, ch: u32, now: u64, writes: bool) -> bool {
-        let queue: &Vec<Request> =
-            if writes { &self.write_q[ch as usize] } else { &self.read_q[ch as usize] };
+        let queue: &Vec<Request> = if writes {
+            &self.write_q[ch as usize]
+        } else {
+            &self.read_q[ch as usize]
+        };
 
         // Pass 1: column access for an open matching row (row hit).
         let mut hit_idx = None;
@@ -274,7 +298,11 @@ mod tests {
     use super::*;
 
     fn controller() -> MemController {
-        MemController::new(Topology::baseline(), DdrTiming::ddr3_1600(), SchedConfig::default())
+        MemController::new(
+            Topology::baseline(),
+            DdrTiming::ddr3_1600(),
+            SchedConfig::default(),
+        )
     }
 
     fn run_until_complete(mc: &mut MemController, ids: &[u64], limit: u64) -> Vec<(u64, u64)> {
@@ -328,7 +356,10 @@ mod tests {
         assert!(mc.enqueue_read(2, 1, 0)); // channel 1
         let done = run_until_complete(&mut mc, &[1, 2], 1000);
         assert_eq!(done.len(), 2);
-        assert_eq!(done[0].0, done[1].0, "independent channels complete together");
+        assert_eq!(
+            done[0].0, done[1].0,
+            "independent channels complete together"
+        );
     }
 
     #[test]
@@ -336,11 +367,17 @@ mod tests {
         let mut mc = MemController::new(
             Topology::baseline(),
             DdrTiming::ddr3_1600(),
-            SchedConfig { read_queue_cap: 2, ..SchedConfig::default() },
+            SchedConfig {
+                read_queue_cap: 2,
+                ..SchedConfig::default()
+            },
         );
         assert!(mc.enqueue_read(1, 0, 0));
         assert!(mc.enqueue_read(2, 4, 0));
-        assert!(!mc.enqueue_read(3, 8, 0), "third read to channel 0 must bounce");
+        assert!(
+            !mc.enqueue_read(3, 8, 0),
+            "third read to channel 0 must bounce"
+        );
         assert!(mc.enqueue_read(4, 1, 0), "other channels unaffected");
     }
 
@@ -377,7 +414,10 @@ mod tests {
             }
         }
         let read_at = read_done_at.expect("read completes");
-        assert!(mc.stats.writes_done <= 1, "writes mostly waited for the read");
+        assert!(
+            mc.stats.writes_done <= 1,
+            "writes mostly waited for the read"
+        );
         assert!(read_at < 100);
     }
 
@@ -394,7 +434,10 @@ mod tests {
                 refreshes += mc.dram().channel(ch).rank(r).stats.refreshes;
             }
         }
-        assert!(refreshes >= 8, "each rank refreshes at least once, got {refreshes}");
+        assert!(
+            refreshes >= 8,
+            "each rank refreshes at least once, got {refreshes}"
+        );
     }
 
     #[test]

@@ -143,7 +143,12 @@ impl Simulation {
                         cfg.seed,
                     )),
                 };
-                Core::new(source, cfg.rob_size, 4 * CORE_CLOCK_RATIO, cfg.instructions_per_core)
+                Core::new(
+                    source,
+                    cfg.rob_size,
+                    4 * CORE_CLOCK_RATIO,
+                    cfg.instructions_per_core,
+                )
             })
             .collect();
 
@@ -230,17 +235,25 @@ impl Simulation {
                 break;
             }
             now += 1;
-            assert!(now < cfg.max_cycles, "simulation exceeded {} cycles", cfg.max_cycles);
+            assert!(
+                now < cfg.max_cycles,
+                "simulation exceeded {} cycles",
+                cfg.max_cycles
+            );
         }
 
-        let cycles = cores.iter().map(|c| c.finished_at().unwrap()).max().unwrap().max(1);
+        // invariant: the loop above exits only once every core reports
+        // finished(), so finished_at() is Some for each core here.
+        let cycles = cores
+            .iter()
+            .filter_map(|c| c.finished_at())
+            .max()
+            .unwrap_or(1)
+            .max(1);
         let rob_stall_cycles = cores.iter().map(|c| c.stalls.rob_full_cycles).sum();
         let queue_stall_cycles = cores.iter().map(|c| c.stalls.queue_full_cycles).sum();
-        let avg_core_cycles = cores
-            .iter()
-            .map(|c| c.finished_at().unwrap() as f64)
-            .sum::<f64>()
-            / cores.len() as f64;
+        let avg_core_cycles =
+            cores.iter().filter_map(|c| c.finished_at()).sum::<u64>() as f64 / cores.len() as f64;
 
         // Aggregate DRAM activity.
         let mut totals = RankStats::default();
@@ -296,8 +309,7 @@ impl Simulation {
             } else {
                 0.0
             },
-            bus_utilization: bus_busy as f64
-                / (cycles as f64 * topology.channels as f64),
+            bus_utilization: bus_busy as f64 / (cycles as f64 * topology.channels as f64),
             rob_stall_cycles,
             queue_stall_cycles,
             power,
@@ -353,7 +365,12 @@ mod tests {
     fn double_chipkill_slowest() {
         let ck = quick("comm1", ReliabilityScheme::chipkill(), 40_000);
         let dck = quick("comm1", ReliabilityScheme::double_chipkill(), 40_000);
-        assert!(dck.cycles > ck.cycles, "dck {} vs ck {}", dck.cycles, ck.cycles);
+        assert!(
+            dck.cycles > ck.cycles,
+            "dck {} vs ck {}",
+            dck.cycles,
+            ck.cycles
+        );
     }
 
     #[test]
@@ -367,7 +384,11 @@ mod tests {
     #[test]
     fn extra_transaction_increases_traffic() {
         let base = quick("sphinx", ReliabilityScheme::baseline_secded(), 30_000);
-        let alt = quick("sphinx", ReliabilityScheme::chipkill_extra_transaction(), 30_000);
+        let alt = quick(
+            "sphinx",
+            ReliabilityScheme::chipkill_extra_transaction(),
+            30_000,
+        );
         assert!(alt.reads > base.reads, "{} vs {}", alt.reads, base.reads);
         assert!(alt.cycles >= base.cycles);
     }

@@ -37,11 +37,24 @@ pub struct TraceGen {
 impl TraceGen {
     /// Creates the generator for one core. Cores partition the row space so
     /// their working sets do not alias.
-    pub fn new(workload: Workload, topology: Topology, core_id: u32, cores: u32, seed: u64) -> Self {
+    pub fn new(
+        workload: Workload,
+        topology: Topology,
+        core_id: u32,
+        cores: u32,
+        seed: u64,
+    ) -> Self {
         assert!(core_id < cores);
         let mut rng = StdRng::seed_from_u64(seed ^ ((core_id as u64) << 32));
         let current = Self::random_location(&workload, &topology, &mut rng, core_id, cores);
-        Self { workload, topology, rng, core_id, cores, current }
+        Self {
+            workload,
+            topology,
+            rng,
+            core_id,
+            cores,
+            current,
+        }
     }
 
     fn random_location(
@@ -93,7 +106,11 @@ impl TraceGen {
         }
 
         let is_write = self.rng.gen::<f64>() < self.workload.write_fraction();
-        MemOp { gap, line_addr: encode(&self.topology, self.current), is_write }
+        MemOp {
+            gap,
+            line_addr: encode(&self.topology, self.current),
+            is_write,
+        }
     }
 
     fn bump_row(&mut self, row: u32) -> u32 {
@@ -133,7 +150,13 @@ mod tests {
     use crate::addrmap::decode;
 
     fn gen_for(name: &str, core: u32) -> TraceGen {
-        TraceGen::new(Workload::by_name(name).unwrap(), Topology::baseline(), core, 8, 42)
+        TraceGen::new(
+            Workload::by_name(name).unwrap(),
+            Topology::baseline(),
+            core,
+            8,
+            42,
+        )
     }
 
     #[test]
@@ -152,7 +175,10 @@ mod tests {
         let total: u64 = (0..n).map(|_| g.next_op().gap).sum();
         let mean = total as f64 / n as f64;
         let expected = Workload::by_name("libquantum").unwrap().mean_gap();
-        assert!((mean - expected).abs() / expected < 0.05, "mean {mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "mean {mean} vs {expected}"
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl FromStr for FileTrace {
                 continue;
             }
             let mut parts = line.split_whitespace();
-            let err = |message: &str| ParseTraceError { line: i + 1, message: message.into() };
+            let err = |message: &str| ParseTraceError {
+                line: i + 1,
+                message: message.into(),
+            };
             let gap: u64 = parts
                 .next()
                 .ok_or_else(|| err("missing gap"))?
@@ -76,10 +79,17 @@ impl FromStr for FileTrace {
             if parts.next().is_some() {
                 return Err(err("trailing tokens"));
             }
-            ops.push(MemOp { gap: gap.max(1), line_addr: byte_addr / LINE_BYTES, is_write });
+            ops.push(MemOp {
+                gap: gap.max(1),
+                line_addr: byte_addr / LINE_BYTES,
+                is_write,
+            });
         }
         if ops.is_empty() {
-            return Err(ParseTraceError { line: 0, message: "trace has no operations".into() });
+            return Err(ParseTraceError {
+                line: 0,
+                message: "trace has no operations".into(),
+            });
         }
         Ok(Self { ops, cursor: 0 })
     }

@@ -85,7 +85,14 @@ const fn w(
     row_hit: f64,
     footprint_rows: u32,
 ) -> Workload {
-    Workload { name, suite, read_mpki, write_mpki, row_hit, footprint_rows }
+    Workload {
+        name,
+        suite,
+        read_mpki,
+        write_mpki,
+        row_hit,
+        footprint_rows,
+    }
 }
 
 /// Every benchmark of the paper's Figure 11, in its x-axis order.

@@ -1,0 +1,483 @@
+//! The `xed-lint` scanning engine: line-based heuristic rules over the
+//! library crates, plus hooks for the linked golden-value rules.
+//!
+//! Scope: `crates/{ecc,faultsim,core,memsim}/src/**/*.rs` — the four
+//! *library* crates whose correctness the simulations rest on. Benches,
+//! examples, integration tests, the vendored `rand` shim and this crate
+//! are exempt, as is everything from a file's `#[cfg(test)]` marker to its
+//! end (the repo convention keeps unit-test modules last).
+//!
+//! Rule catalogue (documented for humans in DESIGN.md §"Verification
+//! layer"):
+//!
+//! | id    | severity | what it rejects                                        |
+//! |-------|----------|--------------------------------------------------------|
+//! | XL001 | error    | `.unwrap()` in library code                            |
+//! | XL002 | error    | `.expect(` without a nearby `invariant:` justification |
+//! | XL003 | error    | `panic!` / `unreachable!` / `todo!` / `unimplemented!` |
+//! | XL004 | error    | `==` / `!=` against a floating-point literal           |
+//! | XL005 | error    | nondeterminism: `thread_rng`, `from_entropy`,          |
+//! |       |          | `rand::random`, `SystemTime::now`, `Instant::now`      |
+//! | XL006 | warning  | iteration over a `HashMap`/`HashSet` (unstable order)  |
+//! | XL007 | error    | `FitRates::table_i()` drifts from paper Table I        |
+//! | XL008 | error    | catch-word / geometry constants drift from paper §IV-V |
+//!
+//! Waivers: `// xed-lint: allow(XL004)` on the offending line or the line
+//! directly above suppresses that rule for that line. XL002 is satisfied by
+//! an `invariant:` comment on the line or within the six preceding lines
+//! (builder chains push the call a few lines past its justification).
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Severity of a finding. Errors make the process exit nonzero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Must be fixed (or explicitly waived); fails the lint gate.
+    Error,
+    /// Reported but does not fail the gate.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// One lint finding, locatable as `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number (0 for whole-crate golden findings).
+    pub line: usize,
+    /// Rule identifier, e.g. `XL001`.
+    pub rule: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Finding {
+    /// Renders the finding in the `file:line: severity[rule]: msg` format.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {}[{}]: {}",
+            self.file, self.line, self.severity, self.rule, self.message
+        )
+    }
+
+    /// Renders the finding as a JSON object.
+    pub fn render_json(&self) -> String {
+        format!(
+            r#"{{"file":{},"line":{},"rule":"{}","severity":"{}","message":{}}}"#,
+            json_string(&self.file),
+            self.line,
+            self.rule,
+            self.severity,
+            json_string(&self.message)
+        )
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The library crates the source rules scan.
+pub const LIBRARY_CRATES: [&str; 4] = ["ecc", "faultsim", "core", "memsim"];
+
+/// Scans the whole workspace rooted at `root`: every library-crate source
+/// file through the line rules. (Golden rules live in [`crate::golden`].)
+pub fn scan_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    let mut files = Vec::new();
+    for krate in LIBRARY_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        collect_rs_files(&src, &mut files)
+            .map_err(|e| format!("walking {}: {e}", src.display()))?;
+    }
+    files.sort();
+    for file in files {
+        let text =
+            fs::read_to_string(&file).map_err(|e| format!("reading {}: {e}", file.display()))?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .into_owned();
+        findings.extend(scan_file(&rel, &text));
+    }
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), std::io::Error> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans one file's text through all line rules. Public for tests and so a
+/// seeded-violation check can exercise the engine directly.
+pub fn scan_file(rel_path: &str, text: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = text.lines().collect();
+    let hash_names = hash_container_names(&lines);
+    let mut findings = Vec::new();
+
+    for (idx, &raw) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        // Everything from the unit-test marker to EOF is exempt.
+        if raw.contains("#[cfg(test)]") {
+            break;
+        }
+        let code = strip_comment(raw);
+        let trimmed = code.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let waived =
+            |rule: &str| has_waiver(raw, rule) || (idx > 0 && has_waiver(lines[idx - 1], rule));
+
+        if trimmed.contains(".unwrap()") && !waived("XL001") {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: line_no,
+                rule: "XL001",
+                severity: Severity::Error,
+                message: "`.unwrap()` in library code; return a typed error or use a \
+                          justified `.expect()` with an `invariant:` comment"
+                    .to_string(),
+            });
+        }
+
+        if trimmed.contains(".expect(") && !waived("XL002") {
+            let lo = idx.saturating_sub(6);
+            let justified = lines[lo..=idx].iter().any(|l| l.contains("invariant:"));
+            if !justified {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: "XL002",
+                    severity: Severity::Error,
+                    message: "`.expect()` without an `invariant:` justification comment \
+                              on this or one of the six preceding lines"
+                        .to_string(),
+                });
+            }
+        }
+
+        for mac in ["panic!(", "unreachable!(", "todo!(", "unimplemented!("] {
+            if trimmed.contains(mac) && !waived("XL003") {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: "XL003",
+                    severity: Severity::Error,
+                    message: format!(
+                        "`{}...)` in library code; model the failure as a typed error or \
+                         prove it impossible with a checked `assert!`",
+                        mac
+                    ),
+                });
+            }
+        }
+
+        if has_float_equality(trimmed) && !waived("XL004") {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: line_no,
+                rule: "XL004",
+                severity: Severity::Error,
+                message: "`==`/`!=` against a floating-point literal; probabilities and \
+                          rates need an epsilon comparison (or a waiver for an exact \
+                          sentinel)"
+                    .to_string(),
+            });
+        }
+
+        for src in [
+            "thread_rng",
+            "from_entropy",
+            "rand::random",
+            "SystemTime::now",
+            "Instant::now",
+        ] {
+            if trimmed.contains(src) && !waived("XL005") {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: "XL005",
+                    severity: Severity::Error,
+                    message: format!(
+                        "nondeterminism source `{src}`; every simulation stream must \
+                         derive from an explicit `seed_from_u64` seed"
+                    ),
+                });
+            }
+        }
+
+        if let Some(name) = hash_iteration(trimmed, &hash_names) {
+            if !waived("XL006") {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: "XL006",
+                    severity: Severity::Warning,
+                    message: format!(
+                        "iteration over hash container `{name}` has unstable order; \
+                         sort first (or waive) if any simulation state depends on it"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// `// xed-lint: allow(XL001)` (several ids may share one waiver comment).
+fn has_waiver(line: &str, rule: &str) -> bool {
+    line.split("xed-lint: allow(")
+        .skip(1)
+        .any(|rest| rest.split(')').next().is_some_and(|ids| ids.contains(rule)))
+}
+
+/// Strips a trailing `//` comment (string-literal `//` is rare enough in
+/// this workspace that the heuristic is acceptable; waivers still work
+/// because they are checked against the raw line).
+fn strip_comment(line: &str) -> &str {
+    let t = line.trim_start();
+    if t.starts_with("//") {
+        return "";
+    }
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// `== 0.5`, `!= 1.0`, `0.0 ==`, ... — equality against a float literal.
+fn has_float_equality(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    for (i, w) in bytes.windows(2).enumerate() {
+        if (w == b"==" || w == b"!=")
+            && bytes.get(i + 2) != Some(&b'=')
+            && (i == 0
+                || bytes[i - 1] != b'='
+                    && bytes[i - 1] != b'!'
+                    && bytes[i - 1] != b'<'
+                    && bytes[i - 1] != b'>')
+        {
+            let after = code[i + 2..].trim_start();
+            let before = code[..i].trim_end();
+            if starts_with_float_literal(after) || ends_with_float_literal(before) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn starts_with_float_literal(s: &str) -> bool {
+    let s = s.strip_prefix('-').unwrap_or(s);
+    let digits = s
+        .bytes()
+        .take_while(|b| b.is_ascii_digit() || *b == b'_')
+        .count();
+    digits > 0 && s.as_bytes().get(digits) == Some(&b'.')
+}
+
+fn ends_with_float_literal(s: &str) -> bool {
+    // Accept `1.0`, `0.25`, `1e-9` suffixes; reject identifiers and ints.
+    let tail: String = s
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '_' | 'e' | 'E' | '-' | '+'))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    let tail = tail.trim_start_matches(['-', '+']);
+    tail.contains('.') && tail.bytes().next().is_some_and(|b| b.is_ascii_digit())
+}
+
+/// Names declared with a `HashMap`/`HashSet` type in this file (struct
+/// fields `name: HashMap<..>` and bindings `let name: HashMap<..>` /
+/// `let mut name = HashMap::new()`).
+fn hash_container_names(lines: &[&str]) -> Vec<String> {
+    let mut names = Vec::new();
+    for &line in lines {
+        if line.contains("#[cfg(test)]") {
+            break;
+        }
+        let code = strip_comment(line);
+        for marker in ["HashMap<", "HashMap::", "HashSet<", "HashSet::"] {
+            if !code.contains(marker) {
+                continue;
+            }
+            // `name: HashMap<` or `let [mut] name = HashMap::new()`.
+            if let Some(colon) = code.find(marker).and_then(|i| code[..i].rfind(':')) {
+                let name: String = code[..colon]
+                    .chars()
+                    .rev()
+                    .skip_while(|c| c.is_whitespace() || *c == ':')
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .rev()
+                    .collect();
+                if !name.is_empty() && !names.contains(&name) {
+                    names.push(name);
+                }
+            }
+            if let Some(eq) = code.find(marker).and_then(|i| code[..i].rfind('=')) {
+                let name: String = code[..eq]
+                    .chars()
+                    .rev()
+                    .skip_while(|c| c.is_whitespace() || *c == '=')
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .rev()
+                    .collect();
+                if !name.is_empty() && name != "let" && name != "mut" && !names.contains(&name) {
+                    names.push(name);
+                }
+            }
+        }
+    }
+    names
+}
+
+/// `name.iter()` / `name.keys()` / `name.values()` / `name.drain(` /
+/// `for .. in &name` where `name` is a known hash container.
+fn hash_iteration(code: &str, names: &[String]) -> Option<String> {
+    for name in names {
+        for suffix in [".iter()", ".keys()", ".values()", ".drain(", ".into_iter()"] {
+            let needle = format!("{name}{suffix}");
+            if code.contains(&needle) {
+                return Some(name.clone());
+            }
+        }
+        if code.contains(" in &") || code.contains(" in ") {
+            let for_target = format!("in &{name}");
+            let for_target2 = format!("in {name}");
+            if (code.contains(&for_target) || code.contains(&for_target2))
+                && code.trim_start().starts_with("for ")
+            {
+                return Some(name.clone());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(text: &str) -> Vec<&'static str> {
+        scan_file("x.rs", text)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn flags_unwrap_and_panics() {
+        assert_eq!(rules("let x = y.unwrap();"), vec!["XL001"]);
+        assert_eq!(rules("panic!(\"boom\");"), vec!["XL003"]);
+        assert_eq!(rules("unreachable!(\"no\");"), vec!["XL003"]);
+    }
+
+    #[test]
+    fn expect_requires_invariant_comment() {
+        assert_eq!(rules("let x = y.expect(\"msg\");"), vec!["XL002"]);
+        assert!(rules("// invariant: y is Some here\nlet x = y.expect(\"msg\");").is_empty());
+    }
+
+    #[test]
+    fn waiver_suppresses_on_same_or_previous_line() {
+        assert!(rules("let x = y.unwrap(); // xed-lint: allow(XL001)").is_empty());
+        assert!(rules("// xed-lint: allow(XL001)\nlet x = y.unwrap();").is_empty());
+        // A waiver for a different rule does not help.
+        assert_eq!(
+            rules("let x = y.unwrap(); // xed-lint: allow(XL003)"),
+            vec!["XL001"]
+        );
+    }
+
+    #[test]
+    fn float_equality() {
+        assert_eq!(rules("if p == 0.5 {"), vec!["XL004"]);
+        assert_eq!(rules("if 1.0 != q {"), vec!["XL004"]);
+        assert!(rules("if p >= 0.5 {").is_empty());
+        assert!(rules("if n == 5 {").is_empty());
+        assert!(rules("assert!(p <= 1.0);").is_empty());
+    }
+
+    #[test]
+    fn nondeterminism_sources() {
+        assert_eq!(rules("let mut rng = thread_rng();"), vec!["XL005"]);
+        assert_eq!(rules("let t = Instant::now();"), vec!["XL005"]);
+        assert!(rules("let mut rng = StdRng::seed_from_u64(7);").is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_flagged_as_warning() {
+        let text = "struct S { table: HashMap<u64, u32> }\nfor (k, v) in table.iter() {\n";
+        let f = scan_file("x.rs", text);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "XL006");
+        assert_eq!(f[0].severity, Severity::Warning);
+        // Lookups are fine.
+        assert!(
+            rules("struct S { table: HashMap<u64, u32> }\nlet v = table.get(&k);\n").is_empty()
+        );
+    }
+
+    #[test]
+    fn test_module_and_comments_exempt() {
+        assert!(rules("// a comment mentioning x.unwrap()").is_empty());
+        assert!(rules("/// doc: call x.unwrap()").is_empty());
+        assert!(rules("#[cfg(test)]\nmod tests {\n  fn f() { y.unwrap(); }\n}\n").is_empty());
+    }
+
+    #[test]
+    fn renders_machine_readable() {
+        let f = &scan_file("crates/ecc/src/x.rs", "y.unwrap();")[0];
+        let line = f.render();
+        assert!(
+            line.starts_with("crates/ecc/src/x.rs:1: error[XL001]:"),
+            "{line}"
+        );
+        let json = f.render_json();
+        assert!(json.contains(r#""rule":"XL001""#), "{json}");
+        assert!(json.contains(r#""severity":"error""#), "{json}");
+    }
+}

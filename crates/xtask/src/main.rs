@@ -1,0 +1,112 @@
+//! Workspace automation (`cargo xtask` pattern).
+//!
+//! ```text
+//! cargo run -p xtask -- lint [--format text|json] [--root PATH]
+//! ```
+//!
+//! `lint` runs the `xed-lint` static-analysis pass: heuristic source rules
+//! over the library crates (see [`lint`] for the rule catalogue) plus the
+//! linked golden-value rules (see [`golden`]). Exits nonzero if any
+//! error-severity finding survives.
+
+mod golden;
+mod lint;
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown command `{other}`");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage: cargo run -p xtask -- lint [--format text|json] [--root PATH]";
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let mut format = "text".to_string();
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next() {
+                Some(v) if v == "text" || v == "json" => format = v.clone(),
+                _ => {
+                    eprintln!("--format takes `text` or `json`");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match it.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--root takes a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Default root: the workspace containing this crate.
+    let root = root.unwrap_or_else(|| {
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest
+            .parent()
+            .and_then(|p| p.parent())
+            .map(PathBuf::from)
+            .unwrap_or(manifest)
+    });
+
+    let mut findings = match lint::scan_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("xed-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    findings.extend(golden::check_fit_table());
+    findings.extend(golden::check_catch_word_constants());
+
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == lint::Severity::Error)
+        .count();
+    let warnings = findings.len() - errors;
+
+    if format == "json" {
+        let items: Vec<String> = findings.iter().map(lint::Finding::render_json).collect();
+        println!(
+            r#"{{"findings":[{}],"errors":{errors},"warnings":{warnings}}}"#,
+            items.join(",")
+        );
+    } else {
+        for f in &findings {
+            println!("{}", f.render());
+        }
+        println!(
+            "xed-lint: {} finding(s): {errors} error(s), {warnings} warning(s)",
+            findings.len()
+        );
+    }
+
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -51,7 +51,11 @@ fn scenario_transient_word() {
     let before = dimm.stats().reconstructions;
     let second = dimm.read_line(9).unwrap();
     assert_eq!(second.data, LINE);
-    assert_eq!(dimm.stats().reconstructions, before, "scrub healed the line");
+    assert_eq!(
+        dimm.stats().reconstructions,
+        before,
+        "scrub healed the line"
+    );
     println!("[transient word]    corrected once, scrubbed, second read clean: OK");
 }
 
@@ -60,7 +64,10 @@ fn scenario_transient_word() {
 fn scenario_row_failure() {
     let mut dimm = fresh();
     let addr = dimm.line_addr(0);
-    dimm.inject_fault(7, InjectedFault::row(addr.bank, addr.row, FaultKind::Permanent));
+    dimm.inject_fault(
+        7,
+        InjectedFault::row(addr.bank, addr.row, FaultKind::Permanent),
+    );
     let cols = dimm.geometry().cols as u64;
     let mut reconstructed = 0;
     for line in 0..cols {
@@ -83,7 +90,10 @@ fn scenario_two_chips_with_scaling() {
     let mut dimm = fresh();
     let addr = dimm.line_addr(40);
     dimm.inject_fault(1, InjectedFault::bit(addr, 30, FaultKind::Permanent));
-    dimm.inject_fault(5, InjectedFault::row(addr.bank, addr.row, FaultKind::Permanent));
+    dimm.inject_fault(
+        5,
+        InjectedFault::row(addr.bank, addr.row, FaultKind::Permanent),
+    );
     let out = dimm.read_line(40).unwrap();
     assert_eq!(out.data, LINE);
     assert!(dimm.stats().serial_modes >= 1);

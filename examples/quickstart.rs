@@ -28,7 +28,9 @@ fn main() {
     // chip 3 as an erasure and rebuilds its word from parity (Equation 3).
     for line in 0..16u64 {
         let expected = [line.wrapping_mul(0x0101_0101_0101_0101); 8];
-        let out = dimm.read_line(line).expect("XED corrects a single chip failure");
+        let out = dimm
+            .read_line(line)
+            .expect("XED corrects a single chip failure");
         assert_eq!(out.data, expected);
         assert_eq!(out.reconstructed_chip, Some(3));
     }
@@ -46,6 +48,8 @@ fn main() {
     // correction capability: the controller reports a detected
     // uncorrectable error instead of returning wrong data.
     dimm.inject_fault(6, InjectedFault::chip(FaultKind::Permanent));
-    let err = dimm.read_line(0).expect_err("two dead chips are uncorrectable");
+    let err = dimm
+        .read_line(0)
+        .expect_err("two dead chips are uncorrectable");
     println!("\nsecond chip failed -> {err}");
 }

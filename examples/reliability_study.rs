@@ -13,8 +13,15 @@ fn main() {
     let samples = 500_000;
     println!("Monte-Carlo: {samples} systems per scheme, 7-year lifetime, Table I FIT rates\n");
 
-    let mc = MonteCarlo::new(MonteCarloConfig { samples, seed: 2016, ..Default::default() });
-    println!("{:45} {:>12} {:>8} {:>8}", "scheme", "P(fail, 7y)", "DUE", "SDC");
+    let mc = MonteCarlo::new(MonteCarloConfig {
+        samples,
+        seed: 2016,
+        ..Default::default()
+    });
+    println!(
+        "{:45} {:>12} {:>8} {:>8}",
+        "scheme", "P(fail, 7y)", "DUE", "SDC"
+    );
     let mut baseline = None;
     for scheme in Scheme::ALL {
         let r = mc.run(scheme);
@@ -23,10 +30,18 @@ fn main() {
             baseline = Some(p);
         }
         let vs = match (baseline, p > 0.0) {
-            (Some(b), true) if scheme != Scheme::EccDimm => format!("  ({:.0}x vs ECC-DIMM)", b / p),
+            (Some(b), true) if scheme != Scheme::EccDimm => {
+                format!("  ({:.0}x vs ECC-DIMM)", b / p)
+            }
             _ => String::new(),
         };
-        println!("{:45} {:>12.3e} {:>8} {:>8}{vs}", scheme.label(), p, r.due, r.sdc);
+        println!(
+            "{:45} {:>12.3e} {:>8} {:>8}{vs}",
+            scheme.label(),
+            p,
+            r.due,
+            r.sdc
+        );
     }
 
     // The same comparison with scaling faults at the paper's 10^-4 rate
@@ -36,17 +51,28 @@ fn main() {
     let mc = MonteCarlo::new(MonteCarloConfig {
         samples,
         seed: 2016,
-        params: ModelParams { scaling: ScalingFaults::paper_default(), ..Default::default() },
+        params: ModelParams {
+            scaling: ScalingFaults::paper_default(),
+            ..Default::default()
+        },
         ..Default::default()
     });
     for scheme in [Scheme::EccDimm, Scheme::Xed, Scheme::Chipkill] {
         let r = mc.run(scheme);
-        println!("{:45} {:>12.3e}", scheme.label(), r.failure_probability(7.0));
+        println!(
+            "{:45} {:>12.3e}",
+            scheme.label(),
+            r.failure_probability(7.0)
+        );
     }
 
     // Year-by-year failure CDF for XED (the curve the figures plot).
-    let r = MonteCarlo::new(MonteCarloConfig { samples: 2_000_000, seed: 7, ..Default::default() })
-        .run(Scheme::Xed);
+    let r = MonteCarlo::new(MonteCarloConfig {
+        samples: 2_000_000,
+        seed: 7,
+        ..Default::default()
+    })
+    .run(Scheme::Xed);
     println!("\nXED cumulative failure probability by year:");
     for (year, p) in r.curve().iter().enumerate() {
         println!("  year {:>2}: {:.2e}", year + 1, p);

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the XED reproduction workspace (see DESIGN.md §8).
+#
+# Runs entirely offline: the workspace has no crates.io dependencies and
+# Cargo.lock is committed. Any step failing fails the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "xed-lint (static analysis + golden constants)"
+cargo run -q -p xtask -- lint
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test -q"
+cargo test -q --workspace
+
+printf '\nci.sh: all tier-1 checks passed\n'

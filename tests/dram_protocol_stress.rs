@@ -52,7 +52,11 @@ fn stress(topology: Topology, timing: DdrTiming, seed: u64, requests: u64) {
             completed.push(id);
         }
         now += 1;
-        assert!(now < 40_000_000, "controller wedged at {} pending", mc.pending());
+        assert!(
+            now < 40_000_000,
+            "controller wedged at {} pending",
+            mc.pending()
+        );
     }
 
     // Every read completed exactly once.
@@ -110,13 +114,19 @@ fn stress_baseline_topology_ddr3() {
 
 #[test]
 fn stress_single_rank_ddr3() {
-    let t = Topology { ranks: 1, ..Topology::baseline() };
+    let t = Topology {
+        ranks: 1,
+        ..Topology::baseline()
+    };
     stress(t, DdrTiming::ddr3_1600(), 2, 4_000);
 }
 
 #[test]
 fn stress_two_channel_ddr3() {
-    let t = Topology { channels: 2, ..Topology::baseline() };
+    let t = Topology {
+        channels: 2,
+        ..Topology::baseline()
+    };
     stress(t, DdrTiming::ddr3_1600(), 3, 4_000);
 }
 
@@ -127,12 +137,23 @@ fn stress_ddr4_timing() {
 
 #[test]
 fn stress_extended_burst() {
-    stress(Topology::baseline(), DdrTiming::ddr3_1600().with_extra_burst(4), 5, 3_000);
+    stress(
+        Topology::baseline(),
+        DdrTiming::ddr3_1600().with_extra_burst(4),
+        5,
+        3_000,
+    );
 }
 
 #[test]
 fn stress_tiny_topology_heavy_conflicts() {
     // One channel, one rank, two banks, few rows: maximal contention.
-    let t = Topology { channels: 1, ranks: 1, banks: 2, rows: 8, cols: 16 };
+    let t = Topology {
+        channels: 1,
+        ranks: 1,
+        banks: 2,
+        rows: 8,
+        cols: 16,
+    };
     stress(t, DdrTiming::ddr3_1600(), 6, 3_000);
 }

@@ -80,7 +80,10 @@ fn secded_codes_agree_on_secded_contract() {
         assert_eq!(c.decode(c.encode(d)).data(), Some(d));
         // Single-bit: same corrected position.
         let bit = rng.gen_range(0..72);
-        match (h.decode(h.encode(d).with_bit_flipped(bit)), c.decode(c.encode(d).with_bit_flipped(bit))) {
+        match (
+            h.decode(h.encode(d).with_bit_flipped(bit)),
+            c.decode(c.encode(d).with_bit_flipped(bit)),
+        ) {
             (
                 DecodeOutcome::Corrected { data: dh, bit: bh },
                 DecodeOutcome::Corrected { data: dc, bit: bc },
@@ -105,7 +108,8 @@ fn dense_corruption_miss_rate_near_design_point() {
     for _ in 0..trials {
         let d: u64 = rng.gen();
         let w = c.encode(d);
-        let garbled = xed::ecc::CodeWord72::new(w.data() ^ rng.gen::<u64>(), w.check() ^ rng.gen::<u8>());
+        let garbled =
+            xed::ecc::CodeWord72::new(w.data() ^ rng.gen::<u64>(), w.check() ^ rng.gen::<u8>());
         if garbled != w && c.is_valid(garbled) {
             missed += 1;
         }

@@ -9,7 +9,10 @@ use xed::core::{XedConfig, XedDimm, XedError};
 fn patterned_line(seed: u64) -> [u64; 8] {
     let mut line = [0u64; 8];
     for (i, w) in line.iter_mut().enumerate() {
-        *w = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(i as u32 * 8) ^ i as u64;
+        *w = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(i as u32 * 8)
+            ^ i as u64;
     }
     line
 }
@@ -27,18 +30,36 @@ fn survives_every_single_chip_fault_mode() {
     // Paper Sections V–VI: XED tolerates any single-chip fault mode.
     type FaultMaker = Box<dyn Fn(&XedDimm) -> InjectedFault>;
     let modes: Vec<(&str, FaultMaker)> = vec![
-        ("bit", Box::new(|d: &XedDimm| InjectedFault::bit(d.line_addr(3), 11, FaultKind::Permanent))),
-        ("word", Box::new(|d: &XedDimm| InjectedFault::word(d.line_addr(3), FaultKind::Permanent))),
-        ("column", Box::new(|d: &XedDimm| {
-            let a = d.line_addr(3);
-            InjectedFault::column(a.bank, a.col, FaultKind::Permanent)
-        })),
-        ("row", Box::new(|d: &XedDimm| {
-            let a = d.line_addr(3);
-            InjectedFault::row(a.bank, a.row, FaultKind::Permanent)
-        })),
-        ("bank", Box::new(|d: &XedDimm| InjectedFault::bank(d.line_addr(3).bank, FaultKind::Permanent))),
-        ("chip", Box::new(|_| InjectedFault::chip(FaultKind::Permanent))),
+        (
+            "bit",
+            Box::new(|d: &XedDimm| InjectedFault::bit(d.line_addr(3), 11, FaultKind::Permanent)),
+        ),
+        (
+            "word",
+            Box::new(|d: &XedDimm| InjectedFault::word(d.line_addr(3), FaultKind::Permanent)),
+        ),
+        (
+            "column",
+            Box::new(|d: &XedDimm| {
+                let a = d.line_addr(3);
+                InjectedFault::column(a.bank, a.col, FaultKind::Permanent)
+            }),
+        ),
+        (
+            "row",
+            Box::new(|d: &XedDimm| {
+                let a = d.line_addr(3);
+                InjectedFault::row(a.bank, a.row, FaultKind::Permanent)
+            }),
+        ),
+        (
+            "bank",
+            Box::new(|d: &XedDimm| InjectedFault::bank(d.line_addr(3).bank, FaultKind::Permanent)),
+        ),
+        (
+            "chip",
+            Box::new(|_| InjectedFault::chip(FaultKind::Permanent)),
+        ),
     ];
     for (name, make) in modes {
         for chip in [0usize, 4, 8] {
@@ -49,7 +70,11 @@ fn survives_every_single_chip_fault_mode() {
                 let out = dimm
                     .read_line(l)
                     .unwrap_or_else(|e| panic!("{name} fault in chip {chip}, line {l}: {e}"));
-                assert_eq!(out.data, patterned_line(l), "{name} fault in chip {chip}, line {l}");
+                assert_eq!(
+                    out.data,
+                    patterned_line(l),
+                    "{name} fault in chip {chip}, line {l}"
+                );
             }
         }
     }
@@ -59,7 +84,10 @@ fn survives_every_single_chip_fault_mode() {
 fn survives_transient_faults_and_heals() {
     let mut dimm = loaded_dimm(8);
     let addr = dimm.line_addr(2);
-    dimm.inject_fault(5, InjectedFault::row(addr.bank, addr.row, FaultKind::Transient));
+    dimm.inject_fault(
+        5,
+        InjectedFault::row(addr.bank, addr.row, FaultKind::Transient),
+    );
     // First read of each line in the row corrects + scrubs.
     for l in 0..8 {
         assert_eq!(dimm.read_line(l).unwrap().data, patterned_line(l));
@@ -80,8 +108,12 @@ fn double_chip_failure_is_detected_not_silent() {
     dimm.inject_fault(7, InjectedFault::chip(FaultKind::Permanent));
     for l in 0..4 {
         match dimm.read_line(l) {
-            Err(XedError::MultipleFaultyChips { .. }) | Err(XedError::DetectedUncorrectable { .. }) => {}
-            Ok(out) => panic!("line {l} returned data {:x?} despite 2 dead chips", out.data),
+            Err(XedError::MultipleFaultyChips { .. })
+            | Err(XedError::DetectedUncorrectable { .. }) => {}
+            Ok(out) => panic!(
+                "line {l} returned data {:x?} despite 2 dead chips",
+                out.data
+            ),
         }
     }
     assert!(dimm.stats().due_events >= 4);
@@ -92,16 +124,22 @@ fn chip_failure_with_widespread_scaling_faults() {
     // Section VII-C at scale: scaling (bit) faults sprinkled across several
     // chips plus one hard row failure. Every line must still read back.
     let mut dimm = loaded_dimm(64);
-    for (chip, line, bit) in
-        [(0usize, 5u64, 3u32), (2, 9, 60), (3, 22, 17), (6, 40, 44), (8, 51, 8)]
-    {
+    for (chip, line, bit) in [
+        (0usize, 5u64, 3u32),
+        (2, 9, 60),
+        (3, 22, 17),
+        (6, 40, 44),
+        (8, 51, 8),
+    ] {
         let addr = dimm.line_addr(line);
         dimm.inject_fault(chip, InjectedFault::bit(addr, bit, FaultKind::Permanent));
     }
     let a = dimm.line_addr(9);
     dimm.inject_fault(5, InjectedFault::row(a.bank, a.row, FaultKind::Permanent));
     for l in 0..64 {
-        let out = dimm.read_line(l).unwrap_or_else(|e| panic!("line {l}: {e}"));
+        let out = dimm
+            .read_line(l)
+            .unwrap_or_else(|e| panic!("line {l}: {e}"));
         assert_eq!(out.data, patterned_line(l), "line {l}");
     }
 }
@@ -133,7 +171,10 @@ fn collision_storm_recovers() {
 #[test]
 fn hamming_on_die_code_is_supported_end_to_end() {
     use xed::core::chip::OnDieCode;
-    let mut dimm = XedDimm::new(XedConfig { code: OnDieCode::Hamming, ..XedConfig::default() });
+    let mut dimm = XedDimm::new(XedConfig {
+        code: OnDieCode::Hamming,
+        ..XedConfig::default()
+    });
     for l in 0..8 {
         dimm.write_line(l, &patterned_line(l));
     }
@@ -153,7 +194,10 @@ fn stats_are_coherent() {
     let s = dimm.stats();
     assert_eq!(s.reads, 32);
     assert_eq!(s.writes, 32);
-    assert!(s.catch_words_observed >= 30, "nearly every read sees chip 3's catch-word");
+    assert!(
+        s.catch_words_observed >= 30,
+        "nearly every read sees chip 3's catch-word"
+    );
     assert!(s.reconstructions >= 30);
     assert_eq!(s.due_events, 0);
     assert!(s.scrub_writes >= s.reconstructions);

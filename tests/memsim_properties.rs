@@ -19,7 +19,10 @@ fn exec_time_scales_with_instruction_count() {
     let short = run("comm3", ReliabilityScheme::baseline_secded(), 20_000);
     let long = run("comm3", ReliabilityScheme::baseline_secded(), 80_000);
     let ratio = long.cycles as f64 / short.cycles as f64;
-    assert!((2.5..6.0).contains(&ratio), "4x instructions -> ~4x cycles, got {ratio}");
+    assert!(
+        (2.5..6.0).contains(&ratio),
+        "4x instructions -> ~4x cycles, got {ratio}"
+    );
 }
 
 #[test]
@@ -52,7 +55,12 @@ fn memory_bound_workload_slower_than_compute_bound() {
     // (2.1 MPKI) on identical hardware.
     let mcf = run("mcf", ReliabilityScheme::baseline_secded(), 40_000);
     let deal = run("dealII", ReliabilityScheme::baseline_secded(), 40_000);
-    assert!(mcf.cycles > deal.cycles * 3, "mcf {} vs dealII {}", mcf.cycles, deal.cycles);
+    assert!(
+        mcf.cycles > deal.cycles * 3,
+        "mcf {} vs dealII {}",
+        mcf.cycles,
+        deal.cycles
+    );
 }
 
 #[test]
@@ -65,7 +73,12 @@ fn figure11_scheme_ordering() {
     let dck = run("lbm", ReliabilityScheme::double_chipkill(), 40_000);
     let r = |x: &SimResult| x.cycles as f64 / base.cycles as f64;
     assert!(r(&xed) < 1.02, "xed {}", r(&xed));
-    assert!(r(&xed_ck) >= 1.0 && r(&xed_ck) < r(&ck), "xed_ck {} ck {}", r(&xed_ck), r(&ck));
+    assert!(
+        r(&xed_ck) >= 1.0 && r(&xed_ck) < r(&ck),
+        "xed_ck {} ck {}",
+        r(&xed_ck),
+        r(&ck)
+    );
     assert!(r(&ck) > 1.1, "chipkill {}", r(&ck));
     assert!(r(&dck) > r(&ck), "dck {} ck {}", r(&dck), r(&ck));
 }
@@ -76,7 +89,12 @@ fn overfetch_shows_up_in_bus_utilization() {
     let ck = run("libquantum", ReliabilityScheme::chipkill(), 40_000);
     // Chipkill moves twice the data per access; even with fewer channels'
     // worth of parallelism the bus must be busier.
-    assert!(ck.bus_utilization > base.bus_utilization, "{} vs {}", ck.bus_utilization, base.bus_utilization);
+    assert!(
+        ck.bus_utilization > base.bus_utilization,
+        "{} vs {}",
+        ck.bus_utilization,
+        base.bus_utilization
+    );
 }
 
 #[test]
@@ -98,8 +116,7 @@ fn double_chipkill_burns_more_activate_power_than_chipkill_x4() {
     // 36 activated chips vs 18: more activate energy per unit work even
     // after the time stretch.
     assert!(
-        dck.power.activate_mw * dck.cycles as f64
-            > xed_ck.power.activate_mw * xed_ck.cycles as f64,
+        dck.power.activate_mw * dck.cycles as f64 > xed_ck.power.activate_mw * xed_ck.cycles as f64,
         "activate energy: dck {} vs xed+ck {}",
         dck.power.activate_mw * dck.cycles as f64,
         xed_ck.power.activate_mw * xed_ck.cycles as f64
@@ -109,7 +126,11 @@ fn double_chipkill_burns_more_activate_power_than_chipkill_x4() {
 #[test]
 fn reads_match_demand_plus_overlay() {
     let base = run("sphinx", ReliabilityScheme::baseline_secded(), 40_000);
-    let extra = run("sphinx", ReliabilityScheme::chipkill_extra_transaction(), 40_000);
+    let extra = run(
+        "sphinx",
+        ReliabilityScheme::chipkill_extra_transaction(),
+        40_000,
+    );
     // Extra-transaction mode roughly doubles DRAM reads.
     let ratio = extra.reads as f64 / base.reads as f64;
     assert!((1.7..2.3).contains(&ratio), "read amplification {ratio}");

@@ -9,7 +9,11 @@ use xed::faultsim::schemes::{ModelParams, Scheme};
 use xed::faultsim::system::SystemConfig;
 
 fn mc(samples: u64) -> MonteCarlo {
-    MonteCarlo::new(MonteCarloConfig { samples, seed: 99, ..Default::default() })
+    MonteCarlo::new(MonteCarloConfig {
+        samples,
+        seed: 99,
+        ..Default::default()
+    })
 }
 
 #[test]
@@ -20,7 +24,10 @@ fn paper_ordering_holds() {
     let ecc = m.run(Scheme::EccDimm).failure_probability(7.0);
     let ck = m.run(Scheme::Chipkill).failure_probability(7.0);
     let xed = m.run(Scheme::Xed).failure_probability(7.0);
-    assert!(ecc / non_ecc < 1.3 && non_ecc / ecc < 1.3, "ECC-DIMM ≈ Non-ECC: {ecc} vs {non_ecc}");
+    assert!(
+        ecc / non_ecc < 1.3 && non_ecc / ecc < 1.3,
+        "ECC-DIMM ≈ Non-ECC: {ecc} vs {non_ecc}"
+    );
     assert!(ck < ecc / 20.0, "chipkill must be ≫ better: {ck} vs {ecc}");
     assert!(xed <= ck, "xed at least as good as chipkill: {xed} vs {ck}");
 }
@@ -44,7 +51,10 @@ fn monte_carlo_matches_analytic_single_fault_model() {
     let simulated = m.run(Scheme::EccDimm).failure_probability(7.0);
     let analytic = analytic::p_fail_single_fault(&FitRates::table_i(), 72, 7.0);
     let rel = (simulated - analytic).abs() / analytic;
-    assert!(rel < 0.05, "simulated {simulated} vs analytic {analytic} (rel {rel})");
+    assert!(
+        rel < 0.05,
+        "simulated {simulated} vs analytic {analytic} (rel {rel})"
+    );
 }
 
 #[test]
@@ -57,13 +67,19 @@ fn monte_carlo_matches_analytic_double_fault_model() {
     let analytic = analytic::p_fail_double_fault(&FitRates::table_i(), &cfg, 9, 8, 7.0);
     assert!(simulated > 0.0);
     let ratio = simulated / analytic;
-    assert!((0.5..2.0).contains(&ratio), "simulated {simulated} vs analytic {analytic}");
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "simulated {simulated} vs analytic {analytic}"
+    );
 }
 
 #[test]
 fn scaling_faults_do_not_change_the_ordering() {
     // Figure 8: with scaling at 1e-4 the story is intact.
-    let params = ModelParams { scaling: ScalingFaults::paper_default(), ..Default::default() };
+    let params = ModelParams {
+        scaling: ScalingFaults::paper_default(),
+        ..Default::default()
+    };
     let m = MonteCarlo::new(MonteCarloConfig {
         samples: 300_000,
         seed: 5,
@@ -82,7 +98,10 @@ fn without_on_die_ecc_non_ecc_dimm_collapses() {
     // The whole premise: on-die ECC absorbs the (dominant-rate) bit
     // faults. Without it, a non-ECC DIMM fails on every bit fault too.
     let with = mc(200_000).run(Scheme::NonEcc).failure_probability(7.0);
-    let params = ModelParams { on_die_ecc: false, ..Default::default() };
+    let params = ModelParams {
+        on_die_ecc: false,
+        ..Default::default()
+    };
     let m = MonteCarlo::new(MonteCarloConfig {
         samples: 200_000,
         seed: 99,
@@ -90,13 +109,19 @@ fn without_on_die_ecc_non_ecc_dimm_collapses() {
         ..Default::default()
     });
     let without = m.run(Scheme::NonEcc).failure_probability(7.0);
-    assert!(without > with * 1.5, "without on-die {without} vs with {with}");
+    assert!(
+        without > with * 1.5,
+        "without on-die {without} vs with {with}"
+    );
 }
 
 #[test]
 fn higher_on_die_miss_rate_hurts_xed() {
     let base = mc(3_000_000).run(Scheme::Xed);
-    let params = ModelParams { on_die_miss: 0.5, ..Default::default() };
+    let params = ModelParams {
+        on_die_miss: 0.5,
+        ..Default::default()
+    };
     let m = MonteCarlo::new(MonteCarloConfig {
         samples: 3_000_000,
         seed: 99,
@@ -117,7 +142,10 @@ fn failure_curves_are_monotone_nondecreasing() {
     for scheme in Scheme::ALL {
         let r = mc(100_000).run(scheme);
         let curve = r.curve();
-        assert!(curve.windows(2).all(|w| w[0] <= w[1]), "{scheme}: {curve:?}");
+        assert!(
+            curve.windows(2).all(|w| w[0] <= w[1]),
+            "{scheme}: {curve:?}"
+        );
     }
 }
 
@@ -125,7 +153,15 @@ fn failure_curves_are_monotone_nondecreasing() {
 fn table_iv_budget_matches_paper_magnitudes() {
     let cfg = SystemConfig::x8_ecc_dimm();
     let v = analytic::xed_vulnerability(&FitRates::table_i(), &cfg, 9, 0.008, 7.0);
-    assert!((5e-6..8e-6).contains(&v.due_word_fault), "{}", v.due_word_fault);
+    assert!(
+        (5e-6..8e-6).contains(&v.due_word_fault),
+        "{}",
+        v.due_word_fault
+    );
     assert!(v.sdc_diagnosis < 1e-12);
-    assert!((1e-4..1.5e-3).contains(&v.multi_chip_loss), "{}", v.multi_chip_loss);
+    assert!(
+        (1e-4..1.5e-3).contains(&v.multi_chip_loss),
+        "{}",
+        v.multi_chip_loss
+    );
 }
