@@ -10,8 +10,8 @@
 //!
 //! `cargo run --release -p xed-bench --bin ablation_intersection`
 
-use xed_bench::{rule, sci, Options};
-use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
+use xed_bench::{rule, sci, throughput_footer, Options};
+use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig, RunStats, SchemeResult};
 use xed_faultsim::schemes::{ModelParams, Scheme};
 
 fn main() {
@@ -26,24 +26,23 @@ fn main() {
         "scheme", "intersection", "coarse", "ratio"
     );
     rule(84);
-    for scheme in [
+    let schemes = [
         Scheme::Xed,
         Scheme::Chipkill,
         Scheme::XedChipkill,
         Scheme::DoubleChipkill,
-    ] {
-        let strict = run(scheme, true, opts.samples, opts.seed);
-        let coarse = run(scheme, false, opts.samples, opts.seed);
-        let ratio = if strict > 0.0 {
-            coarse / strict
-        } else {
-            f64::NAN
-        };
+    ];
+    let (strict, strict_stats) = run_all(&schemes, true, opts.samples, opts.seed);
+    let (coarse, coarse_stats) = run_all(&schemes, false, opts.samples, opts.seed);
+    for ((scheme, s), c) in schemes.iter().zip(&strict).zip(&coarse) {
+        let sp = s.failure_probability(7.0);
+        let cp = c.failure_probability(7.0);
+        let ratio = if sp > 0.0 { cp / sp } else { f64::NAN };
         println!(
             "{:42} {:>14} {:>14} {:>7.1}x",
             scheme.label(),
-            sci(strict),
-            sci(coarse),
+            sci(sp),
+            sci(cp),
             ratio
         );
     }
@@ -53,9 +52,15 @@ fn main() {
          high-order chip coincidences; the paper's 43x/172x ratios sit between the\n\
          two models."
     );
+    throughput_footer(&strict_stats.merge(&coarse_stats));
 }
 
-fn run(scheme: Scheme, intersection: bool, samples: u64, seed: u64) -> f64 {
+fn run_all(
+    schemes: &[Scheme],
+    intersection: bool,
+    samples: u64,
+    seed: u64,
+) -> (Vec<SchemeResult>, RunStats) {
     let params = ModelParams {
         require_line_intersection: intersection,
         ..Default::default()
@@ -66,6 +71,5 @@ fn run(scheme: Scheme, intersection: bool, samples: u64, seed: u64) -> f64 {
         params,
         ..Default::default()
     })
-    .run(scheme)
-    .failure_probability(7.0)
+    .run_all_timed(schemes)
 }

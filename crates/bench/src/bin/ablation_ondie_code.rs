@@ -12,7 +12,7 @@
 //!
 //! `cargo run --release -p xed-bench --bin ablation_ondie_code`
 
-use xed_bench::{rule, sci, Options};
+use xed_bench::{rule, sci, throughput_footer, Options};
 use xed_ecc::detection::{measure, ErrorModel};
 use xed_ecc::secded::SecDed;
 use xed_ecc::{Crc8Atm, Hamming7264};
@@ -35,6 +35,7 @@ fn main() {
     let hamming = Hamming7264::new();
     let crc = Crc8Atm::new();
     let mut results = Vec::new();
+    let mut total_stats: Option<xed_faultsim::montecarlo::RunStats> = None;
     for (name, code) in [
         ("Hamming(72,64)", &hamming as &dyn SecDed),
         ("CRC8-ATM(72,64)", &crc),
@@ -49,14 +50,18 @@ fn main() {
             on_die_miss: weighted,
             ..Default::default()
         };
-        let p = MonteCarlo::new(MonteCarloConfig {
+        let report = MonteCarlo::new(MonteCarloConfig {
             samples: opts.samples,
             seed: opts.seed,
             params,
             ..Default::default()
         })
-        .run(Scheme::Xed)
-        .failure_probability(7.0);
+        .run_timed(Scheme::Xed);
+        let p = report.result.failure_probability(7.0);
+        total_stats = Some(match total_stats {
+            None => report.stats,
+            Some(acc) => report.stats.merge(&acc),
+        });
 
         println!(
             "{:16} {:>15.3}% {:>15.3}% {:>15.3}% {:>14}",
@@ -75,6 +80,9 @@ fn main() {
          the paper's \"we recommend CRC8-ATM as a design choice for On-Die ECC\".",
         results[0] / results[1].max(1e-12)
     );
+    if let Some(stats) = total_stats {
+        throughput_footer(&stats);
+    }
 }
 
 fn measure_dyn(

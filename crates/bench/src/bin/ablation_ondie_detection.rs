@@ -8,8 +8,8 @@
 //!
 //! `cargo run --release -p xed-bench --bin ablation_ondie_detection`
 
-use xed_bench::{rule, sci, Options};
-use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
+use xed_bench::{rule, sci, throughput_footer, Options};
+use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig, RunStats};
 use xed_faultsim::schemes::{ModelParams, Scheme};
 
 fn main() {
@@ -24,18 +24,24 @@ fn main() {
         "miss rate", "P(fail,7y)", "DUE", "SDC"
     );
     rule(52);
+    let mut total_stats: Option<RunStats> = None;
     for miss in [0.0, 0.004, 0.008, 0.05, 0.2, 0.5] {
         let params = ModelParams {
             on_die_miss: miss,
             ..Default::default()
         };
-        let r = MonteCarlo::new(MonteCarloConfig {
+        let report = MonteCarlo::new(MonteCarloConfig {
             samples: opts.samples,
             seed: opts.seed,
             params,
             ..Default::default()
         })
-        .run(Scheme::Xed);
+        .run_timed(Scheme::Xed);
+        let r = &report.result;
+        total_stats = Some(match total_stats {
+            None => report.stats,
+            Some(acc) => report.stats.merge(&acc),
+        });
         println!(
             "{:>11}% {:>14} {:>10} {:>10}",
             miss * 100.0,
@@ -50,4 +56,7 @@ fn main() {
          multi-chip floor; by tens of percent it dominates — quantifying why the\n\
          paper recommends a burst-proof code (CRC8-ATM) for the on-die engine."
     );
+    if let Some(stats) = total_stats {
+        throughput_footer(&stats);
+    }
 }

@@ -8,7 +8,7 @@
 //!
 //! `cargo run --release -p xed-bench --bin ablation_scrubbing`
 
-use xed_bench::{rule, sci, Options};
+use xed_bench::{rule, sci, throughput_footer, Options};
 use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
 use xed_faultsim::schemes::{ModelParams, Scheme};
 
@@ -28,10 +28,29 @@ fn main() {
     );
     println!("{:>12} {:>14} {:>14}", "window", "XED", "Chipkill");
     rule(46);
+    let mut total_stats = None;
     for (label, hours) in windows {
-        let xed = run(Scheme::Xed, hours, opts.samples, opts.seed);
-        let ck = run(Scheme::Chipkill, hours, opts.samples, opts.seed);
-        println!("{:>12} {:>14} {:>14}", label, sci(xed), sci(ck));
+        let params = ModelParams {
+            transient_exposure_hours: hours,
+            ..Default::default()
+        };
+        let mc = MonteCarlo::new(MonteCarloConfig {
+            samples: opts.samples,
+            seed: opts.seed,
+            params,
+            ..Default::default()
+        });
+        let (results, stats) = mc.run_all_timed(&[Scheme::Xed, Scheme::Chipkill]);
+        total_stats = Some(match total_stats {
+            None => stats,
+            Some(acc) => stats.merge(&acc),
+        });
+        println!(
+            "{:>12} {:>14} {:>14}",
+            label,
+            sci(results[0].failure_probability(7.0)),
+            sci(results[1].failure_probability(7.0))
+        );
     }
     rule(46);
     println!(
@@ -39,19 +58,7 @@ fn main() {
          even month-long exposure moves the floor only modestly — supporting the\n\
          paper's decision not to model scrubbing explicitly."
     );
-}
-
-fn run(scheme: Scheme, exposure: f64, samples: u64, seed: u64) -> f64 {
-    let params = ModelParams {
-        transient_exposure_hours: exposure,
-        ..Default::default()
-    };
-    MonteCarlo::new(MonteCarloConfig {
-        samples,
-        seed,
-        params,
-        ..Default::default()
-    })
-    .run(scheme)
-    .failure_probability(7.0)
+    if let Some(stats) = total_stats {
+        throughput_footer(&stats);
+    }
 }

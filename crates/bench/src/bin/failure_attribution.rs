@@ -7,7 +7,7 @@
 //!
 //! `cargo run --release -p xed-bench --bin failure_attribution`
 
-use xed_bench::{rule, Options};
+use xed_bench::{rule, throughput_footer, Options};
 use xed_faultsim::fault::FaultExtent;
 use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
 use xed_faultsim::schemes::Scheme;
@@ -31,13 +31,14 @@ fn main() {
     println!(" {:>8}", "total");
     rule(104);
 
-    for scheme in [
+    let schemes = [
         Scheme::EccDimm,
         Scheme::Xed,
         Scheme::Chipkill,
         Scheme::DoubleChipkill,
-    ] {
-        let r = mc.run(scheme);
+    ];
+    let (results, stats) = mc.run_all_timed(&schemes);
+    for (scheme, r) in schemes.iter().zip(&results) {
         print!("{:42}", scheme.label());
         for (_, count) in r.attribution() {
             print!(" {:>8}", count);
@@ -51,4 +52,5 @@ fn main() {
          faults intersecting, so the attribution shifts toward the wide extents\n\
          (chip/bank) that overlap everything."
     );
+    throughput_footer(&stats);
 }

@@ -10,7 +10,7 @@
 //! (`--samples N` to change the Monte-Carlo size, `--show-fits` to print
 //! the Table I input rates.)
 
-use xed_bench::{rule, sci, Options};
+use xed_bench::{rule, sci, throughput_footer, Options};
 use xed_faultsim::fit::FitRates;
 use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
 use xed_faultsim::schemes::Scheme;
@@ -36,9 +36,9 @@ fn main() {
     rule(100);
 
     let schemes = [Scheme::NonEcc, Scheme::EccDimm, Scheme::Chipkill];
+    let (results, stats) = mc.run_all_timed(&schemes);
     let mut probs = Vec::new();
-    for scheme in schemes {
-        let r = mc.run(scheme);
+    for (scheme, r) in schemes.iter().zip(&results) {
         let curve: Vec<String> = r.curve().iter().map(|&p| sci(p)).collect();
         println!(
             "{:42} {:>10}  [{}]",
@@ -59,6 +59,7 @@ fn main() {
         "ECC-DIMM vs Non-ECC:  {:.2}x (paper: \"almost no reliability benefit\")",
         probs[0] / probs[1]
     );
+    throughput_footer(&stats);
 }
 
 fn print_table_i() {

@@ -7,7 +7,7 @@
 //!
 //! `cargo run --release -p xed-bench --bin fig07_reliability`
 
-use xed_bench::{rule, sci, Options};
+use xed_bench::{rule, sci, throughput_footer, Options};
 use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
 use xed_faultsim::schemes::Scheme;
 
@@ -30,9 +30,10 @@ fn main() {
     );
     rule(100);
 
-    let mut results = Vec::new();
-    for scheme in [Scheme::EccDimm, Scheme::Chipkill, Scheme::Xed] {
-        let r = mc.run(scheme);
+    let schemes = [Scheme::EccDimm, Scheme::Chipkill, Scheme::Xed];
+    let (results, stats) = mc.run_all_timed(&schemes);
+    let mut probs = Vec::new();
+    for (scheme, r) in schemes.iter().zip(&results) {
         let curve: Vec<String> = r.curve().iter().map(|&p| sci(p)).collect();
         println!(
             "{:42} {:>10}  [{}]",
@@ -40,12 +41,10 @@ fn main() {
             sci(r.failure_probability(7.0)),
             curve.join(", ")
         );
-        results.push((scheme, r.failure_probability(7.0)));
+        probs.push(r.failure_probability(7.0));
     }
     rule(100);
-    let ecc = results[0].1;
-    let ck = results[1].1;
-    let xed = results[2].1;
+    let (ecc, ck, xed) = (probs[0], probs[1], probs[2]);
     if xed > 0.0 {
         println!("XED vs ECC-DIMM:   {:.0}x   (paper: 172x)", ecc / xed);
         println!("XED vs Chipkill:   {:.1}x   (paper: 4x)", ck / xed);
@@ -53,4 +52,5 @@ fn main() {
     if ck > 0.0 {
         println!("Chipkill vs ECC:   {:.0}x   (paper: 43x)", ecc / ck);
     }
+    throughput_footer(&stats);
 }

@@ -8,7 +8,7 @@
 //!
 //! `cargo run --release -p xed-bench --bin fig08_scaling`
 
-use xed_bench::{rule, sci, Options};
+use xed_bench::{rule, sci, throughput_footer, Options};
 use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
 use xed_faultsim::scaling::ScalingFaults;
 use xed_faultsim::schemes::{ModelParams, Scheme};
@@ -34,9 +34,10 @@ fn main() {
     );
     rule(100);
 
+    let schemes = [Scheme::EccDimm, Scheme::Chipkill, Scheme::Xed];
+    let (batch, stats) = mc.run_all_timed(&schemes);
     let mut results = Vec::new();
-    for scheme in [Scheme::EccDimm, Scheme::Chipkill, Scheme::Xed] {
-        let r = mc.run(scheme);
+    for (scheme, r) in schemes.iter().zip(&batch) {
         let curve: Vec<String> = r.curve().iter().map(|&p| sci(p)).collect();
         println!(
             "{:42} {:>10}  [{}]",
@@ -58,4 +59,5 @@ fn main() {
          XED turns them into catch-words,\nECC-DIMM suffers extra DUEs.",
         ScalingFaults::paper_default().p_word_faulty()
     );
+    throughput_footer(&stats);
 }

@@ -6,7 +6,7 @@
 //!
 //! `cargo run --release -p xed-bench --bin fig10_double_chipkill_scaling`
 
-use xed_bench::{rule, sci, Options};
+use xed_bench::{rule, sci, throughput_footer, Options};
 use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
 use xed_faultsim::scaling::ScalingFaults;
 use xed_faultsim::schemes::{ModelParams, Scheme};
@@ -33,13 +33,14 @@ fn main() {
     );
     rule(100);
 
-    let mut results = Vec::new();
-    for scheme in [
+    let schemes = [
         Scheme::ChipkillX4,
         Scheme::DoubleChipkill,
         Scheme::XedChipkill,
-    ] {
-        let r = mc.run(scheme);
+    ];
+    let (batch, stats) = mc.run_all_timed(&schemes);
+    let mut results = Vec::new();
+    for (scheme, r) in schemes.iter().zip(&batch) {
         let curve: Vec<String> = r.curve().iter().map(|&p| sci(p)).collect();
         println!(
             "{:42} {:>10}  [{}]",
@@ -65,4 +66,5 @@ fn main() {
     } else {
         println!("XED+CK saw no failures at this sample count; increase --samples.");
     }
+    throughput_footer(&stats);
 }

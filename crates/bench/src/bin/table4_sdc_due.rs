@@ -8,7 +8,7 @@
 //!
 //! `cargo run --release -p xed-bench --bin table4_sdc_due`
 
-use xed_bench::{rule, sci, Options};
+use xed_bench::{rule, sci, throughput_footer, Options};
 use xed_faultsim::analytic::xed_vulnerability;
 use xed_faultsim::fit::FitRates;
 use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
@@ -58,7 +58,8 @@ fn main() {
         seed: opts.seed,
         ..Default::default()
     });
-    let r = mc.run(Scheme::Xed);
+    let report = mc.run_timed(Scheme::Xed);
+    let r = &report.result;
     println!(
         "\nMonte-Carlo cross-check ({} systems of 8 DIMM-ranks):",
         opts.samples
@@ -69,4 +70,5 @@ fn main() {
         sci(v.multi_chip_loss)
     );
     println!("  all failures were DUE: {} DUE, {} SDC", r.due, r.sdc);
+    throughput_footer(&report.stats);
 }

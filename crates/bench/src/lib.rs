@@ -73,6 +73,22 @@ pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
 }
 
+/// Prints the engine-throughput footer shared by the Monte-Carlo
+/// binaries: wall time and samples/sec for the invocation that produced
+/// the figures above it (the simulated results themselves are
+/// thread-count-invariant; see `xed_faultsim::montecarlo`).
+pub fn throughput_footer(stats: &xed_faultsim::montecarlo::RunStats) {
+    println!(
+        "\n[engine] {:.3e} samples/sec — {} samples in {:.2} s on {} thread(s), \
+         {:.1}% zero-fault fast path",
+        stats.samples_per_sec,
+        stats.samples,
+        stats.wall_seconds,
+        stats.threads,
+        100.0 * stats.zero_fault_samples as f64 / stats.samples as f64
+    );
+}
+
 /// Formats a probability in the scientific style the paper's figures use.
 pub fn sci(p: f64) -> String {
     if p == 0.0 {

@@ -18,7 +18,8 @@
 //! * [`system`] — channel/rank/chip organization of the evaluated systems;
 //! * [`scaling`] — birthtime ("scaling") fault modeling;
 //! * [`schemes`] — the protection schemes the paper compares;
-//! * [`montecarlo`] — the threaded simulation driver;
+//! * [`montecarlo`] — the work-stealing, thread-count-invariant
+//!   simulation driver (per-trial counter-based RNG streams);
 //! * [`analytic`] — closed-form cross-checks for the Monte-Carlo results.
 //!
 //! # Example: probability of system failure under XED
@@ -51,6 +52,6 @@ pub mod system;
 pub use fault::{FaultExtent, FaultRange, Persistence};
 pub use fit::FitRates;
 pub use geometry::DramGeometry;
-pub use montecarlo::{MonteCarlo, MonteCarloConfig, SchemeResult};
+pub use montecarlo::{MonteCarlo, MonteCarloConfig, RunReport, RunStats, SchemeResult};
 pub use schemes::Scheme;
 pub use system::SystemConfig;

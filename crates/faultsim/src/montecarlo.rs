@@ -4,13 +4,48 @@
 //! independent systems over a 7-year lifetime, record whether and when each
 //! encounters an uncorrectable (DUE) or silent (SDC) error, and report the
 //! probability of system failure as a function of time.
+//!
+//! # Engine design (see DESIGN.md §9)
+//!
+//! * **Counter-based per-trial RNG streams.** Trial `i` of scheme `s`
+//!   draws from the split form of stream `i` of `Streams::new(seed ⊕
+//!   mix(s))`: `split_first(i)` yields the headline uniform that decides
+//!   the zero-fault fast path, and `split_rest(i)` carries any remaining
+//!   draws — together one logical stream, a pure function of `(seed,
+//!   scheme, trial)`. Randomness is therefore independent of which worker
+//!   executes the trial, which makes every [`SchemeResult`]
+//!   **bit-identical for any thread count** (enforced by tier-1 tests).
+//! * **Work-stealing chunk scheduler.** Workers repeatedly claim the next
+//!   `STEAL_CHUNK`-trial slice from a shared atomic counter spanning
+//!   *all* schemes of the invocation, so [`MonteCarlo::run_all`] is
+//!   parallel across schemes and no core idles at the tail. All
+//!   accumulators are `u64` counters (commutative merges), so the claim
+//!   order cannot affect results.
+//! * **Allocation-free hot loop.** Each worker owns reusable event/active
+//!   buffers; `LifetimeSampler::sample_into` writes into them, and the
+//!   zero-fault fast path draws only the Poisson count (one uniform) for
+//!   the ~75 % of lifetimes that see no fault at all.
+//! * **Throughput instrumentation.** [`MonteCarlo::run_timed`] and
+//!   [`MonteCarlo::run_all_timed`] report wall time and samples/sec via
+//!   [`RunStats`]; the `mc_throughput` bench binary persists the trajectory
+//!   to `BENCH_faultsim.json`.
 
-use crate::event::sample_lifetime;
-use crate::fault::{FaultExtent, Persistence};
+use crate::event::{FaultEvent, LifetimeSampler};
+use crate::fault::Persistence;
 use crate::fit::{FitRates, HOURS_PER_YEAR, LIFETIME_YEARS};
 use crate::schemes::{ModelParams, Scheme, SchemeModel, Verdict};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::rngs::Streams;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Trials claimed per scheduler steal. Large enough that the atomic
+/// `fetch_add` is noise (one per ~4k trials), small enough that the tail
+/// imbalance at the end of a run is microseconds.
+const STEAL_CHUNK: u64 = 4096;
+
+/// `1 / HOURS_PER_YEAR`: the failure-year bucket divide as a multiply
+/// (the hot loop computes it on every recorded failure).
+const YEAR_RECIP: f64 = 1.0 / HOURS_PER_YEAR;
 
 /// Monte-Carlo run configuration.
 #[derive(Debug, Clone)]
@@ -20,7 +55,8 @@ pub struct MonteCarloConfig {
     pub samples: u64,
     /// Lifetime in years (paper: 7).
     pub years: f64,
-    /// Base RNG seed (runs are deterministic given the seed).
+    /// Base RNG seed. Results are a pure function of `(seed, scheme,
+    /// samples)` — the thread count never changes them.
     pub seed: u64,
     /// Worker threads; `0` = use all available cores.
     pub threads: usize,
@@ -58,7 +94,7 @@ pub struct SchemeResult {
     /// Total silent failures.
     pub sdc: u64,
     /// Failures attributed to the extent of the fault whose arrival
-    /// triggered them, indexed like [`FaultExtent::ALL`].
+    /// triggered them, indexed like [`crate::fault::FaultExtent::ALL`].
     pub failures_by_extent: [u64; 6],
 }
 
@@ -76,6 +112,12 @@ impl SchemeResult {
         failed as f64 / self.samples as f64
     }
 
+    /// Probability that a system fails at any point in the simulated
+    /// lifetime (every recorded failure, regardless of year).
+    pub fn lifetime_failure_probability(&self) -> f64 {
+        self.failures() as f64 / self.samples as f64
+    }
+
     /// Cumulative failure-probability curve, one point per year boundary —
     /// the series plotted in the paper's Figures 1 and 7–10.
     pub fn curve(&self) -> Vec<f64> {
@@ -90,25 +132,75 @@ impl SchemeResult {
     }
 
     /// Failure share attributed to each triggering fault extent, as
-    /// `(extent, count)` pairs in [`FaultExtent::ALL`] order.
-    pub fn attribution(&self) -> [(FaultExtent, u64); 6] {
-        let mut out = [(FaultExtent::Bit, 0u64); 6];
+    /// `(extent, count)` pairs in [`crate::fault::FaultExtent::ALL`] order.
+    pub fn attribution(&self) -> [(crate::fault::FaultExtent, u64); 6] {
+        let mut out = [(crate::fault::FaultExtent::Bit, 0u64); 6];
         for (i, (slot, &count)) in out
             .iter_mut()
             .zip(self.failures_by_extent.iter())
             .enumerate()
         {
-            *slot = (FaultExtent::ALL[i], count);
+            *slot = (crate::fault::FaultExtent::ALL[i], count);
         }
         out
     }
 
-    /// Two-sided 95% binomial confidence half-width on the lifetime
-    /// failure probability.
+    /// Two-sided 95 % binomial confidence half-width on the lifetime
+    /// failure probability: `1.96 · √(p(1−p)/n)` with `p` the observed
+    /// [`Self::lifetime_failure_probability`] (normal approximation, which
+    /// is comfortably valid at the ≥10⁵-sample counts the driver runs).
     pub fn confidence95(&self) -> f64 {
-        let p = self.failure_probability(f64::INFINITY.min(self.failures_by_year.len() as f64));
+        let p = self.lifetime_failure_probability();
         1.96 * (p * (1.0 - p) / self.samples as f64).sqrt()
     }
+}
+
+/// Throughput and scheduler counters for one Monte-Carlo invocation.
+///
+/// Everything here is *metadata*: the simulated [`SchemeResult`]s are
+/// bit-identical regardless of threads or timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// Wall-clock duration of the invocation, in seconds.
+    pub wall_seconds: f64,
+    /// Trials simulated per wall-clock second (all schemes combined).
+    pub samples_per_sec: f64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total trials simulated (`samples × schemes`).
+    pub samples: u64,
+    /// Trials that took the zero-fault fast path (drew a Poisson count of
+    /// zero and touched no buffer).
+    pub zero_fault_samples: u64,
+}
+
+impl RunStats {
+    /// Combines this invocation's stats with another's, as if the two had
+    /// run back to back: wall times and sample counts add, throughput is
+    /// recomputed over the combined run. Used by study binaries that sweep
+    /// several configurations and report one aggregate footer.
+    #[must_use]
+    pub fn merge(&self, other: &RunStats) -> RunStats {
+        let wall_seconds = self.wall_seconds + other.wall_seconds;
+        let samples = self.samples + other.samples;
+        RunStats {
+            wall_seconds,
+            samples_per_sec: samples as f64 / wall_seconds.max(1e-9),
+            threads: self.threads.max(other.threads),
+            samples,
+            zero_fault_samples: self.zero_fault_samples + other.zero_fault_samples,
+        }
+    }
+}
+
+/// A [`SchemeResult`] plus the [`RunStats`] of the invocation that
+/// produced it.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The (thread-count-invariant) simulation outcome.
+    pub result: SchemeResult,
+    /// Timing metadata for this invocation.
+    pub stats: RunStats,
 }
 
 /// The Monte-Carlo simulator.
@@ -130,125 +222,307 @@ impl MonteCarlo {
         &self.config
     }
 
-    /// Simulates one scheme across all samples, in parallel.
-    pub fn run(&self, scheme: Scheme) -> SchemeResult {
-        let threads = if self.config.threads == 0 {
+    /// Worker threads this configuration resolves to.
+    pub fn threads(&self) -> usize {
+        if self.config.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
         } else {
             self.config.threads
-        };
-        let model = SchemeModel::new(scheme, self.config.params);
-        let years = self.config.years.ceil() as usize;
-        let per_thread = self.config.samples.div_ceil(threads as u64);
-
-        let partials = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let model = &model;
-                let config = &self.config;
-                let start = t as u64 * per_thread;
-                let count = per_thread.min(config.samples.saturating_sub(start));
-                let seed = config
-                    .seed
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(t as u64)
-                    .wrapping_add(scheme.ienable());
-                handles.push(scope.spawn(move || run_chunk(model, config, seed, count, years)));
-            }
-            handles
-                .into_iter()
-                .map(|h| {
-                    // invariant: run_chunk never panics; a worker panic is a
-                    // bug in the simulator itself, so propagate it.
-                    h.join().expect("monte-carlo worker panicked")
-                })
-                .collect::<Vec<_>>()
-        });
-
-        let mut result = SchemeResult {
-            scheme,
-            samples: self.config.samples,
-            failures_by_year: vec![0; years],
-            due: 0,
-            sdc: 0,
-            failures_by_extent: [0; 6],
-        };
-        for p in partials {
-            result.due += p.due;
-            result.sdc += p.sdc;
-            for (a, b) in result.failures_by_year.iter_mut().zip(&p.failures_by_year) {
-                *a += b;
-            }
-            for (a, b) in result
-                .failures_by_extent
-                .iter_mut()
-                .zip(&p.failures_by_extent)
-            {
-                *a += b;
-            }
         }
-        result
+    }
+
+    /// Simulates one scheme across all samples, in parallel.
+    ///
+    /// The result is a pure function of `(seed, scheme, samples, years,
+    /// params, rates)`; thread count only affects wall time.
+    pub fn run(&self, scheme: Scheme) -> SchemeResult {
+        self.run_timed(scheme).result
+    }
+
+    /// Like [`Self::run`], additionally reporting wall time and
+    /// samples/sec for this invocation.
+    pub fn run_timed(&self, scheme: Scheme) -> RunReport {
+        let (mut results, stats) = self.run_many(&[scheme]);
+        // invariant: run_many returns exactly one result per input scheme.
+        let result = results.pop().expect("one scheme in, one result out");
+        RunReport { result, stats }
     }
 
     /// Runs every scheme in `schemes` and returns the results in order.
+    ///
+    /// The schemes share one work-stealing pool: all `schemes.len() ×
+    /// samples` trials are interleaved across the workers, so a
+    /// seven-scheme sweep saturates the machine instead of running seven
+    /// serial barriers. Each result is bit-identical to what a solo
+    /// [`Self::run`] of that scheme produces, because every trial's
+    /// randomness is keyed by `(seed, scheme, trial)` — never by worker or
+    /// batch composition.
     pub fn run_all(&self, schemes: &[Scheme]) -> Vec<SchemeResult> {
-        schemes.iter().map(|&s| self.run(s)).collect()
+        self.run_many(schemes).0
+    }
+
+    /// Like [`Self::run_all`], additionally reporting aggregate throughput
+    /// stats for the whole invocation.
+    pub fn run_all_timed(&self, schemes: &[Scheme]) -> (Vec<SchemeResult>, RunStats) {
+        self.run_many(schemes)
+    }
+
+    /// The shared engine behind `run`/`run_all`.
+    fn run_many(&self, schemes: &[Scheme]) -> (Vec<SchemeResult>, RunStats) {
+        let threads = self.threads();
+        let config = &self.config;
+        let years = config.years.ceil() as usize;
+        let models: Vec<SchemeModel> = schemes
+            .iter()
+            .map(|&s| SchemeModel::new(s, config.params))
+            .collect();
+        let chunks_per_scheme = config.samples.div_ceil(STEAL_CHUNK);
+        // invariant: chunks_per_scheme ≤ samples and scheme counts are tiny
+        // (≤ dozens), so the chunk-id space cannot overflow u64 for any
+        // simulation size a machine can actually run.
+        let total_chunks = chunks_per_scheme
+            .checked_mul(models.len() as u64)
+            .expect("chunk-id space overflow");
+        let next_chunk = AtomicU64::new(0);
+
+        // Wall-clock timing is reporting-only metadata; the simulation
+        // itself stays deterministic.
+        let start = Instant::now(); // xed-lint: allow(XL005)
+        let per_worker: Vec<Vec<Partial>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let models = &models;
+                    let next_chunk = &next_chunk;
+                    scope.spawn(move || {
+                        worker(
+                            models,
+                            config,
+                            next_chunk,
+                            chunks_per_scheme,
+                            total_chunks,
+                            years,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    // invariant: workers never panic; a worker panic is a bug
+                    // in the simulator itself, so propagate it.
+                    h.join().expect("monte-carlo worker panicked")
+                })
+                .collect()
+        });
+        let wall_seconds = start.elapsed().as_secs_f64();
+
+        let mut zero_fault_samples = 0u64;
+        let results: Vec<SchemeResult> = schemes
+            .iter()
+            .enumerate()
+            .map(|(si, &scheme)| {
+                let mut result = SchemeResult {
+                    scheme,
+                    samples: config.samples,
+                    failures_by_year: vec![0; years],
+                    due: 0,
+                    sdc: 0,
+                    failures_by_extent: [0; 6],
+                };
+                for partials in &per_worker {
+                    let p = &partials[si];
+                    result.due += p.due;
+                    result.sdc += p.sdc;
+                    zero_fault_samples += p.zero_fault;
+                    for (a, b) in result.failures_by_year.iter_mut().zip(&p.failures_by_year) {
+                        *a += b;
+                    }
+                    for (a, b) in result
+                        .failures_by_extent
+                        .iter_mut()
+                        .zip(&p.failures_by_extent)
+                    {
+                        *a += b;
+                    }
+                }
+                result
+            })
+            .collect();
+
+        let samples = config.samples * schemes.len() as u64;
+        let stats = RunStats {
+            wall_seconds,
+            samples_per_sec: samples as f64 / wall_seconds.max(1e-9),
+            threads,
+            samples,
+            zero_fault_samples,
+        };
+        (results, stats)
     }
 }
 
+/// Per-worker, per-scheme accumulator. All fields are plain counters so
+/// merging is commutative — the foundation of thread-count invariance.
 struct Partial {
     failures_by_year: Vec<u64>,
     due: u64,
     sdc: u64,
     failures_by_extent: [u64; 6],
+    zero_fault: u64,
 }
 
-fn run_chunk(
-    model: &SchemeModel,
+impl Partial {
+    fn new(years: usize) -> Self {
+        Self {
+            failures_by_year: vec![0; years],
+            due: 0,
+            sdc: 0,
+            failures_by_extent: [0; 6],
+            zero_fault: 0,
+        }
+    }
+}
+
+/// Reusable per-worker scratch buffers; allocated once per worker, reused
+/// for every trial (the hot loop itself never allocates).
+struct Scratch {
+    /// Current trial's fault timeline.
+    events: Vec<FaultEvent>,
+    /// `(expiry time, fault)`: permanent faults never expire; corrected
+    /// transient faults linger for the configured exposure window before a
+    /// read/scrub cleans them.
+    active: Vec<(f64, FaultEvent)>,
+    /// The faults of `active`, projected for `SchemeModel::evaluate`.
+    view: Vec<FaultEvent>,
+}
+
+/// One work-stealing worker: claims chunk ids from `next_chunk` until the
+/// space is exhausted. Chunk `c` maps to trials
+/// `[(c % chunks_per_scheme) · STEAL_CHUNK ..][..count]` of scheme
+/// `c / chunks_per_scheme`.
+fn worker(
+    models: &[SchemeModel],
     config: &MonteCarloConfig,
-    seed: u64,
+    next_chunk: &AtomicU64,
+    chunks_per_scheme: u64,
+    total_chunks: u64,
+    years: usize,
+) -> Vec<Partial> {
+    let mut partials: Vec<Partial> = models.iter().map(|_| Partial::new(years)).collect();
+    let contexts: Vec<(LifetimeSampler<'_>, Streams)> = models
+        .iter()
+        .map(|m| {
+            let sampler = LifetimeSampler::new(
+                &config.rates,
+                m.config().geometry,
+                m.config().total_chips(),
+                config.years,
+            );
+            // Key the stream family by (seed, scheme): trial i of scheme s
+            // draws from stream i of this family.
+            let streams = Streams::new(
+                config
+                    .seed
+                    .wrapping_add(m.scheme().stream_tag().wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            );
+            (sampler, streams)
+        })
+        .collect();
+    let mut scratch = Scratch {
+        events: Vec::new(),
+        active: Vec::new(),
+        view: Vec::new(),
+    };
+    loop {
+        let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+        if c >= total_chunks {
+            break;
+        }
+        let si = (c / chunks_per_scheme) as usize;
+        let first = (c % chunks_per_scheme) * STEAL_CHUNK;
+        let count = STEAL_CHUNK.min(config.samples - first);
+        let (sampler, streams) = &contexts[si];
+        run_trials(
+            &models[si],
+            sampler,
+            streams,
+            first,
+            count,
+            years,
+            &mut partials[si],
+            &mut scratch,
+        );
+    }
+    partials
+}
+
+/// Simulates trials `[first, first + count)` of one scheme into `partial`.
+#[allow(clippy::too_many_arguments)]
+fn run_trials(
+    model: &SchemeModel,
+    sampler: &LifetimeSampler<'_>,
+    streams: &Streams,
+    first: u64,
     count: u64,
     years: usize,
-) -> Partial {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut partial = Partial {
-        failures_by_year: vec![0; years],
-        due: 0,
-        sdc: 0,
-        failures_by_extent: [0; 6],
-    };
-    let chips = model.config().total_chips();
-    let geom = model.config().geometry;
+    partial: &mut Partial,
+    scratch: &mut Scratch,
+) {
     let exposure = model.params().transient_exposure_hours;
-    // (expiry time, fault): permanent faults never expire; corrected
-    // transient faults linger for the configured exposure window before a
-    // read/scrub cleans them.
-    let mut active: Vec<(f64, crate::event::FaultEvent)> = Vec::new();
-    let mut view: Vec<crate::event::FaultEvent> = Vec::new();
-    for _ in 0..count {
-        let events = sample_lifetime(&mut rng, &config.rates, &geom, chips, config.years);
-        if events.is_empty() {
+    for trial in first..first + count {
+        // Trial randomness is the split form of stream `trial`: the
+        // headline draw decides the zero-fault fast path without paying
+        // for generator construction, and `split_rest` carries the
+        // (rare) remaining draws. Still a pure function of
+        // `(seed, scheme, trial)` — thread-count invariance intact.
+        let u0 = streams.split_first(trial);
+        if sampler.is_zero_fault(u0) {
+            partial.zero_fault += 1;
             continue;
         }
-        active.clear();
-        for e in &events {
-            active.retain(|&(expiry, _)| expiry > e.time_hours);
-            view.clear();
-            view.extend(active.iter().map(|&(_, f)| f));
-            let verdict = model.evaluate(&mut rng, e, &view);
+        let mut rng = streams.split_rest(trial);
+        let count = sampler.count_split(u0, &mut rng);
+        if count == 0 {
+            // Unreachable for λ ≤ 30 (is_zero_fault caught it); kept for
+            // the chunked large-λ Poisson path, where the headline draw
+            // alone cannot prove the count is zero.
+            partial.zero_fault += 1;
+            continue;
+        }
+        if count == 1 {
+            // Single-fault lifetime (~86 % of the non-empty ones): the
+            // only evaluation sees an empty active set, where the verdict
+            // never depends on the chip or address range the fault struck
+            // (`SchemeModel::evaluate_isolated`). Skip those draws, the
+            // event buffer, and the expiry/view bookkeeping entirely.
+            let (extent, persistence, time_hours) = sampler.sample_mode_time(&mut rng);
+            let verdict = model.evaluate_isolated(&mut rng, extent, persistence);
+            if matches!(verdict, Verdict::Due | Verdict::Sdc) {
+                let year = ((time_hours * YEAR_RECIP) as usize).min(years - 1);
+                partial.failures_by_year[year] += 1;
+                partial.failures_by_extent[extent.index()] += 1;
+                if verdict == Verdict::Due {
+                    partial.due += 1;
+                } else {
+                    partial.sdc += 1;
+                }
+            }
+            continue;
+        }
+        sampler.events_into(count, &mut rng, &mut scratch.events);
+        scratch.active.clear();
+        for e in &scratch.events {
+            scratch.active.retain(|&(expiry, _)| expiry > e.time_hours);
+            scratch.view.clear();
+            scratch.view.extend(scratch.active.iter().map(|&(_, f)| f));
+            let verdict = model.evaluate(&mut rng, e, &scratch.view);
             match verdict {
                 Verdict::Due | Verdict::Sdc => {
-                    let year = ((e.time_hours / HOURS_PER_YEAR) as usize).min(years - 1);
+                    let year = ((e.time_hours * YEAR_RECIP) as usize).min(years - 1);
                     partial.failures_by_year[year] += 1;
-                    // invariant: FaultExtent::ALL enumerates every variant,
-                    // so the position lookup cannot fail.
-                    let extent_idx = FaultExtent::ALL
-                        .iter()
-                        .position(|&x| x == e.fault.extent)
-                        .unwrap_or(0);
-                    partial.failures_by_extent[extent_idx] += 1;
+                    partial.failures_by_extent[e.fault.extent.index()] += 1;
                     if verdict == Verdict::Due {
                         partial.due += 1;
                     } else {
@@ -257,33 +531,13 @@ fn run_chunk(
                     break;
                 }
                 Verdict::Corrected | Verdict::Benign => match e.fault.persistence {
-                    Persistence::Permanent => active.push((f64::INFINITY, *e)),
+                    Persistence::Permanent => scratch.active.push((f64::INFINITY, *e)),
                     Persistence::Transient if exposure > 0.0 => {
-                        active.push((e.time_hours + exposure, *e));
+                        scratch.active.push((e.time_hours + exposure, *e));
                     }
                     Persistence::Transient => {}
                 },
             }
-        }
-    }
-    partial
-}
-
-/// Helper so schemes hash into distinct seeds.
-trait SchemeSeed {
-    fn ienable(self) -> u64;
-}
-
-impl SchemeSeed for Scheme {
-    fn ienable(self) -> u64 {
-        match self {
-            Scheme::NonEcc => 1,
-            Scheme::EccDimm => 2,
-            Scheme::Xed => 3,
-            Scheme::Chipkill => 4,
-            Scheme::ChipkillX4 => 5,
-            Scheme::XedChipkill => 6,
-            Scheme::DoubleChipkill => 7,
         }
     }
 }
@@ -306,6 +560,111 @@ mod tests {
         let a = mc.run(Scheme::EccDimm);
         let b = mc.run(Scheme::EccDimm);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        // The tentpole invariant: bit-identical SchemeResult for any
+        // thread count (work assignment must not leak into randomness).
+        for scheme in [Scheme::Xed, Scheme::EccDimm] {
+            let results: Vec<SchemeResult> = [1usize, 3, 8]
+                .iter()
+                .map(|&threads| {
+                    MonteCarlo::new(MonteCarloConfig {
+                        samples: 50_000,
+                        seed: 7,
+                        threads,
+                        ..MonteCarloConfig::default()
+                    })
+                    .run(scheme)
+                })
+                .collect();
+            assert_eq!(results[0], results[1], "{scheme}: 1 vs 3 threads");
+            assert_eq!(results[0], results[2], "{scheme}: 1 vs 8 threads");
+        }
+    }
+
+    #[test]
+    fn run_all_matches_individual_runs() {
+        // Batching schemes into one work-stealing pool must not change any
+        // scheme's result (streams are keyed by scheme, not batch).
+        let mc = quick(30_000);
+        let schemes = [Scheme::EccDimm, Scheme::Xed, Scheme::Chipkill];
+        let batched = mc.run_all(&schemes);
+        for (scheme, batched) in schemes.iter().zip(&batched) {
+            assert_eq!(*batched, mc.run(*scheme), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn run_timed_reports_consistent_stats() {
+        let mc = quick(40_000);
+        let report = mc.run_timed(Scheme::EccDimm);
+        assert_eq!(report.result, mc.run(Scheme::EccDimm));
+        assert_eq!(report.stats.samples, 40_000);
+        assert!(report.stats.wall_seconds > 0.0);
+        assert!(report.stats.samples_per_sec > 0.0);
+        assert!(report.stats.threads >= 1);
+        // λ ≈ 0.29 for a 72-chip system ⇒ ~75 % zero-fault lifetimes.
+        let zero_frac = report.stats.zero_fault_samples as f64 / 40_000.0;
+        assert!(
+            (0.70..0.80).contains(&zero_frac),
+            "zero-fault fraction {zero_frac}"
+        );
+    }
+
+    #[test]
+    fn run_stats_merge_adds_and_recomputes_throughput() {
+        let a = RunStats {
+            wall_seconds: 1.0,
+            samples_per_sec: 100.0,
+            threads: 2,
+            samples: 100,
+            zero_fault_samples: 70,
+        };
+        let b = RunStats {
+            wall_seconds: 3.0,
+            samples_per_sec: 100.0,
+            threads: 4,
+            samples: 300,
+            zero_fault_samples: 210,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.samples, 400);
+        assert_eq!(m.zero_fault_samples, 280);
+        assert_eq!(m.threads, 4);
+        assert!((m.wall_seconds - 4.0).abs() < 1e-12);
+        assert!((m.samples_per_sec - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn confidence95_matches_hand_computed_binomial_half_width() {
+        // 400 failures in 10⁴ samples: p = 0.04, and
+        // 1.96·√(0.04·0.96/10⁴) = 1.96·1.9595917942…e-3 = 3.8408…e-3.
+        let r = SchemeResult {
+            scheme: Scheme::EccDimm,
+            samples: 10_000,
+            failures_by_year: vec![100, 300, 0, 0, 0, 0, 0],
+            due: 300,
+            sdc: 100,
+            failures_by_extent: [0, 0, 0, 0, 400, 0],
+        };
+        assert_eq!(r.lifetime_failure_probability(), 0.04);
+        let expected = 3.840_799_916_684e-3;
+        assert!(
+            (r.confidence95() - expected).abs() < 1e-9,
+            "got {}",
+            r.confidence95()
+        );
+        // And it shrinks with sample count like 1/√n.
+        let bigger = SchemeResult {
+            samples: 40_000,
+            failures_by_year: vec![400, 1200, 0, 0, 0, 0, 0],
+            due: 1200,
+            sdc: 400,
+            ..r.clone()
+        };
+        assert!((bigger.confidence95() - expected / 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -84,6 +84,25 @@ impl Scheme {
         matches!(self, Scheme::Chipkill | Scheme::DoubleChipkill)
     }
 
+    /// Stable nonzero tag mixed into Monte-Carlo RNG stream keys, so trial
+    /// `i` of one scheme draws randomness independent of trial `i` of every
+    /// other scheme (the per-trial stream is keyed by `(seed, scheme,
+    /// trial)`; see `montecarlo`).
+    ///
+    /// The values are part of the reproducibility contract: changing them
+    /// changes every seeded simulation result.
+    pub const fn stream_tag(self) -> u64 {
+        match self {
+            Scheme::NonEcc => 1,
+            Scheme::EccDimm => 2,
+            Scheme::Xed => 3,
+            Scheme::Chipkill => 4,
+            Scheme::ChipkillX4 => 5,
+            Scheme::XedChipkill => 6,
+            Scheme::DoubleChipkill => 7,
+        }
+    }
+
     /// Human-readable name used in reports.
     pub fn label(self) -> &'static str {
         match self {
@@ -170,6 +189,12 @@ pub struct SchemeModel {
     scheme: Scheme,
     params: ModelParams,
     config: SystemConfig,
+    /// Precomputed: with on-die ECC present and scaling faults disabled,
+    /// *every* single-bit fault is corrected invisibly on die
+    /// ([`Self::evaluate_bit_fault`] would return [`Verdict::Benign`]
+    /// without consuming randomness). Half of Table I's faults are
+    /// single-bit, so the Monte-Carlo hot loop short-circuits on this.
+    bit_always_benign: bool,
 }
 
 impl SchemeModel {
@@ -180,6 +205,7 @@ impl SchemeModel {
             scheme,
             params,
             config,
+            bit_always_benign: params.on_die_ecc && !params.scaling.enabled(),
         }
     }
 
@@ -245,6 +271,7 @@ impl SchemeModel {
     /// `active` must contain only faults that are still uncorrected (the
     /// Monte-Carlo driver drops transient faults once a scheme corrects
     /// them, modeling scrub-on-correct).
+    #[inline]
     pub fn evaluate<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
@@ -252,9 +279,77 @@ impl SchemeModel {
         active: &[FaultEvent],
     ) -> Verdict {
         if e.fault.extent == FaultExtent::Bit {
+            if self.bit_always_benign {
+                return Verdict::Benign;
+            }
             self.evaluate_bit_fault(rng, e, active)
         } else {
             self.evaluate_large_fault(rng, e, active)
+        }
+    }
+
+    /// Evaluates a fault that arrives with *no* other fault active in its
+    /// protection domain, from its mode alone.
+    ///
+    /// With an empty active set, [`Self::evaluate`]'s verdict never
+    /// depends on which chip or address range the fault struck
+    /// (`concurrent_chips` is 1 regardless), so the Monte-Carlo driver's
+    /// single-fault fast path skips those draws and calls this instead.
+    /// Must consume the same randomness and return the same verdict as
+    /// `evaluate(rng, e, &[])` for any event of this mode — pinned by the
+    /// `isolated_evaluation_matches_general_path` test.
+    #[inline]
+    pub fn evaluate_isolated<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        extent: FaultExtent,
+        persistence: Persistence,
+    ) -> Verdict {
+        if extent == FaultExtent::Bit {
+            if self.bit_always_benign {
+                return Verdict::Benign;
+            }
+            if !self.params.on_die_ecc {
+                return match self.scheme {
+                    Scheme::NonEcc => Verdict::Sdc,
+                    _ => Verdict::Corrected,
+                };
+            }
+            let collides_with_scaling = self.params.scaling.enabled()
+                && rng.gen::<f64>() < self.params.scaling.p_word_faulty();
+            if !collides_with_scaling {
+                return Verdict::Benign;
+            }
+            return match self.scheme {
+                Scheme::NonEcc => Verdict::Sdc,
+                Scheme::EccDimm => {
+                    if rng.gen::<f64>() < 7.0 / 63.0 {
+                        Verdict::Due
+                    } else {
+                        Verdict::Corrected
+                    }
+                }
+                // One erasure / one garbage symbol: within every other
+                // scheme's budget.
+                _ => Verdict::Corrected,
+            };
+        }
+        match self.scheme {
+            Scheme::NonEcc => Verdict::Sdc,
+            Scheme::EccDimm => {
+                if rng.gen::<f64>() < self.params.dimm_secded_burst_detect {
+                    Verdict::Due
+                } else {
+                    Verdict::Sdc
+                }
+            }
+            Scheme::Xed => self.xed_single_chip_verdict(rng, extent, persistence),
+            // A single faulty chip is within budget for the erasure and
+            // symbol-correcting schemes.
+            Scheme::XedChipkill
+            | Scheme::Chipkill
+            | Scheme::ChipkillX4
+            | Scheme::DoubleChipkill => Verdict::Corrected,
         }
     }
 
@@ -340,7 +435,7 @@ impl SchemeModel {
                     // reconstruct both.
                     return Verdict::Due;
                 }
-                self.xed_single_chip_verdict(rng, e)
+                self.xed_single_chip_verdict(rng, e.fault.extent, e.fault.persistence)
             }
             Scheme::XedChipkill => {
                 if n > 2 {
@@ -369,8 +464,14 @@ impl SchemeModel {
     }
 
     /// XED's handling of exactly one faulty chip (paper Sections V–VI).
-    fn xed_single_chip_verdict<R: Rng + ?Sized>(&self, rng: &mut R, e: &FaultEvent) -> Verdict {
-        if e.fault.extent.spans_lines() {
+    /// Depends only on the fault's mode, never its location.
+    fn xed_single_chip_verdict<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        extent: FaultExtent,
+        persistence: Persistence,
+    ) -> Verdict {
+        if extent.spans_lines() {
             // Column/row/bank/chip faults: even if the on-die ECC misses
             // the requested line (0.8%), DIMM parity flags it and
             // Inter-Line Fault Diagnosis identifies the chip from the
@@ -388,7 +489,7 @@ impl SchemeModel {
         // On-die miss: DIMM parity still detects the mismatch. Inter-line
         // diagnosis finds nothing (neighboring lines are clean); intra-line
         // diagnosis reproduces *permanent* faults only.
-        match e.fault.persistence {
+        match persistence {
             Persistence::Permanent => Verdict::Corrected,
             Persistence::Transient => Verdict::Due,
         }
@@ -779,6 +880,76 @@ mod tests {
         let labels: Vec<&str> = Scheme::ALL.iter().map(|s| s.label()).collect();
         for (i, l) in labels.iter().enumerate() {
             assert!(!labels[..i].contains(l));
+        }
+    }
+
+    #[test]
+    fn isolated_evaluation_matches_general_path() {
+        // `evaluate_isolated` promises to return the same verdict *and*
+        // consume the same randomness as `evaluate` with an empty active
+        // set, for every scheme × mode × parameter variant the engine can
+        // reach. Compare both the verdicts and the final RNG states.
+        use crate::geometry::DramGeometry;
+        use crate::scaling::ScalingFaults;
+        let geom = DramGeometry::x8_2gb();
+        let variants = [
+            ModelParams::default(),
+            ModelParams {
+                on_die_ecc: false,
+                ..ModelParams::default()
+            },
+            ModelParams {
+                scaling: ScalingFaults::with_rate(1e-4),
+                ..ModelParams::default()
+            },
+            ModelParams {
+                scaling: ScalingFaults::with_rate(0.9),
+                on_die_miss: 0.5,
+                dimm_secded_burst_detect: 0.5,
+                ..ModelParams::default()
+            },
+        ];
+        let mut sample_rng = StdRng::seed_from_u64(99);
+        for scheme in Scheme::ALL {
+            for params in variants {
+                let m = SchemeModel::new(scheme, params);
+                for extent in FaultExtent::ALL {
+                    for persistence in [Persistence::Transient, Persistence::Permanent] {
+                        for round in 0..8u64 {
+                            let e = FaultEvent {
+                                time_hours: 0.0,
+                                chip: sample_rng.gen_range(0..m.config().total_chips()),
+                                fault: Fault::sample(&mut sample_rng, extent, persistence, &geom),
+                            };
+                            let seed = round
+                                .wrapping_mul(1000)
+                                .wrapping_add(scheme.stream_tag() * 100)
+                                .wrapping_add(extent.index() as u64);
+                            let mut general = StdRng::seed_from_u64(seed);
+                            let mut isolated = general.clone();
+                            let vg = m.evaluate(&mut general, &e, &[]);
+                            let vi = m.evaluate_isolated(&mut isolated, extent, persistence);
+                            assert_eq!(
+                                vg, vi,
+                                "verdict diverged: {scheme:?} {extent:?} {persistence:?} {params:?}"
+                            );
+                            assert_eq!(
+                                general, isolated,
+                                "rng consumption diverged: {scheme:?} {extent:?} {persistence:?} {params:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scheme_stream_tags_unique_and_nonzero() {
+        let tags: Vec<u64> = Scheme::ALL.iter().map(|s| s.stream_tag()).collect();
+        for (i, t) in tags.iter().enumerate() {
+            assert_ne!(*t, 0, "{}: zero tag would collide with the bare seed", i);
+            assert!(!tags[..i].contains(t));
         }
     }
 }

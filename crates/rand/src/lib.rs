@@ -4,7 +4,11 @@
 //! `rand` with the small slice of its API the simulators use:
 //!
 //! * [`rngs::StdRng`] — a xoshiro256++ generator;
-//! * [`SeedableRng::seed_from_u64`] — the only way to construct an RNG;
+//! * [`SeedableRng::seed_from_u64`] — seed-based construction;
+//! * [`rngs::Streams`] — counter-based derivation of per-trial stream
+//!   generators from one seed (a SplitMix64 key schedule; this is the
+//!   workspace extension that makes Monte-Carlo results independent of
+//!   thread count);
 //! * [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`].
 //!
 //! Two deliberate omissions enforce the repo's Monte-Carlo determinism
@@ -80,20 +84,30 @@ pub trait SampleRange<T> {
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
 }
 
-/// Uniform `u64` in `[0, bound)` via Lemire-style rejection (unbiased).
+/// Uniform `u64` in `[0, bound)` via Lemire's nearly-divisionless
+/// multiply-shift rejection (unbiased).
+///
+/// The common path is a single widening multiply; the `% bound` needed to
+/// compute the exact rejection threshold only runs when the low product
+/// word falls below `bound` (probability `bound / 2⁶⁴`), so non-power-of-two
+/// bounds cost no division in the Monte-Carlo hot loop.
 fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
     debug_assert!(bound > 0);
     if bound.is_power_of_two() {
         return rng.next_u64() & (bound - 1);
     }
-    // Rejection zone keeps the multiply-shift map exactly uniform.
-    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
-    loop {
-        let v = rng.next_u64();
-        if v <= zone {
-            return v % bound;
+    let mut m = u128::from(rng.next_u64()) * u128::from(bound);
+    let mut lo = m as u64;
+    if lo < bound {
+        // `2⁶⁴ mod bound` values of each residue class are over-represented
+        // by the multiply-shift map; reject exactly those.
+        let threshold = bound.wrapping_neg() % bound;
+        while lo < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(bound);
+            lo = m as u64;
         }
     }
+    (m >> 64) as u64
 }
 
 /// Types with a uniform range sampler (the `SampleUniform` of crates.io
@@ -215,6 +229,7 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    #[inline]
     fn splitmix64(state: &mut u64) -> u64 {
         *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = *state;
@@ -224,6 +239,7 @@ pub mod rngs {
     }
 
     impl SeedableRng for StdRng {
+        #[inline]
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
             let s = [
@@ -236,7 +252,90 @@ pub mod rngs {
         }
     }
 
+    /// A family of counter-based [`StdRng`] streams derived from one seed.
+    ///
+    /// `Streams::new(seed).stream(i)` is a pure function of `(seed, i)`:
+    /// the seed is scrambled once with SplitMix64, the stream index is
+    /// folded in as a Weyl increment (`i · φ`, the SplitMix64 constant),
+    /// and the result is expanded into xoshiro256++ state exactly like
+    /// [`SeedableRng::seed_from_u64`]. Adjacent indices therefore yield
+    /// statistically independent generators, and *which* stream a consumer
+    /// draws is decoupled from *who* draws it — the property the
+    /// Monte-Carlo driver relies on to make results independent of thread
+    /// count and work-assignment order.
+    ///
+    /// Construction of one stream costs five SplitMix64 rounds (a handful
+    /// of multiplies), cheap enough to build a fresh generator per
+    /// Monte-Carlo trial.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Streams {
+        base: u64,
+    }
+
+    impl Streams {
+        /// Creates the stream family rooted at `seed`.
+        pub fn new(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                base: splitmix64(&mut sm),
+            }
+        }
+
+        /// The generator for stream `index`.
+        #[inline]
+        pub fn stream(&self, index: u64) -> StdRng {
+            let mut sm = self
+                .base
+                .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+
+        /// Stream `index`'s *headline* value: one uniform 64-bit draw at a
+        /// single SplitMix64 round, without materializing a generator.
+        ///
+        /// Consumers that can usually decide everything from one uniform —
+        /// the Monte-Carlo zero-fault test is the motivating case — call
+        /// this first and only pay for [`Self::split_rest`] when they need
+        /// more randomness. `(split_first(i), split_rest(i))` together form
+        /// one logical per-index stream; it is a *different* stream than
+        /// [`Self::stream`]`(i)` (the headline draw is SplitMix64 output 1,
+        /// and the tail generator is seeded from outputs 2–5).
+        #[inline]
+        pub fn split_first(&self, index: u64) -> u64 {
+            let mut sm = self
+                .base
+                .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            splitmix64(&mut sm)
+        }
+
+        /// The generator carrying stream `index`'s draws *after* its
+        /// [`Self::split_first`] headline value.
+        #[inline]
+        pub fn split_rest(&self, index: u64) -> StdRng {
+            let mut sm = self
+                .base
+                .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let _first = splitmix64(&mut sm);
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
     impl RngCore for StdRng {
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
             let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
@@ -318,6 +417,40 @@ mod tests {
         }
         let mut r = StdRng::seed_from_u64(6);
         assert!(draw(&mut r) < 100);
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_distinct() {
+        use super::rngs::Streams;
+        let s = Streams::new(42);
+        let mut a = s.stream(7);
+        let mut b = Streams::new(42).stream(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        // Adjacent indices and adjacent seeds both give different streams.
+        assert_ne!(s.stream(7).gen::<u64>(), s.stream(8).gen::<u64>());
+        assert_ne!(
+            Streams::new(42).stream(0).gen::<u64>(),
+            Streams::new(43).stream(0).gen::<u64>()
+        );
+    }
+
+    #[test]
+    fn streams_statistically_uniform_across_indices() {
+        // First draw of consecutive streams must itself look uniform —
+        // the Monte-Carlo fast path consumes exactly one draw per trial.
+        use super::rngs::Streams;
+        let s = Streams::new(9);
+        let n = 40_000u64;
+        let mean = (0..n)
+            .map(|i| {
+                let x: f64 = s.stream(i).gen();
+                x
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
     }
 
     #[test]

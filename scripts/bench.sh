@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Monte-Carlo engine benchmark trajectory (DESIGN.md §9).
+#
+# Builds the workspace in release mode and runs the `mc_throughput`
+# harness, which measures per-scheme samples/sec, a thread-scaling curve
+# and a whole-suite run_all sweep, then writes BENCH_faultsim.json at the
+# repo root. Pass extra arguments through, e.g.:
+#
+#   scripts/bench.sh --samples 4000000 --repeats 9
+#   scripts/bench.sh --smoke            # sub-second sanity pass
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p xed-bench --bin mc_throughput
+
+# --baseline: throughput of the engine before the counter-based-stream
+# rewrite (static partitioning, per-trial allocation), measured on this
+# container at commit f846d95 with EccDimm, 1M samples, seed 2016. The
+# rewrite's acceptance bar is >=3x this number.
+exec ./target/release/mc_throughput --baseline 23780432 "$@"

@@ -23,4 +23,12 @@ cargo build --release
 step "cargo test -q"
 cargo test -q --workspace
 
+# Non-gating: exercise the benchmark harness end to end (engine, thread
+# sweep, JSON writer) at smoke scale. Throughput numbers from a loaded CI
+# box are noise, so a slow run must not fail the gate — only a crash or a
+# determinism assertion inside the harness would.
+step "mc_throughput --smoke (non-gating)"
+./target/release/mc_throughput --smoke --out target/BENCH_faultsim.smoke.json ||
+    printf 'warning: mc_throughput smoke failed (non-gating)\n'
+
 printf '\nci.sh: all tier-1 checks passed\n'
