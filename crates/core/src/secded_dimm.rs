@@ -16,12 +16,12 @@
 
 use crate::chip::{ChipGeometry, DramChip, OnDieCode};
 use crate::fault::InjectedFault;
-use xed_ecc::secded::{DecodeOutcome, SecDed};
+use xed_ecc::secded::{SecDed, BEATS_PER_LINE};
 use xed_ecc::{CodeWord72, Hamming7264};
 
 const DATA_CHIPS: usize = 8;
 const TOTAL_CHIPS: usize = 9;
-const BEATS: usize = 8;
+const BEATS: usize = BEATS_PER_LINE;
 
 /// Outcome of reading one cache line through DIMM-level SECDED.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,28 +119,26 @@ impl SecdedDimm {
 
         let mut data = [0u64; DATA_CHIPS];
         data.copy_from_slice(&words[..DATA_CHIPS]);
-        let mut corrected_beats = 0u32;
-        let mut bad_beats = 0u32;
-        for (b, &check) in check_bytes.iter().enumerate().take(BEATS) {
-            let beat = gather_beat(&data, b);
-            let received = CodeWord72::new(beat, check);
-            match self.code.decode(received) {
-                DecodeOutcome::Clean { .. } => {}
-                DecodeOutcome::Corrected { data: fixed, .. } => {
-                    corrected_beats += 1;
-                    self.stats.corrections += 1;
-                    scatter_beat(&mut data, b, fixed);
-                }
-                DecodeOutcome::Detected => bad_beats += 1,
-            }
+        // Assemble all eight received beats, then decode the whole line in
+        // one batched call — this is the controller's access-path kernel.
+        let mut beats = [CodeWord72::default(); BEATS];
+        for (b, w) in beats.iter_mut().enumerate() {
+            *w = CodeWord72::new(gather_beat(&data, b), check_bytes[b]);
         }
-        if bad_beats > 0 {
+        let out = self.code.decode_line(&beats);
+        self.stats.corrections += u64::from(out.corrected_count());
+        if out.is_due() {
             self.stats.due_events += 1;
-            SecdedReadout::Due { bad_beats }
+            SecdedReadout::Due {
+                bad_beats: out.bad_beats.count_ones(),
+            }
         } else {
+            for b in xed_ecc::bits::set_bits64(out.corrected_beats as u64) {
+                scatter_beat(&mut data, b as usize, out.data[b as usize]);
+            }
             SecdedReadout::Ok {
                 data,
-                corrected_beats,
+                corrected_beats: out.corrected_count(),
             }
         }
     }

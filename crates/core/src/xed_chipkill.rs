@@ -23,7 +23,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use xed_ecc::gf::Field;
-use xed_ecc::rs::ReedSolomon;
+use xed_ecc::rs::{ReedSolomon, RsScratch};
 use xed_ecc::secded32::{CodeWord40, Crc8Atm32};
 
 /// Data chips per access.
@@ -131,6 +131,9 @@ pub struct XedChipkillSystem {
     chips: Vec<X4Chip>,
     catch_words: Vec<u32>,
     rs: ReedSolomon,
+    /// Reusable Reed–Solomon decoder scratch: the whole read path decodes
+    /// all four byte planes with zero heap traffic.
+    scratch: RsScratch,
     geometry: ChipGeometry,
     stats: XedStats,
     rng: StdRng,
@@ -160,6 +163,7 @@ impl XedChipkillSystem {
             chips,
             catch_words,
             rs: ReedSolomon::new(Field::gf256(), TOTAL_CHIPS, DATA_CHIPS),
+            scratch: RsScratch::new(),
             geometry,
             stats: XedStats::default(),
             rng,
@@ -205,12 +209,13 @@ impl XedChipkillSystem {
 
     fn store_line(&mut self, addr: WordAddr, data: &[u32; DATA_CHIPS]) {
         let mut check_words = [[0u8; PLANES]; CHECK_CHIPS];
+        let mut cw = [0u8; TOTAL_CHIPS];
         for p in 0..PLANES {
             let mut symbols = [0u8; DATA_CHIPS];
             for (i, &w) in data.iter().enumerate() {
                 symbols[i] = w.to_be_bytes()[p];
             }
-            let cw = self.rs.encode(&symbols);
+            self.rs.encode_into(&symbols, &mut cw);
             for (j, check_word) in check_words.iter_mut().enumerate() {
                 check_word[p] = cw[DATA_CHIPS + j];
             }
@@ -242,19 +247,25 @@ impl XedChipkillSystem {
     pub fn read_line_at(&mut self, addr: WordAddr) -> Result<X4LineReadout, XedError> {
         self.stats.reads += 1;
         let words = self.bus_read(addr);
-        let catchers: Vec<usize> = (0..TOTAL_CHIPS)
-            .filter(|&i| words[i] == self.catch_words[i])
-            .collect();
-        self.stats.catch_words_observed += catchers.len() as u64;
+        let mut catcher_buf = [0usize; TOTAL_CHIPS];
+        let mut ncatch = 0usize;
+        for (i, &w) in words.iter().enumerate() {
+            if w == self.catch_words[i] {
+                catcher_buf[ncatch] = i;
+                ncatch += 1;
+            }
+        }
+        let catchers = &catcher_buf[..ncatch];
+        self.stats.catch_words_observed += ncatch as u64;
 
-        match catchers.len() {
-            0..=2 => match self.decode_line(addr, &words, &catchers) {
+        match ncatch {
+            0..=2 => match self.decode_line(addr, &words, catchers) {
                 Ok(out) => Ok(out),
                 // A chip beyond the erasure set is silently corrupting
                 // (an on-die miss): identify it by diagnosis, then retry
                 // with the enlarged erasure set (paper Section VI applied
                 // to the x4 configuration).
-                Err(_) => self.diagnose_and_retry(addr, &words, &catchers),
+                Err(_) => self.diagnose_and_retry(addr, &words, catchers),
             },
             n => {
                 // Serial mode: let on-die ECC correct what it can.
@@ -296,21 +307,19 @@ impl XedChipkillSystem {
         erasures: &[usize],
     ) -> Result<X4LineReadout, XedError> {
         let mut corrected_words = *words;
-        let mut touched: Vec<usize> = Vec::new();
+        let mut touched = [false; TOTAL_CHIPS];
         for p in 0..PLANES {
             let mut symbols = [0u8; TOTAL_CHIPS];
             for (i, &w) in words.iter().enumerate() {
                 symbols[i] = w.to_be_bytes()[p];
             }
-            match self.rs.decode(&symbols, erasures) {
+            match self.rs.decode_with(&symbols, erasures, &mut self.scratch) {
                 Ok(decoded) => {
-                    for &chip in &decoded.corrected {
+                    for &chip in decoded.corrected {
                         let mut bytes = corrected_words[chip].to_be_bytes();
                         bytes[p] = decoded.codeword[chip];
                         corrected_words[chip] = u32::from_be_bytes(bytes);
-                        if !touched.contains(&chip) {
-                            touched.push(chip);
-                        }
+                        touched[chip] = true;
                     }
                 }
                 Err(_) => {
@@ -320,10 +329,10 @@ impl XedChipkillSystem {
                 }
             }
         }
-        touched.sort_unstable();
-        if touched.len() > 2 {
+        let ntouched = touched.iter().filter(|&&t| t).count();
+        if ntouched > 2 {
             return Err(XedError::DetectedUncorrectable {
-                suspects: touched.len() as u32,
+                suspects: ntouched as u32,
             });
         }
 
@@ -340,21 +349,25 @@ impl XedChipkillSystem {
 
         let mut data = [0u32; DATA_CHIPS];
         data.copy_from_slice(&corrected_words[..DATA_CHIPS]);
-        if !touched.is_empty() || !erasures.is_empty() {
+        if ntouched > 0 || !erasures.is_empty() {
             self.stats.reconstructions += 1;
             self.stats.scrub_writes += 1;
             self.store_line(addr, &data);
         }
-        let mut corrected_chips = [None, None];
-        let mut all: Vec<usize> = erasures.to_vec();
-        for t in touched {
-            if !all.contains(&t) {
-                all.push(t);
-            }
+        // Involved chips = erasures ∪ touched; walking the mask in index
+        // order yields them already sorted.
+        let mut involved = touched;
+        for &e in erasures {
+            involved[e] = true;
         }
-        all.sort_unstable();
-        for (slot, chip) in corrected_chips.iter_mut().zip(all) {
-            *slot = Some(chip);
+        let mut chips = involved
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v)
+            .map(|(i, _)| i);
+        let mut corrected_chips = [None, None];
+        for slot in corrected_chips.iter_mut() {
+            *slot = chips.next();
         }
         Ok(X4LineReadout {
             data,
@@ -388,15 +401,18 @@ impl XedChipkillSystem {
                 }
             }
         }
-        let mut suspects: Vec<usize> = catchers.to_vec();
+        let mut suspect_buf = [0usize; TOTAL_CHIPS];
+        let mut nsus = catchers.len();
+        suspect_buf[..nsus].copy_from_slice(catchers);
         for (i, &c) in counts.iter().enumerate() {
-            if c >= threshold && !suspects.contains(&i) {
-                suspects.push(i);
+            if c >= threshold && !suspect_buf[..nsus].contains(&i) {
+                suspect_buf[nsus] = i;
+                nsus += 1;
             }
         }
-        suspects.sort_unstable();
-        if suspects.len() <= CHECK_CHIPS {
-            if let Ok(out) = self.decode_line(addr, words, &suspects) {
+        suspect_buf[..nsus].sort_unstable();
+        if nsus <= CHECK_CHIPS {
+            if let Ok(out) = self.decode_line(addr, words, &suspect_buf[..nsus]) {
                 return Ok(out);
             }
         }
@@ -404,27 +420,33 @@ impl XedChipkillSystem {
         // Intra-line: all-zeros / all-ones pattern test finds permanent
         // faults confined to this line.
         self.stats.intra_line_runs += 1;
-        for suspect in self.pattern_test(addr, words) {
-            if !suspects.contains(&suspect) {
-                suspects.push(suspect);
+        let flagged = self.pattern_test(addr, words);
+        for (i, &bad) in flagged.iter().enumerate() {
+            if bad && !suspect_buf[..nsus].contains(&i) {
+                suspect_buf[nsus] = i;
+                nsus += 1;
             }
         }
-        suspects.sort_unstable();
-        if suspects.len() <= CHECK_CHIPS {
-            if let Ok(out) = self.decode_line(addr, words, &suspects) {
+        suspect_buf[..nsus].sort_unstable();
+        if nsus <= CHECK_CHIPS {
+            if let Ok(out) = self.decode_line(addr, words, &suspect_buf[..nsus]) {
                 return Ok(out);
             }
         }
         self.stats.due_events += 1;
         Err(XedError::DetectedUncorrectable {
-            suspects: suspects.len() as u32,
+            suspects: nsus as u32,
         })
     }
 
     /// Writes all-zeros / all-ones and reads back raw (XED off); chips
     /// whose readback mismatches have permanent broken cells. The original
     /// words are restored verbatim.
-    fn pattern_test(&mut self, addr: WordAddr, original: &[u32; TOTAL_CHIPS]) -> Vec<usize> {
+    fn pattern_test(
+        &mut self,
+        addr: WordAddr,
+        original: &[u32; TOTAL_CHIPS],
+    ) -> [bool; TOTAL_CHIPS] {
         let mut suspect = [false; TOTAL_CHIPS];
         for pattern in [0u32, u32::MAX] {
             for chip in &mut self.chips {
@@ -443,7 +465,7 @@ impl XedChipkillSystem {
         for (i, &w) in original.iter().enumerate() {
             self.chips[i].write(addr, w);
         }
-        (0..TOTAL_CHIPS).filter(|&i| suspect[i]).collect()
+        suspect
     }
 
     fn rekey(&mut self, chip: usize) {

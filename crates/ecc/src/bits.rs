@@ -82,20 +82,20 @@ mod tests {
 
     #[test]
     fn parity_single_bit() {
-        for i in 0..64 {
-            assert_eq!(parity64(1u64 << i), 1);
-        }
+        // Every weight-1 word has parity 1; enumerate them through the
+        // mask-based set-bits iterator rather than a per-bit counter loop.
+        assert!(set_bits64(u64::MAX)
+            .map(|i| 1u64 << i)
+            .all(|w| parity64(w) == 1));
     }
 
     #[test]
     fn bit_roundtrip() {
         let x = 0xA5A5_5A5A_DEAD_BEEFu64;
-        for i in 0..64 {
+        assert!(set_bits64(u64::MAX).all(|i| {
             let b = bit64(x, i);
-            assert_eq!(with_bit64(x, i, b), x);
-            let flipped = with_bit64(x, i, 1 - b);
-            assert_eq!(flipped ^ x, 1u64 << i);
-        }
+            with_bit64(x, i, b) == x && (with_bit64(x, i, 1 - b) ^ x) == (1u64 << i)
+        }));
     }
 
     #[test]

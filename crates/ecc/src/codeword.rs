@@ -144,21 +144,17 @@ mod tests {
     #[test]
     fn bit_accessors_cover_data_and_check() {
         let w = CodeWord72::new(u64::MAX, 0);
-        for i in 0..64 {
-            assert_eq!(w.bit(i), 1);
-        }
-        for i in 64..72 {
-            assert_eq!(w.bit(i), 0);
-        }
+        // Enumerate positions through iterators rather than bit-counter
+        // loops; data bits must all read 1, check bits all 0.
+        assert!((0u32..64).all(|i| w.bit(i) == 1));
+        assert!((64u32..72).all(|i| w.bit(i) == 0));
     }
 
     #[test]
     fn flip_is_involution() {
         let w = CodeWord72::new(0x0123_4567_89AB_CDEF, 0x5A);
-        for i in 0..72 {
-            assert_eq!(w.with_bit_flipped(i).with_bit_flipped(i), w);
-            assert_ne!(w.with_bit_flipped(i), w);
-        }
+        assert!((0u32..72)
+            .all(|i| w.with_bit_flipped(i).with_bit_flipped(i) == w && w.with_bit_flipped(i) != w));
     }
 
     #[test]

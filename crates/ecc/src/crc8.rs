@@ -21,6 +21,7 @@
 //!
 //! These properties are verified exhaustively by this module's tests.
 
+use crate::bits::parity64;
 use crate::codeword::CodeWord72;
 use crate::secded::{DecodeOutcome, SecDed};
 
@@ -65,6 +66,55 @@ pub(crate) const fn crc8_u64(data: u64) -> u8 {
     }
     crc
 }
+
+/// Per-syndrome-bit data masks: `SYNDROME_MASKS[b]` has u64 bit `j` set iff
+/// `crc8(1 << j)` has bit `b` set — row `b` of the CRC's GF(2) parity-check
+/// matrix restricted to the data columns. Because the CRC is GF(2)-linear,
+/// `crc8(data)` bit `b` equals `parity(data & SYNDROME_MASKS[b])`, turning
+/// the syndrome into eight AND+popcount dot products with no byte or bit
+/// loop over the data word.
+const SYNDROME_MASKS: [u64; 8] = build_syndrome_masks();
+
+const fn build_syndrome_masks() -> [u64; 8] {
+    let mut masks = [0u64; 8];
+    let mut j = 0u32;
+    while j < 64 {
+        let s = crc8_u64(1u64 << j);
+        let mut b = 0usize;
+        while b < 8 {
+            if (s >> b) & 1 == 1 {
+                masks[b] |= 1u64 << j;
+            }
+            b += 1;
+        }
+        j += 1;
+    }
+    masks
+}
+
+// The mask kernel and the table-driven CRC are both GF(2)-linear in the data
+// word, so agreement on the 64 basis vectors implies agreement everywhere.
+// Checked at compile time: every mask column reproduces crc8 of that basis
+// vector.
+const _: () = {
+    let mut j = 0u32;
+    while j < 64 {
+        let w = 1u64 << j;
+        let mut s = 0u8;
+        let mut b = 0usize;
+        while b < 8 {
+            if (w & SYNDROME_MASKS[b]).count_ones() & 1 == 1 {
+                s |= 1 << b;
+            }
+            b += 1;
+        }
+        assert!(
+            s == crc8_u64(w),
+            "CRC syndrome mask column disagrees with the byte-table CRC"
+        );
+        j += 1;
+    }
+};
 
 /// Syndrome of the single-bit error at physical position `i` of a (72,64)
 /// codeword: data bits contribute `crc8` of their weight-1 word, check bits
@@ -205,8 +255,18 @@ impl Crc8Atm {
     /// The 8-bit syndrome of a received word: `crc8(data) ^ check`.
     ///
     /// Zero ⟺ valid codeword.
+    ///
+    /// Word-parallel: each syndrome bit is one AND + popcount parity fold
+    /// against `SYNDROME_MASKS` (proved equal to the byte-table CRC by the
+    /// `const` block above; the bit-serial original lives in
+    /// [`crate::reference`]).
     pub fn raw_syndrome(&self, received: CodeWord72) -> u8 {
-        self.crc8(received.data()) ^ received.check()
+        let d = received.data();
+        let mut s = received.check();
+        for (b, &mask) in SYNDROME_MASKS.iter().enumerate() {
+            s ^= parity64(d & mask) << b;
+        }
+        s
     }
 }
 
@@ -313,6 +373,24 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn mask_syndrome_matches_table_crc() {
+        // The popcount-mask syndrome must equal crc8(data) ^ check for
+        // arbitrary (not necessarily valid) received words.
+        let c = Crc8Atm::new();
+        let words = [
+            (0u64, 0u8),
+            (u64::MAX, 0xFF),
+            (0xDEAD_BEEF_0BAD_F00D, 0x5A),
+            (0x0123_4567_89AB_CDEF, 0x81),
+            (1 << 63, 1),
+        ];
+        for (d, ch) in words {
+            let w = CodeWord72::new(d, ch);
+            assert_eq!(c.raw_syndrome(w), c.crc8(d) ^ ch);
         }
     }
 

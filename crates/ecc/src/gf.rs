@@ -64,6 +64,28 @@ pub(crate) const fn gf256_mul(a: u8, b: u8) -> u8 {
     }
 }
 
+/// Flat GF(256) multiplication table `GF256_MUL[a][b] = a·b`, built at
+/// compile time from the proved log/antilog tables. The Reed–Solomon hot
+/// path multiplies through this single L1-resident load instead of the
+/// zero-test + two log reads + antilog read of [`gf256_mul`]; the table is
+/// 64 KiB and entry-for-entry identical to [`Field::mul`] on GF(256)
+/// (asserted below and by this module's tests).
+pub(crate) static GF256_MUL: [[u8; 256]; 256] = build_gf256_mul();
+
+const fn build_gf256_mul() -> [[u8; 256]; 256] {
+    let mut t = [[0u8; 256]; 256];
+    let mut a = 0usize;
+    while a < 256 {
+        let mut b = 0usize;
+        while b < 256 {
+            t[a][b] = gf256_mul(a as u8, b as u8);
+            b += 1;
+        }
+        a += 1;
+    }
+    t
+}
+
 // ---------------------------------------------------------------------------
 // Compile-time field proofs. `build_exp_log` already proves α generates the
 // multiplicative group (primitivity); these blocks prove the tables are
@@ -97,6 +119,25 @@ const _: () = {
             "GF256 doubled exp table mismatch"
         );
         i += 1;
+    }
+};
+
+const _: () = {
+    // The flat table row/column structure: a·0 = 0·b = 0, a·1 = a, and the
+    // diagonal of inverses multiplies to 1 (spot-proofs; the full 256×256
+    // equality against `Field::mul` is a unit test).
+    let mut a = 0usize;
+    while a < 256 {
+        assert!(GF256_MUL[a][0] == 0 && GF256_MUL[0][a] == 0);
+        assert!(GF256_MUL[a][1] == a as u8 && GF256_MUL[1][a] == a as u8);
+        if a != 0 {
+            let inv = GF256_EXP[255 - GF256_LOG[a] as usize];
+            assert!(
+                GF256_MUL[a][inv as usize] == 1,
+                "GF256_MUL row lacks inverse product"
+            );
+        }
+        a += 1;
     }
 };
 
@@ -277,6 +318,20 @@ impl Field {
         self.exp[self.order() - self.log[a as usize] as usize]
     }
 
+    /// Multiplicative inverse, or `None` for zero.
+    ///
+    /// The Reed–Solomon decoder uses this instead of [`Field::inv`] so a
+    /// degenerate received word surfaces as [`crate::rs::RsError::Detected`]
+    /// rather than a library panic.
+    #[inline]
+    pub fn try_inv(&self, a: u8) -> Option<u8> {
+        if a == 0 {
+            None
+        } else {
+            Some(self.exp[self.order() - self.log[a as usize] as usize])
+        }
+    }
+
     /// Field division `a / b`.
     ///
     /// # Panics
@@ -289,6 +344,15 @@ impl Field {
         } else {
             self.mul(a, self.inv(b))
         }
+    }
+
+    /// Field division `a / b`, or `None` when `b == 0`.
+    #[inline]
+    pub fn try_div(&self, a: u8, b: u8) -> Option<u8> {
+        if a == 0 && b != 0 {
+            return Some(0);
+        }
+        self.try_inv(b).map(|binv| self.mul(a, binv))
     }
 
     /// a^n by repeated table lookups.
@@ -370,6 +434,21 @@ mod tests {
                     f.div(f.mul(a, 7.min(f.order() as u8)), a),
                     7.min(f.order() as u8)
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn try_inv_and_try_div_match_checked_variants() {
+        for f in fields() {
+            assert_eq!(f.try_inv(0), None);
+            assert_eq!(f.try_div(5.min(f.order() as u8), 0), None);
+            assert_eq!(f.try_div(0, 0), None);
+            for a in 1..f.size() as u16 {
+                let a = a as u8;
+                assert_eq!(f.try_inv(a), Some(f.inv(a)));
+                assert_eq!(f.try_div(a, a), Some(1));
+                assert_eq!(f.try_div(0, a), Some(0));
             }
         }
     }
@@ -458,6 +537,23 @@ mod tests {
         for a in [0u8, 1, 2, 0x53, 0xCA, 0xFF] {
             for b in [0u8, 1, 3, 0x8E, 0xFF] {
                 assert_eq!(super::gf256_mul(a, b), f.mul(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn flat_mul_table_matches_field_mul_exhaustively() {
+        // Every entry of the 64 KiB hot-path table equals the log/antilog
+        // product — the property the Reed–Solomon fast decoder relies on to
+        // stay bit-identical to the reference pipeline.
+        let f = Field::gf256();
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(
+                    super::GF256_MUL[a as usize][b as usize],
+                    f.mul(a, b),
+                    "a={a:#x} b={b:#x}"
+                );
             }
         }
     }

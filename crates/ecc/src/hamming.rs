@@ -20,6 +20,7 @@
 //! 64–71) is mapped onto Hamming positions via a fixed permutation computed
 //! at construction.
 
+use crate::bits::parity64;
 use crate::codeword::CodeWord72;
 use crate::secded::{DecodeOutcome, SecDed};
 
@@ -56,8 +57,53 @@ const fn build_position_tables() -> ([u8; 64], [i8; POSITIONS + 1]) {
     (data_pos, pos_to_databit)
 }
 
-const DATA_POS: [u8; 64] = POSITION_TABLES.0;
-const POS_TO_DATABIT: [i8; POSITIONS + 1] = POSITION_TABLES.1;
+pub(crate) const DATA_POS: [u8; 64] = POSITION_TABLES.0;
+pub(crate) const POS_TO_DATABIT: [i8; POSITIONS + 1] = POSITION_TABLES.1;
+
+/// Per-check-bit data masks: `DATA_MASKS[c]` has u64 bit `i` (data bit `i`)
+/// set iff Hamming position `DATA_POS[i]` participates in check bit `c` —
+/// i.e. row `c` of the H-matrix restricted to the data columns. The runtime
+/// syndrome is then seven GF(2) dot products, each one `AND` + popcount
+/// parity fold, instead of a 64-iteration bit loop.
+const DATA_MASKS: [u64; CHECKS] = build_data_masks();
+
+const fn build_data_masks() -> [u64; CHECKS] {
+    let mut masks = [0u64; CHECKS];
+    let mut i = 0usize;
+    while i < 64 {
+        let p = DATA_POS[i];
+        let mut c = 0usize;
+        while c < CHECKS {
+            if (p >> c) & 1 == 1 {
+                masks[c] |= 1u64 << i;
+            }
+            c += 1;
+        }
+        i += 1;
+    }
+    masks
+}
+
+/// `PHYS_OF_POS[p]` for `p` in 1..=71: the physical bit index ([`CodeWord72`]
+/// order, MSB-first) of Hamming position `p`. Entry 0 is unused (the overall
+/// parity bit has no Hamming position; the decoder handles it separately).
+const PHYS_OF_POS: [u8; POSITIONS + 1] = build_phys_of_pos();
+
+const fn build_phys_of_pos() -> [u8; POSITIONS + 1] {
+    let mut t = [0u8; POSITIONS + 1];
+    let mut p = 1usize;
+    while p <= POSITIONS {
+        t[p] = if p.is_power_of_two() {
+            // Hamming check bit c sits in check-byte bit c = physical 71 - c.
+            71 - p.trailing_zeros() as u8
+        } else {
+            // Data bit di of the u64 word = physical 63 - di.
+            63 - POS_TO_DATABIT[p] as u8
+        };
+        p += 1;
+    }
+    t
+}
 
 /// The 7-bit Hamming syndrome of the single-bit error at physical position
 /// `i` of a [`CodeWord72`] (the overall parity always flips, so the pair is
@@ -131,6 +177,49 @@ const _: () = {
     }
 };
 
+// ---------------------------------------------------------------------------
+// Compile-time proof that the word-parallel kernel equals the H-matrix.
+//
+// The mask kernel computes syndrome bit c as parity(data & DATA_MASKS[c]).
+// Both sides are GF(2)-linear in the data word, so agreement on the 64 basis
+// vectors (single data bits) implies agreement on every word. Checked here:
+// every mask column reproduces DATA_POS, and PHYS_OF_POS inverts
+// `single_bit_syndrome` for all 72 physical bits.
+// ---------------------------------------------------------------------------
+const _: () = {
+    let mut i = 0usize;
+    while i < 64 {
+        let w = 1u64 << i;
+        let mut syn = 0u8;
+        let mut c = 0usize;
+        while c < CHECKS {
+            if (w & DATA_MASKS[c]).count_ones() & 1 == 1 {
+                syn |= 1 << c;
+            }
+            c += 1;
+        }
+        assert!(
+            syn == DATA_POS[i],
+            "mask column disagrees with the H-matrix"
+        );
+        i += 1;
+    }
+    // PHYS_OF_POS is a left inverse of the single-bit syndrome map.
+    let mut i = 0u32;
+    while i < 72 {
+        let s = single_bit_syndrome(i);
+        if i == 64 {
+            assert!(s == 0, "overall-parity bit must have zero syndrome");
+        } else {
+            assert!(
+                PHYS_OF_POS[s as usize] as u32 == i,
+                "PHYS_OF_POS fails to invert single_bit_syndrome"
+            );
+        }
+        i += 1;
+    }
+};
+
 /// The (72,64) extended Hamming SECDED codec.
 ///
 /// The codec is cheap to construct and stateless after construction; build
@@ -143,87 +232,55 @@ const _: () = {
 /// let w = code.encode(123456789);
 /// assert_eq!(code.decode(w), DecodeOutcome::Clean { data: 123456789 });
 /// ```
-#[derive(Debug, Clone)]
-pub struct Hamming7264 {
-    /// `data_pos[i]` = Hamming position (1..=71) of data bit `i`.
-    data_pos: [u8; 64],
-    /// `pos_kind[p]` for p in 1..=71: data-bit index or check-bit index.
-    pos_to_databit: [i8; POSITIONS + 1],
-}
-
-impl Default for Hamming7264 {
-    fn default() -> Self {
-        Self::new()
-    }
-}
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hamming7264;
 
 impl Hamming7264 {
-    /// Builds the codec. The position permutation is a compile-time constant
-    /// whose SECDED invariants are proved by `const` assertions in this
-    /// module — a build that links this function has already verified them.
+    /// Builds the codec. The position permutation and mask tables are
+    /// compile-time constants whose SECDED invariants are proved by `const`
+    /// assertions in this module — a build that links this function has
+    /// already verified them.
     pub fn new() -> Self {
-        Self {
-            data_pos: DATA_POS,
-            pos_to_databit: POS_TO_DATABIT,
-        }
+        Self
     }
 
     /// Computes the 7-bit Hamming syndrome and overall parity of a received
     /// word, as `(syndrome, overall_parity)`.
     ///
     /// `syndrome == 0 && overall_parity == 0` ⟺ valid codeword.
+    ///
+    /// Word-parallel: syndrome bit `c` is the GF(2) dot product of the data
+    /// word with H-matrix row `c` (`DATA_MASKS[c]`), folded with a popcount,
+    /// XORed with the received check bit. The overall parity is the parity
+    /// of all 72 received bits. (The bit-serial original lives in
+    /// [`crate::reference`].)
     fn syndrome(&self, received: CodeWord72) -> (u8, u8) {
-        let mut syn = 0u8;
-        let mut overall = 0u8;
-        // Data bits contribute their Hamming position to the syndrome.
-        for (i, &p) in self.data_pos.iter().enumerate() {
-            let b = ((received.data() >> i) & 1) as u8;
-            if b == 1 {
-                syn ^= p;
-                overall ^= 1;
-            }
-        }
-        // Check bits: physical check bit c (0..7 exclusive of last) sits at
-        // Hamming position 2^c; physical check bit 7 is the overall parity.
+        let d = received.data();
         let check = received.check();
-        for c in 0..CHECKS {
-            if (check >> c) & 1 == 1 {
-                syn ^= 1u8 << c;
-                overall ^= 1;
-            }
+        let mut syn = check & 0x7F;
+        for (c, &mask) in DATA_MASKS.iter().enumerate() {
+            syn ^= parity64(d & mask) << c;
         }
-        overall ^= (check >> 7) & 1;
+        let overall = parity64(d) ^ ((check.count_ones() & 1) as u8);
         (syn, overall)
     }
 
-    /// Recomputes the expected check byte for `data`.
+    /// Recomputes the expected check byte for `data` (same mask kernel,
+    /// empty check byte).
     fn check_bits(&self, data: u64) -> u8 {
-        let mut syn = 0u8;
-        let mut ones = 0u8;
-        for (i, &p) in self.data_pos.iter().enumerate() {
-            if (data >> i) & 1 == 1 {
-                syn ^= p;
-                ones ^= 1;
-            }
+        let mut check = 0u8;
+        for (c, &mask) in DATA_MASKS.iter().enumerate() {
+            check |= parity64(data & mask) << c;
         }
-        // Check bits are chosen to zero the syndrome.
-        let mut check = syn & 0x7F;
-        // Overall parity covers all 71 inner bits.
-        let inner_parity = ones ^ ((check.count_ones() & 1) as u8);
-        check |= inner_parity << 7;
-        check
+        // Overall parity covers all 71 inner bits (data + 7 check bits).
+        let inner_parity = parity64(data) ^ ((check.count_ones() & 1) as u8);
+        check | (inner_parity << 7)
     }
 
     /// Translates a Hamming position (1..=71) into a physical bit index
     /// (see [`CodeWord72`] for the physical order: MSB-first).
     fn position_to_physical(&self, p: u8) -> u32 {
-        if (p as usize).is_power_of_two() {
-            // Hamming check bit c sits in check-byte bit c = physical 71 - c.
-            71 - p.trailing_zeros()
-        } else {
-            // Data bit di of the u64 word = physical 63 - di.
-            63 - self.pos_to_databit[p as usize] as u32
-        }
+        PHYS_OF_POS[p as usize] as u32
     }
 }
 

@@ -19,6 +19,9 @@
 //!   on [`rs`].
 //! * [`detection`] — the Monte-Carlo harness that regenerates Table II
 //!   (detection rate of random and burst errors).
+//! * [`reference`] — the original bit-serial / `Vec`-allocating codecs, kept
+//!   as the oracle the word-parallel hot-path kernels are differentially
+//!   tested against.
 //!
 //! # Quick example
 //!
@@ -47,6 +50,7 @@ pub mod detection;
 pub mod gf;
 pub mod hamming;
 pub mod parity;
+pub mod reference;
 pub mod rs;
 pub mod secded;
 pub mod secded32;

@@ -13,7 +13,7 @@
 //! A codeword with `nsym` check symbols decodes successfully whenever
 //! `2·errors + erasures ≤ nsym`.
 
-use crate::gf::{gf256_mul, Field, GF256_EXP};
+use crate::gf::{gf256_mul, Field, GF256_EXP, GF256_MUL};
 use std::fmt;
 
 /// Builds the RS generator `g(x) = Π_{j=0..L-2} (x + α^j)` over GF(256) at
@@ -135,32 +135,142 @@ impl Decoded {
     }
 }
 
+/// Maximum codeword length (symbols) supported by the allocation-free
+/// decoder. RS(36,32) Double-Chipkill is the largest configuration in the
+/// repo; every scratch buffer is sized for it at compile time.
+pub const MAX_N: usize = 36;
+/// Maximum number of check symbols (Double-Chipkill and RS(15,11) use 4).
+pub const MAX_NSYM: usize = 4;
+/// Capacity of the polynomial work buffers. Berlekamp–Massey keeps σ at
+/// length ≤ `nsym + 1` (induction: each update yields
+/// `max(len, prev_len + shift) ≤ n + 2`), and the errata locator
+/// Ψ = σ·Γ has length ≤ `2·nsym + 1`; one shared capacity covers both.
+const POLY_CAP: usize = 2 * MAX_NSYM + 1;
+
 /// A systematic Reed–Solomon code RS(n, k) over GF(2^m).
 ///
-/// * `n` — total symbols per codeword (data + check), `n ≤ 2^m − 1`;
-/// * `k` — data symbols; `nsym = n − k` check symbols.
+/// * `n` — total symbols per codeword (data + check), `n ≤ 2^m − 1` and
+///   `n ≤ MAX_N`;
+/// * `k` — data symbols; `nsym = n − k ≤ MAX_NSYM` check symbols.
+///
+/// Two decode paths exist:
+///
+/// * [`ReedSolomon::decode_with`] — the allocation-free hot path: all
+///   intermediate polynomials live in a caller-owned [`RsScratch`] and the
+///   result borrows from it. Used by the memory-controller models to decode
+///   whole cache lines with zero heap traffic.
+/// * [`ReedSolomon::decode`] (in [`crate::reference`]) — the original
+///   `Vec`-returning pipeline, kept verbatim as the differential-testing
+///   reference and as a convenience API.
 ///
 /// ```
-/// use xed_ecc::rs::ReedSolomon;
+/// use xed_ecc::rs::{ReedSolomon, RsScratch};
 /// use xed_ecc::gf::Field;
 ///
 /// // The Chipkill geometry: 18 chips = 16 data + 2 check symbols.
 /// let rs = ReedSolomon::new(Field::gf256(), 18, 16);
 /// let data: Vec<u8> = (0..16).collect();
-/// let cw = rs.encode(&data);
-/// let mut rx = cw.clone();
+/// let mut cw = [0u8; 18];
+/// rs.encode_into(&data, &mut cw);
+/// let mut rx = cw;
 /// rx[3] ^= 0xFF; // one chip returns garbage
-/// let out = rs.decode(&rx, &[]).unwrap();
+/// let mut scratch = RsScratch::new();
+/// let out = rs.decode_with(&rx, &[], &mut scratch).unwrap();
 /// assert_eq!(out.data(16), &data[..]);
-/// assert_eq!(out.corrected, vec![3]);
+/// assert_eq!(out.corrected, &[3]);
 /// ```
 #[derive(Debug, Clone)]
 pub struct ReedSolomon {
     field: Field,
     n: usize,
     k: usize,
-    /// Generator polynomial, ascending coefficients, degree `nsym`.
-    generator: Vec<u8>,
+    /// Generator polynomial, ascending coefficients; `generator[..=nsym]`
+    /// is the live prefix (degree `nsym`).
+    generator: [u8; MAX_NSYM + 1],
+    /// `true` when the field is the standard GF(256): multiplications then
+    /// go through the flat compile-time [`GF256_MUL`] table (one load, no
+    /// zero branch) instead of the log/antilog walk.
+    fast256: bool,
+    /// `synd_const[j][i] = α^(j·(n−1−i))`: the weight of received symbol
+    /// `i` in syndrome `S_j`. Lets the syndrome be computed as an XOR fold
+    /// of independent products — the products pipeline, instead of
+    /// serializing through a Horner dependency chain.
+    synd_const: [[u8; MAX_N]; MAX_NSYM],
+    /// X_i = α^(n−1−i) per codeword position (erasure and Forney locators).
+    x_pow: [u8; MAX_N],
+    /// X_i⁻¹ per codeword position (Chien-search evaluation points).
+    x_inv_pow: [u8; MAX_N],
+}
+
+/// Reusable scratch buffers for [`ReedSolomon::decode_with`].
+///
+/// Every intermediate of the decode pipeline — syndromes, erasure locator Γ,
+/// Forney syndromes, the Berlekamp–Massey σ/work polynomials, the errata
+/// locator Ψ, and the corrected codeword itself — lives in these fixed
+/// arrays, sized at compile time for the largest code in the repo
+/// ([`MAX_N`]/[`MAX_NSYM`]). One scratch decodes any number of words; the
+/// controllers hold one per instance and decode whole cache lines without
+/// touching the heap.
+#[derive(Debug, Clone)]
+pub struct RsScratch {
+    /// Syndromes S_j = r(α^j).
+    synd: [u8; MAX_NSYM],
+    /// Erasure locator Γ, ascending coefficients.
+    gamma: [u8; MAX_NSYM + 1],
+    /// Forney (erasure-adjusted) syndromes.
+    forney: [u8; MAX_NSYM],
+    /// Berlekamp–Massey σ.
+    sigma: [u8; POLY_CAP],
+    /// Berlekamp–Massey previous-σ copy (B polynomial).
+    prev: [u8; POLY_CAP],
+    /// Berlekamp–Massey swap buffer.
+    tmp: [u8; POLY_CAP],
+    /// Errata locator Ψ = σ·Γ.
+    psi: [u8; POLY_CAP],
+    /// The corrected codeword (borrowed by [`DecodedRef`]).
+    codeword: [u8; MAX_N],
+    /// Corrected symbol indices (borrowed by [`DecodedRef`]).
+    corrected: [usize; MAX_NSYM],
+}
+
+impl RsScratch {
+    /// A zeroed scratch, ready for any code with `n ≤ MAX_N`.
+    pub fn new() -> Self {
+        Self {
+            synd: [0; MAX_NSYM],
+            gamma: [0; MAX_NSYM + 1],
+            forney: [0; MAX_NSYM],
+            sigma: [0; POLY_CAP],
+            prev: [0; POLY_CAP],
+            tmp: [0; POLY_CAP],
+            psi: [0; POLY_CAP],
+            codeword: [0; MAX_N],
+            corrected: [0; MAX_NSYM],
+        }
+    }
+}
+
+impl Default for RsScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Outcome of a successful [`ReedSolomon::decode_with`], borrowing the
+/// corrected codeword from the caller's [`RsScratch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedRef<'a> {
+    /// The corrected full codeword (data symbols followed by check symbols).
+    pub codeword: &'a [u8],
+    /// Indices of the symbols that were corrected (sorted ascending).
+    pub corrected: &'a [usize],
+}
+
+impl DecodedRef<'_> {
+    /// The corrected data symbols (first *k* symbols of the codeword).
+    pub fn data(&self, k: usize) -> &[u8] {
+        &self.codeword[..k]
+    }
 }
 
 impl ReedSolomon {
@@ -170,7 +280,8 @@ impl ReedSolomon {
     ///
     /// # Panics
     ///
-    /// Panics unless `0 < k < n ≤ 2^m − 1`.
+    /// Panics unless `0 < k < n ≤ 2^m − 1`, `n ≤ MAX_N`, and
+    /// `n − k ≤ MAX_NSYM`.
     pub fn new(field: Field, n: usize, k: usize) -> Self {
         assert!(k > 0 && k < n, "need 0 < k < n (got n={n}, k={k})");
         assert!(
@@ -179,26 +290,86 @@ impl ReedSolomon {
             field.order()
         );
         let nsym = n - k;
+        assert!(
+            n <= MAX_N && nsym <= MAX_NSYM,
+            "RS({n},{k}) exceeds the fixed decoder capacity (MAX_N={MAX_N}, MAX_NSYM={MAX_NSYM})"
+        );
         // g(x) = Π_{j=0..nsym-1} (x + α^j), ascending coefficients. The two
         // paper configurations (Chipkill nsym=2, Double-Chipkill nsym=4 over
         // GF(256)) use the compile-time generators proved correct above.
-        let generator = if field.poly() == 0x11D && nsym == 2 {
-            GEN_2.to_vec()
+        let mut generator = [0u8; MAX_NSYM + 1];
+        if field.poly() == 0x11D && nsym == 2 {
+            generator[..3].copy_from_slice(&GEN_2);
         } else if field.poly() == 0x11D && nsym == 4 {
-            GEN_4.to_vec()
+            generator.copy_from_slice(&GEN_4);
         } else {
-            let mut g = vec![1u8];
+            generator[0] = 1;
             for j in 0..nsym {
-                g = field.poly_mul(&g, &[field.alpha_pow(j), 1]);
+                // Multiply by (root + x), in place from the top so each
+                // coefficient is read before it is overwritten:
+                // g[i] ← root·g[i] + g[i−1].
+                let root = field.alpha_pow(j);
+                let mut i = j + 1;
+                loop {
+                    let low = if i > 0 { generator[i - 1] } else { 0 };
+                    generator[i] = field.mul(generator[i], root) ^ low;
+                    if i == 0 {
+                        break;
+                    }
+                    i -= 1;
+                }
             }
-            g
-        };
+        }
+        // Position/root power tables: computing α^j once per code instead
+        // of once per decoded word removes the `% order` and bounds walk
+        // from the Chien/Forney inner loops.
+        let fast256 = field.m() == 8 && field.poly() == 0x11D;
+        let mut synd_const = [[0u8; MAX_N]; MAX_NSYM];
+        for (j, row) in synd_const.iter_mut().enumerate().take(nsym) {
+            for (i, w) in row.iter_mut().enumerate().take(n) {
+                *w = field.alpha_pow(j * (n - 1 - i));
+            }
+        }
+        let mut x_pow = [0u8; MAX_N];
+        let mut x_inv_pow = [0u8; MAX_N];
+        for i in 0..n {
+            x_pow[i] = field.alpha_pow(n - 1 - i);
+            x_inv_pow[i] = field.alpha_pow(field.order() - ((n - 1 - i) % field.order()));
+        }
         Self {
             field,
             n,
             k,
             generator,
+            fast256,
+            synd_const,
+            x_pow,
+            x_inv_pow,
         }
+    }
+
+    /// Field multiplication on the decode hot path: a single flat-table
+    /// load for GF(256), the generic log/antilog product otherwise.
+    /// Entry-for-entry identical to [`Field::mul`] (proved by `gf`'s
+    /// compile-time assertions and exhaustive unit test).
+    #[inline(always)]
+    fn fmul(&self, a: u8, b: u8) -> u8 {
+        if self.fast256 {
+            GF256_MUL[a as usize][b as usize]
+        } else {
+            self.field.mul(a, b)
+        }
+    }
+
+    /// Horner evaluation of an ascending-coefficient polynomial through
+    /// [`ReedSolomon::fmul`].
+    #[inline]
+    fn poly_eval_fast(&self, poly: &[u8], x: u8) -> u8 {
+        let mut acc = 0u8;
+        for &c in poly.iter().rev() {
+            acc = self.fmul(acc, x) ^ c;
+        }
+        acc
     }
 
     /// Total codeword length in symbols.
@@ -221,70 +392,89 @@ impl ReedSolomon {
         &self.field
     }
 
-    /// Encodes `data` (length `k`) into a systematic codeword of length `n`.
+    /// Generator polynomial (ascending coefficients, degree `nsym`).
+    pub(crate) fn generator(&self) -> &[u8] {
+        &self.generator[..=self.nsym()]
+    }
+
+    /// Encodes `data` (length `k`) into `out` (length `n`) without
+    /// allocating.
     ///
     /// # Panics
     ///
-    /// Panics if `data.len() != k` or a symbol exceeds the field size.
-    pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+    /// Panics if `data.len() != k`, `out.len() != n`, or a symbol exceeds
+    /// the field size.
+    pub fn encode_into(&self, data: &[u8], out: &mut [u8]) {
         assert_eq!(data.len(), self.k, "expected {} data symbols", self.k);
+        assert_eq!(out.len(), self.n, "expected {} codeword symbols", self.n);
         let max = (self.field.size() - 1) as u8;
         assert!(data.iter().all(|&s| s <= max), "symbol exceeds field size");
         let nsym = self.nsym();
         // Synthetic division of data(x)·x^nsym by g(x); codeword index i
         // corresponds to the coefficient of x^(n-1-i).
-        let mut out = vec![0u8; self.n];
         out[..self.k].copy_from_slice(data);
+        out[self.k..].fill(0);
         for i in 0..self.k {
             let coef = out[i];
             if coef != 0 {
                 for j in 1..=nsym {
                     // generator is ascending; g[nsym] = 1 is the lead term.
-                    out[i + j] ^= self.field.mul(self.generator[nsym - j], coef);
+                    out[i + j] ^= self.fmul(self.generator[nsym - j], coef);
                 }
             }
         }
-        // The division clobbered the data prefix's trailing part? No: it only
-        // touches positions > i, and we re-copy data to be explicit.
+        // The division clobbered part of the data prefix; restore it.
         out[..self.k].copy_from_slice(data);
-        out
     }
 
-    /// Evaluates the received word (codeword index i ↔ coefficient of
-    /// x^(n-1-i)) at `x`.
-    fn eval_received(&self, received: &[u8], x: u8) -> u8 {
+    /// Syndrome `S_j = r(α^j) = Σ_i r[i]·α^(j·(n−1−i))`, computed as an XOR
+    /// fold of independent [`GF256_MUL`]-table products against the
+    /// precomputed position weights. Evaluates the same field element as
+    /// the Horner walk the reference pipeline uses (`Σ` reassociated — GF
+    /// addition is XOR, so the result is bit-identical), but the products
+    /// carry no loop-carried dependency and pipeline freely. `S_0` is the
+    /// plain XOR of all symbols (every weight is α^0 = 1).
+    #[inline]
+    fn syndrome_j(&self, received: &[u8], j: usize) -> u8 {
+        if j == 0 {
+            return received.iter().fold(0u8, |acc, &c| acc ^ c);
+        }
+        let weights = &self.synd_const[j][..received.len()];
         let mut acc = 0u8;
-        for &c in received {
-            acc = self.field.mul(acc, x) ^ c;
+        for (&c, &w) in received.iter().zip(weights) {
+            acc ^= self.fmul(c, w);
         }
         acc
     }
 
-    /// Computes the `nsym` syndromes `S_j = r(α^j)`.
-    pub fn syndromes(&self, received: &[u8]) -> Vec<u8> {
-        (0..self.nsym())
-            .map(|j| self.eval_received(received, self.field.alpha_pow(j)))
-            .collect()
-    }
-
     /// `true` if `received` is a valid codeword.
     pub fn is_valid(&self, received: &[u8]) -> bool {
-        self.syndromes(received).iter().all(|&s| s == 0)
+        (0..self.nsym()).all(|j| self.syndrome_j(received, j) == 0)
     }
 
-    /// Decodes a received word, correcting up to `nsym` erased symbols (at
-    /// the given indices) and unknown errors, provided
-    /// `2·errors + erasures ≤ nsym`.
+    /// Decodes a received word into caller-owned scratch, correcting up to
+    /// `nsym` erased symbols (at the given indices) and unknown errors,
+    /// provided `2·errors + erasures ≤ nsym`. Allocation-free: the result
+    /// borrows the corrected codeword from `scratch`.
+    ///
+    /// Bit-identical to the reference pipeline ([`ReedSolomon::decode`]);
+    /// the equivalence is asserted exhaustively by `tests/`.
     ///
     /// # Errors
     ///
     /// Returns [`RsError::Detected`] when the corruption exceeds the code's
-    /// capability (including decoder-detected inconsistencies).
+    /// capability (including decoder-detected inconsistencies and degenerate
+    /// field divisions — this path never panics on received data).
     ///
     /// # Panics
     ///
     /// Panics if `received.len() != n` or an erasure index is out of range.
-    pub fn decode(&self, received: &[u8], erasures: &[usize]) -> Result<Decoded, RsError> {
+    pub fn decode_with<'s>(
+        &self,
+        received: &[u8],
+        erasures: &[usize],
+        scratch: &'s mut RsScratch,
+    ) -> Result<DecodedRef<'s>, RsError> {
         assert_eq!(received.len(), self.n, "expected {} symbols", self.n);
         for &e in erasures {
             assert!(e < self.n, "erasure index {e} out of range");
@@ -293,138 +483,231 @@ impl ReedSolomon {
         if erasures.len() > nsym {
             return Err(RsError::Detected);
         }
+        let f = &self.field;
+        let s = scratch;
 
-        let synd = self.syndromes(received);
-        if synd.iter().all(|&s| s == 0) {
-            return Ok(Decoded {
-                codeword: received.to_vec(),
-                corrected: Vec::new(),
+        // Syndromes S_j = r(α^j); all-zero ⟺ already a valid codeword.
+        let mut any = 0u8;
+        for j in 0..nsym {
+            let v = self.syndrome_j(received, j);
+            s.synd[j] = v;
+            any |= v;
+        }
+        s.codeword[..self.n].copy_from_slice(received);
+        if any == 0 {
+            return Ok(DecodedRef {
+                codeword: &s.codeword[..self.n],
+                corrected: &s.corrected[..0],
             });
         }
 
-        let f = &self.field;
-        // Erasure locator Γ(x) = Π (1 + X_i·x), X_i = α^(n-1-index).
-        let mut gamma = vec![1u8];
+        // Erasure locator Γ(x) = Π (1 + X_i·x), X_i = α^(n-1-index), built
+        // in place: g[i] ← g[i] + X·g[i−1], top-down.
+        let e = erasures.len();
+        s.gamma.fill(0);
+        s.gamma[0] = 1;
+        let mut gamma_len = 1usize;
         for &idx in erasures {
-            let x = f.alpha_pow(self.n - 1 - idx);
-            gamma = f.poly_mul(&gamma, &[1, x]);
+            let x = self.x_pow[idx];
+            let mut i = gamma_len;
+            while i >= 1 {
+                s.gamma[i] ^= self.fmul(x, s.gamma[i - 1]);
+                i -= 1;
+            }
+            gamma_len += 1;
         }
 
         // Forney syndromes: coefficients e..nsym-1 of Γ(x)·S(x).
-        let e = erasures.len();
-        let prod = f.poly_mul(&gamma, &synd);
-        let forney: Vec<u8> = (e..nsym)
-            .map(|i| prod.get(i).copied().unwrap_or(0))
-            .collect();
+        for i in e..nsym {
+            let mut v = 0u8;
+            for (g, &gc) in s.gamma[..gamma_len].iter().enumerate() {
+                if g <= i && i - g < nsym {
+                    v ^= self.fmul(gc, s.synd[i - g]);
+                }
+            }
+            s.forney[i - e] = v;
+        }
+        let forney_len = nsym - e;
 
         // Berlekamp–Massey on the Forney syndromes finds the error locator σ.
-        let sigma = berlekamp_massey(f, &forney);
-        let errors = sigma.len() - 1;
+        let sigma_len = self
+            .berlekamp_massey_into(
+                &s.forney[..forney_len],
+                &mut s.sigma,
+                &mut s.prev,
+                &mut s.tmp,
+            )
+            .ok_or(RsError::Detected)?;
+        let errors = sigma_len - 1;
         if 2 * errors + e > nsym {
             return Err(RsError::Detected);
         }
 
-        // Errata locator Ψ = σ·Γ; Chien search for its roots.
-        let psi = f.poly_mul(&sigma, &gamma);
-        let mut positions = Vec::new();
-        for i in 0..self.n {
-            let x_inv = f.alpha_pow(f.order() - ((self.n - 1 - i) % f.order()));
-            if f.poly_eval(&psi, x_inv) == 0 {
-                positions.push(i);
+        // Errata locator Ψ = σ·Γ (degree errors + e ≤ nsym after the check
+        // above; Ψ(0) = σ(0)·Γ(0) = 1, so Ψ ≠ 0 and has ≤ deg Ψ roots).
+        let psi_len = sigma_len + gamma_len - 1;
+        s.psi[..psi_len].fill(0);
+        for i in 0..sigma_len {
+            let si = s.sigma[i];
+            if si == 0 {
+                continue;
+            }
+            for j in 0..gamma_len {
+                s.psi[i + j] ^= self.fmul(si, s.gamma[j]);
             }
         }
-        if positions.len() != psi.len() - 1 {
+
+        // Chien search for Ψ's roots among the codeword positions. Ψ is
+        // tiny (degree ≤ nsym), so the common degrees get straight-line
+        // evaluations instead of a slice-Horner loop.
+        let mut positions = [0usize; MAX_NSYM];
+        let mut npos = 0usize;
+        for i in 0..self.n {
+            let x_inv = self.x_inv_pow[i];
+            let v = match psi_len {
+                2 => s.psi[0] ^ self.fmul(s.psi[1], x_inv),
+                3 => s.psi[0] ^ self.fmul(s.psi[1] ^ self.fmul(s.psi[2], x_inv), x_inv),
+                _ => self.poly_eval_fast(&s.psi[..psi_len], x_inv),
+            };
+            if v == 0 {
+                if npos == MAX_NSYM {
+                    return Err(RsError::Detected);
+                }
+                positions[npos] = i;
+                npos += 1;
+            }
+        }
+        if npos != psi_len - 1 {
             return Err(RsError::Detected);
         }
 
         // Error evaluator Ω = (S·Ψ) mod x^nsym.
-        let mut omega = f.poly_mul(&synd, &psi);
-        omega.truncate(nsym);
-
-        // Formal derivative Ψ'(x): over GF(2^m) only odd-degree terms survive.
-        let mut psi_prime = vec![0u8; psi.len().saturating_sub(1)];
-        for (i, slot) in psi_prime.iter_mut().enumerate() {
-            if i % 2 == 0 {
-                *slot = psi[i + 1];
+        let mut omega = [0u8; MAX_NSYM];
+        for (i, slot) in omega.iter_mut().enumerate().take(nsym) {
+            let mut v = 0u8;
+            let j_lo = (i + 1).saturating_sub(psi_len);
+            for j in j_lo..=i.min(nsym - 1) {
+                v ^= self.fmul(s.synd[j], s.psi[i - j]);
             }
+            *slot = v;
         }
 
-        // Forney magnitudes: e_k = X_k · Ω(X_k⁻¹) / Ψ'(X_k⁻¹).
-        let mut corrected_word = received.to_vec();
-        for &i in &positions {
-            let xk = f.alpha_pow(self.n - 1 - i);
-            let xk_inv = f.inv(xk);
-            let denom = f.poly_eval(&psi_prime, xk_inv);
-            if denom == 0 {
-                return Err(RsError::Detected);
-            }
-            let num = f.mul(xk, f.poly_eval(&omega, xk_inv));
-            corrected_word[i] ^= f.div(num, denom);
+        // Formal derivative Ψ'(x): over GF(2^m) only odd-degree terms
+        // survive.
+        let mut psi_prime = [0u8; POLY_CAP];
+        let pp_len = psi_len - 1;
+        let mut i = 0usize;
+        while i < pp_len {
+            psi_prime[i] = s.psi[i + 1];
+            i += 2;
         }
 
-        // Verify: the corrected word must be a valid codeword.
-        if !self.is_valid(&corrected_word) {
+        // Forney magnitudes: e_k = X_k · Ω(X_k⁻¹) / Ψ'(X_k⁻¹). Degenerate
+        // divisions surface as Detected instead of panicking.
+        let mut mags = [0u8; MAX_NSYM];
+        for (p, &i) in positions[..npos].iter().enumerate() {
+            let xk = self.x_pow[i];
+            let xk_inv = f.try_inv(xk).ok_or(RsError::Detected)?;
+            let denom = self.poly_eval_fast(&psi_prime[..pp_len], xk_inv);
+            let num = self.fmul(xk, self.poly_eval_fast(&omega[..nsym], xk_inv));
+            let mag = f.try_div(num, denom).ok_or(RsError::Detected)?;
+            mags[p] = mag;
+            s.codeword[i] ^= mag;
+        }
+
+        // Verify: the corrected word must be a valid codeword. By syndrome
+        // linearity, S_j(corrected) = S_j(received) ^ S_j(error pattern) =
+        // S_j ^ Σ_k mag_k·α^(j·(n−1−pos_k)) — the same field elements the
+        // reference computes by re-walking the whole corrected word, at
+        // npos·nsym products instead of n·nsym.
+        let mut residual = 0u8;
+        for j in 0..nsym {
+            let mut v = s.synd[j];
+            for (p, &i) in positions[..npos].iter().enumerate() {
+                v ^= self.fmul(mags[p], self.synd_const[j][i]);
+            }
+            residual |= v;
+        }
+        if residual != 0 {
             return Err(RsError::Detected);
         }
         // Report only positions whose value actually changed (an erasure may
         // have held the correct value by luck).
-        let corrected: Vec<usize> = positions
-            .into_iter()
-            .filter(|&i| corrected_word[i] != received[i])
-            .collect();
-        Ok(Decoded {
-            codeword: corrected_word,
-            corrected,
+        let mut ncorr = 0usize;
+        for &i in &positions[..npos] {
+            if s.codeword[i] != received[i] {
+                s.corrected[ncorr] = i;
+                ncorr += 1;
+            }
+        }
+        Ok(DecodedRef {
+            codeword: &s.codeword[..self.n],
+            corrected: &s.corrected[..ncorr],
         })
     }
-}
 
-/// Berlekamp–Massey: smallest LFSR (as locator polynomial σ, ascending,
-/// σ(0)=1) generating the syndrome sequence.
-fn berlekamp_massey(f: &Field, synd: &[u8]) -> Vec<u8> {
-    let mut sigma = vec![1u8];
-    let mut prev = vec![1u8];
-    let mut l = 0usize;
-    let mut m = 1usize;
-    let mut b = 1u8;
-    for n in 0..synd.len() {
-        let mut delta = synd[n];
-        for i in 1..=l.min(sigma.len() - 1) {
-            delta ^= f.mul(sigma[i], synd[n - i]);
+    /// Allocation-free Berlekamp–Massey: smallest LFSR (as locator
+    /// polynomial σ, ascending, σ(0)=1) generating the syndrome sequence.
+    /// Writes σ into `sigma` and returns its trimmed length; `prev` and
+    /// `tmp` are work buffers. Returns `None` on a degenerate division
+    /// (never for in-capability words; the caller maps it to
+    /// [`RsError::Detected`]).
+    fn berlekamp_massey_into(
+        &self,
+        synd: &[u8],
+        sigma: &mut [u8; POLY_CAP],
+        prev: &mut [u8; POLY_CAP],
+        tmp: &mut [u8; POLY_CAP],
+    ) -> Option<usize> {
+        let f = &self.field;
+        sigma.fill(0);
+        prev.fill(0);
+        sigma[0] = 1;
+        prev[0] = 1;
+        let mut sigma_len = 1usize;
+        let mut prev_len = 1usize;
+        let mut l = 0usize;
+        let mut m = 1usize;
+        let mut b = 1u8;
+        for n in 0..synd.len() {
+            let mut delta = synd[n];
+            for i in 1..=l.min(sigma_len - 1) {
+                delta ^= self.fmul(sigma[i], synd[n - i]);
+            }
+            if delta == 0 {
+                m += 1;
+                continue;
+            }
+            let coef = f.try_div(delta, b)?;
+            // σ ← σ + coef·x^m·prev (lengths stay ≤ n + 2 ≤ POLY_CAP).
+            let new_len = sigma_len.max(prev_len + m);
+            debug_assert!(new_len <= POLY_CAP);
+            if 2 * l <= n {
+                tmp[..sigma_len].copy_from_slice(&sigma[..sigma_len]);
+                let tmp_len = sigma_len;
+                for i in 0..prev_len {
+                    sigma[i + m] ^= self.fmul(coef, prev[i]);
+                }
+                sigma_len = new_len;
+                l = n + 1 - l;
+                prev[..tmp_len].copy_from_slice(&tmp[..tmp_len]);
+                prev_len = tmp_len;
+                b = delta;
+                m = 1;
+            } else {
+                for i in 0..prev_len {
+                    sigma[i + m] ^= self.fmul(coef, prev[i]);
+                }
+                sigma_len = new_len;
+                m += 1;
+            }
         }
-        if delta == 0 {
-            m += 1;
-        } else if 2 * l <= n {
-            let t = sigma.clone();
-            let coef = f.div(delta, b);
-            sigma = poly_sub_shifted(f, &sigma, &prev, coef, m);
-            l = n + 1 - l;
-            prev = t;
-            b = delta;
-            m = 1;
-        } else {
-            let coef = f.div(delta, b);
-            sigma = poly_sub_shifted(f, &sigma, &prev, coef, m);
-            m += 1;
+        // Trim trailing zeros so sigma_len - 1 == degree.
+        while sigma_len > 1 && sigma[sigma_len - 1] == 0 {
+            sigma_len -= 1;
         }
+        Some(sigma_len)
     }
-    // Trim trailing zeros so sigma.len()-1 == degree.
-    while sigma.len() > 1 && sigma[sigma.len() - 1] == 0 {
-        sigma.pop();
-    }
-    sigma
-}
-
-/// Returns `a(x) + coef·x^shift·b(x)` (subtraction == addition in GF(2^m)).
-fn poly_sub_shifted(f: &Field, a: &[u8], b: &[u8], coef: u8, shift: usize) -> Vec<u8> {
-    let mut out = a.to_vec();
-    if out.len() < b.len() + shift {
-        out.resize(b.len() + shift, 0);
-    }
-    for (i, &bi) in b.iter().enumerate() {
-        out[i + shift] ^= f.mul(coef, bi);
-    }
-    out
 }
 
 #[cfg(test)]

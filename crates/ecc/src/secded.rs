@@ -2,6 +2,42 @@
 
 use crate::codeword::CodeWord72;
 
+/// Beats (72-bit codewords) per 64-byte cache line: 8 × 64 data bits.
+pub const BEATS_PER_LINE: usize = 8;
+
+/// Outcome of decoding one cache line (8 beats) in a single batched call.
+///
+/// Per-beat outcomes are folded into two bitmasks so the common all-clean
+/// case is a pair of zero checks, with no per-beat allocation or enum
+/// matching for the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineOutcome {
+    /// Decoded data words, one per beat. Beats flagged in `bad_beats` hold
+    /// the *received* (uncorrectable) data and must not be consumed.
+    pub data: [u64; BEATS_PER_LINE],
+    /// Bitmask of beats that had a single-bit error corrected.
+    pub corrected_beats: u8,
+    /// Bitmask of beats with a detected-uncorrectable error.
+    pub bad_beats: u8,
+}
+
+impl LineOutcome {
+    /// `true` when any beat was uncorrectable (the line is a DUE).
+    pub fn is_due(self) -> bool {
+        self.bad_beats != 0
+    }
+
+    /// Number of corrected beats.
+    pub fn corrected_count(self) -> u32 {
+        self.corrected_beats.count_ones()
+    }
+
+    /// `true` when every beat decoded clean (no correction, no detection).
+    pub fn is_clean(self) -> bool {
+        self.corrected_beats == 0 && self.bad_beats == 0
+    }
+}
+
 /// Result of decoding a (possibly corrupted) 72-bit codeword.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DecodeOutcome {
@@ -74,6 +110,40 @@ pub trait SecDed {
     /// correction by the on-die ECC triggers catch-word transmission.
     fn detects_event(&self, received: CodeWord72) -> bool {
         self.decode(received).is_event()
+    }
+
+    /// Encodes a whole cache line (8 data words) into 8 codewords.
+    fn encode_line(&self, data: &[u64; BEATS_PER_LINE]) -> [CodeWord72; BEATS_PER_LINE] {
+        let mut out = [CodeWord72::default(); BEATS_PER_LINE];
+        for (w, &d) in out.iter_mut().zip(data) {
+            *w = self.encode(d);
+        }
+        out
+    }
+
+    /// Decodes a whole cache line (8 received beats) in one batched call,
+    /// folding per-beat outcomes into [`LineOutcome`] bitmasks. This is the
+    /// API the memory-controller models consume on their access path.
+    fn decode_line(&self, beats: &[CodeWord72; BEATS_PER_LINE]) -> LineOutcome {
+        let mut out = LineOutcome {
+            data: [0u64; BEATS_PER_LINE],
+            corrected_beats: 0,
+            bad_beats: 0,
+        };
+        for (i, &w) in beats.iter().enumerate() {
+            match self.decode(w) {
+                DecodeOutcome::Clean { data } => out.data[i] = data,
+                DecodeOutcome::Corrected { data, .. } => {
+                    out.data[i] = data;
+                    out.corrected_beats |= 1 << i;
+                }
+                DecodeOutcome::Detected => {
+                    out.data[i] = w.data();
+                    out.bad_beats |= 1 << i;
+                }
+            }
+        }
+        out
     }
 }
 
@@ -155,5 +225,29 @@ mod tests {
         assert!(!DecodeOutcome::Clean { data: 0 }.is_event());
         assert!(DecodeOutcome::Corrected { data: 0, bit: 0 }.is_event());
         assert!(DecodeOutcome::Detected.is_event());
+    }
+
+    #[test]
+    fn line_roundtrip_and_masks() {
+        let code = crate::crc8::Crc8Atm::new();
+        let data: [u64; BEATS_PER_LINE] = [0, u64::MAX, 1, 2, 3, 0xDEAD_BEEF, 42, 7];
+        let mut beats = code.encode_line(&data);
+        let clean = code.decode_line(&beats);
+        assert!(clean.is_clean());
+        assert!(!clean.is_due());
+        assert_eq!(clean.data, data);
+
+        // One corrected beat, one DUE beat.
+        beats[2] = beats[2].with_bit_flipped(17);
+        beats[5] = beats[5].with_bit_flipped(0).with_bit_flipped(1);
+        let out = code.decode_line(&beats);
+        assert_eq!(out.corrected_beats, 1 << 2);
+        assert_eq!(out.bad_beats, 1 << 5);
+        assert_eq!(out.corrected_count(), 1);
+        assert!(out.is_due());
+        assert_eq!(out.data[2], data[2]);
+        for i in [0usize, 1, 3, 4, 6, 7] {
+            assert_eq!(out.data[i], data[i]);
+        }
     }
 }

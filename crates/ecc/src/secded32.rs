@@ -15,6 +15,12 @@
 use crate::crc8::CRC_TABLE;
 use std::fmt;
 
+/// Returns the parity (XOR of all bits) of `x` as 0 or 1.
+#[inline]
+fn parity32(x: u32) -> u8 {
+    (x.count_ones() & 1) as u8
+}
+
 /// CRC8-ATM of a 32-bit word (const-evaluable; leading zero bytes keep the
 /// CRC state at zero, so this agrees with the 64-bit codec on zero-extended
 /// words).
@@ -28,6 +34,50 @@ pub(crate) const fn crc8_u32(data: u32) -> u8 {
     }
     crc
 }
+
+/// Per-syndrome-bit data masks for the 32-bit regime: `SYNDROME_MASKS[b]`
+/// has u32 bit `j` set iff `crc8(1 << j)` has bit `b` set (see
+/// [`crate::crc8`] for the 64-bit analogue and the linearity argument).
+const SYNDROME_MASKS: [u32; 8] = build_syndrome_masks();
+
+const fn build_syndrome_masks() -> [u32; 8] {
+    let mut masks = [0u32; 8];
+    let mut j = 0u32;
+    while j < 32 {
+        let s = crc8_u32(1u32 << j);
+        let mut b = 0usize;
+        while b < 8 {
+            if (s >> b) & 1 == 1 {
+                masks[b] |= 1u32 << j;
+            }
+            b += 1;
+        }
+        j += 1;
+    }
+    masks
+}
+
+// Linearity reduces mask-kernel correctness to the 32 basis vectors; checked
+// at compile time against the byte-table CRC.
+const _: () = {
+    let mut j = 0u32;
+    while j < 32 {
+        let w = 1u32 << j;
+        let mut s = 0u8;
+        let mut b = 0usize;
+        while b < 8 {
+            if (w & SYNDROME_MASKS[b]).count_ones() & 1 == 1 {
+                s |= 1 << b;
+            }
+            b += 1;
+        }
+        assert!(
+            s == crc8_u32(w),
+            "CRC/40 syndrome mask column disagrees with the byte-table CRC"
+        );
+        j += 1;
+    }
+};
 
 /// Syndrome of the single-bit error at physical position `i` of a (40,32)
 /// codeword.
@@ -230,8 +280,17 @@ impl Crc8Atm32 {
     }
 
     /// The 8-bit syndrome (zero ⟺ valid).
+    ///
+    /// Word-parallel: eight AND+popcount dot products against
+    /// `SYNDROME_MASKS` (the bit-serial original lives in
+    /// [`crate::reference`]).
     pub fn raw_syndrome(&self, received: CodeWord40) -> u8 {
-        self.crc8(received.data()) ^ received.check()
+        let d = received.data();
+        let mut s = received.check();
+        for (b, &mask) in SYNDROME_MASKS.iter().enumerate() {
+            s ^= parity32(d & mask) << b;
+        }
+        s
     }
 
     /// `true` if the received word is a valid codeword.
@@ -314,6 +373,20 @@ mod tests {
                 let r = (0..len).fold(w, |acc, k| acc.with_bit_flipped(start + k));
                 assert!(!c.is_valid(r), "burst {len} at {start}");
             }
+        }
+    }
+
+    #[test]
+    fn mask_syndrome_matches_table_crc() {
+        let c = Crc8Atm32::new();
+        for (d, ch) in [
+            (0u32, 0u8),
+            (u32::MAX, 0xFF),
+            (0xDEAD_BEEF, 0x5A),
+            (0x8000_0001, 1),
+        ] {
+            let w = CodeWord40::new(d, ch);
+            assert_eq!(c.raw_syndrome(w), c.crc8(d) ^ ch);
         }
     }
 

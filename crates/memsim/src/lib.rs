@@ -20,6 +20,9 @@
 //! * [`overlay`] — reliability-scheme overlays: rank ganging (Chipkill,
 //!   Double-Chipkill), burst extension and extra transactions (Figure 13),
 //!   LOT-ECC write amplification (Figure 14), XED serial-mode reads;
+//! * [`eccpath`] — an optional *functional* ECC stage that runs every
+//!   completed demand read through the batched (72,64) CRC8-ATM line
+//!   decoder;
 //! * [`sim`] — the top-level driver and results.
 //!
 //! # Example
@@ -43,6 +46,7 @@
 pub mod addrmap;
 pub mod cpu;
 pub mod dram;
+pub mod eccpath;
 pub mod overlay;
 pub mod power;
 pub mod scheduler;

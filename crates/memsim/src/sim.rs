@@ -3,6 +3,7 @@
 use crate::addrmap::Topology;
 use crate::cpu::Core;
 use crate::dram::RankStats;
+use crate::eccpath::{EccDatapath, EccPathStats};
 use crate::overlay::ReliabilityScheme;
 use crate::power::{memory_power, ChipPower, PowerBreakdown, PowerInputs};
 use crate::scheduler::{MemController, SchedConfig};
@@ -34,6 +35,10 @@ pub struct SimConfig {
     /// Replay this captured trace on every core (rate mode, staggered
     /// start offsets) instead of the synthetic `workload` generator.
     pub file_trace: Option<FileTrace>,
+    /// Run every completed demand read through the functional (72,64)
+    /// CRC8-ATM line decoder ([`crate::eccpath`]). Off by default: it does
+    /// not affect timing, only the `ecc` counters of [`SimResult`].
+    pub functional_ecc: bool,
 }
 
 impl Default for SimConfig {
@@ -48,6 +53,7 @@ impl Default for SimConfig {
             sched: SchedConfig::default(),
             max_cycles: 2_000_000_000,
             file_trace: None,
+            functional_ecc: false,
         }
     }
 }
@@ -83,6 +89,9 @@ pub struct SimResult {
     pub queue_stall_cycles: u64,
     /// Power breakdown.
     pub power: PowerBreakdown,
+    /// Functional ECC decode-path counters (all zero unless
+    /// [`SimConfig::functional_ecc`] is set).
+    pub ecc: EccPathStats,
 }
 
 impl SimResult {
@@ -152,9 +161,11 @@ impl Simulation {
             })
             .collect();
 
-        // Request-id bookkeeping: demand reads map back to (core, instr).
+        // Request-id bookkeeping: demand reads map back to
+        // (core, instr, line address).
         let mut next_id: u64 = 1;
-        let mut read_owner: HashMap<u64, (usize, u64)> = HashMap::new();
+        let mut read_owner: HashMap<u64, (usize, u64, u64)> = HashMap::new();
+        let mut eccpath = cfg.functional_ecc.then(EccDatapath::new);
         // Overlay-injected traffic waiting for queue space.
         let mut extra_reads: VecDeque<u64> = VecDeque::new();
         let mut extra_writes: VecDeque<u64> = VecDeque::new();
@@ -164,9 +175,12 @@ impl Simulation {
 
         let mut now: u64 = 0;
         loop {
-            // Completions → cores.
+            // Completions → cores (after the optional functional decode).
             for id in controller.tick(now) {
-                if let Some((core, instr)) = read_owner.remove(&id) {
+                if let Some((core, instr, line_addr)) = read_owner.remove(&id) {
+                    if let Some(path) = eccpath.as_mut() {
+                        let _ = path.read_line(line_addr);
+                    }
                     cores[core].complete_read(instr);
                 }
             }
@@ -211,7 +225,7 @@ impl Simulation {
                             extra_writes.push_back(req.line_addr);
                         }
                     } else {
-                        read_owner.insert(id, (ci, req.instr_no));
+                        read_owner.insert(id, (ci, req.instr_no, req.line_addr));
                         reads_seen += 1;
                         read_accum += scheme.extra_reads_per_read;
                         while read_accum >= 1.0 {
@@ -313,6 +327,7 @@ impl Simulation {
             rob_stall_cycles,
             queue_stall_cycles,
             power,
+            ecc: eccpath.map(|p| p.stats()).unwrap_or_default(),
         }
     }
 }
@@ -399,6 +414,30 @@ mod tests {
         let lot = quick("comm2", ReliabilityScheme::lot_ecc(), 30_000);
         assert!(lot.writes > base.writes);
         assert!(lot.cycles >= base.cycles);
+    }
+
+    #[test]
+    fn functional_ecc_decodes_every_demand_read() {
+        let run = || {
+            Simulation::new(SimConfig {
+                workload: Workload::by_name("comm1").unwrap(),
+                instructions_per_core: 30_000,
+                functional_ecc: true,
+                ..SimConfig::default()
+            })
+            .run()
+        };
+        let r = run();
+        assert!(r.ecc.lines_decoded > 0);
+        // Every *processed* demand-read completion is decoded; reads still
+        // in flight when the last core retires never reach the datapath.
+        assert!(r.ecc.lines_decoded <= r.reads);
+        assert!(r.reads - r.ecc.lines_decoded < 16);
+        // Deterministic, including the injected-error counters.
+        assert_eq!(r, run());
+        // Off by default: the counters stay zero.
+        let base = quick("comm1", ReliabilityScheme::baseline_secded(), 30_000);
+        assert_eq!(base.ecc, crate::eccpath::EccPathStats::default());
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! | XL006 | warning  | iteration over a `HashMap`/`HashSet` (unstable order)  |
 //! | XL007 | error    | `FitRates::table_i()` drifts from paper Table I        |
 //! | XL008 | error    | catch-word / geometry constants drift from paper §IV-V |
+//! | XL009 | error    | heap allocation (`Vec::`, `vec![`, `.to_vec()`) in a   |
+//! |       |          | designated allocation-free ECC hot module              |
 //!
 //! Waivers: `// xed-lint: allow(XL004)` on the offending line or the line
 //! directly above suppresses that rule for that line. XL002 is satisfied by
@@ -105,6 +107,29 @@ fn json_string(s: &str) -> String {
 
 /// The library crates the source rules scan.
 pub const LIBRARY_CRATES: [&str; 4] = ["ecc", "faultsim", "core", "memsim"];
+
+/// Designated allocation-free hot modules of `crates/ecc` (rule XL009).
+/// These hold the word-parallel decode kernels the simulators call per
+/// memory access; heap traffic there is a performance regression by
+/// definition. `gf.rs` (table construction) and `reference.rs` (the
+/// designated home for the seed's `Vec`-returning pipeline) are exempt,
+/// as are doc comments and `#[cfg(test)]` modules everywhere.
+pub const ECC_HOT_MODULES: [&str; 8] = [
+    "crates/ecc/src/bits.rs",
+    "crates/ecc/src/codeword.rs",
+    "crates/ecc/src/crc8.rs",
+    "crates/ecc/src/hamming.rs",
+    "crates/ecc/src/parity.rs",
+    "crates/ecc/src/rs.rs",
+    "crates/ecc/src/secded.rs",
+    "crates/ecc/src/secded32.rs",
+];
+
+fn is_ecc_hot_module(rel_path: &str) -> bool {
+    ECC_HOT_MODULES
+        .iter()
+        .any(|m| rel_path == *m || rel_path.ends_with(m))
+}
 
 /// Scans the whole workspace rooted at `root`: every library-crate source
 /// file through the line rules. (Golden rules live in [`crate::golden`].)
@@ -239,6 +264,24 @@ pub fn scan_file(rel_path: &str, text: &str) -> Vec<Finding> {
                          derive from an explicit `seed_from_u64` seed"
                     ),
                 });
+            }
+        }
+
+        if is_ecc_hot_module(rel_path) {
+            for tok in ["Vec::", "vec![", ".to_vec()"] {
+                if trimmed.contains(tok) && !waived("XL009") {
+                    findings.push(Finding {
+                        file: rel_path.to_string(),
+                        line: line_no,
+                        rule: "XL009",
+                        severity: Severity::Error,
+                        message: format!(
+                            "heap allocation (`{tok}`) in an allocation-free ECC hot \
+                             module; use the fixed-capacity scratch/array APIs, or move \
+                             `Vec`-returning convenience code to `ecc/src/reference.rs`"
+                        ),
+                    });
+                }
             }
         }
 
@@ -459,6 +502,52 @@ mod tests {
         assert!(
             rules("struct S { table: HashMap<u64, u32> }\nlet v = table.get(&k);\n").is_empty()
         );
+    }
+
+    #[test]
+    fn heap_allocation_flagged_only_in_ecc_hot_modules() {
+        for tok in [
+            "let v = Vec::new();",
+            "let v = vec![0u8; 8];",
+            "let v = s.to_vec();",
+        ] {
+            let f = scan_file("crates/ecc/src/rs.rs", tok);
+            assert_eq!(f.len(), 1, "{tok}");
+            assert_eq!(f[0].rule, "XL009");
+            assert_eq!(f[0].severity, Severity::Error);
+        }
+        // Exempt homes: reference.rs, gf.rs, and the other library crates.
+        for file in [
+            "crates/ecc/src/reference.rs",
+            "crates/ecc/src/gf.rs",
+            "crates/ecc/src/chipkill.rs",
+            "crates/faultsim/src/schemes.rs",
+        ] {
+            assert!(scan_file(file, "let v = Vec::new();").is_empty(), "{file}");
+        }
+        // Fixed-size types and the `Vec<u8>` *type name* are fine.
+        assert!(scan_file("crates/ecc/src/rs.rs", "pub codeword: Vec<u8>,").is_empty());
+        assert!(scan_file("crates/ecc/src/rs.rs", "let buf = [0u8; MAX_N];").is_empty());
+        // Waiver, doc comment, and test-module exemptions still apply.
+        assert!(scan_file(
+            "crates/ecc/src/rs.rs",
+            "let v = Vec::new(); // xed-lint: allow(XL009)"
+        )
+        .is_empty());
+        assert!(scan_file("crates/ecc/src/rs.rs", "/// e.g. `x.to_vec()`").is_empty());
+        assert!(scan_file(
+            "crates/ecc/src/rs.rs",
+            "#[cfg(test)]\nmod tests {\n  fn f() { let v = vec![1]; }\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn hot_module_list_is_workspace_rooted() {
+        for m in ECC_HOT_MODULES {
+            assert!(m.starts_with("crates/ecc/src/"), "{m}");
+            assert!(m.ends_with(".rs"), "{m}");
+        }
     }
 
     #[test]

@@ -1,20 +1,30 @@
 #!/usr/bin/env bash
-# Monte-Carlo engine benchmark trajectory (DESIGN.md §9).
+# Benchmark trajectory (DESIGN.md §9, §10).
 #
-# Builds the workspace in release mode and runs the `mc_throughput`
-# harness, which measures per-scheme samples/sec, a thread-scaling curve
-# and a whole-suite run_all sweep, then writes BENCH_faultsim.json at the
-# repo root. Pass extra arguments through, e.g.:
+# Builds the workspace in release mode and runs both harnesses:
+#
+#   mc_throughput   Monte-Carlo engine — per-scheme samples/sec, thread
+#                   scaling, whole-suite run_all sweep; writes
+#                   BENCH_faultsim.json at the repo root.
+#   ecc_throughput  ECC kernel decode path — words/sec for the
+#                   word-parallel Hamming/CRC8/RS kernels vs the
+#                   bit-serial `reference` module; writes BENCH_ecc.json.
+#
+# Extra arguments are passed through to both, e.g.:
 #
 #   scripts/bench.sh --samples 4000000 --repeats 9
 #   scripts/bench.sh --smoke            # sub-second sanity pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -q -p xed-bench --bin mc_throughput
+cargo build --release -q -p xed-bench --bin mc_throughput --bin ecc_throughput
 
 # --baseline: throughput of the engine before the counter-based-stream
 # rewrite (static partitioning, per-trial allocation), measured on this
 # container at commit f846d95 with EccDimm, 1M samples, seed 2016. The
 # rewrite's acceptance bar is >=3x this number.
-exec ./target/release/mc_throughput --baseline 23780432 "$@"
+./target/release/mc_throughput --baseline 23780432 "$@"
+
+# ecc_throughput measures its bit-serial baseline live (the `reference`
+# module ships in the same binary), so no frozen --baseline is needed.
+./target/release/ecc_throughput "$@"

@@ -31,4 +31,8 @@ step "mc_throughput --smoke (non-gating)"
 ./target/release/mc_throughput --smoke --out target/BENCH_faultsim.smoke.json ||
     printf 'warning: mc_throughput smoke failed (non-gating)\n'
 
+step "ecc_throughput --smoke (non-gating)"
+./target/release/ecc_throughput --smoke --out target/BENCH_ecc.smoke.json ||
+    printf 'warning: ecc_throughput smoke failed (non-gating)\n'
+
 printf '\nci.sh: all tier-1 checks passed\n'
