@@ -16,7 +16,7 @@
 //!
 //! ```text
 //! cargo run --release -p xed-bench --bin ecc_throughput -- \
-//!     [--samples N] [--seed N] [--repeats N] [--out PATH] [--smoke]
+//!     [--samples N] [--seed N] [--repeats N] [--out PATH] [--smoke] [--no-telemetry]
 //! ```
 
 use std::fmt::Write as _;
@@ -33,6 +33,7 @@ struct Args {
     seed: u64,
     repeats: u32,
     out: String,
+    telemetry: bool,
 }
 
 fn parse_args() -> Args {
@@ -41,6 +42,7 @@ fn parse_args() -> Args {
         seed: 2016,
         repeats: 5,
         out: "BENCH_ecc.json".to_string(),
+        telemetry: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -51,6 +53,7 @@ fn parse_args() -> Args {
             "--seed" => args.seed = grab("--seed").parse().expect("--seed <u64>"),
             "--repeats" => args.repeats = grab("--repeats").parse().expect("--repeats <u32>"),
             "--out" => args.out = grab("--out"),
+            "--no-telemetry" => args.telemetry = false,
             "--smoke" => {
                 // Quick non-gating CI smoke: exercise every code path in a
                 // few hundred milliseconds; numbers are not representative.
@@ -332,6 +335,9 @@ fn line_row(seed: u64, lines: usize, repeats: u32) -> Row {
 
 fn main() {
     let args = parse_args();
+    if !args.telemetry {
+        xed_telemetry::set_enabled(false);
+    }
     println!("ecc_throughput: word-parallel ECC kernel benchmark");
     println!(
         "({} words/kernel, seed {}, best of {} repeat(s); baseline = bit-serial \
@@ -428,7 +434,8 @@ fn main() {
 fn render_json(args: &Args, rows: &[Row]) -> String {
     let mut j = String::new();
     j.push_str("{\n");
-    let _ = writeln!(j, "  \"bench\": \"ecc_throughput\",");
+    let _ = writeln!(j, "  \"schema\": \"xed-report-v1\",");
+    let _ = writeln!(j, "  \"report\": \"ecc_throughput\",");
     let _ = writeln!(j, "  \"samples\": {},", args.samples);
     let _ = writeln!(j, "  \"seed\": {},", args.seed);
     let _ = writeln!(j, "  \"repeats\": {},", args.repeats);
@@ -467,7 +474,12 @@ fn render_json(args: &Args, rows: &[Row]) -> String {
             r.speedup()
         );
     }
-    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(
+        j,
+        "  \"telemetry\": {}",
+        xed_telemetry::snapshot().active_to_json_array()
+    );
     j.push_str("}\n");
     j
 }

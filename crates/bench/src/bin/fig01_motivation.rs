@@ -10,7 +10,7 @@
 //! (`--samples N` to change the Monte-Carlo size, `--show-fits` to print
 //! the Table I input rates.)
 
-use xed_bench::{rule, sci, throughput_footer, Options};
+use xed_bench::{rule, sci, throughput_footer, write_reliability_sidecar, Options};
 use xed_faultsim::fit::FitRates;
 use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
 use xed_faultsim::schemes::Scheme;
@@ -60,6 +60,17 @@ fn main() {
         probs[0] / probs[1]
     );
     throughput_footer(&stats);
+
+    let labels: Vec<String> = schemes.iter().map(|s| s.label().to_string()).collect();
+    write_reliability_sidecar(
+        "fig01_motivation",
+        "results/fig01.json",
+        opts.samples,
+        opts.seed,
+        &labels,
+        &results,
+        &stats,
+    );
 }
 
 fn print_table_i() {

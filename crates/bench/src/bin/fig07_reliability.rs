@@ -7,7 +7,7 @@
 //!
 //! `cargo run --release -p xed-bench --bin fig07_reliability`
 
-use xed_bench::{rule, sci, throughput_footer, Options};
+use xed_bench::{rule, sci, throughput_footer, write_reliability_sidecar, Options};
 use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
 use xed_faultsim::schemes::Scheme;
 
@@ -53,4 +53,15 @@ fn main() {
         println!("Chipkill vs ECC:   {:.0}x   (paper: 43x)", ecc / ck);
     }
     throughput_footer(&stats);
+
+    let labels: Vec<String> = schemes.iter().map(|s| s.label().to_string()).collect();
+    write_reliability_sidecar(
+        "fig07_reliability",
+        "results/fig07.json",
+        opts.samples,
+        opts.seed,
+        &labels,
+        &results,
+        &stats,
+    );
 }

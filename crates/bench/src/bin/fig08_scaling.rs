@@ -8,7 +8,7 @@
 //!
 //! `cargo run --release -p xed-bench --bin fig08_scaling`
 
-use xed_bench::{rule, sci, throughput_footer, Options};
+use xed_bench::{rule, sci, throughput_footer, write_reliability_sidecar, Options};
 use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
 use xed_faultsim::scaling::ScalingFaults;
 use xed_faultsim::schemes::{ModelParams, Scheme};
@@ -60,4 +60,15 @@ fn main() {
         ScalingFaults::paper_default().p_word_faulty()
     );
     throughput_footer(&stats);
+
+    let labels: Vec<String> = schemes.iter().map(|s| s.label().to_string()).collect();
+    write_reliability_sidecar(
+        "fig08_scaling",
+        "results/fig08.json",
+        opts.samples,
+        opts.seed,
+        &labels,
+        &batch,
+        &stats,
+    );
 }

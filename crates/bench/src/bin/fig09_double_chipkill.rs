@@ -7,7 +7,7 @@
 //!
 //! `cargo run --release -p xed-bench --bin fig09_double_chipkill`
 
-use xed_bench::{rule, sci, throughput_footer, Options};
+use xed_bench::{rule, sci, throughput_footer, write_reliability_sidecar, Options};
 use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
 use xed_faultsim::schemes::Scheme;
 
@@ -63,4 +63,15 @@ fn main() {
         println!("XED+CK saw no failures at this sample count; increase --samples.");
     }
     throughput_footer(&stats);
+
+    let labels: Vec<String> = schemes.iter().map(|s| s.label().to_string()).collect();
+    write_reliability_sidecar(
+        "fig09_double_chipkill",
+        "results/fig09.json",
+        samples,
+        opts.seed,
+        &labels,
+        &batch,
+        &stats,
+    );
 }

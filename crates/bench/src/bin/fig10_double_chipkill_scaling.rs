@@ -6,7 +6,7 @@
 //!
 //! `cargo run --release -p xed-bench --bin fig10_double_chipkill_scaling`
 
-use xed_bench::{rule, sci, throughput_footer, Options};
+use xed_bench::{rule, sci, throughput_footer, write_reliability_sidecar, Options};
 use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
 use xed_faultsim::scaling::ScalingFaults;
 use xed_faultsim::schemes::{ModelParams, Scheme};
@@ -67,4 +67,15 @@ fn main() {
         println!("XED+CK saw no failures at this sample count; increase --samples.");
     }
     throughput_footer(&stats);
+
+    let labels: Vec<String> = schemes.iter().map(|s| s.label().to_string()).collect();
+    write_reliability_sidecar(
+        "fig10_double_chipkill_scaling",
+        "results/fig10.json",
+        samples,
+        opts.seed,
+        &labels,
+        &batch,
+        &stats,
+    );
 }

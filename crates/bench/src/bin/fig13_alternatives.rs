@@ -9,7 +9,7 @@
 //!
 //! `cargo run --release -p xed-bench --bin fig13_alternatives`
 
-use xed_bench::Options;
+use xed_bench::{Options, Report, J};
 use xed_memsim::overlay::ReliabilityScheme;
 use xed_memsim::sim::{SimConfig, SimResult, Simulation};
 use xed_memsim::workloads::{geometric_mean, ALL};
@@ -63,6 +63,12 @@ fn main() {
         "alternative", "exec time", "memory power"
     );
 
+    let mut report = Report::new("fig13_alternatives");
+    report
+        .param("instructions", J::U(opts.instructions))
+        .param("seed", J::U(opts.seed))
+        .param("benchmarks", J::U(names.len() as u64));
+
     for (label, xed_base, alt) in variants {
         let mut time_ratios = Vec::new();
         let mut power_ratios = Vec::new();
@@ -72,17 +78,20 @@ fn main() {
             time_ratios.push(r.cycles as f64 / base.cycles as f64);
             power_ratios.push(r.power_mw() / base.power_mw());
         }
-        println!(
-            "{:38} {:>12.3} {:>12.3}",
-            label,
-            geometric_mean(time_ratios.iter().copied()),
-            geometric_mean(power_ratios.iter().copied())
-        );
+        let g_time = geometric_mean(time_ratios.iter().copied());
+        let g_power = geometric_mean(power_ratios.iter().copied());
+        println!("{label:38} {g_time:>12.3} {g_power:>12.3}");
+        report.row(&[
+            ("alternative", J::S(label.to_string())),
+            ("exec_time", J::F(g_time)),
+            ("memory_power", J::F(g_power)),
+        ]);
     }
     println!(
         "\npaper reference: both alternatives land in the ~1.05-1.30 range on both axes,\n\
          while XED itself is 1.00 by construction."
     );
+    report.write("results/fig13.json");
     let _ = ALL; // roster available for --full variants
 }
 

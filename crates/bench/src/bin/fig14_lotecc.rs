@@ -7,7 +7,7 @@
 //!
 //! `cargo run --release -p xed-bench --bin fig14_lotecc`
 
-use xed_bench::Options;
+use xed_bench::{Options, Report, J};
 use xed_memsim::overlay::ReliabilityScheme;
 use xed_memsim::sim::{SimConfig, Simulation};
 use xed_memsim::workloads::{geometric_mean, Suite, ALL};
@@ -20,6 +20,11 @@ fn main() {
         opts.instructions
     );
     println!("{:12} {:>14}", "suite", "LOT-ECC / XED");
+
+    let mut report = Report::new("fig14_lotecc");
+    report
+        .param("instructions", J::U(opts.instructions))
+        .param("seed", J::U(opts.seed));
 
     let mut all_ratios = Vec::new();
     for suite in [
@@ -47,13 +52,19 @@ fn main() {
         let g = geometric_mean(ratios.iter().copied());
         all_ratios.extend(ratios);
         println!("{:12} {:>14.3}", suite.label(), g);
+        report.row(&[
+            ("suite", J::S(suite.label().to_string())),
+            ("lotecc_over_xed", J::F(g)),
+        ]);
     }
-    println!(
-        "{:12} {:>14.3}",
-        "GMEAN",
-        geometric_mean(all_ratios.iter().copied())
-    );
+    let gmean = geometric_mean(all_ratios.iter().copied());
+    println!("{:12} {gmean:>14.3}", "GMEAN");
     println!("\npaper reference: LOT-ECC is 6.6% slower than XED on average (write overheads).");
+    report.row(&[
+        ("suite", J::S("GMEAN".to_string())),
+        ("lotecc_over_xed", J::F(gmean)),
+    ]);
+    report.write("results/fig14.json");
 }
 
 fn run(name: &str, scheme: ReliabilityScheme, instructions: u64, seed: u64) -> u64 {

@@ -17,7 +17,7 @@
 //! ```text
 //! cargo run --release -p xed-bench --bin mc_throughput -- \
 //!     [--samples N] [--seed N] [--repeats N] [--baseline SPS] \
-//!     [--out PATH] [--smoke]
+//!     [--out PATH] [--smoke] [--no-telemetry]
 //! ```
 
 use std::fmt::Write as _;
@@ -37,6 +37,7 @@ struct Args {
     repeats: u32,
     baseline: f64,
     out: String,
+    telemetry: bool,
 }
 
 fn parse_args() -> Args {
@@ -46,6 +47,7 @@ fn parse_args() -> Args {
         repeats: 5,
         baseline: PRE_PR_BASELINE_SPS,
         out: "BENCH_faultsim.json".to_string(),
+        telemetry: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -57,6 +59,7 @@ fn parse_args() -> Args {
             "--repeats" => args.repeats = grab("--repeats").parse().expect("--repeats <u32>"),
             "--baseline" => args.baseline = grab("--baseline").parse().expect("--baseline <f64>"),
             "--out" => args.out = grab("--out"),
+            "--no-telemetry" => args.telemetry = false,
             "--smoke" => {
                 // Quick non-gating CI smoke: exercise every code path in a
                 // few hundred milliseconds; numbers are not representative.
@@ -96,6 +99,11 @@ fn best_of(config: &MonteCarloConfig, schemes: &[Scheme], repeats: u32) -> Measu
 
 fn main() {
     let args = parse_args();
+    if !args.telemetry {
+        // The ci.sh overhead check compares this path against the default
+        // to bound the cost of the always-on telemetry counters.
+        xed_telemetry::set_enabled(false);
+    }
     let base_config = MonteCarloConfig {
         samples: args.samples,
         seed: args.seed,
@@ -191,7 +199,8 @@ fn render_json(
 ) -> String {
     let mut j = String::new();
     j.push_str("{\n");
-    let _ = writeln!(j, "  \"bench\": \"mc_throughput\",");
+    let _ = writeln!(j, "  \"schema\": \"xed-report-v1\",");
+    let _ = writeln!(j, "  \"report\": \"mc_throughput\",");
     let _ = writeln!(j, "  \"samples_per_scheme\": {},", args.samples);
     let _ = writeln!(j, "  \"seed\": {},", args.seed);
     let _ = writeln!(j, "  \"repeats\": {},", args.repeats);
@@ -245,7 +254,12 @@ fn render_json(
         "    \"samples_per_sec\": {:.0}",
         sweep.stats.samples_per_sec
     );
-    let _ = writeln!(j, "  }}");
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(
+        j,
+        "  \"telemetry\": {}",
+        xed_telemetry::snapshot().active_to_json_array()
+    );
     j.push_str("}\n");
     j
 }

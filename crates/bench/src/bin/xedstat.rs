@@ -1,0 +1,231 @@
+//! `xedstat`: one-shot observability report for the functional DIMM
+//! organizations (DESIGN.md §11).
+//!
+//! Drives a deterministic fault-injection workload through each of the
+//! three functional memory systems — the conventional SECDED **EccDimm**,
+//! the 9-chip **XED** controller, and the 18-chip **Double-Chipkill**
+//! configuration — and reports what the telemetry registry observed: one
+//! aligned text table per system, and (with `--telemetry PATH`) a single
+//! `xed-report-v1` JSON report whose `series` rows embed each system's
+//! active metrics.
+//!
+//! The run doubles as an end-to-end equivalence check: for every system
+//! the legacy stats struct is asserted equal to the corresponding
+//! telemetry counters before anything is printed.
+//!
+//! ```text
+//! cargo run --release -p xed-bench --bin xedstat -- \
+//!     [--lines N] [--seed N] [--telemetry PATH] [--smoke]
+//! ```
+
+use xed_bench::{rule, Report, J};
+use xed_core::chip::{ChipGeometry, OnDieCode};
+use xed_core::controller::XedController;
+use xed_core::fault::{FaultKind, InjectedFault};
+use xed_core::secded_dimm::SecdedDimm;
+use xed_core::xed_chipkill::XedChipkillSystem;
+use xed_telemetry::registry;
+
+struct Args {
+    lines: u64,
+    seed: u64,
+    telemetry_out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        lines: 512,
+        seed: 2016,
+        telemetry_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut grab =
+            |name: &str| -> String { it.next().unwrap_or_else(|| panic!("usage: {name} <value>")) };
+        match arg.as_str() {
+            "--lines" => args.lines = grab("--lines").parse().expect("--lines <u64>"),
+            "--seed" => args.seed = grab("--seed").parse().expect("--seed <u64>"),
+            "--telemetry" => args.telemetry_out = Some(grab("--telemetry")),
+            "--smoke" => args.lines = 64,
+            other => eprintln!("(ignoring unknown argument {other})"),
+        }
+    }
+    assert!(args.lines >= 8, "--lines must be at least 8");
+    args
+}
+
+/// One system's reported outcome: label, legacy-stat rows for the JSON
+/// series, and the telemetry metrics it lit up.
+struct Section {
+    system: &'static str,
+    fields: Vec<(&'static str, u64)>,
+    telemetry_json: String,
+}
+
+/// Runs `workload` against a freshly reset registry and captures the
+/// metrics it produced.
+fn section(system: &'static str, workload: impl FnOnce() -> Vec<(&'static str, u64)>) -> Section {
+    registry::reset_all();
+    let fields = workload();
+    let snap = xed_telemetry::snapshot();
+
+    println!("\n== {system} ==");
+    print!("{}", snap.to_table());
+
+    // Equivalence gate: the legacy stats the workload returned must match
+    // the registry counter of the same name bit-for-bit.
+    for (id, legacy) in &fields {
+        let counted = snap
+            .counter(id)
+            .unwrap_or_else(|| panic!("{system}: metric {id} missing from the registry"));
+        assert_eq!(
+            counted, *legacy,
+            "{system}: telemetry {id} diverged from the legacy stats struct"
+        );
+    }
+
+    Section {
+        system,
+        fields,
+        telemetry_json: snap.active_to_json_array(),
+    }
+}
+
+/// EccDimm: clean reads, then a chip failure SECDED cannot correct.
+fn run_secded(lines: u64) -> Vec<(&'static str, u64)> {
+    let mut dimm = SecdedDimm::new(ChipGeometry::small());
+    let data = [0x0102_0304_0506_0708u64, 2, 3, 4, 5, 6, 7, 8];
+    for l in 0..lines {
+        dimm.write_line(l, &data);
+    }
+    for l in 0..lines {
+        let _ = dimm.read_line(l);
+    }
+    dimm.inject_fault(3, InjectedFault::chip(FaultKind::Permanent));
+    for l in 0..lines {
+        let _ = dimm.read_line(l);
+    }
+    let s = dimm.stats();
+    vec![
+        ("core.secded.reads", s.reads),
+        ("core.secded.corrections", s.corrections),
+        ("core.secded.due", s.due_events),
+    ]
+}
+
+/// XED: transient word fault (reconstruct + scrub), a row failure
+/// (catch-words on every column), and a catch-word collision.
+fn run_xed(lines: u64, seed: u64) -> Vec<(&'static str, u64)> {
+    let mut c = XedController::new(ChipGeometry::small(), OnDieCode::Crc8Atm, seed, 8, 10);
+    let geometry = c.geometry();
+    let data = [11u64, 22, 33, 44, 55, 66, 77, 88];
+    for l in 0..lines {
+        c.write_line(geometry.addr(l), &data);
+    }
+    // Transient word fault: one reconstruction, healed by the scrub.
+    let a = geometry.addr(1);
+    c.inject_fault(2, InjectedFault::word(a, FaultKind::Transient));
+    let _ = c.read_line(a);
+    let _ = c.read_line(a);
+    // Collision: store chip 4's catch-word as data (detected, re-keyed).
+    let cw = c.catch_word(4).value();
+    let mut line = data;
+    line[4] = cw;
+    let a = geometry.addr(2);
+    c.write_line(a, &line);
+    let _ = c.read_line(a);
+    c.write_line(a, &data);
+    // Permanent row failure: every read of the row reconstructs.
+    let row_addr = geometry.addr(lines / 2);
+    c.inject_fault(
+        5,
+        InjectedFault::row(row_addr.bank, row_addr.row, FaultKind::Permanent),
+    );
+    for l in 0..lines {
+        let _ = c.read_line(geometry.addr(l));
+    }
+    let s = c.stats();
+    vec![
+        ("core.xed.reads", s.reads),
+        ("core.xed.writes", s.writes),
+        ("core.xed.catch_words", s.catch_words_observed),
+        ("core.xed.reconstructions", s.reconstructions),
+        ("core.xed.serial_modes", s.serial_modes),
+        ("core.xed.catchword_collisions", s.collisions),
+        (
+            "core.xed.diagnosis_runs",
+            s.inter_line_runs + s.intra_line_runs,
+        ),
+        ("core.xed.due", s.due_events),
+        ("core.xed.scrub_writes", s.scrub_writes),
+    ]
+}
+
+/// Double-Chipkill: two whole chips die; RS(18,16) erasure decode
+/// recovers every line (`ecc.rs.*` counters light up).
+fn run_chipkill(lines: u64, seed: u64) -> Vec<(&'static str, u64)> {
+    let mut sys = XedChipkillSystem::new(seed);
+    let data = [0xAB00_0001u32; 16];
+    for l in 0..lines {
+        sys.write_line(l, &data);
+    }
+    sys.inject_fault(3, InjectedFault::chip(FaultKind::Permanent));
+    sys.inject_fault(11, InjectedFault::chip(FaultKind::Permanent));
+    for l in 0..lines {
+        let _ = sys.read_line(l);
+    }
+    let s = sys.stats();
+    vec![
+        ("core.xed.reads", s.reads),
+        ("core.xed.writes", s.writes),
+        ("core.xed.catch_words", s.catch_words_observed),
+        ("core.xed.reconstructions", s.reconstructions),
+        ("core.xed.catchword_collisions", s.collisions),
+        ("core.xed.due", s.due_events),
+        ("core.xed.scrub_writes", s.scrub_writes),
+    ]
+}
+
+fn main() {
+    let args = parse_args();
+    println!("xedstat: telemetry report for the functional DIMM organizations");
+    println!("({} lines/system, seed {})", args.lines, args.seed);
+    rule(72);
+
+    let sections = [
+        section("EccDimm (9-chip DIMM-level SECDED)", || {
+            run_secded(args.lines)
+        }),
+        section("XED (9-chip, catch-words + RAID-3 parity)", || {
+            run_xed(args.lines, args.seed)
+        }),
+        section("Double-Chipkill (18-chip, RS(18,16) erasures)", || {
+            run_chipkill(args.lines, args.seed)
+        }),
+    ];
+
+    println!(
+        "\ntelemetry/legacy equivalence verified for all {} systems",
+        sections.len()
+    );
+
+    if let Some(out) = &args.telemetry_out {
+        let mut report = Report::new("xedstat");
+        report
+            .param("lines", J::U(args.lines))
+            .param("seed", J::U(args.seed));
+        for s in &sections {
+            let mut fields: Vec<(&str, J)> = vec![("system", J::S(s.system.to_string()))];
+            for (k, v) in &s.fields {
+                fields.push((k, J::U(*v)));
+            }
+            fields.push(("telemetry", J::Raw(s.telemetry_json.clone())));
+            report.row(&fields);
+        }
+        // The per-system metrics live in the series rows; clear the
+        // registry so the envelope's own telemetry array doesn't repeat
+        // the final section.
+        registry::reset_all();
+        report.write(out);
+    }
+}

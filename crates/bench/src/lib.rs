@@ -10,6 +10,8 @@ use std::env;
 
 pub mod timing;
 
+pub use timing::{engine_footer, write_reliability_sidecar, Report, J};
+
 /// Command-line options shared by the reproduction binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Options {
@@ -74,19 +76,10 @@ pub fn rule(width: usize) {
 }
 
 /// Prints the engine-throughput footer shared by the Monte-Carlo
-/// binaries: wall time and samples/sec for the invocation that produced
-/// the figures above it (the simulated results themselves are
-/// thread-count-invariant; see `xed_faultsim::montecarlo`).
+/// binaries (the text twin of [`Report::engine`]; both render from
+/// [`timing::engine_footer`]'s data).
 pub fn throughput_footer(stats: &xed_faultsim::montecarlo::RunStats) {
-    println!(
-        "\n[engine] {:.3e} samples/sec — {} samples in {:.2} s on {} thread(s), \
-         {:.1}% zero-fault fast path",
-        stats.samples_per_sec,
-        stats.samples,
-        stats.wall_seconds,
-        stats.threads,
-        100.0 * stats.zero_fault_samples as f64 / stats.samples as f64
-    );
+    println!("{}", engine_footer(stats));
 }
 
 /// Formats a probability in the scientific style the paper's figures use.

@@ -21,6 +21,8 @@ use crate::chip::{ChipGeometry, DramChip, OnDieCode, WordAddr};
 use crate::error::XedError;
 use crate::fault::InjectedFault;
 use xed_ecc::parity;
+use xed_telemetry::registry::metrics;
+use xed_telemetry::{EventKind, Ring, Tallies};
 
 /// How much the alert signal reveals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,7 +34,18 @@ pub enum AlertMode {
     Identified,
 }
 
+/// Tally-slot layout of the controller's accumulator.
+const A_READS: usize = 0;
+const A_ALERTS: usize = 1;
+const A_RECONSTRUCTIONS: usize = 2;
+const A_DIAGNOSES: usize = 3;
+const A_DUE: usize = 4;
+const A_SLOTS: usize = 5;
+
 /// Statistics of the alert-based controller.
+///
+/// A thin snapshot view over the DIMM's owned [`Tallies`] block (see
+/// [`AlertDimm::stats`]); accumulation rides the telemetry primitives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AlertStats {
     /// Reads served.
@@ -53,7 +66,8 @@ pub struct AlertDimm {
     chips: Vec<DramChip>,
     mode: AlertMode,
     geometry: ChipGeometry,
-    stats: AlertStats,
+    tallies: Tallies<A_SLOTS>,
+    ring: Ring,
 }
 
 const DATA_CHIPS: usize = 8;
@@ -70,7 +84,8 @@ impl AlertDimm {
             chips,
             mode,
             geometry,
-            stats: AlertStats::default(),
+            tallies: Tallies::new(),
+            ring: Ring::new(),
         }
     }
 
@@ -79,13 +94,28 @@ impl AlertDimm {
         self.mode
     }
 
-    /// Controller statistics.
+    /// Controller statistics, as a snapshot view of the owned tally block.
     pub fn stats(&self) -> AlertStats {
-        self.stats
+        AlertStats {
+            reads: self.tallies.get(A_READS),
+            alerts: self.tallies.get(A_ALERTS),
+            reconstructions: self.tallies.get(A_RECONSTRUCTIONS),
+            diagnoses: self.tallies.get(A_DIAGNOSES),
+            due_events: self.tallies.get(A_DUE),
+        }
+    }
+
+    /// The most recent controller events (alerts, reconstructions,
+    /// diagnoses, DUEs, injected faults), oldest first.
+    pub fn events(&self) -> &Ring {
+        &self.ring
     }
 
     /// Injects a fault into a chip.
     pub fn inject_fault(&mut self, chip: usize, fault: InjectedFault) {
+        if xed_telemetry::enabled() {
+            self.ring.record(EventKind::FaultInjected, chip as u64, 0);
+        }
         self.chips[chip].inject_fault(fault);
     }
 
@@ -109,7 +139,8 @@ impl AlertDimm {
     /// Returns [`XedError`] when the alert cannot be resolved to a single
     /// chip (anonymous mode + transient fault, or multiple faulty chips).
     pub fn read_line(&mut self, line: u64) -> Result<[u64; DATA_CHIPS], XedError> {
-        self.stats.reads += 1;
+        self.tallies.bump(A_READS);
+        xed_telemetry::tick(&metrics::CORE_ALERT_READS);
         let addr = self.geometry.addr(line);
         let reads: Vec<_> = self.chips.iter().map(|c| c.read(addr)).collect();
         let mut words = [0u64; TOTAL_CHIPS];
@@ -122,7 +153,14 @@ impl AlertDimm {
         }
         let alert = !alerting.is_empty();
         if alert {
-            self.stats.alerts += 1;
+            self.tallies.bump(A_ALERTS);
+            xed_telemetry::tick(&metrics::CORE_ALERT_ALERTS);
+            if xed_telemetry::enabled() {
+                // The wire-OR'd pin carries no chip identity; record the
+                // suspect count instead.
+                self.ring
+                    .record(EventKind::CatchWord, alerting.len() as u64, line);
+            }
         }
         let parity_ok = parity::holds(&words[..DATA_CHIPS], words[DATA_CHIPS]);
 
@@ -142,7 +180,11 @@ impl AlertDimm {
                 // The pin says "somebody"; find out with pattern diagnosis
                 // (permanent faults only — the write destroys transient
                 // evidence).
-                self.stats.diagnoses += 1;
+                self.tallies.bump(A_DIAGNOSES);
+                xed_telemetry::tick(&metrics::CORE_ALERT_DIAGNOSES);
+                if xed_telemetry::enabled() {
+                    self.ring.record(EventKind::Diagnosis, 1, line);
+                }
                 let suspects = self.pattern_diagnosis(addr, &words);
                 if suspects.len() == 1 {
                     Some(suspects[0])
@@ -159,12 +201,22 @@ impl AlertDimm {
                 if chip < DATA_CHIPS {
                     data[chip] = parity::reconstruct(&data, words[DATA_CHIPS], chip);
                 }
-                self.stats.reconstructions += 1;
+                self.tallies.bump(A_RECONSTRUCTIONS);
+                xed_telemetry::tick(&metrics::CORE_ALERT_RECONSTRUCTIONS);
+                if xed_telemetry::enabled() {
+                    self.ring
+                        .record(EventKind::ErasureReconstructed, chip as u64, line);
+                }
                 self.store(addr, &data); // scrub
                 Ok(data)
             }
             None => {
-                self.stats.due_events += 1;
+                self.tallies.bump(A_DUE);
+                xed_telemetry::tick(&metrics::CORE_ALERT_DUE);
+                if xed_telemetry::enabled() {
+                    self.ring
+                        .record(EventKind::Due, alerting.len() as u64, line);
+                }
                 Err(XedError::DetectedUncorrectable {
                     suspects: alerting.len() as u32,
                 })

@@ -24,6 +24,8 @@ use crate::fct::{FaultyRowChipTracker, FctOutcome, RowAddr};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xed_ecc::parity;
+use xed_telemetry::registry::metrics;
+use xed_telemetry::{EventKind, Ring};
 
 /// Number of data chips on the DIMM.
 pub const DATA_CHIPS: usize = 8;
@@ -84,9 +86,16 @@ pub struct XedController {
     pub(crate) fct: FaultyRowChipTracker,
     pub(crate) condemned_chip: Option<usize>,
     pub(crate) stats: XedStats,
+    pub(crate) ring: Ring,
     pub(crate) rng: StdRng,
     pub(crate) inter_line_threshold_percent: u32,
     geometry: ChipGeometry,
+}
+
+/// Packs a word address into a single ring-event operand
+/// (bank : 12 | row : 32 | col : 20 — ample for every modeled geometry).
+pub(crate) fn event_addr(addr: WordAddr) -> u64 {
+    ((addr.bank as u64) << 52) | ((addr.row as u64) << 20) | addr.col as u64
 }
 
 impl XedController {
@@ -118,6 +127,7 @@ impl XedController {
             fct: FaultyRowChipTracker::new(fct_capacity),
             condemned_chip: None,
             stats: XedStats::default(),
+            ring: Ring::new(),
             rng,
             inter_line_threshold_percent,
             geometry,
@@ -139,12 +149,22 @@ impl XedController {
         self.condemned_chip
     }
 
+    /// The most recent controller events (catch-words, reconstructions,
+    /// serial modes, collisions, DUEs, injected faults), oldest first.
+    pub fn events(&self) -> &Ring {
+        &self.ring
+    }
+
     /// Injects a fault into chip `chip_index` (0–7 data, 8 parity).
     ///
     /// # Panics
     ///
     /// Panics if `chip_index >= 9`.
     pub fn inject_fault(&mut self, chip_index: usize, fault: InjectedFault) {
+        if xed_telemetry::enabled() {
+            self.ring
+                .record(EventKind::FaultInjected, chip_index as u64, 0);
+        }
         self.chips[chip_index].inject_fault(fault);
     }
 
@@ -163,6 +183,7 @@ impl XedController {
     /// their XOR to the parity chip (Equation 1).
     pub fn write_line(&mut self, addr: WordAddr, data: &[u64; DATA_CHIPS]) {
         self.stats.writes += 1;
+        xed_telemetry::tick(&metrics::CORE_XED_WRITES);
         self.store_line(addr, data);
     }
 
@@ -181,6 +202,7 @@ impl XedController {
     /// can reconstruct, or when diagnosis cannot identify the faulty chip.
     pub fn read_line(&mut self, addr: WordAddr) -> Result<LineReadout, XedError> {
         self.stats.reads += 1;
+        xed_telemetry::tick(&metrics::CORE_XED_READS);
 
         if let Some(dead) = self.condemned_chip {
             return self.read_with_condemned_chip(addr, dead);
@@ -189,6 +211,11 @@ impl XedController {
         let words = self.bus_read(addr);
         let catchers = self.catching_chips(&words);
         self.stats.catch_words_observed += catchers.len() as u64;
+        if !catchers.is_empty() && xed_telemetry::enabled() {
+            metrics::CORE_XED_CATCH_WORDS.add(catchers.len() as u64);
+            self.ring
+                .record(EventKind::CatchWord, catchers[0] as u64, event_addr(addr));
+        }
 
         match catchers.len() {
             0 => {
@@ -257,10 +284,23 @@ impl XedController {
         let collision = self.catch_words.identify(chip, reconstructed_value);
         if collision {
             self.stats.collisions += 1;
+            xed_telemetry::tick(&metrics::CORE_XED_CATCHWORD_COLLISIONS);
+            if xed_telemetry::enabled() {
+                self.ring
+                    .record(EventKind::Collision, chip as u64, event_addr(addr));
+            }
             self.update_catch_word(chip);
         }
 
         self.stats.reconstructions += 1;
+        xed_telemetry::tick(&metrics::CORE_XED_RECONSTRUCTIONS);
+        if xed_telemetry::enabled() {
+            self.ring.record(
+                EventKind::ErasureReconstructed,
+                chip as u64,
+                event_addr(addr),
+            );
+        }
         // Scrub: write the corrected line back, healing transient faults.
         self.scrub(addr, &data);
         Ok(LineReadout {
@@ -276,6 +316,11 @@ impl XedController {
     /// then verify with parity.
     fn serial_mode(&mut self, addr: WordAddr, catch_words: u32) -> Result<LineReadout, XedError> {
         self.stats.serial_modes += 1;
+        xed_telemetry::tick(&metrics::CORE_XED_SERIAL_MODES);
+        if xed_telemetry::enabled() {
+            self.ring
+                .record(EventKind::SerialMode, catch_words as u64, event_addr(addr));
+        }
         for chip in &mut self.chips {
             chip.set_xed_enable(false);
         }
@@ -324,6 +369,11 @@ impl XedController {
             .collect();
         if !others.is_empty() {
             self.stats.due_events += 1;
+            xed_telemetry::tick(&metrics::CORE_XED_DUE);
+            if xed_telemetry::enabled() {
+                self.ring
+                    .record(EventKind::Due, others.len() as u64 + 1, event_addr(addr));
+            }
             return Err(XedError::MultipleFaultyChips {
                 catch_words: others.len() as u32 + 1,
             });
@@ -362,6 +412,7 @@ impl XedController {
     /// Writes a corrected line back (scrub-on-correct).
     pub(crate) fn scrub(&mut self, addr: WordAddr, data: &[u64; DATA_CHIPS]) {
         self.stats.scrub_writes += 1;
+        xed_telemetry::tick(&metrics::CORE_XED_SCRUB_WRITES);
         self.store_line(addr, data);
     }
 

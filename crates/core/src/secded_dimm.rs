@@ -18,6 +18,7 @@ use crate::chip::{ChipGeometry, DramChip, OnDieCode};
 use crate::fault::InjectedFault;
 use xed_ecc::secded::{SecDed, BEATS_PER_LINE};
 use xed_ecc::{CodeWord72, Hamming7264};
+use xed_telemetry::registry::metrics;
 
 const DATA_CHIPS: usize = 8;
 const TOTAL_CHIPS: usize = 9;
@@ -110,6 +111,7 @@ impl SecdedDimm {
     /// Reads a cache line, decoding each beat with the (72,64) SECDED code.
     pub fn read_line(&mut self, line: u64) -> SecdedReadout {
         self.stats.reads += 1;
+        xed_telemetry::tick(&metrics::CORE_SECDED_READS);
         let addr = self.geometry.addr(line);
         let mut words = [0u64; TOTAL_CHIPS];
         for (i, w) in words.iter_mut().enumerate() {
@@ -127,8 +129,13 @@ impl SecdedDimm {
         }
         let out = self.code.decode_line(&beats);
         self.stats.corrections += u64::from(out.corrected_count());
+        xed_telemetry::count(
+            &metrics::CORE_SECDED_CORRECTIONS,
+            u64::from(out.corrected_count()),
+        );
         if out.is_due() {
             self.stats.due_events += 1;
+            xed_telemetry::tick(&metrics::CORE_SECDED_DUE);
             SecdedReadout::Due {
                 bad_beats: out.bad_beats.count_ones(),
             }

@@ -16,7 +16,7 @@
 //! correction.
 
 use crate::chip::{ChipGeometry, WordAddr};
-use crate::controller::XedStats;
+use crate::controller::{event_addr, XedStats};
 use crate::error::XedError;
 use crate::fault::{FaultKind, InjectedFault};
 use rand::rngs::StdRng;
@@ -25,6 +25,8 @@ use std::collections::HashMap;
 use xed_ecc::gf::Field;
 use xed_ecc::rs::{ReedSolomon, RsScratch};
 use xed_ecc::secded32::{CodeWord40, Crc8Atm32};
+use xed_telemetry::registry::metrics;
+use xed_telemetry::{EventKind, Ring};
 
 /// Data chips per access.
 pub const DATA_CHIPS: usize = 16;
@@ -136,6 +138,7 @@ pub struct XedChipkillSystem {
     scratch: RsScratch,
     geometry: ChipGeometry,
     stats: XedStats,
+    ring: Ring,
     rng: StdRng,
 }
 
@@ -166,6 +169,7 @@ impl XedChipkillSystem {
             scratch: RsScratch::new(),
             geometry,
             stats: XedStats::default(),
+            ring: Ring::new(),
             rng,
         }
     }
@@ -173,6 +177,12 @@ impl XedChipkillSystem {
     /// Controller statistics.
     pub fn stats(&self) -> XedStats {
         self.stats
+    }
+
+    /// The most recent controller events (catch-words, reconstructions,
+    /// serial modes, collisions, DUEs, injected faults), oldest first.
+    pub fn events(&self) -> &Ring {
+        &self.ring
     }
 
     /// The chip geometry.
@@ -191,6 +201,9 @@ impl XedChipkillSystem {
     ///
     /// Panics if `chip >= 18`.
     pub fn inject_fault(&mut self, chip: usize, fault: InjectedFault) {
+        if xed_telemetry::enabled() {
+            self.ring.record(EventKind::FaultInjected, chip as u64, 0);
+        }
         self.chips[chip].inject_fault_checked(fault);
     }
 
@@ -204,6 +217,7 @@ impl XedChipkillSystem {
     /// Writes at an explicit address.
     pub fn write_line_at(&mut self, addr: WordAddr, data: &[u32; DATA_CHIPS]) {
         self.stats.writes += 1;
+        xed_telemetry::tick(&metrics::CORE_XED_WRITES);
         self.store_line(addr, data);
     }
 
@@ -246,6 +260,7 @@ impl XedChipkillSystem {
     /// Returns [`XedError`] when the corruption exceeds two erasures.
     pub fn read_line_at(&mut self, addr: WordAddr) -> Result<X4LineReadout, XedError> {
         self.stats.reads += 1;
+        xed_telemetry::tick(&metrics::CORE_XED_READS);
         let words = self.bus_read(addr);
         let mut catcher_buf = [0usize; TOTAL_CHIPS];
         let mut ncatch = 0usize;
@@ -257,6 +272,11 @@ impl XedChipkillSystem {
         }
         let catchers = &catcher_buf[..ncatch];
         self.stats.catch_words_observed += ncatch as u64;
+        if ncatch > 0 && xed_telemetry::enabled() {
+            metrics::CORE_XED_CATCH_WORDS.add(ncatch as u64);
+            self.ring
+                .record(EventKind::CatchWord, catchers[0] as u64, event_addr(addr));
+        }
 
         match ncatch {
             0..=2 => match self.decode_line(addr, &words, catchers) {
@@ -270,6 +290,11 @@ impl XedChipkillSystem {
             n => {
                 // Serial mode: let on-die ECC correct what it can.
                 self.stats.serial_modes += 1;
+                xed_telemetry::tick(&metrics::CORE_XED_SERIAL_MODES);
+                if xed_telemetry::enabled() {
+                    self.ring
+                        .record(EventKind::SerialMode, ncatch as u64, event_addr(addr));
+                }
                 for chip in &mut self.chips {
                     chip.xed_enable = false;
                 }
@@ -308,6 +333,10 @@ impl XedChipkillSystem {
     ) -> Result<X4LineReadout, XedError> {
         let mut corrected_words = *words;
         let mut touched = [false; TOTAL_CHIPS];
+        // Consumer-side attribution of the telemetry-free RS kernel: symbol
+        // repairs at caller-declared erasure positions vs. blind corrections.
+        let mut rs_erasure_symbols = 0u64;
+        let mut rs_error_symbols = 0u64;
         for p in 0..PLANES {
             let mut symbols = [0u8; TOTAL_CHIPS];
             for (i, &w) in words.iter().enumerate() {
@@ -320,6 +349,11 @@ impl XedChipkillSystem {
                         bytes[p] = decoded.codeword[chip];
                         corrected_words[chip] = u32::from_be_bytes(bytes);
                         touched[chip] = true;
+                        if erasures.contains(&chip) {
+                            rs_erasure_symbols += 1;
+                        } else {
+                            rs_error_symbols += 1;
+                        }
                     }
                 }
                 Err(_) => {
@@ -329,6 +363,8 @@ impl XedChipkillSystem {
                 }
             }
         }
+        xed_telemetry::count(&metrics::ECC_RS_CORRECTIONS, rs_error_symbols);
+        xed_telemetry::count(&metrics::ECC_RS_ERASURES, rs_erasure_symbols);
         let ntouched = touched.iter().filter(|&&t| t).count();
         if ntouched > 2 {
             return Err(XedError::DetectedUncorrectable {
@@ -343,6 +379,11 @@ impl XedChipkillSystem {
             if corrected_words[chip] == self.catch_words[chip] {
                 collision = true;
                 self.stats.collisions += 1;
+                xed_telemetry::tick(&metrics::CORE_XED_CATCHWORD_COLLISIONS);
+                if xed_telemetry::enabled() {
+                    self.ring
+                        .record(EventKind::Collision, chip as u64, event_addr(addr));
+                }
                 self.rekey(chip);
             }
         }
@@ -352,6 +393,19 @@ impl XedChipkillSystem {
         if ntouched > 0 || !erasures.is_empty() {
             self.stats.reconstructions += 1;
             self.stats.scrub_writes += 1;
+            xed_telemetry::tick(&metrics::CORE_XED_RECONSTRUCTIONS);
+            xed_telemetry::tick(&metrics::CORE_XED_SCRUB_WRITES);
+            if xed_telemetry::enabled() {
+                let first = erasures
+                    .first()
+                    .copied()
+                    .unwrap_or(touched.iter().position(|&t| t).unwrap_or(TOTAL_CHIPS));
+                self.ring.record(
+                    EventKind::ErasureReconstructed,
+                    first as u64,
+                    event_addr(addr),
+                );
+            }
             self.store_line(addr, &data);
         }
         // Involved chips = erasures ∪ touched; walking the mask in index
@@ -389,6 +443,10 @@ impl XedChipkillSystem {
         // Inter-line: stream the row buffer with XED enabled; a chip with a
         // multi-line fault screams catch-words on its neighbors.
         self.stats.inter_line_runs += 1;
+        xed_telemetry::tick(&metrics::CORE_XED_DIAGNOSIS_RUNS);
+        if xed_telemetry::enabled() {
+            self.ring.record(EventKind::Diagnosis, 0, event_addr(addr));
+        }
         let cols = self.geometry.cols;
         let threshold = (cols * 10).div_ceil(100).max(1);
         let mut counts = [0u32; TOTAL_CHIPS];
@@ -420,6 +478,10 @@ impl XedChipkillSystem {
         // Intra-line: all-zeros / all-ones pattern test finds permanent
         // faults confined to this line.
         self.stats.intra_line_runs += 1;
+        xed_telemetry::tick(&metrics::CORE_XED_DIAGNOSIS_RUNS);
+        if xed_telemetry::enabled() {
+            self.ring.record(EventKind::Diagnosis, 1, event_addr(addr));
+        }
         let flagged = self.pattern_test(addr, words);
         for (i, &bad) in flagged.iter().enumerate() {
             if bad && !suspect_buf[..nsus].contains(&i) {
@@ -434,6 +496,11 @@ impl XedChipkillSystem {
             }
         }
         self.stats.due_events += 1;
+        xed_telemetry::tick(&metrics::CORE_XED_DUE);
+        if xed_telemetry::enabled() {
+            self.ring
+                .record(EventKind::Due, nsus as u64, event_addr(addr));
+        }
         Err(XedError::DetectedUncorrectable {
             suspects: nsus as u32,
         })

@@ -37,6 +37,7 @@ use crate::schemes::{ModelParams, Scheme, SchemeModel, Verdict};
 use rand::rngs::Streams;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+use xed_telemetry::{registry::metrics, Tallies};
 
 /// Trials claimed per scheduler steal. Large enough that the atomic
 /// `fetch_add` is noise (one per ~4k trials), small enough that the tail
@@ -179,16 +180,22 @@ impl RunStats {
     /// run back to back: wall times and sample counts add, throughput is
     /// recomputed over the combined run. Used by study binaries that sweep
     /// several configurations and report one aggregate footer.
+    ///
+    /// The countable fields ride [`Tallies::merge`] — the same commutative
+    /// wrapping add the worker partials fold with, so every accumulation
+    /// in this module shares one merge primitive.
     #[must_use]
     pub fn merge(&self, other: &RunStats) -> RunStats {
+        let counts = Tallies::from_array([self.samples, self.zero_fault_samples]).merge(
+            &Tallies::from_array([other.samples, other.zero_fault_samples]),
+        );
         let wall_seconds = self.wall_seconds + other.wall_seconds;
-        let samples = self.samples + other.samples;
         RunStats {
             wall_seconds,
-            samples_per_sec: samples as f64 / wall_seconds.max(1e-9),
+            samples_per_sec: counts.get(0) as f64 / wall_seconds.max(1e-9),
             threads: self.threads.max(other.threads),
-            samples,
-            zero_fault_samples: self.zero_fault_samples + other.zero_fault_samples,
+            samples: counts.get(0),
+            zero_fault_samples: counts.get(1),
         }
     }
 }
@@ -331,21 +338,19 @@ impl MonteCarlo {
                     sdc: 0,
                     failures_by_extent: [0; 6],
                 };
+                let mut counts: Tallies<P_SLOTS> = Tallies::new();
                 for partials in &per_worker {
                     let p = &partials[si];
-                    result.due += p.due;
-                    result.sdc += p.sdc;
-                    zero_fault_samples += p.zero_fault;
+                    counts.merge_from(&p.counts);
                     for (a, b) in result.failures_by_year.iter_mut().zip(&p.failures_by_year) {
                         *a += b;
                     }
-                    for (a, b) in result
-                        .failures_by_extent
-                        .iter_mut()
-                        .zip(&p.failures_by_extent)
-                    {
-                        *a += b;
-                    }
+                }
+                result.due = counts.get(P_DUE);
+                result.sdc = counts.get(P_SDC);
+                zero_fault_samples += counts.get(P_ZERO_FAULT);
+                for (i, slot) in result.failures_by_extent.iter_mut().enumerate() {
+                    *slot = counts.get(P_EXTENT0 + i);
                 }
                 result
             })
@@ -359,28 +364,44 @@ impl MonteCarlo {
             samples,
             zero_fault_samples,
         };
+
+        // Publish-at-merge (DESIGN.md §11): the hot loop accumulated into
+        // owned tallies; the global registry counters are bumped once per
+        // invocation, here at the join point.
+        if xed_telemetry::enabled() {
+            metrics::FAULTSIM_RUNS.incr();
+            metrics::FAULTSIM_TRIALS.add(samples);
+            metrics::FAULTSIM_ZERO_FAULT_TRIALS.add(zero_fault_samples);
+            metrics::FAULTSIM_DUE.add(results.iter().map(|r| r.due).sum());
+            metrics::FAULTSIM_SDC.add(results.iter().map(|r| r.sdc).sum());
+        }
         (results, stats)
     }
 }
 
-/// Per-worker, per-scheme accumulator. All fields are plain counters so
-/// merging is commutative — the foundation of thread-count invariance.
+/// Slot layout of a [`Partial`]'s fixed-size tally block.
+const P_DUE: usize = 0;
+const P_SDC: usize = 1;
+const P_ZERO_FAULT: usize = 2;
+/// First of six failure-extent slots (indexed like
+/// [`crate::fault::FaultExtent::ALL`]).
+const P_EXTENT0: usize = 3;
+const P_SLOTS: usize = P_EXTENT0 + 6;
+
+/// Per-worker, per-scheme accumulator. The fixed-size counters live in
+/// one owned [`Tallies`] block (plain adds, commutative merge — the
+/// foundation of thread-count invariance); only the variable-length
+/// per-year failure counts stay a `Vec`.
 struct Partial {
     failures_by_year: Vec<u64>,
-    due: u64,
-    sdc: u64,
-    failures_by_extent: [u64; 6],
-    zero_fault: u64,
+    counts: Tallies<P_SLOTS>,
 }
 
 impl Partial {
     fn new(years: usize) -> Self {
         Self {
             failures_by_year: vec![0; years],
-            due: 0,
-            sdc: 0,
-            failures_by_extent: [0; 6],
-            zero_fault: 0,
+            counts: Tallies::new(),
         }
     }
 }
@@ -435,6 +456,10 @@ fn worker(
         active: Vec::new(),
         view: Vec::new(),
     };
+    // One flag load per worker: chunk-grain telemetry costs four atomic
+    // updates and two clock reads per STEAL_CHUNK (4096) trials — ~0.1 %
+    // of a chunk's work — and vanishes entirely under `--no-telemetry`.
+    let telemetry_on = xed_telemetry::enabled();
     loop {
         let c = next_chunk.fetch_add(1, Ordering::Relaxed);
         if c >= total_chunks {
@@ -444,6 +469,9 @@ fn worker(
         let first = (c % chunks_per_scheme) * STEAL_CHUNK;
         let count = STEAL_CHUNK.min(config.samples - first);
         let (sampler, streams) = &contexts[si];
+        // Chunk wall time is reporting-only metadata (never fed back into
+        // the simulation), same as run_many's outer timer.
+        let chunk_start = telemetry_on.then(Instant::now); // xed-lint: allow(XL005)
         run_trials(
             &models[si],
             sampler,
@@ -454,6 +482,13 @@ fn worker(
             &mut partials[si],
             &mut scratch,
         );
+        if let Some(start) = chunk_start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            metrics::FAULTSIM_STEAL_CHUNKS.incr();
+            metrics::FAULTSIM_STEAL_CHUNK_TRIALS.record(count);
+            metrics::FAULTSIM_CHUNK_NS.record(ns);
+            metrics::FAULTSIM_TRIAL_NS.record(ns / count);
+        }
     }
     partials
 }
@@ -479,7 +514,7 @@ fn run_trials(
         // `(seed, scheme, trial)` — thread-count invariance intact.
         let u0 = streams.split_first(trial);
         if sampler.is_zero_fault(u0) {
-            partial.zero_fault += 1;
+            partial.counts.bump(P_ZERO_FAULT);
             continue;
         }
         let mut rng = streams.split_rest(trial);
@@ -488,7 +523,7 @@ fn run_trials(
             // Unreachable for λ ≤ 30 (is_zero_fault caught it); kept for
             // the chunked large-λ Poisson path, where the headline draw
             // alone cannot prove the count is zero.
-            partial.zero_fault += 1;
+            partial.counts.bump(P_ZERO_FAULT);
             continue;
         }
         if count == 1 {
@@ -502,12 +537,12 @@ fn run_trials(
             if matches!(verdict, Verdict::Due | Verdict::Sdc) {
                 let year = ((time_hours * YEAR_RECIP) as usize).min(years - 1);
                 partial.failures_by_year[year] += 1;
-                partial.failures_by_extent[extent.index()] += 1;
-                if verdict == Verdict::Due {
-                    partial.due += 1;
+                partial.counts.bump(P_EXTENT0 + extent.index());
+                partial.counts.bump(if verdict == Verdict::Due {
+                    P_DUE
                 } else {
-                    partial.sdc += 1;
-                }
+                    P_SDC
+                });
             }
             continue;
         }
@@ -522,12 +557,12 @@ fn run_trials(
                 Verdict::Due | Verdict::Sdc => {
                     let year = ((e.time_hours * YEAR_RECIP) as usize).min(years - 1);
                     partial.failures_by_year[year] += 1;
-                    partial.failures_by_extent[e.fault.extent.index()] += 1;
-                    if verdict == Verdict::Due {
-                        partial.due += 1;
+                    partial.counts.bump(P_EXTENT0 + e.fault.extent.index());
+                    partial.counts.bump(if verdict == Verdict::Due {
+                        P_DUE
                     } else {
-                        partial.sdc += 1;
-                    }
+                        P_SDC
+                    });
                     break;
                 }
                 Verdict::Corrected | Verdict::Benign => match e.fault.persistence {

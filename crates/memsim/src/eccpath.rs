@@ -18,13 +18,24 @@
 
 use xed_ecc::crc8::Crc8Atm;
 use xed_ecc::secded::{LineOutcome, SecDed, BEATS_PER_LINE};
+use xed_telemetry::{registry::metrics, Tallies};
 
 /// One in `2^SINGLE_FLIP_SHIFT` lines carries a single-bit error.
 const SINGLE_FLIP_SHIFT: u32 = 7;
 /// One in `2^DOUBLE_FLIP_SHIFT` lines carries a double-bit error instead.
 const DOUBLE_FLIP_SHIFT: u32 = 13;
 
+/// Tally-slot layout of the datapath's accumulator.
+const T_LINES: usize = 0;
+const T_BEATS_CORRECTED: usize = 1;
+const T_DUE_LINES: usize = 2;
+const T_SLOTS: usize = 3;
+
 /// Decode-path counters accumulated over a run.
+///
+/// A thin snapshot view over the datapath's owned [`Tallies`] block (see
+/// [`EccDatapath::stats`]); the accumulation itself rides the telemetry
+/// merge primitives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EccPathStats {
     /// Cache lines pushed through the batched decoder.
@@ -39,7 +50,7 @@ pub struct EccPathStats {
 #[derive(Debug, Clone)]
 pub struct EccDatapath {
     code: Crc8Atm,
-    stats: EccPathStats,
+    tallies: Tallies<T_SLOTS>,
 }
 
 /// splitmix64 finalizer: a cheap, well-mixed hash of a 64-bit value.
@@ -56,13 +67,36 @@ impl EccDatapath {
     pub fn new() -> Self {
         Self {
             code: Crc8Atm::new(),
-            stats: EccPathStats::default(),
+            tallies: Tallies::new(),
         }
     }
 
-    /// Accumulated counters.
+    /// Accumulated counters, as a snapshot view of the owned tally block.
     pub fn stats(&self) -> EccPathStats {
-        self.stats
+        EccPathStats {
+            lines_decoded: self.tallies.get(T_LINES),
+            beats_corrected: self.tallies.get(T_BEATS_CORRECTED),
+            due_lines: self.tallies.get(T_DUE_LINES),
+        }
+    }
+
+    /// Publishes this datapath's totals into the global registry
+    /// (`memsim.eccpath.*`, plus the consumer-attributed `ecc.*` kernel
+    /// counters — the kernels themselves are telemetry-free). Called once
+    /// per simulation at its merge point; gated on
+    /// [`xed_telemetry::enabled`].
+    pub fn publish(&self) {
+        if !xed_telemetry::enabled() {
+            return;
+        }
+        let s = self.stats();
+        metrics::MEMSIM_ECCPATH_LINES_DECODED.add(s.lines_decoded);
+        metrics::MEMSIM_ECCPATH_BEATS_CORRECTED.add(s.beats_corrected);
+        metrics::MEMSIM_ECCPATH_DUE_LINES.add(s.due_lines);
+        metrics::ECC_LINES_DECODED.add(s.lines_decoded);
+        metrics::ECC_WORDS_DECODED.add(s.lines_decoded * BEATS_PER_LINE as u64);
+        metrics::ECC_CORRECTIONS.add(s.beats_corrected);
+        metrics::ECC_DUE_WORDS.add(s.due_lines);
     }
 
     /// Decodes the (synthesized) cache line at `line_addr`: encode eight
@@ -90,10 +124,11 @@ impl EccDatapath {
         }
 
         let out = self.code.decode_line(&beats);
-        self.stats.lines_decoded += 1;
-        self.stats.beats_corrected += u64::from(out.corrected_count());
+        self.tallies.bump(T_LINES);
+        self.tallies
+            .add(T_BEATS_CORRECTED, u64::from(out.corrected_count()));
         if out.is_due() {
-            self.stats.due_lines += 1;
+            self.tallies.bump(T_DUE_LINES);
         }
         out
     }

@@ -6,6 +6,7 @@ use crate::dram::Dram;
 use crate::timing::DdrTiming;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use xed_telemetry::registry::metrics;
 
 /// A queued memory request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +119,10 @@ impl MemController {
             is_write: false,
             arrival: now,
         });
+        // Queue-depth sample per enqueue: the simulator advances one
+        // memory cycle per host microsecond-ish, so a live histogram
+        // record here is far below measurement noise.
+        xed_telemetry::observe(&metrics::MEMSIM_SCHED_QUEUE_DEPTH, q.len() as u64);
         true
     }
 
@@ -262,6 +267,7 @@ impl MemController {
                 let data_end = self.dram.issue_read(ch, l.rank, l.bank, l.row, now);
                 self.stats.reads_done += 1;
                 self.stats.total_read_latency += data_end - req.arrival;
+                xed_telemetry::observe(&metrics::MEMSIM_SCHED_READ_LATENCY, data_end - req.arrival);
                 self.completions.push(Reverse((data_end, req.id)));
             }
             return true;

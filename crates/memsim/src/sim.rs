@@ -303,6 +303,24 @@ impl Simulation {
             },
         );
 
+        // Publish-at-merge (DESIGN.md §11): the run accumulated into the
+        // controller's and datapath's owned stats; the global registry is
+        // bumped once per simulation, here.
+        {
+            use xed_telemetry::registry::metrics;
+            xed_telemetry::count(
+                &metrics::MEMSIM_SCHED_READS_DONE,
+                controller.stats.reads_done,
+            );
+            xed_telemetry::count(
+                &metrics::MEMSIM_SCHED_WRITES_DONE,
+                controller.stats.writes_done,
+            );
+        }
+        if let Some(path) = eccpath.as_ref() {
+            path.publish();
+        }
+
         let col_accesses = totals.reads + totals.writes;
         SimResult {
             scheme_name: scheme.name,

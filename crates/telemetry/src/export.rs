@@ -1,0 +1,353 @@
+//! Snapshot and export layer: immutable captures of the registry plus
+//! the two render targets every reporting binary shares — JSON lines for
+//! machines and an aligned text table for humans.
+//!
+//! This is the one part of the crate allowed to allocate: it runs once
+//! per report, never on a hot path. JSON is hand-rendered (the workspace
+//! has no serialization dependency); the envelope matches the
+//! `xed-report-v1` schema documented in DESIGN.md §11, which the
+//! `BENCH_*.json` trajectories and `results/fig*.json` sidecars share.
+
+use crate::hist::{bucket_bounds, BUCKETS};
+
+/// An immutable capture of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSample {
+    /// Per-bucket observation counts (see [`crate::hist::bucket_bounds`]).
+    pub buckets: [u64; BUCKETS],
+    /// Wrapping sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl HistogramSample {
+    /// Total observations (sum over buckets — internally consistent by
+    /// construction, even if writers raced the capture).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+    }
+
+    /// Mean recorded value (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// The non-empty buckets as `(lo, hi, count)` triples, in value order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, n)
+            })
+    }
+}
+
+/// The captured value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// A monotonic counter's total.
+    Counter(u64),
+    /// A histogram capture (boxed: the fixed bucket array dwarfs the
+    /// counter variant, and snapshots are cold-path only).
+    Histogram(Box<HistogramSample>),
+}
+
+/// One metric in a snapshot: identity plus captured value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Stable dotted ID.
+    pub id: &'static str,
+    /// One-line description.
+    pub help: &'static str,
+    /// The captured value.
+    pub value: SampleValue,
+}
+
+/// An immutable capture of every registered metric, in catalogue order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// One sample per catalogue entry.
+    pub samples: Vec<MetricSample>,
+}
+
+impl Snapshot {
+    /// The sample for `id`, if registered.
+    pub fn get(&self, id: &str) -> Option<&MetricSample> {
+        self.samples.iter().find(|s| s.id == id)
+    }
+
+    /// The counter total for `id` (None for histograms / unknown IDs).
+    pub fn counter(&self, id: &str) -> Option<u64> {
+        match &self.get(id)?.value {
+            SampleValue::Counter(v) => Some(*v),
+            SampleValue::Histogram(_) => None,
+        }
+    }
+
+    /// The histogram capture for `id` (None for counters / unknown IDs).
+    pub fn histogram(&self, id: &str) -> Option<&HistogramSample> {
+        match &self.get(id)?.value {
+            SampleValue::Histogram(h) => Some(h.as_ref()),
+            SampleValue::Counter(_) => None,
+        }
+    }
+
+    /// Samples with any recorded activity (non-zero counters, non-empty
+    /// histograms).
+    pub fn active(&self) -> impl Iterator<Item = &MetricSample> {
+        self.samples.iter().filter(|s| match &s.value {
+            SampleValue::Counter(v) => *v > 0,
+            SampleValue::Histogram(h) => h.count() > 0,
+        })
+    }
+
+    /// Renders every metric as one JSON object per line:
+    ///
+    /// ```text
+    /// {"id":"faultsim.trials","kind":"counter","value":1000000}
+    /// {"id":"faultsim.chunk_ns","kind":"histogram","count":245,...}
+    /// ```
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            render_sample_json(&mut out, s);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders every metric as one JSON array (for embedding in a report
+    /// envelope under a `"metrics"` key).
+    pub fn to_json_array(&self) -> String {
+        let mut out = String::from("[");
+        for (i, s) in self.samples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            render_sample_json(&mut out, s);
+        }
+        out.push(']');
+        out
+    }
+
+    /// Renders only the *active* metrics as one JSON array — the compact
+    /// form the `xed-report-v1` envelope embeds under its `"telemetry"`
+    /// key (an all-zero catalogue row is noise in a run report).
+    pub fn active_to_json_array(&self) -> String {
+        let mut out = String::from("[");
+        for (i, s) in self.active().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            render_sample_json(&mut out, s);
+        }
+        out.push(']');
+        out
+    }
+
+    /// Renders an aligned, human-readable table of the *active* metrics
+    /// (an all-zero catalogue row is noise in a run report).
+    pub fn to_table(&self) -> String {
+        let active: Vec<&MetricSample> = self.active().collect();
+        let id_w = active
+            .iter()
+            .map(|s| s.id.len())
+            .chain(["metric".len()])
+            .max()
+            .unwrap_or(6);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<id_w$}  {:<9}  {}\n",
+            "metric", "kind", "value"
+        ));
+        for s in &active {
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    out.push_str(&format!("{:<id_w$}  {:<9}  {v}\n", s.id, "counter"));
+                }
+                SampleValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{:<id_w$}  {:<9}  n={} mean={:.1} max={}\n",
+                        s.id,
+                        "histogram",
+                        h.count(),
+                        h.mean(),
+                        h.max
+                    ));
+                }
+            }
+        }
+        if active.is_empty() {
+            out.push_str("(no activity recorded)\n");
+        }
+        out
+    }
+}
+
+/// Appends one metric sample as a JSON object (no trailing newline).
+fn render_sample_json(out: &mut String, s: &MetricSample) {
+    match &s.value {
+        SampleValue::Counter(v) => {
+            out.push_str(&format!(
+                "{{\"id\":{},\"kind\":\"counter\",\"value\":{v}}}",
+                json_string(s.id)
+            ));
+        }
+        SampleValue::Histogram(h) => {
+            out.push_str(&format!(
+                "{{\"id\":{},\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"max\":{},\"mean\":{:.6},\"buckets\":[",
+                json_string(s.id),
+                h.count(),
+                h.sum,
+                h.max,
+                h.mean()
+            ));
+            for (i, (lo, hi, n)) in h.nonzero_buckets().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{lo},{hi},{n}]"));
+            }
+            out.push_str("]}");
+        }
+    }
+}
+
+/// Renders `s` as a JSON string literal (quotes included), escaping the
+/// characters JSON requires. Shared by every hand-rendered JSON writer in
+/// the workspace.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use crate::registry::{self, metrics};
+
+    fn sample_of(h: &Histogram) -> HistogramSample {
+        h.sample()
+    }
+
+    #[test]
+    fn histogram_sample_consistency() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 1000] {
+            h.record(v);
+        }
+        let s = sample_of(&h);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.sum, 1006);
+        assert_eq!(s.max, 1000);
+        let nz: Vec<_> = s.nonzero_buckets().collect();
+        assert_eq!(nz, vec![(0, 0, 1), (1, 1, 1), (4, 7, 1), (512, 1023, 1)]);
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn snapshot_render_roundtrip_shapes() {
+        // Use metrics no other test writes concurrently.
+        metrics::ECC_RS_ERASURES.reset();
+        metrics::MEMSIM_SCHED_READ_LATENCY.reset();
+        metrics::ECC_RS_ERASURES.add(3);
+        metrics::MEMSIM_SCHED_READ_LATENCY.record(100);
+        metrics::MEMSIM_SCHED_READ_LATENCY.record(200);
+
+        let snap = registry::snapshot();
+        assert_eq!(snap.counter("ecc.rs.erasures"), Some(3));
+        let h = snap.histogram("memsim.sched.read_latency").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum, 300);
+
+        let lines = snap.to_json_lines();
+        assert!(lines.contains("{\"id\":\"ecc.rs.erasures\",\"kind\":\"counter\",\"value\":3}"));
+        assert!(lines.contains("\"id\":\"memsim.sched.read_latency\",\"kind\":\"histogram\""));
+        // One line per catalogue entry.
+        assert_eq!(lines.lines().count(), snap.samples.len());
+        // Every line parses as a balanced object (cheap structural check).
+        for line in lines.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+
+        let arr = snap.to_json_array();
+        assert!(arr.starts_with('[') && arr.ends_with(']'));
+
+        let table = snap.to_table();
+        assert!(table.contains("ecc.rs.erasures"));
+        assert!(table.contains("n=2 mean=150.0 max=200"));
+
+        metrics::ECC_RS_ERASURES.reset();
+        metrics::MEMSIM_SCHED_READ_LATENCY.reset();
+    }
+
+    #[test]
+    fn snapshot_while_writing_is_consistent_and_monotone() {
+        // The satellite test: snapshots taken while writers are mid-flight
+        // must observe valid, monotonically non-decreasing state — never a
+        // torn or decreasing total.
+        let h = Histogram::new();
+        let c = crate::Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (h, c) = (&h, &c);
+                scope.spawn(move || {
+                    for i in 0..50_000u64 {
+                        h.record(i % 1024);
+                        c.add(2);
+                    }
+                });
+            }
+            let (h, c) = (&h, &c);
+            scope.spawn(move || {
+                let mut last_count = 0u64;
+                let mut last_total = 0u64;
+                for _ in 0..200 {
+                    let s = h.sample();
+                    let count = s.count();
+                    assert!(count >= last_count, "histogram count went backwards");
+                    assert!(count <= 200_000);
+                    // Max only grows and stays in the recorded domain.
+                    assert!(s.max < 1024);
+                    let total = c.value();
+                    assert!(total >= last_total, "counter went backwards");
+                    assert!(total <= 400_000 && total % 2 == 0);
+                    last_count = count;
+                    last_total = total;
+                }
+            });
+        });
+        assert_eq!(h.sample().count(), 200_000);
+        assert_eq!(c.value(), 400_000);
+    }
+}

@@ -1,0 +1,264 @@
+//! The workspace metric registry: every metric is a static, registered
+//! exactly once in [`CATALOGUE`] under a stable dotted ID.
+//!
+//! IDs are namespaced by the crate that owns the *phenomenon* (not the
+//! crate that happens to bump the counter): `faultsim.*` for the
+//! Monte-Carlo engine, `memsim.*` for the cycle-level simulator,
+//! `core.*` for the functional controllers, and `ecc.*` for decode-kernel
+//! work. The ECC kernels themselves stay telemetry-free (their per-word
+//! throughput is benchmarked to the nanosecond); `ecc.*` counters are
+//! bumped by the kernels' *consumers* at batch boundaries.
+//!
+//! The catalogue below is machine-checked: xed-lint rule XL010 verifies
+//! that every ID appears exactly once here, that every `metrics::NAME`
+//! referenced from workspace code is registered, and that the DESIGN.md
+//! §11 table lists every ID. Keep each entry on one line — the lint's
+//! parser pairs the ID literal with the `metrics::NAME` token per line.
+
+use crate::counter::Counter;
+use crate::export::{MetricSample, SampleValue, Snapshot};
+use crate::hist::Histogram;
+
+/// Where a metric's live value comes from.
+#[derive(Debug, Clone, Copy)]
+pub enum MetricSource {
+    /// A sharded monotonic counter.
+    Counter(&'static Counter),
+    /// A log2 histogram.
+    Histogram(&'static Histogram),
+}
+
+/// One registered metric: stable ID, human help text, live source.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricDef {
+    /// Stable dotted ID (e.g. `faultsim.trials`). Never renamed; reports
+    /// and downstream tooling key on it.
+    pub id: &'static str,
+    /// One-line description for the table exporter and DESIGN.md §11.
+    pub help: &'static str,
+    /// The live metric behind the ID.
+    pub source: MetricSource,
+}
+
+/// The metric statics. Instrumented code reaches these directly
+/// (`registry::metrics::FAULTSIM_TRIALS.add(n)`); exporters go through
+/// [`CATALOGUE`].
+pub mod metrics {
+    use crate::counter::Counter;
+    use crate::hist::Histogram;
+
+    // -- faultsim: the Monte-Carlo engine ---------------------------------
+    pub static FAULTSIM_RUNS: Counter = Counter::new();
+    pub static FAULTSIM_TRIALS: Counter = Counter::new();
+    pub static FAULTSIM_ZERO_FAULT_TRIALS: Counter = Counter::new();
+    pub static FAULTSIM_DUE: Counter = Counter::new();
+    pub static FAULTSIM_SDC: Counter = Counter::new();
+    pub static FAULTSIM_STEAL_CHUNKS: Counter = Counter::new();
+    pub static FAULTSIM_STEAL_CHUNK_TRIALS: Histogram = Histogram::new();
+    pub static FAULTSIM_CHUNK_NS: Histogram = Histogram::new();
+    pub static FAULTSIM_TRIAL_NS: Histogram = Histogram::new();
+
+    // -- memsim: the cycle-level memory simulator -------------------------
+    pub static MEMSIM_SCHED_READS_DONE: Counter = Counter::new();
+    pub static MEMSIM_SCHED_WRITES_DONE: Counter = Counter::new();
+    pub static MEMSIM_SCHED_QUEUE_DEPTH: Histogram = Histogram::new();
+    pub static MEMSIM_SCHED_READ_LATENCY: Histogram = Histogram::new();
+    pub static MEMSIM_ECCPATH_LINES_DECODED: Counter = Counter::new();
+    pub static MEMSIM_ECCPATH_BEATS_CORRECTED: Counter = Counter::new();
+    pub static MEMSIM_ECCPATH_DUE_LINES: Counter = Counter::new();
+
+    // -- core: the functional controllers ---------------------------------
+    pub static CORE_XED_READS: Counter = Counter::new();
+    pub static CORE_XED_WRITES: Counter = Counter::new();
+    pub static CORE_XED_CATCH_WORDS: Counter = Counter::new();
+    pub static CORE_XED_RECONSTRUCTIONS: Counter = Counter::new();
+    pub static CORE_XED_SERIAL_MODES: Counter = Counter::new();
+    pub static CORE_XED_CATCHWORD_COLLISIONS: Counter = Counter::new();
+    pub static CORE_XED_DIAGNOSIS_RUNS: Counter = Counter::new();
+    pub static CORE_XED_DUE: Counter = Counter::new();
+    pub static CORE_XED_SCRUB_WRITES: Counter = Counter::new();
+    pub static CORE_ALERT_READS: Counter = Counter::new();
+    pub static CORE_ALERT_ALERTS: Counter = Counter::new();
+    pub static CORE_ALERT_RECONSTRUCTIONS: Counter = Counter::new();
+    pub static CORE_ALERT_DIAGNOSES: Counter = Counter::new();
+    pub static CORE_ALERT_DUE: Counter = Counter::new();
+    pub static CORE_SECDED_READS: Counter = Counter::new();
+    pub static CORE_SECDED_CORRECTIONS: Counter = Counter::new();
+    pub static CORE_SECDED_DUE: Counter = Counter::new();
+
+    // -- ecc: decode-kernel work, attributed by consumers -----------------
+    pub static ECC_LINES_DECODED: Counter = Counter::new();
+    pub static ECC_WORDS_DECODED: Counter = Counter::new();
+    pub static ECC_CORRECTIONS: Counter = Counter::new();
+    pub static ECC_DUE_WORDS: Counter = Counter::new();
+    pub static ECC_RS_CORRECTIONS: Counter = Counter::new();
+    pub static ECC_RS_ERASURES: Counter = Counter::new();
+}
+
+/// Shorthand for a counter catalogue entry (keeps entries one-line for
+/// the XL010 parser).
+const fn c(id: &'static str, help: &'static str, m: &'static Counter) -> MetricDef {
+    MetricDef {
+        id,
+        help,
+        source: MetricSource::Counter(m),
+    }
+}
+
+/// Shorthand for a histogram catalogue entry.
+const fn h(id: &'static str, help: &'static str, m: &'static Histogram) -> MetricDef {
+    MetricDef {
+        id,
+        help,
+        source: MetricSource::Histogram(m),
+    }
+}
+
+/// Every metric in the workspace, exactly once, in report order.
+///
+/// One entry per line — xed-lint XL010 parses this region.
+#[rustfmt::skip]
+pub static CATALOGUE: &[MetricDef] = &[
+    c("faultsim.runs", "Monte-Carlo run_many invocations", &metrics::FAULTSIM_RUNS),
+    c("faultsim.trials", "Monte-Carlo trials simulated (all schemes)", &metrics::FAULTSIM_TRIALS),
+    c("faultsim.zero_fault_trials", "Trials that took the zero-fault fast path", &metrics::FAULTSIM_ZERO_FAULT_TRIALS),
+    c("faultsim.due", "Trials ending in a detected-uncorrectable failure", &metrics::FAULTSIM_DUE),
+    c("faultsim.sdc", "Trials ending in silent data corruption", &metrics::FAULTSIM_SDC),
+    c("faultsim.steal.chunks", "Work-stealing chunks claimed by workers", &metrics::FAULTSIM_STEAL_CHUNKS),
+    h("faultsim.steal.chunk_trials", "Trials per claimed work-stealing chunk", &metrics::FAULTSIM_STEAL_CHUNK_TRIALS),
+    h("faultsim.chunk_ns", "Wall nanoseconds per work-stealing chunk", &metrics::FAULTSIM_CHUNK_NS),
+    h("faultsim.trial_ns", "Average nanoseconds per trial, sampled per chunk", &metrics::FAULTSIM_TRIAL_NS),
+    c("memsim.sched.reads_done", "Demand reads completed by the memory controller", &metrics::MEMSIM_SCHED_READS_DONE),
+    c("memsim.sched.writes_done", "Writebacks issued to DRAM", &metrics::MEMSIM_SCHED_WRITES_DONE),
+    h("memsim.sched.queue_depth", "Read-queue depth observed at each enqueue", &metrics::MEMSIM_SCHED_QUEUE_DEPTH),
+    h("memsim.sched.read_latency", "Per-read latency in memory cycles (enqueue to data)", &metrics::MEMSIM_SCHED_READ_LATENCY),
+    c("memsim.eccpath.lines_decoded", "Cache lines pushed through the functional decode stage", &metrics::MEMSIM_ECCPATH_LINES_DECODED),
+    c("memsim.eccpath.beats_corrected", "Beats whose single-bit error the (72,64) code corrected", &metrics::MEMSIM_ECCPATH_BEATS_CORRECTED),
+    c("memsim.eccpath.due_lines", "Lines with at least one detected-uncorrectable beat", &metrics::MEMSIM_ECCPATH_DUE_LINES),
+    c("core.xed.reads", "Cache-line reads served by the XED controller", &metrics::CORE_XED_READS),
+    c("core.xed.writes", "Cache-line writes (excluding scrubs and diagnosis)", &metrics::CORE_XED_WRITES),
+    c("core.xed.catch_words", "Catch-words observed on the bus", &metrics::CORE_XED_CATCH_WORDS),
+    c("core.xed.reconstructions", "Lines erasure-reconstructed from RAID-3 parity", &metrics::CORE_XED_RECONSTRUCTIONS),
+    c("core.xed.serial_modes", "Serial-mode episodes (multiple catch-words)", &metrics::CORE_XED_SERIAL_MODES),
+    c("core.xed.catchword_collisions", "Catch-word collisions detected and re-keyed", &metrics::CORE_XED_CATCHWORD_COLLISIONS),
+    c("core.xed.diagnosis_runs", "Inter-Line plus Intra-Line diagnosis procedures run", &metrics::CORE_XED_DIAGNOSIS_RUNS),
+    c("core.xed.due", "Detected-uncorrectable errors reported by XED controllers", &metrics::CORE_XED_DUE),
+    c("core.xed.scrub_writes", "Scrub write-backs issued after corrections", &metrics::CORE_XED_SCRUB_WRITES),
+    c("core.alert.reads", "Reads served by the ALERT_n-style controller", &metrics::CORE_ALERT_READS),
+    c("core.alert.alerts", "ALERT_n assertions observed", &metrics::CORE_ALERT_ALERTS),
+    c("core.alert.reconstructions", "Lines the alert controller corrected via parity", &metrics::CORE_ALERT_RECONSTRUCTIONS),
+    c("core.alert.diagnoses", "Pattern-diagnosis procedures run (anonymous mode)", &metrics::CORE_ALERT_DIAGNOSES),
+    c("core.alert.due", "DUEs reported by the alert controller", &metrics::CORE_ALERT_DUE),
+    c("core.secded.reads", "Reads served by the rank-level SEC-DED DIMM", &metrics::CORE_SECDED_READS),
+    c("core.secded.corrections", "Single-bit corrections by the rank-level SEC-DED code", &metrics::CORE_SECDED_CORRECTIONS),
+    c("core.secded.due", "DUEs reported by the rank-level SEC-DED DIMM", &metrics::CORE_SECDED_DUE),
+    c("ecc.lines_decoded", "64-byte lines through the batched decode kernels", &metrics::ECC_LINES_DECODED),
+    c("ecc.words_decoded", "Codewords through the word decode kernels", &metrics::ECC_WORDS_DECODED),
+    c("ecc.corrections", "Codewords corrected by SEC-DED/CRC8 decode", &metrics::ECC_CORRECTIONS),
+    c("ecc.due_words", "Codewords flagged detected-uncorrectable", &metrics::ECC_DUE_WORDS),
+    c("ecc.rs.corrections", "Reed-Solomon symbols corrected (chipkill decode)", &metrics::ECC_RS_CORRECTIONS),
+    c("ecc.rs.erasures", "Reed-Solomon erasure reconstructions", &metrics::ECC_RS_ERASURES),
+];
+
+/// Looks up a metric definition by ID.
+pub fn find(id: &str) -> Option<&'static MetricDef> {
+    CATALOGUE.iter().find(|d| d.id == id)
+}
+
+/// The live value of a counter metric (None if the ID is unknown or a
+/// histogram).
+pub fn counter_value(id: &str) -> Option<u64> {
+    match find(id)?.source {
+        MetricSource::Counter(m) => Some(m.value()),
+        MetricSource::Histogram(_) => None,
+    }
+}
+
+/// Captures every registered metric into an immutable [`Snapshot`].
+///
+/// Each metric is read atomically per field; a snapshot taken while
+/// writers run observes some valid intermediate state of each metric
+/// (never torn values), and successive snapshots are monotone.
+pub fn snapshot() -> Snapshot {
+    let samples = CATALOGUE
+        .iter()
+        .map(|def| MetricSample {
+            id: def.id,
+            help: def.help,
+            value: match def.source {
+                MetricSource::Counter(m) => SampleValue::Counter(m.value()),
+                MetricSource::Histogram(m) => SampleValue::Histogram(Box::new(m.sample())),
+            },
+        })
+        .collect();
+    Snapshot { samples }
+}
+
+/// Zeroes every registered metric. Run-report binaries call this before
+/// the measured region so the snapshot covers exactly one run.
+pub fn reset_all() {
+    for def in CATALOGUE {
+        match def.source {
+            MetricSource::Counter(m) => m.reset(),
+            MetricSource::Histogram(m) => m.reset(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_ids_are_unique_and_dotted() {
+        let mut seen = std::collections::HashSet::new();
+        for def in CATALOGUE {
+            assert!(seen.insert(def.id), "duplicate metric id {}", def.id);
+            assert!(def.id.contains('.'), "{} is not dotted", def.id);
+            assert!(
+                def.id
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
+                "{} has chars outside [a-z0-9._]",
+                def.id
+            );
+            assert!(!def.help.is_empty(), "{} has no help text", def.id);
+        }
+    }
+
+    #[test]
+    fn required_ids_are_registered() {
+        // The IDs named in ISSUE/DESIGN docs; renaming any of these is a
+        // breaking change to the report schema.
+        for id in [
+            "faultsim.trials",
+            "ecc.rs.corrections",
+            "memsim.sched.queue_depth",
+            "core.xed.catchword_collisions",
+            "ecc.lines_decoded",
+        ] {
+            assert!(find(id).is_some(), "required metric {id} missing");
+        }
+    }
+
+    #[test]
+    fn snapshot_covers_the_whole_catalogue() {
+        let snap = snapshot();
+        assert_eq!(snap.samples.len(), CATALOGUE.len());
+        for (s, d) in snap.samples.iter().zip(CATALOGUE.iter()) {
+            assert_eq!(s.id, d.id);
+        }
+    }
+
+    #[test]
+    fn counter_value_reads_live_state() {
+        // Use a metric no other test touches.
+        metrics::CORE_SECDED_READS.reset();
+        metrics::CORE_SECDED_READS.add(41);
+        metrics::CORE_SECDED_READS.incr();
+        assert_eq!(counter_value("core.secded.reads"), Some(42));
+        assert_eq!(counter_value("memsim.sched.queue_depth"), None);
+        assert_eq!(counter_value("no.such.metric"), None);
+        metrics::CORE_SECDED_READS.reset();
+    }
+}

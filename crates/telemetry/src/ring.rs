@@ -1,0 +1,211 @@
+//! Fixed-capacity event rings: the last N interesting things that
+//! happened, with zero allocation and wraparound overwrite.
+//!
+//! A [`Ring`] is single-owner by construction — each functional
+//! controller (and each worker that wants one) embeds its own, so pushes
+//! are plain stores with no synchronization. The ring keeps the most
+//! recent [`Ring::capacity`] events plus a total-pushed count, so a run
+//! report can show both "what just happened" and "how much was dropped".
+
+/// What happened. The variants mirror the events the XED mechanism is
+/// built around (paper Sections IV–VII): fault arrival, the on-die
+/// detection signal, the controller's erasure repair, and the two failure
+/// outcomes, plus the rarer control events worth seeing in a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A fault was injected into a chip (`a` = chip index).
+    FaultInjected,
+    /// A chip emitted its catch-word / raised its alert (`a` = chip).
+    CatchWord,
+    /// A chip's data was erasure-reconstructed (`a` = chip).
+    ErasureReconstructed,
+    /// A detected-uncorrectable error (`a` = suspect count).
+    Due,
+    /// A silent data corruption was (externally) observed.
+    Sdc,
+    /// A catch-word collision was detected and re-keyed (`a` = chip).
+    Collision,
+    /// The controller fell back to serial mode (`a` = catch-word count).
+    SerialMode,
+    /// A diagnosis procedure ran (`a` = 0 inter-line, 1 intra-line).
+    Diagnosis,
+}
+
+/// One recorded event: a kind plus two free-form operands whose meaning
+/// is documented per [`EventKind`] variant (`b` is usually an address or
+/// line number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// First operand (commonly a chip index or count).
+    pub a: u64,
+    /// Second operand (commonly a line address; 0 when unused).
+    pub b: u64,
+}
+
+impl Event {
+    /// Builds an event.
+    pub const fn new(kind: EventKind, a: u64, b: u64) -> Self {
+        Self { kind, a, b }
+    }
+}
+
+/// Default ring capacity: enough context to explain a failure without
+/// bloating every controller (256 × 24 B = 6 KiB).
+pub const DEFAULT_RING_CAPACITY: usize = 256;
+
+/// A fixed-capacity ring of the most recent [`Event`]s.
+#[derive(Debug, Clone)]
+pub struct Ring<const N: usize = DEFAULT_RING_CAPACITY> {
+    buf: [Event; N],
+    /// Index the *next* push writes to.
+    head: usize,
+    /// Events currently held (saturates at `N`).
+    len: usize,
+    /// Events ever pushed (including overwritten ones).
+    total: u64,
+}
+
+impl<const N: usize> Ring<N> {
+    /// An empty ring.
+    pub const fn new() -> Self {
+        Self {
+            buf: [Event::new(EventKind::FaultInjected, 0, 0); N],
+            head: 0,
+            len: 0,
+            total: 0,
+        }
+    }
+
+    /// Capacity in events.
+    pub const fn capacity(&self) -> usize {
+        N
+    }
+
+    /// Events currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Events ever pushed, including ones the wraparound overwrote.
+    pub fn total_pushed(&self) -> u64 {
+        self.total
+    }
+
+    /// Events lost to wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.len as u64
+    }
+
+    /// Appends an event, overwriting the oldest once full.
+    #[inline]
+    pub fn push(&mut self, e: Event) {
+        self.buf[self.head] = e;
+        self.head = (self.head + 1) % N;
+        if self.len < N {
+            self.len += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Records a `(kind, a, b)` triple.
+    #[inline]
+    pub fn record(&mut self, kind: EventKind, a: u64, b: u64) {
+        self.push(Event::new(kind, a, b));
+    }
+
+    /// The retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        let start = (self.head + N - self.len) % N;
+        (0..self.len).map(move |i| &self.buf[(start + i) % N])
+    }
+
+    /// Clears the ring (total-pushed resets too).
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+        self.total = 0;
+    }
+}
+
+impl<const N: usize> Default for Ring<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(a: u64) -> Event {
+        Event::new(EventKind::CatchWord, a, 0)
+    }
+
+    #[test]
+    fn push_and_iterate_in_order() {
+        let mut r: Ring<4> = Ring::new();
+        assert!(r.is_empty());
+        r.push(ev(1));
+        r.push(ev(2));
+        r.push(ev(3));
+        let got: Vec<u64> = r.iter().map(|e| e.a).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_pushed(), 3);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_and_counts_drops() {
+        // The satellite test: push 10 into capacity 4; the ring holds the
+        // last 4 in order and reports 6 dropped.
+        let mut r: Ring<4> = Ring::new();
+        for i in 1..=10u64 {
+            r.push(ev(i));
+        }
+        let got: Vec<u64> = r.iter().map(|e| e.a).collect();
+        assert_eq!(got, vec![7, 8, 9, 10]);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total_pushed(), 10);
+        assert_eq!(r.dropped(), 6);
+    }
+
+    #[test]
+    fn exact_capacity_boundary() {
+        let mut r: Ring<3> = Ring::new();
+        for i in 1..=3u64 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.iter().map(|e| e.a).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(r.dropped(), 0);
+        r.push(ev(4));
+        assert_eq!(r.iter().map(|e| e.a).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut r: Ring<2> = Ring::new();
+        r.push(ev(1));
+        r.push(ev(2));
+        r.push(ev(3));
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.total_pushed(), 0);
+        r.push(ev(9));
+        assert_eq!(r.iter().map(|e| e.a).collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn default_capacity_is_documented() {
+        let r: Ring = Ring::new();
+        assert_eq!(r.capacity(), DEFAULT_RING_CAPACITY);
+    }
+}

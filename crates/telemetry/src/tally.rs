@@ -1,0 +1,122 @@
+//! Owned, thread-local counter blocks — the merge primitive behind the
+//! workspace's per-run stat structs.
+//!
+//! A [`Tallies<N>`] is a fixed array of `u64` counts with plain
+//! (non-atomic) adds: the right shape for code on a nanosecond budget,
+//! like the Monte-Carlo trial loop, where even an uncontended atomic is
+//! measurable. Workers accumulate into their own block and the driver
+//! folds blocks together with [`Tallies::merge`] at the join point; every
+//! operation is a commutative add, so the fold order can never change the
+//! totals (the foundation of the engine's thread-count invariance).
+//!
+//! `RunStats`, `AlertStats`, and `EccPathStats` are all thin snapshot
+//! views over blocks of this type (see the equivalence tests in
+//! `tests/telemetry_equivalence.rs`).
+
+/// A fixed-size block of `u64` tallies with commutative merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tallies<const N: usize> {
+    vals: [u64; N],
+}
+
+impl<const N: usize> Tallies<N> {
+    /// A zeroed block.
+    pub const fn new() -> Self {
+        Self { vals: [0; N] }
+    }
+
+    /// A block with explicit initial values.
+    pub const fn from_array(vals: [u64; N]) -> Self {
+        Self { vals }
+    }
+
+    /// Adds `n` to slot `i`.
+    #[inline]
+    pub fn add(&mut self, i: usize, n: u64) {
+        self.vals[i] = self.vals[i].wrapping_add(n);
+    }
+
+    /// Adds one to slot `i`.
+    #[inline]
+    pub fn bump(&mut self, i: usize) {
+        self.add(i, 1);
+    }
+
+    /// The value in slot `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        self.vals[i]
+    }
+
+    /// Element-wise wrapping sum of two blocks.
+    #[must_use]
+    pub fn merge(&self, other: &Self) -> Self {
+        let mut out = *self;
+        out.merge_from(other);
+        out
+    }
+
+    /// In-place element-wise wrapping add of `other` into `self`.
+    pub fn merge_from(&mut self, other: &Self) {
+        for (a, b) in self.vals.iter_mut().zip(other.vals.iter()) {
+            *a = a.wrapping_add(*b);
+        }
+    }
+
+    /// Sum of every slot.
+    pub fn total(&self) -> u64 {
+        self.vals.iter().fold(0u64, |a, &v| a.wrapping_add(v))
+    }
+
+    /// The underlying array.
+    pub fn as_array(&self) -> &[u64; N] {
+        &self.vals
+    }
+}
+
+impl<const N: usize> Default for Tallies<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_bump_get() {
+        let mut t: Tallies<3> = Tallies::new();
+        t.add(0, 5);
+        t.bump(1);
+        t.bump(1);
+        assert_eq!(t.as_array(), &[5, 2, 0]);
+        assert_eq!(t.total(), 7);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let a = Tallies::from_array([1u64, 2, 3]);
+        let b = Tallies::from_array([10, 20, 30]);
+        let c = Tallies::from_array([100, 200, 300]);
+        assert_eq!(a.merge(&b), b.merge(&a));
+        assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        assert_eq!(a.merge(&b).as_array(), &[11, 22, 33]);
+    }
+
+    #[test]
+    fn merge_from_matches_merge() {
+        let a = Tallies::from_array([7u64, 8]);
+        let b = Tallies::from_array([1, 2]);
+        let mut m = a;
+        m.merge_from(&b);
+        assert_eq!(m, a.merge(&b));
+    }
+
+    #[test]
+    fn wrapping_never_panics() {
+        let mut t = Tallies::from_array([u64::MAX]);
+        t.add(0, 2);
+        assert_eq!(t.get(0), 1);
+    }
+}

@@ -1,7 +1,7 @@
 //! The `xed-lint` scanning engine: line-based heuristic rules over the
 //! library crates, plus hooks for the linked golden-value rules.
 //!
-//! Scope: `crates/{ecc,faultsim,core,memsim}/src/**/*.rs` — the four
+//! Scope: `crates/{ecc,faultsim,core,memsim,telemetry}/src/**/*.rs` — the
 //! *library* crates whose correctness the simulations rest on. Benches,
 //! examples, integration tests, the vendored `rand` shim and this crate
 //! are exempt, as is everything from a file's `#[cfg(test)]` marker to its
@@ -22,7 +22,10 @@
 //! | XL007 | error    | `FitRates::table_i()` drifts from paper Table I        |
 //! | XL008 | error    | catch-word / geometry constants drift from paper §IV-V |
 //! | XL009 | error    | heap allocation (`Vec::`, `vec![`, `.to_vec()`) in a   |
-//! |       |          | designated allocation-free ECC hot module              |
+//! |       |          | designated allocation-free hot module (ECC kernels,    |
+//! |       |          | telemetry primitives)                                  |
+//! | XL010 | error    | telemetry metric registered twice / unregistered /     |
+//! |       |          | undocumented in DESIGN.md (see `metrics_check`)        |
 //!
 //! Waivers: `// xed-lint: allow(XL004)` on the offending line or the line
 //! directly above suppresses that rule for that line. XL002 is satisfied by
@@ -106,15 +109,18 @@ fn json_string(s: &str) -> String {
 }
 
 /// The library crates the source rules scan.
-pub const LIBRARY_CRATES: [&str; 4] = ["ecc", "faultsim", "core", "memsim"];
+pub const LIBRARY_CRATES: [&str; 5] = ["ecc", "faultsim", "core", "memsim", "telemetry"];
 
-/// Designated allocation-free hot modules of `crates/ecc` (rule XL009).
-/// These hold the word-parallel decode kernels the simulators call per
-/// memory access; heap traffic there is a performance regression by
-/// definition. `gf.rs` (table construction) and `reference.rs` (the
-/// designated home for the seed's `Vec`-returning pipeline) are exempt,
-/// as are doc comments and `#[cfg(test)]` modules everywhere.
-pub const ECC_HOT_MODULES: [&str; 8] = [
+/// Designated allocation-free hot modules (rule XL009). The `ecc` entries
+/// hold the word-parallel decode kernels the simulators call per memory
+/// access; the `telemetry` entries are the recording primitives every
+/// instrumented hot loop touches. Heap traffic in either is a performance
+/// regression by definition. `ecc/gf.rs` (table construction),
+/// `ecc/reference.rs` (the designated home for the seed's `Vec`-returning
+/// pipeline) and `telemetry/export.rs` (the once-per-report snapshot
+/// layer) are exempt, as are doc comments and `#[cfg(test)]` modules
+/// everywhere.
+pub const ALLOC_FREE_HOT_MODULES: [&str; 12] = [
     "crates/ecc/src/bits.rs",
     "crates/ecc/src/codeword.rs",
     "crates/ecc/src/crc8.rs",
@@ -123,10 +129,14 @@ pub const ECC_HOT_MODULES: [&str; 8] = [
     "crates/ecc/src/rs.rs",
     "crates/ecc/src/secded.rs",
     "crates/ecc/src/secded32.rs",
+    "crates/telemetry/src/counter.rs",
+    "crates/telemetry/src/hist.rs",
+    "crates/telemetry/src/ring.rs",
+    "crates/telemetry/src/tally.rs",
 ];
 
-fn is_ecc_hot_module(rel_path: &str) -> bool {
-    ECC_HOT_MODULES
+fn is_alloc_free_hot_module(rel_path: &str) -> bool {
+    ALLOC_FREE_HOT_MODULES
         .iter()
         .any(|m| rel_path == *m || rel_path.ends_with(m))
 }
@@ -267,7 +277,7 @@ pub fn scan_file(rel_path: &str, text: &str) -> Vec<Finding> {
             }
         }
 
-        if is_ecc_hot_module(rel_path) {
+        if is_alloc_free_hot_module(rel_path) {
             for tok in ["Vec::", "vec![", ".to_vec()"] {
                 if trimmed.contains(tok) && !waived("XL009") {
                     findings.push(Finding {
@@ -276,9 +286,10 @@ pub fn scan_file(rel_path: &str, text: &str) -> Vec<Finding> {
                         rule: "XL009",
                         severity: Severity::Error,
                         message: format!(
-                            "heap allocation (`{tok}`) in an allocation-free ECC hot \
+                            "heap allocation (`{tok}`) in an allocation-free hot \
                              module; use the fixed-capacity scratch/array APIs, or move \
-                             `Vec`-returning convenience code to `ecc/src/reference.rs`"
+                             `Vec`-returning convenience code to `ecc/src/reference.rs` \
+                             / `telemetry/src/export.rs`"
                         ),
                     });
                 }
@@ -544,10 +555,22 @@ mod tests {
 
     #[test]
     fn hot_module_list_is_workspace_rooted() {
-        for m in ECC_HOT_MODULES {
-            assert!(m.starts_with("crates/ecc/src/"), "{m}");
+        for m in ALLOC_FREE_HOT_MODULES {
+            assert!(
+                m.starts_with("crates/ecc/src/") || m.starts_with("crates/telemetry/src/"),
+                "{m}"
+            );
             assert!(m.ends_with(".rs"), "{m}");
         }
+    }
+
+    #[test]
+    fn telemetry_primitives_are_hot_modules() {
+        let f = scan_file("crates/telemetry/src/ring.rs", "let v = Vec::new();");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "XL009");
+        // The snapshot/export layer is allowed to allocate.
+        assert!(scan_file("crates/telemetry/src/export.rs", "let v = Vec::new();").is_empty());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 mod golden;
 mod lint;
+mod metrics_check;
 
 use std::env;
 use std::path::PathBuf;
@@ -81,6 +82,7 @@ fn run_lint(args: &[String]) -> ExitCode {
     };
     findings.extend(golden::check_fit_table());
     findings.extend(golden::check_catch_word_constants());
+    findings.extend(metrics_check::check_metrics(&root));
 
     let errors = findings
         .iter()

@@ -1,0 +1,337 @@
+//! Rule XL010: the telemetry metric catalogue is closed and documented.
+//!
+//! The registry (`crates/telemetry/src/registry.rs`) is the single source
+//! of truth for metric identity: every metric static lives in its
+//! `pub mod metrics`, and every stable dotted ID is bound to exactly one
+//! static in its `CATALOGUE`. This pass re-derives that contract from the
+//! source text and cross-checks it against the rest of the workspace:
+//!
+//! 1. every catalogue ID appears exactly once;
+//! 2. every catalogue entry references a declared metric static, and no
+//!    static is registered twice or left unregistered;
+//! 3. every `metrics::NAME` reference anywhere under `crates/*/src` (and
+//!    the bench binaries) resolves to a registered static;
+//! 4. every catalogue ID is listed (backticked) in the DESIGN.md §11
+//!    metric catalogue.
+//!
+//! The parser is deliberately line-based — registry.rs keeps one
+//! catalogue entry per line by documented convention — so the check stays
+//! dependency-free like the rest of xed-lint.
+
+use std::fs;
+use std::path::Path;
+
+use crate::lint::{Finding, Severity};
+
+const REGISTRY: &str = "crates/telemetry/src/registry.rs";
+const DESIGN: &str = "DESIGN.md";
+
+/// One parsed `c("id", "...", &metrics::NAME)` / `h(...)` catalogue line.
+struct Entry {
+    id: String,
+    static_name: String,
+    line: usize,
+}
+
+fn finding(file: &str, line: usize, message: String) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line,
+        rule: "XL010",
+        severity: Severity::Error,
+        message,
+    }
+}
+
+/// Runs the whole XL010 pass rooted at `root`.
+pub fn check_metrics(root: &Path) -> Vec<Finding> {
+    let registry_path = root.join(REGISTRY);
+    let text = match fs::read_to_string(&registry_path) {
+        Ok(t) => t,
+        Err(e) => {
+            return vec![finding(
+                REGISTRY,
+                0,
+                format!("cannot read the metric registry: {e}"),
+            )]
+        }
+    };
+
+    let statics = parse_statics(&text);
+    let entries = parse_catalogue(&text);
+    let mut findings = Vec::new();
+
+    if statics.is_empty() || entries.is_empty() {
+        findings.push(finding(
+            REGISTRY,
+            0,
+            "found no metric statics or no catalogue entries; the XL010 \
+             parser expects `pub static NAME: Counter|Histogram` in `mod \
+             metrics` and one `c(...)`/`h(...)` entry per line"
+                .to_string(),
+        ));
+        return findings;
+    }
+
+    // 1. IDs are unique.
+    for (i, e) in entries.iter().enumerate() {
+        if entries[..i].iter().any(|p| p.id == e.id) {
+            findings.push(finding(
+                REGISTRY,
+                e.line,
+                format!("metric id `{}` is registered more than once", e.id),
+            ));
+        }
+    }
+
+    // 2. Catalogue <-> statics is a bijection.
+    for (i, e) in entries.iter().enumerate() {
+        if !statics.iter().any(|(name, _)| name == &e.static_name) {
+            findings.push(finding(
+                REGISTRY,
+                e.line,
+                format!(
+                    "catalogue entry `{}` references `metrics::{}`, which is \
+                     not declared in `mod metrics`",
+                    e.id, e.static_name
+                ),
+            ));
+        }
+        if entries[..i].iter().any(|p| p.static_name == e.static_name) {
+            findings.push(finding(
+                REGISTRY,
+                e.line,
+                format!(
+                    "`metrics::{}` is bound to more than one metric id",
+                    e.static_name
+                ),
+            ));
+        }
+    }
+    for (name, line) in &statics {
+        if !entries.iter().any(|e| &e.static_name == name) {
+            findings.push(finding(
+                REGISTRY,
+                *line,
+                format!("`metrics::{name}` is declared but never registered in CATALOGUE"),
+            ));
+        }
+    }
+
+    // 3. Every `metrics::NAME` use in the workspace resolves.
+    findings.extend(check_uses(root, &statics));
+
+    // 4. Every ID is documented in DESIGN.md §11.
+    match fs::read_to_string(root.join(DESIGN)) {
+        Ok(design) => {
+            for e in &entries {
+                if !design.contains(&format!("`{}`", e.id)) {
+                    findings.push(finding(
+                        DESIGN,
+                        0,
+                        format!(
+                            "metric id `{}` is registered but missing from the \
+                             DESIGN.md metric catalogue (§11)",
+                            e.id
+                        ),
+                    ));
+                }
+            }
+        }
+        Err(e) => findings.push(finding(DESIGN, 0, format!("cannot read DESIGN.md: {e}"))),
+    }
+
+    findings
+}
+
+/// `pub static NAME: Counter = ...` / `: Histogram = ...` lines inside
+/// registry.rs, as `(name, 1-based line)`.
+fn parse_statics(text: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let t = line.trim();
+        let Some(rest) = t.strip_prefix("pub static ") else {
+            continue;
+        };
+        if !(t.contains(": Counter") || t.contains(": Histogram")) {
+            continue;
+        }
+        if let Some(name) = rest.split(':').next() {
+            out.push((name.trim().to_string(), idx + 1));
+        }
+    }
+    out
+}
+
+/// The one-per-line `c("id", "help", &metrics::NAME)` catalogue entries.
+fn parse_catalogue(text: &str) -> Vec<Entry> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if !(t.starts_with("c(\"") || t.starts_with("h(\"")) {
+            continue;
+        }
+        let Some(id) = t.split('"').nth(1) else {
+            continue;
+        };
+        let Some(after) = t.split("&metrics::").nth(1) else {
+            continue;
+        };
+        let static_name: String = after
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        out.push(Entry {
+            id: id.to_string(),
+            static_name,
+            line: idx + 1,
+        });
+    }
+    out
+}
+
+/// Scans every `crates/*/src/**/*.rs` file (registry.rs excepted — it is
+/// the declaration site) for `metrics::NAME` references to undeclared
+/// statics.
+fn check_uses(root: &Path, statics: &[(String, usize)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let crates_dir = root.join("crates");
+    let Ok(read) = fs::read_dir(&crates_dir) else {
+        return findings;
+    };
+    let mut files = Vec::new();
+    for entry in read.flatten() {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            let _ = collect_rs(&src, &mut files);
+        }
+    }
+    files.sort();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .into_owned();
+        // The registry declares the statics; this file talks *about*
+        // `metrics::NAME` references in messages and docs.
+        if rel == REGISTRY || rel == "crates/xtask/src/metrics_check.rs" {
+            continue;
+        }
+        let Ok(text) = fs::read_to_string(&file) else {
+            continue;
+        };
+        for (idx, line) in text.lines().enumerate() {
+            for chunk in line.split("metrics::").skip(1) {
+                let name: String = chunk
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                // Only SCREAMING_CASE idents are metric statics; skip
+                // module paths / type names routed through `metrics::`.
+                if name.len() < 2 || !name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                    continue;
+                }
+                if name.chars().any(|c| c.is_ascii_lowercase()) {
+                    continue;
+                }
+                if !statics.iter().any(|(s, _)| s == &name) {
+                    findings.push(finding(
+                        &rel,
+                        idx + 1,
+                        format!(
+                            "`metrics::{name}` is not declared in the telemetry \
+                             registry; add the static and a CATALOGUE entry"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> Result<(), std::io::Error> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+pub mod metrics {
+    pub static FOO_COUNT: Counter = Counter::new();
+    pub static BAR_NS: Histogram = Histogram::new();
+}
+pub static CATALOGUE: &[MetricDef] = &[
+    c("foo.count", "help", &metrics::FOO_COUNT),
+    h("bar.ns", "help", &metrics::BAR_NS),
+];
+"#;
+
+    #[test]
+    fn parses_statics_and_catalogue() {
+        let statics = parse_statics(GOOD);
+        assert_eq!(
+            statics.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            vec!["FOO_COUNT", "BAR_NS"]
+        );
+        let entries = parse_catalogue(GOOD);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].id, "foo.count");
+        assert_eq!(entries[0].static_name, "FOO_COUNT");
+        assert_eq!(entries[1].id, "bar.ns");
+        assert_eq!(entries[1].static_name, "BAR_NS");
+    }
+
+    #[test]
+    fn real_registry_is_clean() {
+        // The workspace root is two levels above this crate.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("invariant: xtask lives at <root>/crates/xtask");
+        let findings = check_metrics(root);
+        assert!(
+            findings.is_empty(),
+            "XL010 findings against the real workspace:\n{}",
+            findings
+                .iter()
+                .map(Finding::render)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn duplicate_id_and_unregistered_static_detected() {
+        let text = r#"
+pub mod metrics {
+    pub static FOO_COUNT: Counter = Counter::new();
+    pub static ORPHAN: Counter = Counter::new();
+}
+pub static CATALOGUE: &[MetricDef] = &[
+    c("foo.count", "help", &metrics::FOO_COUNT),
+    c("foo.count", "help again", &metrics::FOO_COUNT),
+    c("ghost.metric", "help", &metrics::MISSING),
+];
+"#;
+        let statics = parse_statics(text);
+        let entries = parse_catalogue(text);
+        // Re-run the registry-local checks by hand (check_metrics needs a
+        // filesystem root; the parsing layer is what we exercise here).
+        assert!(entries.iter().filter(|e| e.id == "foo.count").count() == 2);
+        assert!(statics.iter().any(|(n, _)| n == "ORPHAN"));
+        assert!(!statics.iter().any(|(n, _)| n == "MISSING"));
+    }
+}

@@ -1,7 +1,7 @@
 //! # XED — Exposing On-Die Error Detection Information for Strong Memory Reliability
 //!
 //! A full Rust reproduction of the ISCA 2016 paper by Nair, Sridharan and
-//! Qureshi. This meta-crate re-exports the four constituent crates:
+//! Qureshi. This meta-crate re-exports the five constituent crates:
 //!
 //! * [`ecc`] — SECDED codes (Hamming, CRC8-ATM), RAID-3 parity, GF
 //!   arithmetic and Reed–Solomon Chipkill codecs.
@@ -12,6 +12,9 @@
 //!   diagnosis.
 //! * [`memsim`] — a USIMM-style cycle-level DDR3 simulator with a power
 //!   model, used for all performance/power results.
+//! * [`telemetry`] — the workspace observability substrate: allocation-free
+//!   counters, log2 histograms, event rings and the unified run-report
+//!   exporters (DESIGN.md §11).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -35,3 +38,4 @@ pub use xed_core as core;
 pub use xed_ecc as ecc;
 pub use xed_faultsim as faultsim;
 pub use xed_memsim as memsim;
+pub use xed_telemetry as telemetry;
