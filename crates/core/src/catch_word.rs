@@ -174,4 +174,102 @@ mod tests {
             "0x00000000000000ab"
         );
     }
+
+    // ---- collision behavior (paper Section IV / V-D3) ----------------
+
+    /// An RNG that replays a script of values — lets the tests steer the
+    /// uniqueness/re-key loops into their collision branches.
+    struct ScriptedRng {
+        script: Vec<u64>,
+        at: usize,
+    }
+
+    impl rand::RngCore for ScriptedRng {
+        fn next_u64(&mut self) -> u64 {
+            let v = self.script[self.at % self.script.len()];
+            self.at += 1;
+            v
+        }
+    }
+
+    #[test]
+    fn data_matching_a_catch_word_is_a_collision_until_rekeyed() {
+        // Section IV: a *data* value that happens to equal a chip's
+        // catch-word is indistinguishable from an error signal — the
+        // false identification IS the collision. Re-keying (V-D3)
+        // resolves it: the stale value stops signaling.
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut t = CatchWordTable::generate(&mut rng, 9);
+        let colliding_data = t.word(2).value();
+        assert!(t.identify(2, colliding_data), "collision not flagged");
+
+        let fresh = t.regenerate(&mut rng, 2);
+        assert!(!t.identify(2, colliding_data), "stale word still signals");
+        assert!(t.identify(2, fresh.value()));
+    }
+
+    #[test]
+    fn generate_discards_duplicate_draws() {
+        // Feed the generator the same value twice before each fresh one:
+        // the uniqueness filter (Section V-A) must reject the replays and
+        // still hand every chip a distinct word.
+        let mut rng = ScriptedRng {
+            script: vec![7, 7, 7, 11, 11, 13, 13, 17, 17],
+            at: 0,
+        };
+        let t = CatchWordTable::generate(&mut rng, 4);
+        let mut values: Vec<u64> = (0..4).map(|i| t.word(i).value()).collect();
+        values.sort_unstable();
+        assert_eq!(values, vec![7, 11, 13, 17]);
+    }
+
+    #[test]
+    fn regenerate_never_adopts_another_chips_word() {
+        // The re-key draw may itself collide with a *different* chip's
+        // catch-word; the loop must skip it or one physical value would
+        // signal two chips.
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut t = CatchWordTable::generate(&mut rng, 3);
+        let other = t.word(0).value();
+        let mut scripted = ScriptedRng {
+            script: vec![other, other, 0xDEAD_BEEF],
+            at: 0,
+        };
+        let fresh = t.regenerate(&mut scripted, 1);
+        assert_eq!(fresh.value(), 0xDEAD_BEEF);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert_ne!(t.word(i), t.word(j));
+            }
+        }
+    }
+
+    #[test]
+    fn x4_collision_criterion_is_the_full_transfer_value() {
+        // x4 catch-words occupy 32 significant bits (Section IX-A); the
+        // controller still compares the whole received word, so a value
+        // agreeing only in the low half is NOT a collision.
+        let mut rng = StdRng::seed_from_u64(42);
+        let cw = CatchWord::random_x4(&mut rng);
+        assert!(cw.matches(cw.value()));
+        assert!(!cw.matches(cw.value() | (1 << 32)));
+    }
+
+    #[test]
+    fn x4_collisions_are_detected_and_rekeyed_end_to_end() {
+        // The functional x4 system: write a line that deliberately
+        // contains a chip's own catch-word; the read must flag the
+        // collision, re-key the chip, and return correct data
+        // (Section IX-A's "collisions are harmless" argument).
+        use crate::xed_chipkill::XedChipkillSystem;
+        let mut sys = XedChipkillSystem::new(0xC0111);
+        let mut line = [0x5A5A_5A5Au32; 16];
+        line[3] = sys.catch_word(3);
+        let before = sys.catch_word(3);
+        sys.write_line(1, &line);
+        let out = sys.read_line(1).expect("a collision is not a fault");
+        assert_eq!(out.data, line);
+        assert!(out.collision, "collision not reported");
+        assert_ne!(sys.catch_word(3), before, "chip 3 not re-keyed");
+    }
 }

@@ -46,6 +46,7 @@ pub mod dimm;
 pub mod error;
 pub mod fault;
 pub mod fct;
+pub mod oracle;
 pub mod secded_dimm;
 pub mod xed_chipkill;
 

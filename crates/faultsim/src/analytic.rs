@@ -87,13 +87,13 @@ pub fn p_fail_single_fault(rates: &FitRates, total_chips: u32, years: f64) -> f6
 }
 
 /// First-order probability that an erasure/symbol scheme tolerating one
-/// chip fails within `years` because **two** chips in one protection domain
-/// develop faults that intersect at a common line.
+/// chip fails within `years` because **two distinct** chips in one
+/// protection domain develop faults that intersect at a common line.
 ///
-/// Counts permanent×permanent pairs (either order) and permanent-then-
-/// transient pairs (a corrected transient is scrubbed, so only a transient
-/// arriving *after* a live permanent fault pairs with it — probability ½
-/// given both occur).
+/// Only the *cross-chip* pairing is a failure mode; two faults on the
+/// same chip merge into a single erasure the scheme still corrects. The
+/// derivation is spelled out inline so the term-counting can be audited
+/// against the Monte-Carlo response model.
 pub fn p_fail_double_fault(
     rates: &FitRates,
     config: &SystemConfig,
@@ -107,7 +107,29 @@ pub fn p_fail_double_fault(
         .into_iter()
         .filter(|e| e.is_multi_bit())
         .collect();
-    let mut p_pair = 0.0f64;
+
+    // --- Derivation --------------------------------------------------
+    //
+    // Same-chip term: identically zero, not merely neglected. A second
+    // fault on an already-faulty chip widens one erasure; the domain
+    // still has a single faulty chip, within the correction budget. The
+    // Monte-Carlo response model encodes the same fact by filtering
+    // `a.chip != e.chip` in `SchemeModel::concurrent_chips`, so the two
+    // sides of the analytic-vs-MC comparison agree term for term.
+    //
+    // Cross-chip term: fix an ordered pair of distinct chips (c₁, c₂)
+    // and fault extents (e₁ on c₁, e₂ on c₂). To first order in the
+    // per-chip mode probabilities p(e) = FIT(e)·10⁻⁹·hours:
+    //   · permanent × permanent faults coexist regardless of arrival
+    //     order: contribution ov(e₁,e₂) · p_P(e₁) · p_P(e₂);
+    //   · permanent + transient coexist only when the transient arrives
+    //     second (a corrected transient is scrubbed away); by
+    //     exchangeability of arrival order that is half the mass:
+    //     contribution ov · (p_P(e₁)p_T(e₂) + p_T(e₁)p_P(e₂)) / 2;
+    //   · transient × transient pairs require two un-scrubbed transients
+    //     to overlap in time — O(exposure/lifetime) smaller — and are
+    //     dropped, matching the MC model at zero exposure.
+    let mut p_pair_ordered = 0.0f64;
     for &e1 in &large {
         for &e2 in &large {
             let ov = p_line_overlap(e1, e2, g);
@@ -115,18 +137,20 @@ pub fn p_fail_double_fault(
             let p2p = p_mode(rates, e2, false, hours);
             let p1t = p_mode(rates, e1, true, hours);
             let p2t = p_mode(rates, e2, true, hours);
-            // perm × perm (ordered pairs counted once via symmetric sum/2
-            // handled by iterating ordered and halving at the end).
-            p_pair += ov * (p1p * p2p);
-            // perm then transient: transient must come second (½).
-            p_pair += ov * (p1p * p2t + p1t * p2p) * 0.5;
+            p_pair_ordered += ov * (p1p * p2p + (p1p * p2t + p1t * p2p) * 0.5);
         }
     }
-    // Ordered double-count: divide by 2; pairs of chips: C(domain,2).
-    let per_domain = p_pair / 2.0 * binomial(domain_chips, 2) * 2.0;
-    // (…/2 for ordered extents, ×2 for ordered chips cancel; keep explicit.)
-    let p = per_domain * domains as f64;
-    p.min(1.0)
+    // Chip-pair combinatorics: a physical configuration {(c₁,e₁),(c₂,e₂)}
+    // appears exactly twice in the [ordered chips × ordered extents]
+    // double sum — as (c₁,c₂,e₁,e₂) and (c₂,c₁,e₂,e₁) — so
+    //   per_domain = p_pair_ordered · #ordered-chip-pairs / 2
+    //              = p_pair_ordered · 2·C(n,2) / 2
+    //              = p_pair_ordered · C(n,2).
+    let ordered_chip_pairs = 2.0 * binomial(domain_chips, 2);
+    let per_domain = p_pair_ordered * ordered_chip_pairs / 2.0;
+    // Domains fail independently; at first order the union bound is a sum
+    // (clamped for pathological inputs).
+    (per_domain * domains as f64).min(1.0)
 }
 
 /// First-order probability that a scheme tolerating **two** chip failures
@@ -274,6 +298,29 @@ mod tests {
         let cfg = SystemConfig::x8_ecc_dimm();
         let p = p_fail_double_fault(&FitRates::table_i(), &cfg, 9, cfg.total_ranks(), 7.0);
         assert!((1e-4..2e-3).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn same_chip_pairs_never_count_as_double_faults() {
+        // A 1-chip "domain" has no distinct chip pair: C(1,2) = 0, so the
+        // double-fault probability is exactly zero — the same-chip term
+        // must not leak in through the extent sum.
+        let cfg = SystemConfig::x8_ecc_dimm();
+        let p = p_fail_double_fault(&FitRates::table_i(), &cfg, 1, 8, 7.0);
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn double_fault_scales_as_cross_chip_pair_count() {
+        // Doubling the domain from 9 to 18 chips (same total domains)
+        // multiplies the probability by C(18,2)/C(9,2) = 153/36 exactly,
+        // because only the cross-chip pair count changes.
+        let cfg = SystemConfig::x8_ecc_dimm();
+        let rates = FitRates::table_i();
+        let p9 = p_fail_double_fault(&rates, &cfg, 9, 4, 7.0);
+        let p18 = p_fail_double_fault(&rates, &cfg, 18, 4, 7.0);
+        let ratio = p18 / p9;
+        assert!((ratio - 153.0 / 36.0).abs() < 1e-9, "ratio {ratio}");
     }
 
     #[test]

@@ -154,6 +154,65 @@ impl SchemeResult {
         let p = self.lifetime_failure_probability();
         1.96 * (p * (1.0 - p) / self.samples as f64).sqrt()
     }
+
+    /// Two-sided 99 % binomial confidence half-width on the lifetime
+    /// failure probability: `2.576 · √(p(1−p)/n)`. The analytic oracle in
+    /// `xed-testkit` gates the Monte-Carlo estimate against closed-form
+    /// probabilities at this stricter bound, so a divergence it reports is
+    /// statistically significant, not sampling noise.
+    pub fn confidence99(&self) -> f64 {
+        let p = self.lifetime_failure_probability();
+        2.576 * (p * (1.0 - p) / self.samples as f64).sqrt()
+    }
+}
+
+/// One classifier decision inside a replayed trial ([`MonteCarlo::replay_trial`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialStep {
+    /// Arrival time of the evaluated fault, in hours since system start.
+    pub time_hours: f64,
+    /// Global chip index the fault struck; `None` on the isolated-fault
+    /// fast path (the verdict is chip-independent there, and the replay
+    /// mirrors the production loop draw-for-draw).
+    pub chip: Option<u32>,
+    /// Spatial extent of the evaluated fault.
+    pub extent: crate::fault::FaultExtent,
+    /// Persistence of the evaluated fault.
+    pub persistence: Persistence,
+    /// Faults still active (unexpired, survived) when this one arrived.
+    pub active: usize,
+    /// The classifier's verdict for this access.
+    pub verdict: Verdict,
+}
+
+/// Failure record of a replayed trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialFailure {
+    /// `true` for a detected-uncorrectable failure, `false` for silent
+    /// data corruption.
+    pub due: bool,
+    /// Year bucket the failure falls in (clamped like the aggregate run).
+    pub year: usize,
+    /// Extent index (per [`crate::fault::FaultExtent::ALL`]) of the fault
+    /// whose arrival triggered the failure.
+    pub extent_index: usize,
+}
+
+/// Deterministic single-trial evaluation: the full decision timeline of
+/// trial `trial`, exactly as the aggregate run scored it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialReplay {
+    /// The replayed scheme.
+    pub scheme: Scheme,
+    /// The replayed trial index.
+    pub trial: u64,
+    /// `true` if the lifetime drew zero faults (no steps).
+    pub zero_fault: bool,
+    /// Every classifier decision, in arrival order. Evaluation stops at
+    /// the first failure, like the production loop.
+    pub steps: Vec<TrialStep>,
+    /// The failure that ended the trial, if any.
+    pub failure: Option<TrialFailure>,
 }
 
 /// Throughput and scheduler counters for one Monte-Carlo invocation.
@@ -277,6 +336,110 @@ impl MonteCarlo {
     }
 
     /// The shared engine behind `run`/`run_all`.
+    /// Replays one trial of `scheme` and returns its full decision
+    /// timeline.
+    ///
+    /// This is the deterministic single-shot evaluation hook behind the
+    /// golden conformance traces (`xed-trace-v1`): it consumes the *same*
+    /// counter-based stream as trial `trial` of [`Self::run`], mirrors the
+    /// production loop draw-for-draw (zero-fault fast path, isolated-fault
+    /// fast path, expiry bookkeeping, stop-at-first-failure), and so
+    /// aggregating `replay_trial` over every trial index reproduces the
+    /// aggregate [`SchemeResult`] bit-for-bit (asserted by
+    /// `replaying_every_trial_reproduces_the_aggregate_result` below).
+    pub fn replay_trial(&self, scheme: Scheme, trial: u64) -> TrialReplay {
+        let config = &self.config;
+        let years = config.years.ceil() as usize;
+        let model = SchemeModel::new(scheme, config.params);
+        let sampler = LifetimeSampler::new(
+            &config.rates,
+            model.config().geometry,
+            model.config().total_chips(),
+            config.years,
+        );
+        let streams = Streams::new(
+            config
+                .seed
+                .wrapping_add(scheme.stream_tag().wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        let exposure = model.params().transient_exposure_hours;
+        let mut replay = TrialReplay {
+            scheme,
+            trial,
+            zero_fault: false,
+            steps: Vec::new(),
+            failure: None,
+        };
+
+        let u0 = streams.split_first(trial);
+        if sampler.is_zero_fault(u0) {
+            replay.zero_fault = true;
+            return replay;
+        }
+        let mut rng = streams.split_rest(trial);
+        let count = sampler.count_split(u0, &mut rng);
+        if count == 0 {
+            replay.zero_fault = true;
+            return replay;
+        }
+        if count == 1 {
+            let (extent, persistence, time_hours) = sampler.sample_mode_time(&mut rng);
+            let verdict = model.evaluate_isolated(&mut rng, extent, persistence);
+            replay.steps.push(TrialStep {
+                time_hours,
+                chip: None,
+                extent,
+                persistence,
+                active: 0,
+                verdict,
+            });
+            if matches!(verdict, Verdict::Due | Verdict::Sdc) {
+                replay.failure = Some(TrialFailure {
+                    due: verdict == Verdict::Due,
+                    year: ((time_hours * YEAR_RECIP) as usize).min(years - 1),
+                    extent_index: extent.index(),
+                });
+            }
+            return replay;
+        }
+        let mut events = Vec::new();
+        sampler.events_into(count, &mut rng, &mut events);
+        let mut active: Vec<(f64, FaultEvent)> = Vec::new();
+        let mut view: Vec<FaultEvent> = Vec::new();
+        for e in &events {
+            active.retain(|&(expiry, _)| expiry > e.time_hours);
+            view.clear();
+            view.extend(active.iter().map(|&(_, f)| f));
+            let verdict = model.evaluate(&mut rng, e, &view);
+            replay.steps.push(TrialStep {
+                time_hours: e.time_hours,
+                chip: Some(e.chip),
+                extent: e.fault.extent,
+                persistence: e.fault.persistence,
+                active: view.len(),
+                verdict,
+            });
+            match verdict {
+                Verdict::Due | Verdict::Sdc => {
+                    replay.failure = Some(TrialFailure {
+                        due: verdict == Verdict::Due,
+                        year: ((e.time_hours * YEAR_RECIP) as usize).min(years - 1),
+                        extent_index: e.fault.extent.index(),
+                    });
+                    break;
+                }
+                Verdict::Corrected | Verdict::Benign => match e.fault.persistence {
+                    Persistence::Permanent => active.push((f64::INFINITY, *e)),
+                    Persistence::Transient if exposure > 0.0 => {
+                        active.push((e.time_hours + exposure, *e));
+                    }
+                    Persistence::Transient => {}
+                },
+            }
+        }
+        replay
+    }
+
     fn run_many(&self, schemes: &[Scheme]) -> (Vec<SchemeResult>, RunStats) {
         let threads = self.threads();
         let config = &self.config;
@@ -617,6 +780,78 @@ mod tests {
             assert_eq!(results[0], results[1], "{scheme}: 1 vs 3 threads");
             assert_eq!(results[0], results[2], "{scheme}: 1 vs 8 threads");
         }
+    }
+
+    #[test]
+    fn replaying_every_trial_reproduces_the_aggregate_result() {
+        // replay_trial must consume the identical stream the aggregate
+        // run does, so folding all replays together is the aggregate
+        // SchemeResult, bit for bit. This is what licenses the golden
+        // traces to describe "what the simulator did" for a trial.
+        let mc = quick(6_000);
+        for scheme in [Scheme::EccDimm, Scheme::Xed, Scheme::XedChipkill] {
+            let aggregate = mc.run(scheme);
+            let years = mc.config().years.ceil() as usize;
+            let mut folded = SchemeResult {
+                scheme,
+                samples: 6_000,
+                failures_by_year: vec![0; years],
+                due: 0,
+                sdc: 0,
+                failures_by_extent: [0; 6],
+            };
+            for trial in 0..6_000 {
+                let replay = mc.replay_trial(scheme, trial);
+                if let Some(f) = replay.failure {
+                    folded.failures_by_year[f.year] += 1;
+                    folded.failures_by_extent[f.extent_index] += 1;
+                    if f.due {
+                        folded.due += 1;
+                    } else {
+                        folded.sdc += 1;
+                    }
+                }
+            }
+            assert_eq!(folded, aggregate, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn replay_timeline_is_consistent() {
+        let mc = quick(4_000);
+        for trial in 0..4_000 {
+            let replay = mc.replay_trial(Scheme::Xed, trial);
+            assert_eq!(replay.zero_fault, replay.steps.is_empty());
+            // Evaluation stops at the first failure, so a failure verdict
+            // may only appear on the final step.
+            for step in &replay.steps[..replay.steps.len().saturating_sub(1)] {
+                assert!(matches!(step.verdict, Verdict::Benign | Verdict::Corrected));
+            }
+            if let Some(f) = replay.failure {
+                // invariant: failure implies at least one step, and its
+                // verdict must agree with the failure record.
+                let last = replay.steps.last().expect("failure without steps");
+                assert_eq!(f.due, last.verdict == Verdict::Due);
+            }
+            // Arrival order is non-decreasing in time.
+            for pair in replay.steps.windows(2) {
+                assert!(pair[0].time_hours <= pair[1].time_hours);
+            }
+        }
+    }
+
+    #[test]
+    fn confidence99_is_wider_than_confidence95_by_z_ratio() {
+        let r = SchemeResult {
+            scheme: Scheme::EccDimm,
+            samples: 1_000_000,
+            failures_by_year: vec![],
+            due: 300,
+            sdc: 100,
+            failures_by_extent: [0; 6],
+        };
+        let ratio = r.confidence99() / r.confidence95();
+        assert!((ratio - 2.576 / 1.96).abs() < 1e-12, "ratio {ratio}");
     }
 
     #[test]

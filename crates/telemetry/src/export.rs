@@ -110,6 +110,46 @@ impl Snapshot {
         })
     }
 
+    /// The change between `baseline` (captured earlier) and `self`
+    /// (captured later): a snapshot containing only the metrics whose
+    /// value moved, with counters replaced by their *delta*.
+    ///
+    /// Counters are monotonic, so the delta is a plain wrapping
+    /// subtraction. A histogram that moved is carried over as-is from
+    /// `self` (bucket-wise subtraction would fabricate a "histogram of
+    /// the interval" that racing writers can skew); callers that need
+    /// interval counts should diff `count()` themselves. Metrics absent
+    /// from `baseline` (e.g. a newer catalogue) are treated as starting
+    /// from zero. The verify-matrix driver uses this to pin the
+    /// telemetry a replayed trial is expected to publish.
+    pub fn diff(&self, baseline: &Snapshot) -> Snapshot {
+        let samples = self
+            .samples
+            .iter()
+            .filter_map(|s| {
+                let value = match (&s.value, baseline.get(s.id).map(|b| &b.value)) {
+                    (SampleValue::Counter(now), Some(SampleValue::Counter(then))) => {
+                        let delta = now.wrapping_sub(*then);
+                        (delta != 0).then_some(SampleValue::Counter(delta))
+                    }
+                    (SampleValue::Counter(now), _) => {
+                        (*now != 0).then_some(SampleValue::Counter(*now))
+                    }
+                    (SampleValue::Histogram(h), Some(SampleValue::Histogram(b))) => {
+                        (h != b).then(|| s.value.clone())
+                    }
+                    (SampleValue::Histogram(h), _) => (h.count() != 0).then(|| s.value.clone()),
+                };
+                value.map(|value| MetricSample {
+                    id: s.id,
+                    help: s.help,
+                    value,
+                })
+            })
+            .collect();
+        Snapshot { samples }
+    }
+
     /// Renders every metric as one JSON object per line:
     ///
     /// ```text
@@ -265,6 +305,50 @@ mod tests {
         assert_eq!(s.max, 1000);
         let nz: Vec<_> = s.nonzero_buckets().collect();
         assert_eq!(nz, vec![(0, 0, 1), (1, 1, 1), (4, 7, 1), (512, 1023, 1)]);
+    }
+
+    #[test]
+    fn diff_keeps_only_moved_metrics_as_deltas() {
+        let hist_then = HistogramSample {
+            buckets: [0; BUCKETS],
+            sum: 0,
+            max: 0,
+        };
+        let mut hist_now = hist_then.clone();
+        hist_now.buckets[0] = 2;
+        hist_now.sum = 0;
+        let mk = |c_val: u64, h: &HistogramSample| Snapshot {
+            samples: vec![
+                MetricSample {
+                    id: "t.counter",
+                    help: "",
+                    value: SampleValue::Counter(c_val),
+                },
+                MetricSample {
+                    id: "t.steady",
+                    help: "",
+                    value: SampleValue::Counter(7),
+                },
+                MetricSample {
+                    id: "t.hist",
+                    help: "",
+                    value: SampleValue::Histogram(Box::new(h.clone())),
+                },
+            ],
+        };
+        let then = mk(10, &hist_then);
+        let now = mk(14, &hist_now);
+        let d = now.diff(&then);
+        // The unchanged counter and nothing else drops out; the moved
+        // counter becomes its delta; the moved histogram is carried over.
+        assert_eq!(d.counter("t.counter"), Some(4));
+        assert!(d.get("t.steady").is_none());
+        assert_eq!(d.histogram("t.hist").map(|h| h.count()), Some(2));
+        // Diffing a snapshot against itself is empty.
+        assert!(now.diff(&now).samples.is_empty());
+        // A metric missing from the baseline counts from zero.
+        let empty = Snapshot { samples: vec![] };
+        assert_eq!(now.diff(&empty).counter("t.counter"), Some(14));
     }
 
     #[test]

@@ -1,0 +1,512 @@
+//! Hardware realization of every response-model outcome class.
+//!
+//! The Monte-Carlo classifier (`SchemeModel::evaluate`) maps a fault
+//! arrival to a verdict through a handful of *abstract* branches: "the
+//! DIMM SECDED detects the burst", "the on-die code misses the word",
+//! "two erasures exceed the parity budget", … [`Realization::build`]
+//! certifies each branch **in hardware**: it constructs a concrete
+//! corruption realizing the branch's micro-architectural assumption,
+//! pushes it through the functional data path (`SecdedDimm`, `XedDimm`,
+//! `XedChipkillSystem`, the `xed-ecc` Reed–Solomon codecs) and asserts
+//! the read classifies as the model claims. [`Realization::outcome`] then
+//! serves the certified outcome for any (scheme, corner, fault-class)
+//! tuple, which is what the exhaustive oracle compares the classifier
+//! against placement by placement.
+//!
+//! The factorization is honest because the *model's* verdict provably
+//! depends only on the class — `(scheme, corner, extent, persistence,
+//! concurrent-chip count)` — never on the concrete bank/row/column; the
+//! oracle separately brute-forces the concurrent-chip count on the tiny
+//! geometry, so every abstract input of the class is itself checked.
+//!
+//! Known fidelity caveats, asserted as such here and documented in
+//! DESIGN.md §12:
+//!
+//! * **SECDED burst response is probabilistic.** A multi-bit chip fault
+//!   drives one 8-bit burst per 72-bit beat; real Hamming(72,64) decodes
+//!   it as a DUE for some corruption patterns and silently mis-corrects
+//!   others. The model draws a Bernoulli; the realization pins one
+//!   concrete corruption per side ([`Corner::Zero`] → DUE,
+//!   [`Corner::One`] → SDC).
+//! * **SSC-DSD detection is typical-case.** RS(18,16) (d = 3) *detects*
+//!   most double-symbol corruptions, but patterns within distance 1 of
+//!   another codeword mis-correct (~6 %). The model's `n = 2 → DUE` arm
+//!   is certified with a pinned detected instance; the mis-correcting
+//!   minority is the code's documented detection escape, not a simulator
+//!   bug.
+
+use crate::forced::Corner;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xed_core::chip::{ChipGeometry, DramChip, OnDieCode, WordAddr};
+use xed_core::fault::{FaultKind, InjectedFault};
+use xed_core::oracle::{secded_read, xed_chipkill_read, xed_read, PathOutcome};
+use xed_ecc::chipkill::{Chipkill, DoubleChipkill, SymbolOutcome};
+use xed_ecc::reference::crc8_u32_bitserial;
+use xed_faultsim::fault::FaultExtent;
+use xed_faultsim::schemes::Scheme;
+use xed_faultsim::Persistence;
+
+/// The line every realization read targets, and its per-chip address.
+const LINE: u64 = 0;
+const ADDR: WordAddr = WordAddr {
+    bank: 0,
+    row: 0,
+    col: 0,
+};
+
+/// Cap on the deterministic corruption searches performed at build time.
+/// The rarest searched class (all eight SECDED beats escape detection)
+/// occurs for ≈0.3 % of corruption seeds, so 2¹⁴ candidates leave a
+/// vanishing miss probability.
+const SEARCH_CAP: u64 = 1 << 14;
+
+/// The hardware-certified outcome table (see module docs).
+#[derive(Debug)]
+pub struct Realization {
+    /// Single-line word fault whose read the SECDED DIMM flags as a DUE.
+    secded_due: InjectedFault,
+    /// Single-line word fault every beat of which the SECDED DIMM either
+    /// passes or silently mis-corrects — wrong data, no flag.
+    secded_sdc: InjectedFault,
+    /// Word fault the x8 on-die code *detects* at the read address.
+    xed_word_event: InjectedFault,
+    /// Word fault the x8 on-die code *misses* at the read address.
+    xed_word_miss: InjectedFault,
+    /// x4 word fault the 32-bit on-die code misses at the read address,
+    /// pinned so the XED+Chipkill erasure decode fails (DUE).
+    x4_word_miss: InjectedFault,
+}
+
+impl Realization {
+    /// Builds and certifies the table. Every assertion here is a
+    /// hardware fact the oracle's expected verdicts rest on; a failure
+    /// means the functional models and the response model have diverged.
+    pub fn build() -> Self {
+        let table = Self {
+            secded_due: search("secded burst DUE", 0x5EC0_0000, |f| {
+                secded_read(&[(0, f)], LINE) == PathOutcome::Due
+            }),
+            secded_sdc: search("secded burst SDC", 0x5EC1_0000, |f| {
+                secded_read(&[(0, f)], LINE) == PathOutcome::Sdc
+            }),
+            xed_word_event: xed_core::oracle::with_event_at(word_fault(FaultKind::Permanent), ADDR),
+            xed_word_miss: xed_core::oracle::with_miss_at(word_fault(FaultKind::Permanent), ADDR),
+            // The DUE arm needs the *transient* variant: a permanent miss
+            // reproduces under pattern diagnosis and is corrected via the
+            // enlarged erasure set, so only a transient (whose evidence
+            // the diagnosis write destroys) defeats the decode.
+            x4_word_miss: search("x4 on-die miss erasure DUE", 0x0DD4_0000, |f| {
+                let (dx, cx) = f.corruption40(ADDR);
+                cx == crc8_u32_bitserial(dx)
+                    && dx != 0
+                    && xed_chipkill_read(
+                        &[
+                            (0, InjectedFault::chip(FaultKind::Permanent)),
+                            (9, f.with_kind_transient()),
+                        ],
+                        LINE,
+                        0xCA7C,
+                    ) == PathOutcome::Due
+            }),
+        };
+        table.certify();
+        table
+    }
+
+    /// Runs every certification read (split out so `build` stays a plain
+    /// constructor; called exactly once from it).
+    fn certify(&self) {
+        let chip = || InjectedFault::chip(FaultKind::Permanent);
+        // Bit faults: corrected everywhere on-die/DIMM ECC exists — the
+        // hardware face of the model's `Benign` verdict.
+        let bit = InjectedFault::bit(ADDR, 17, FaultKind::Permanent);
+        assert_eq!(secded_read(&[(0, bit)], LINE), PathOutcome::Corrected);
+        assert_eq!(xed_read(&[(0, bit)], LINE), PathOutcome::Corrected);
+
+        // SECDED: the two pinned burst responses (searched above) plus a
+        // *line-spanning* fault producing the DUE class at the read line,
+        // so the extent-independence of the EccDimm arm is witnessed.
+        assert_eq!(secded_read(&[(0, self.secded_due)], LINE), PathOutcome::Due);
+        assert_eq!(secded_read(&[(0, self.secded_sdc)], LINE), PathOutcome::Sdc);
+        let spanning_due = search("secded spanning DUE", 0x5EC2_0000, |f| {
+            secded_read(&[(0, f.with_kind_chip())], LINE) == PathOutcome::Due
+        });
+        assert_eq!(
+            secded_read(&[(0, spanning_due.with_kind_chip())], LINE),
+            PathOutcome::Due
+        );
+
+        // XED, single faulty chip. Line-spanning extents: Inter-Line
+        // diagnosis identifies the chip, parity reconstructs → Corrected
+        // for every spanning shape.
+        for f in [
+            chip(),
+            InjectedFault::bank(0, FaultKind::Permanent),
+            InjectedFault::row(0, 0, FaultKind::Permanent),
+            InjectedFault::column(0, 0, FaultKind::Permanent),
+        ] {
+            assert_eq!(xed_read(&[(3, f)], LINE), PathOutcome::Corrected);
+        }
+        // Word fault, on-die detected → catch-word → Corrected.
+        assert_eq!(
+            xed_read(&[(0, self.xed_word_event)], LINE),
+            PathOutcome::Corrected
+        );
+        // Word fault, on-die miss: permanent reproduces under Intra-Line
+        // diagnosis → Corrected; transient does not → DUE.
+        assert_eq!(
+            xed_read(&[(0, self.xed_word_miss)], LINE),
+            PathOutcome::Corrected
+        );
+        assert_eq!(
+            xed_read(&[(0, self.xed_word_miss.with_kind_transient())], LINE),
+            PathOutcome::Due
+        );
+        // Two concurrent faulty chips exceed one parity chip → DUE.
+        assert_eq!(
+            xed_read(&[(1, chip()), (5, chip())], LINE),
+            PathOutcome::Due
+        );
+
+        // XED-on-Chipkill: one or two identified erasures are within
+        // RS(18,16)'s erasure budget; three are not; a second chip whose
+        // word error escapes on-die detection corrupts the erasure set.
+        assert_eq!(
+            xed_chipkill_read(&[(2, chip())], LINE, 1),
+            PathOutcome::Corrected
+        );
+        assert_eq!(
+            xed_chipkill_read(&[(2, chip()), (9, chip())], LINE, 1),
+            PathOutcome::Corrected
+        );
+        assert_eq!(
+            xed_chipkill_read(&[(2, chip()), (9, chip()), (14, chip())], LINE, 1),
+            PathOutcome::Due
+        );
+        assert_eq!(
+            xed_chipkill_read(
+                &[(0, chip()), (9, self.x4_word_miss.with_kind_transient())],
+                LINE,
+                0xCA7C
+            ),
+            PathOutcome::Due
+        );
+
+        certify_chipkill_codec();
+        certify_double_chipkill_codec();
+        certify_non_ecc();
+    }
+
+    /// The certified data-path outcome for one classifier input class.
+    ///
+    /// `n` is the concurrent-chip count (1 = isolated), which the oracle
+    /// brute-forces independently on the tiny geometry.
+    pub fn outcome(
+        &self,
+        scheme: Scheme,
+        corner: Corner,
+        extent: FaultExtent,
+        persistence: Persistence,
+        n: u32,
+    ) -> PathOutcome {
+        let a = corner.assumption();
+        // Certified: bit faults read back corrected through both the
+        // SECDED and XED paths (the model's Benign, projected).
+        if extent == FaultExtent::Bit {
+            return PathOutcome::Corrected;
+        }
+        match scheme {
+            // Certified by certify_non_ecc: corrupted data reaches the bus
+            // with nothing DIMM-level to even flag it.
+            Scheme::NonEcc => PathOutcome::Sdc,
+            // Certified: secded_due / secded_sdc pinned bursts. The DIMM
+            // code sees only the accessed line, so the class is
+            // extent-independent (witnessed by the spanning-DUE read).
+            Scheme::EccDimm => {
+                if a.dimm_detects {
+                    PathOutcome::Due
+                } else {
+                    PathOutcome::Sdc
+                }
+            }
+            Scheme::Xed => {
+                if n >= 2 {
+                    // Certified: two faulty chips defeat single parity.
+                    PathOutcome::Due
+                } else if extent.spans_lines() {
+                    // Certified: Inter-Line diagnosis + parity, all four
+                    // spanning shapes.
+                    PathOutcome::Corrected
+                } else if a.on_die_detects {
+                    // Certified: xed_word_event read.
+                    PathOutcome::Corrected
+                } else if persistence == Persistence::Permanent {
+                    // Certified: xed_word_miss (permanent) read.
+                    PathOutcome::Corrected
+                } else {
+                    // Certified: xed_word_miss (transient) read.
+                    PathOutcome::Due
+                }
+            }
+            Scheme::XedChipkill => {
+                if n > 2 {
+                    // Certified: three erasures exceed RS(18,16).
+                    PathOutcome::Due
+                } else if n == 2 && extent == FaultExtent::Word && !a.on_die_detects {
+                    // Certified: x4_word_miss second chip corrupts the
+                    // erasure set.
+                    PathOutcome::Due
+                } else {
+                    // Certified: one and two identified erasures decode.
+                    PathOutcome::Corrected
+                }
+            }
+            // Certified by certify_chipkill_codec (x8 and x4 share the
+            // RS(18,16) symbol organization and budgets).
+            Scheme::Chipkill | Scheme::ChipkillX4 => match n {
+                0 | 1 => PathOutcome::Corrected,
+                2 => PathOutcome::Due,
+                _ => PathOutcome::Sdc,
+            },
+            // Certified by certify_double_chipkill_codec.
+            Scheme::DoubleChipkill => match n {
+                0..=2 => PathOutcome::Corrected,
+                3 => PathOutcome::Due,
+                _ => PathOutcome::Sdc,
+            },
+        }
+    }
+}
+
+/// Convenience: a permanent/transient word fault at the certified address.
+fn word_fault(kind: FaultKind) -> InjectedFault {
+    InjectedFault::word(ADDR, kind)
+}
+
+/// Deterministic corruption-seed search (bounded; see [`SEARCH_CAP`]).
+fn search(what: &str, base: u64, hit: impl Fn(InjectedFault) -> bool) -> InjectedFault {
+    for s in 0..SEARCH_CAP {
+        let f = word_fault(FaultKind::Permanent).with_seed(base.wrapping_add(s));
+        if hit(f) {
+            return f;
+        }
+    }
+    panic!("datapath realization: no corruption found for `{what}` in {SEARCH_CAP} candidates");
+}
+
+/// Fault-shape rewriting helpers used only by the certification reads.
+trait FaultRewrite {
+    fn with_kind_transient(self) -> InjectedFault;
+    fn with_kind_chip(self) -> InjectedFault;
+}
+
+impl FaultRewrite for InjectedFault {
+    /// Same corruption stream, transient persistence.
+    fn with_kind_transient(self) -> InjectedFault {
+        let mut f = self;
+        f.kind = FaultKind::Transient;
+        f
+    }
+
+    /// Same corruption stream, widened to the whole chip.
+    fn with_kind_chip(self) -> InjectedFault {
+        let mut f = self;
+        f.region = xed_core::fault::FaultRegion::Chip;
+        f
+    }
+}
+
+/// RS(18,16), d = 3: one symbol corrected, two detected (typical case),
+/// three silently swapped to another codeword.
+fn certify_chipkill_codec() {
+    let ck = Chipkill::new();
+    let data: Vec<u8> = (0..16).map(|i| i * 7 + 3).collect();
+    let cw = ck.encode(&data);
+
+    // n = 1 → Corrected, exhaustively: every chip, every nonzero error.
+    for chip in 0..Chipkill::TOTAL_CHIPS {
+        for e in 1..=255u8 {
+            let mut rx = cw.clone();
+            rx[chip] ^= e;
+            match ck.decode(&rx) {
+                SymbolOutcome::Corrected { data: d, .. } => assert_eq!(d, data),
+                other => panic!("chipkill single-symbol {chip}/{e:#x}: {other:?}"),
+            }
+        }
+    }
+
+    // n = 2 → DUE: a pinned detected instance (the typical case; the
+    // ~6 % mis-correcting minority is the SSC-DSD detection escape).
+    let mut rng = StdRng::seed_from_u64(crate::seeds::DATAPATH_SEARCH);
+    let found = (0..SEARCH_CAP).any(|_| {
+        let mut rx = cw.clone();
+        rx[0] ^= rng.gen_range(1..=255u8);
+        rx[1] ^= rng.gen_range(1..=255u8);
+        ck.decode(&rx) == SymbolOutcome::Due
+    });
+    assert!(found, "no detected double-symbol corruption");
+
+    // n = 3 → SDC: two codewords at distance exactly 3 (one data symbol
+    // plus both check symbols) — the corrupted beat IS another codeword,
+    // so the decode is Clean with wrong data.
+    let mut data2 = data.clone();
+    data2[0] ^= 0x5A;
+    let cw2 = ck.encode(&data2);
+    let dist = cw.iter().zip(&cw2).filter(|(a, b)| a != b).count();
+    assert_eq!(dist, 3, "codeword pair not at minimum distance");
+    match ck.decode(&cw2) {
+        SymbolOutcome::Clean(d) => assert_ne!(d, data),
+        other => panic!("3-symbol codeword swap not silent: {other:?}"),
+    }
+}
+
+/// RS(36,32), d = 5: two symbols corrected, three detected (pinned),
+/// four mis-corrected onto a neighboring codeword.
+fn certify_double_chipkill_codec() {
+    let dck = DoubleChipkill::new();
+    let data: Vec<u8> = (0..32).map(|i| i * 5 + 1).collect();
+    let cw = dck.encode(&data);
+
+    // n ∈ {1, 2} → Corrected: every chip pair, one fixed error value.
+    for a in 0..DoubleChipkill::TOTAL_CHIPS {
+        for b in a..DoubleChipkill::TOTAL_CHIPS {
+            let mut rx = cw.clone();
+            rx[a] ^= 0x3C;
+            if b != a {
+                rx[b] ^= 0xA5;
+            }
+            match dck.decode(&rx) {
+                SymbolOutcome::Corrected { data: d, .. } => assert_eq!(d, data, "{a},{b}"),
+                other => panic!("double-chipkill {a},{b}: {other:?}"),
+            }
+        }
+    }
+
+    // n = 3 → DUE: pinned detected triple.
+    let mut rng = StdRng::seed_from_u64(crate::seeds::DATAPATH_SEARCH ^ 1);
+    let found = (0..SEARCH_CAP).any(|_| {
+        let mut rx = cw.clone();
+        for sym in rx.iter_mut().take(3) {
+            *sym ^= rng.gen_range(1..=255u8);
+        }
+        dck.decode(&rx) == SymbolOutcome::Due
+    });
+    assert!(found, "no detected triple-symbol corruption");
+
+    // n = 4 → SDC: take a weight-5 codeword difference (one data symbol
+    // plus all four checks) and apply all but one of its positions. The
+    // received beat is then distance 1 from the *other* codeword and
+    // distance 4 from the true one — the decoder "corrects" to wrong data.
+    let mut data2 = data.clone();
+    data2[0] ^= 0x33;
+    let cw2 = dck.encode(&data2);
+    let diff: Vec<usize> = (0..cw.len()).filter(|&i| cw[i] != cw2[i]).collect();
+    assert_eq!(diff.len(), 5, "codeword pair not at minimum distance");
+    let mut rx = cw.clone();
+    for &i in &diff[..4] {
+        rx[i] = cw2[i];
+    }
+    match dck.decode(&rx) {
+        SymbolOutcome::Corrected { data: d, .. } => assert_ne!(d, data),
+        other => panic!("4-symbol near-codeword not mis-corrected: {other:?}"),
+    }
+}
+
+/// Without DIMM-level ECC, corrupted data reaches the bus unchallenged.
+fn certify_non_ecc() {
+    let mut chip = DramChip::new(ChipGeometry::small(), OnDieCode::Crc8Atm);
+    chip.set_xed_enable(false);
+    chip.write(ADDR, 0x1234_5678_9ABC_DEF0);
+    let f = search("non-ecc wrong data", 0x40EC_0000, |f| {
+        let (dx, _) = f.corruption(ADDR);
+        dx != 0
+    });
+    chip.inject_fault(f);
+    assert_ne!(chip.read(ADDR).value, 0x1234_5678_9ABC_DEF0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn realization_builds_and_serves_core_classes() {
+        let r = Realization::build();
+        // Spot-check the class lookup against facts certified above.
+        use PathOutcome::*;
+        use Persistence::*;
+        assert_eq!(
+            r.outcome(
+                Scheme::EccDimm,
+                Corner::Zero,
+                FaultExtent::Chip,
+                Permanent,
+                1
+            ),
+            Due
+        );
+        assert_eq!(
+            r.outcome(
+                Scheme::EccDimm,
+                Corner::One,
+                FaultExtent::Chip,
+                Permanent,
+                1
+            ),
+            Sdc
+        );
+        assert_eq!(
+            r.outcome(Scheme::Xed, Corner::Zero, FaultExtent::Word, Transient, 1),
+            Due
+        );
+        assert_eq!(
+            r.outcome(Scheme::Xed, Corner::Zero, FaultExtent::Word, Permanent, 1),
+            Corrected
+        );
+        assert_eq!(
+            r.outcome(Scheme::Xed, Corner::One, FaultExtent::Word, Transient, 1),
+            Corrected
+        );
+        assert_eq!(
+            r.outcome(
+                Scheme::Chipkill,
+                Corner::Zero,
+                FaultExtent::Chip,
+                Permanent,
+                3
+            ),
+            Sdc
+        );
+        assert_eq!(
+            r.outcome(
+                Scheme::DoubleChipkill,
+                Corner::Zero,
+                FaultExtent::Chip,
+                Permanent,
+                3
+            ),
+            Due
+        );
+        assert_eq!(
+            r.outcome(
+                Scheme::XedChipkill,
+                Corner::Zero,
+                FaultExtent::Word,
+                Transient,
+                2
+            ),
+            Due
+        );
+        assert_eq!(
+            r.outcome(
+                Scheme::XedChipkill,
+                Corner::One,
+                FaultExtent::Word,
+                Transient,
+                2
+            ),
+            Corrected
+        );
+    }
+}

@@ -1,0 +1,420 @@
+//! The exhaustive small-geometry oracle.
+//!
+//! Strategy (DESIGN.md §12): shrink the enumerated DRAM coordinate space
+//! to 2 banks × 3 rows × 4 columns — 24 cache lines, small enough that
+//! *every* fault placement, and every ordered 2-fault combination, can be
+//! checked rather than sampled. For each placement the classifier
+//! (`SchemeModel::evaluate`) is driven once per [`Corner`], which pins
+//! its single Bernoulli draw and makes the verdict a pure function of
+//! the placement; the verdict (with `Benign` folded into `Corrected`)
+//! must equal the hardware-certified outcome from
+//! [`crate::datapath::Realization`]. For 2-fault combinations the
+//! concurrent-chip count is additionally brute-forced with explicit
+//! 24-bit line-cover masks and compared against
+//! `SchemeModel::concurrent_chips` — a differential test of the
+//! range-intersection engine against a bitmap it cannot share code with.
+//!
+//! The classifier never bounds-checks coordinates against a geometry, so
+//! enumerating the tiny grid exercises the *identical* code path the
+//! production Monte-Carlo runs on full-size geometry: what shrinks is
+//! the enumeration space, not the system under test.
+
+use crate::datapath::Realization;
+use crate::forced::{Corner, ForcedRng};
+use xed_core::oracle::PathOutcome;
+use xed_faultsim::event::FaultEvent;
+use xed_faultsim::fault::{Fault, FaultExtent, FaultRange};
+use xed_faultsim::schemes::{ModelParams, Scheme, SchemeModel, Verdict};
+use xed_faultsim::Persistence;
+
+/// Enumerated coordinate space: 2 banks × 3 rows × 4 columns = 24 lines.
+const BANKS: u32 = 2;
+const ROWS: u32 = 3;
+const COLS: u32 = 4;
+#[cfg(test)]
+const LINES: u32 = BANKS * ROWS * COLS;
+
+/// How much of the combination space to sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleScope {
+    /// Representative chip pairs (same-domain near/far + cross-domain):
+    /// every placement pair, a subset of chip pairs. The tier-1 CI gate.
+    Quick,
+    /// Every same-domain partner chip plus a cross-domain control.
+    Full,
+}
+
+/// Outcome of the sweep for one scheme.
+#[derive(Debug, Clone)]
+pub struct SchemeOracle {
+    /// The swept scheme.
+    pub scheme: Scheme,
+    /// Single-fault cases checked (placements × chips × modes × corners).
+    pub singles: u64,
+    /// Two-fault cases checked.
+    pub pairs: u64,
+    /// Brute-force vs engine concurrent-chip comparisons made.
+    pub intersection_checks: u64,
+    /// Human-readable mismatch descriptions (capped at
+    /// [`MISMATCH_CAP`] per scheme; the counts above keep the totals).
+    pub mismatches: Vec<String>,
+}
+
+/// Per-scheme cap on *stored* mismatch descriptions.
+pub const MISMATCH_CAP: usize = 20;
+
+/// Aggregate result of [`run`].
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// One entry per swept scheme.
+    pub schemes: Vec<SchemeOracle>,
+}
+
+impl OracleReport {
+    /// Total cases checked across all schemes.
+    pub fn total_checks(&self) -> u64 {
+        self.schemes
+            .iter()
+            .map(|s| s.singles + s.pairs + s.intersection_checks)
+            .sum()
+    }
+
+    /// `true` if no scheme recorded any mismatch.
+    pub fn is_clean(&self) -> bool {
+        self.schemes.iter().all(|s| s.mismatches.is_empty())
+    }
+
+    /// One line per scheme, suitable for the driver's console output.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for s in &self.schemes {
+            out.push_str(&format!(
+                "  {:<32} singles {:>6}  pairs {:>8}  intersections {:>8}  mismatches {}\n",
+                s.scheme.label(),
+                s.singles,
+                s.pairs,
+                s.intersection_checks,
+                s.mismatches.len()
+            ));
+        }
+        out
+    }
+}
+
+/// Every fault placement on the tiny grid: 1 chip + 2 banks + 6 rows +
+/// 8 columns + 24 words + 24 bits = 65 shapes.
+fn placements() -> Vec<(FaultExtent, FaultRange)> {
+    let mut out = Vec::with_capacity(65);
+    out.push((FaultExtent::Chip, FaultRange::default()));
+    for b in 0..BANKS {
+        out.push((
+            FaultExtent::Bank,
+            FaultRange {
+                bank: Some(b),
+                ..FaultRange::default()
+            },
+        ));
+        for r in 0..ROWS {
+            out.push((
+                FaultExtent::Row,
+                FaultRange {
+                    bank: Some(b),
+                    row: Some(r),
+                    ..FaultRange::default()
+                },
+            ));
+        }
+        for c in 0..COLS {
+            out.push((
+                FaultExtent::Column,
+                FaultRange {
+                    bank: Some(b),
+                    col: Some(c),
+                    ..FaultRange::default()
+                },
+            ));
+        }
+        for r in 0..ROWS {
+            for c in 0..COLS {
+                out.push((
+                    FaultExtent::Word,
+                    FaultRange {
+                        bank: Some(b),
+                        row: Some(r),
+                        col: Some(c),
+                        bit: None,
+                    },
+                ));
+                out.push((
+                    FaultExtent::Bit,
+                    FaultRange {
+                        bank: Some(b),
+                        row: Some(r),
+                        col: Some(c),
+                        bit: Some(0),
+                    },
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The set of tiny-grid lines a range corrupts, as a 24-bit mask — the
+/// brute-force side of the intersection differential (bit faults cover
+/// their line; the bit coordinate is irrelevant at line granularity).
+fn line_mask(r: &FaultRange) -> u32 {
+    let mut mask = 0u32;
+    for b in 0..BANKS {
+        for row in 0..ROWS {
+            for c in 0..COLS {
+                let covered = r.bank.is_none_or(|x| x == b)
+                    && r.row.is_none_or(|x| x == row)
+                    && r.col.is_none_or(|x| x == c);
+                if covered {
+                    mask |= 1 << (b * ROWS * COLS + row * COLS + c);
+                }
+            }
+        }
+    }
+    mask
+}
+
+/// Verdict → data-path outcome projection. `Benign` (absorbed on die)
+/// and `Corrected` both mean "the access returned the right data"; a
+/// functional read cannot distinguish them, so the oracle compares at
+/// three-way granularity.
+fn project(v: Verdict) -> PathOutcome {
+    match v {
+        Verdict::Benign | Verdict::Corrected => PathOutcome::Corrected,
+        Verdict::Due => PathOutcome::Due,
+        Verdict::Sdc => PathOutcome::Sdc,
+    }
+}
+
+fn event(
+    chip: u32,
+    extent: FaultExtent,
+    persistence: Persistence,
+    range: FaultRange,
+) -> FaultEvent {
+    FaultEvent {
+        time_hours: 0.0,
+        chip,
+        fault: Fault {
+            extent,
+            persistence,
+            range,
+        },
+    }
+}
+
+/// Runs the exhaustive sweep over every scheme.
+pub fn run(scope: OracleScope) -> OracleReport {
+    let realization = Realization::build();
+    let shapes = placements();
+    let schemes = Scheme::ALL
+        .iter()
+        .map(|&scheme| sweep_scheme(scheme, scope, &realization, &shapes))
+        .collect();
+    OracleReport { schemes }
+}
+
+fn sweep_scheme(
+    scheme: Scheme,
+    scope: OracleScope,
+    realization: &Realization,
+    shapes: &[(FaultExtent, FaultRange)],
+) -> SchemeOracle {
+    let model = SchemeModel::new(scheme, ModelParams::default());
+    let total = model.config().total_chips();
+    let domain = scheme.domain_chips();
+    let mut report = SchemeOracle {
+        scheme,
+        singles: 0,
+        pairs: 0,
+        intersection_checks: 0,
+        mismatches: Vec::new(),
+    };
+    let mismatch = |report: &mut SchemeOracle, msg: String| {
+        if report.mismatches.len() < MISMATCH_CAP {
+            report.mismatches.push(msg);
+        }
+    };
+
+    // --- Singles: every placement on representative chips. The chip
+    // index provably cannot matter with an empty active set; sweeping
+    // near/far chips checks exactly that.
+    let single_chips: Vec<u32> = match scope {
+        OracleScope::Quick => vec![0, domain - 1],
+        OracleScope::Full => vec![0, 1, domain - 1, total - 1],
+    };
+    for &chip in &single_chips {
+        for &(extent, range) in shapes {
+            for persistence in [Persistence::Transient, Persistence::Permanent] {
+                for corner in Corner::ALL {
+                    let e = event(chip, extent, persistence, range);
+                    let got = project(model.evaluate(&mut ForcedRng::new(corner), &e, &[]));
+                    let want = realization.outcome(scheme, corner, extent, persistence, 1);
+                    report.singles += 1;
+                    if got != want {
+                        mismatch(&mut report, format!(
+                            "{scheme}: single chip={chip} {extent}/{persistence:?} {corner:?}: model {got:?} != datapath {want:?}"
+                        ));
+                    }
+                    // The fast path must be indistinguishable from the
+                    // general path at every corner.
+                    let iso = project(model.evaluate_isolated(
+                        &mut ForcedRng::new(corner),
+                        extent,
+                        persistence,
+                    ));
+                    if iso != got {
+                        mismatch(&mut report, format!(
+                            "{scheme}: isolated fast path {extent}/{persistence:?} {corner:?}: {iso:?} != evaluate {got:?}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Ordered pairs: active fault on chip c1=0, incoming on c2.
+    let partner_chips: Vec<u32> = match scope {
+        OracleScope::Quick => vec![1, domain / 2, domain - 1, domain],
+        OracleScope::Full => (1..=domain).collect(),
+    };
+    for &c2 in &partner_chips {
+        let same_domain = model.same_domain(0, c2);
+        for &(e1_extent, e1_range) in shapes {
+            let active = [event(0, e1_extent, Persistence::Permanent, e1_range)];
+            let mask1 = line_mask(&e1_range);
+            for &(e2_extent, e2_range) in shapes {
+                let mask2 = line_mask(&e2_range);
+                // Brute-force concurrent count: the active fault joins
+                // the incoming one iff it sits on a distinct chip of the
+                // same domain, is multi-bit (visible off-die), and the
+                // two line-cover masks share a line.
+                let joins =
+                    c2 != 0 && same_domain && e1_extent.is_multi_bit() && (mask1 & mask2) != 0;
+                let n_brute = 1 + u32::from(joins);
+                for persistence in [Persistence::Transient, Persistence::Permanent] {
+                    let e2 = event(c2, e2_extent, persistence, e2_range);
+                    let n_engine = model.concurrent_chips(&e2, &active);
+                    report.intersection_checks += 1;
+                    if n_engine != n_brute {
+                        mismatch(&mut report, format!(
+                            "{scheme}: concurrent_chips c2={c2} {e1_extent}@{e1_range:?} + {e2_extent}@{e2_range:?}: engine {n_engine} != brute {n_brute}"
+                        ));
+                    }
+                    for corner in Corner::ALL {
+                        let got =
+                            project(model.evaluate(&mut ForcedRng::new(corner), &e2, &active));
+                        let want =
+                            realization.outcome(scheme, corner, e2_extent, persistence, n_brute);
+                        report.pairs += 1;
+                        if got != want {
+                            mismatch(&mut report, format!(
+                                "{scheme}: pair c2={c2} n={n_brute} {e2_extent}/{persistence:?} {corner:?}: model {got:?} != datapath {want:?}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Beyond pairs: the symbol-budget arms only reachable with ≥2
+    // active faults (Chipkill SDC at n=3, Double-Chipkill DUE/SDC at
+    // n=3/4), spot-checked with whole-chip faults.
+    let stack_counts: &[u32] = match scheme {
+        Scheme::Chipkill | Scheme::ChipkillX4 => &[3],
+        Scheme::DoubleChipkill | Scheme::XedChipkill => &[3, 4],
+        _ => &[],
+    };
+    for &n in stack_counts {
+        let active: Vec<FaultEvent> = (1..n)
+            .map(|c| {
+                event(
+                    c,
+                    FaultExtent::Chip,
+                    Persistence::Permanent,
+                    FaultRange::default(),
+                )
+            })
+            .collect();
+        let e = event(
+            0,
+            FaultExtent::Chip,
+            Persistence::Permanent,
+            FaultRange::default(),
+        );
+        let n_engine = model.concurrent_chips(&e, &active);
+        report.intersection_checks += 1;
+        if n_engine != n {
+            mismatch(
+                &mut report,
+                format!("{scheme}: {n} stacked chip faults: engine {n_engine} != {n}"),
+            );
+        }
+        for corner in Corner::ALL {
+            let got = project(model.evaluate(&mut ForcedRng::new(corner), &e, &active));
+            let want =
+                realization.outcome(scheme, corner, FaultExtent::Chip, Persistence::Permanent, n);
+            report.pairs += 1;
+            if got != want {
+                mismatch(
+                    &mut report,
+                    format!("{scheme}: n={n} {corner:?}: model {got:?} != datapath {want:?}"),
+                );
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_census_is_complete() {
+        let shapes = placements();
+        assert_eq!(shapes.len(), 65);
+        let count = |e: FaultExtent| shapes.iter().filter(|(x, _)| *x == e).count() as u32;
+        assert_eq!(count(FaultExtent::Chip), 1);
+        assert_eq!(count(FaultExtent::Bank), BANKS);
+        assert_eq!(count(FaultExtent::Row), BANKS * ROWS);
+        assert_eq!(count(FaultExtent::Column), BANKS * COLS);
+        assert_eq!(count(FaultExtent::Word), LINES);
+        assert_eq!(count(FaultExtent::Bit), LINES);
+    }
+
+    #[test]
+    fn line_masks_match_extent_cardinality() {
+        for (extent, range) in placements() {
+            let lines = line_mask(&range).count_ones();
+            let expect = match extent {
+                FaultExtent::Chip => LINES,
+                FaultExtent::Bank => ROWS * COLS,
+                FaultExtent::Row => COLS,
+                FaultExtent::Column => ROWS,
+                FaultExtent::Word | FaultExtent::Bit => 1,
+            };
+            assert_eq!(lines, expect, "{extent} {range:?}");
+        }
+    }
+
+    #[test]
+    fn quick_sweep_is_clean_for_every_scheme() {
+        let report = run(OracleScope::Quick);
+        assert_eq!(report.schemes.len(), Scheme::ALL.len());
+        for s in &report.schemes {
+            assert!(s.mismatches.is_empty(), "{}: {:#?}", s.scheme, s.mismatches);
+            assert!(s.singles > 0 && s.pairs > 0);
+        }
+        // 65 placements × ≥2 chips × 2 persistences × 2 corners.
+        assert!(report.schemes[0].singles >= 65 * 2 * 2 * 2);
+    }
+}

@@ -26,6 +26,9 @@
 //! |       |          | telemetry primitives)                                  |
 //! | XL010 | error    | telemetry metric registered twice / unregistered /     |
 //! |       |          | undocumented in DESIGN.md (see `metrics_check`)        |
+//! | XL011 | error    | `#[ignore]` without a linked `issue:` comment — scanned|
+//! |       |          | *full-text* (test modules included) over every crate's |
+//! |       |          | `src/` and the workspace `tests/` directory            |
 //!
 //! Waivers: `// xed-lint: allow(XL004)` on the offending line or the line
 //! directly above suppresses that rule for that line. XL002 is satisfied by
@@ -162,7 +165,70 @@ pub fn scan_workspace(root: &Path) -> Result<Vec<Finding>, String> {
             .into_owned();
         findings.extend(scan_file(&rel, &text));
     }
+
+    // XL011 runs full-text (an `#[ignore]` necessarily lives inside a test
+    // module) and over *every* crate plus the workspace integration tests.
+    let mut ignore_files = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in
+        fs::read_dir(&crates_dir).map_err(|e| format!("walking {}: {e}", crates_dir.display()))?
+    {
+        let src = entry.map_err(|e| e.to_string())?.path().join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut ignore_files)
+                .map_err(|e| format!("walking {}: {e}", src.display()))?;
+        }
+    }
+    let tests_dir = root.join("tests");
+    if tests_dir.is_dir() {
+        collect_rs_files(&tests_dir, &mut ignore_files)
+            .map_err(|e| format!("walking {}: {e}", tests_dir.display()))?;
+    }
+    ignore_files.sort();
+    for file in ignore_files {
+        let text =
+            fs::read_to_string(&file).map_err(|e| format!("reading {}: {e}", file.display()))?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .into_owned();
+        findings.extend(scan_ignores(&rel, &text));
+    }
     Ok(findings)
+}
+
+/// Rule XL011: a disabled test is a liability unless someone owns turning
+/// it back on. Every `#[ignore]` attribute must carry an `issue:`
+/// reference (tracker link or ISSUE.md anchor) in a comment on the same
+/// line or one of the two lines above the attribute. Scans full text —
+/// unlike [`scan_file`], test modules are exactly where the rule looks.
+pub fn scan_ignores(rel_path: &str, text: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut findings = Vec::new();
+    for (idx, &raw) in lines.iter().enumerate() {
+        let code = strip_comment(raw);
+        // xed-lint: allow(XL011)
+        if !code.contains("#[ignore") {
+            continue;
+        }
+        let waived =
+            |rule: &str| has_waiver(raw, rule) || (idx > 0 && has_waiver(lines[idx - 1], rule));
+        let lo = idx.saturating_sub(2);
+        let linked = lines[lo..=idx].iter().any(|l| l.contains("issue:"));
+        if !linked && !waived("XL011") {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: idx + 1,
+                rule: "XL011",
+                severity: Severity::Error,
+                message: "`#[ignore]` without a linked issue; add an `// issue: <link>` \
+                          comment on the attribute or one of the two lines above it"
+                    .to_string(),
+            });
+        }
+    }
+    findings
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), std::io::Error> {
@@ -578,6 +644,27 @@ mod tests {
         assert!(rules("// a comment mentioning x.unwrap()").is_empty());
         assert!(rules("/// doc: call x.unwrap()").is_empty());
         assert!(rules("#[cfg(test)]\nmod tests {\n  fn f() { y.unwrap(); }\n}\n").is_empty());
+    }
+
+    #[test]
+    fn ignore_requires_issue_link() {
+        // Bare `#[ignore]`, inside a test module, full-text scanned.
+        // xed-lint: allow(XL011)
+        let bad = "#[cfg(test)]\nmod tests {\n    #[test]\n    #[ignore]\n    fn slow() {}\n}\n";
+        let f = scan_ignores("tests/x.rs", bad);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "XL011");
+        assert_eq!(f[0].line, 4);
+
+        // A linked issue on the attribute or up to two lines above passes.
+        let linked = "    // issue: ISSUE.md #7 (flaky on loaded boxes)\n    #[test]\n    #[ignore]\n    fn slow() {}\n";
+        assert!(scan_ignores("tests/x.rs", linked).is_empty());
+        let reasoned = "    #[ignore = \"slow\"] // issue: ISSUE.md #7\n    fn slow() {}\n";
+        assert!(scan_ignores("tests/x.rs", reasoned).is_empty());
+
+        // Waivers and comments behave like every other rule.
+        assert!(scan_ignores("tests/x.rs", "// e.g. #[ignore]\n").is_empty());
+        assert!(scan_ignores("tests/x.rs", "#[ignore] // xed-lint: allow(XL011)\n").is_empty());
     }
 
     #[test]

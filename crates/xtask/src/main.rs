@@ -2,16 +2,24 @@
 //!
 //! ```text
 //! cargo run -p xtask -- lint [--format text|json] [--root PATH]
+//! cargo run -p xtask -- verify-matrix [--quick|--full] [--regen-golden]
+//!                                     [--format text|json]
 //! ```
 //!
 //! `lint` runs the `xed-lint` static-analysis pass: heuristic source rules
 //! over the library crates (see [`lint`] for the rule catalogue) plus the
 //! linked golden-value rules (see [`golden`]). Exits nonzero if any
 //! error-severity finding survives.
+//!
+//! `verify-matrix` runs the `xed-testkit` cross-validation matrix (see
+//! [`verify`]): exhaustive small-geometry oracle, analytic gate,
+//! metamorphic laws, golden conformance traces, de-flake audit. Exits
+//! nonzero if any oracle disagrees with the simulator.
 
 mod golden;
 mod lint;
 mod metrics_check;
+mod verify;
 
 use std::env;
 use std::path::PathBuf;
@@ -21,6 +29,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
+        Some("verify-matrix") => verify::run(&args[1..]),
         Some(other) => {
             eprintln!("unknown command `{other}`");
             eprintln!("{USAGE}");
@@ -33,7 +42,9 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: cargo run -p xtask -- lint [--format text|json] [--root PATH]";
+const USAGE: &str = "usage: cargo run -p xtask -- lint [--format text|json] [--root PATH]\n\
+                     \x20      cargo run -p xtask -- verify-matrix [--quick|--full] \
+                     [--regen-golden] [--format text|json]";
 
 fn run_lint(args: &[String]) -> ExitCode {
     let mut format = "text".to_string();

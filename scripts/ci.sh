@@ -23,6 +23,12 @@ cargo build --release
 step "cargo test -q"
 cargo test -q --workspace
 
+# Gating: the xed-testkit cross-validation matrix (DESIGN.md §12) —
+# exhaustive small-geometry oracle, analytic gate, metamorphic laws,
+# golden xed-trace-v1 conformance, de-flake audit, telemetry-diff pin.
+step "verify-matrix --quick"
+cargo run -q -p xtask -- verify-matrix --quick
+
 # Non-gating: exercise the benchmark harness end to end (engine, thread
 # sweep, JSON writer) at smoke scale. Throughput numbers from a loaded CI
 # box are noise, so a slow run must not fail the gate — only a crash or a

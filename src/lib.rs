@@ -1,7 +1,7 @@
 //! # XED — Exposing On-Die Error Detection Information for Strong Memory Reliability
 //!
 //! A full Rust reproduction of the ISCA 2016 paper by Nair, Sridharan and
-//! Qureshi. This meta-crate re-exports the five constituent crates:
+//! Qureshi. This meta-crate re-exports the six constituent crates:
 //!
 //! * [`ecc`] — SECDED codes (Hamming, CRC8-ATM), RAID-3 parity, GF
 //!   arithmetic and Reed–Solomon Chipkill codecs.
@@ -15,6 +15,10 @@
 //! * [`telemetry`] — the workspace observability substrate: allocation-free
 //!   counters, log2 histograms, event rings and the unified run-report
 //!   exporters (DESIGN.md §11).
+//! * [`testkit`] — the verification-oracle subsystem behind
+//!   `cargo xtask verify-matrix`: exhaustive small-geometry oracles,
+//!   analytic gates, metamorphic laws and golden conformance traces
+//!   (DESIGN.md §12).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -39,3 +43,4 @@ pub use xed_ecc as ecc;
 pub use xed_faultsim as faultsim;
 pub use xed_memsim as memsim;
 pub use xed_telemetry as telemetry;
+pub use xed_testkit as testkit;

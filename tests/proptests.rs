@@ -15,11 +15,12 @@ use xed::ecc::secded::{DecodeOutcome, SecDed};
 use xed::ecc::{parity, CodeWord72, Crc8Atm, Hamming7264};
 use xed::faultsim::fault::{FaultExtent, FaultRange};
 use xed::faultsim::geometry::DramGeometry;
+use xed::testkit::seeds;
 
 const CASES: usize = 300;
 
 fn rng(salt: u64) -> StdRng {
-    StdRng::seed_from_u64(0x9E37 ^ salt)
+    StdRng::seed_from_u64(seeds::PROPTEST_BASE ^ salt)
 }
 
 // ---- SECDED codes ------------------------------------------------

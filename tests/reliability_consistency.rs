@@ -7,11 +7,12 @@ use xed::faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
 use xed::faultsim::scaling::ScalingFaults;
 use xed::faultsim::schemes::{ModelParams, Scheme};
 use xed::faultsim::system::SystemConfig;
+use xed::testkit::seeds;
 
 fn mc(samples: u64) -> MonteCarlo {
     MonteCarlo::new(MonteCarloConfig {
         samples,
-        seed: 99,
+        seed: seeds::RELIABILITY_CONSISTENCY,
         ..Default::default()
     })
 }
@@ -82,7 +83,7 @@ fn scaling_faults_do_not_change_the_ordering() {
     };
     let m = MonteCarlo::new(MonteCarloConfig {
         samples: 300_000,
-        seed: 5,
+        seed: seeds::SCALING_ORDERING,
         params,
         ..Default::default()
     });
@@ -104,7 +105,7 @@ fn without_on_die_ecc_non_ecc_dimm_collapses() {
     };
     let m = MonteCarlo::new(MonteCarloConfig {
         samples: 200_000,
-        seed: 99,
+        seed: seeds::RELIABILITY_CONSISTENCY,
         params,
         ..Default::default()
     });
@@ -124,7 +125,7 @@ fn higher_on_die_miss_rate_hurts_xed() {
     };
     let m = MonteCarlo::new(MonteCarloConfig {
         samples: 3_000_000,
-        seed: 99,
+        seed: seeds::RELIABILITY_CONSISTENCY,
         params,
         ..Default::default()
     });
