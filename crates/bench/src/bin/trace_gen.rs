@@ -16,7 +16,7 @@ use xed_memsim::workloads::Workload;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let name = args.first().map(String::as_str).unwrap_or("libquantum");
+    let name = args.first().map_or("libquantum", String::as_str);
     let Some(workload) = Workload::by_name(name) else {
         eprintln!("unknown benchmark {name:?}; available:");
         for w in xed_memsim::workloads::ALL {

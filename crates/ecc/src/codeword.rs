@@ -75,13 +75,14 @@ impl CodeWord72 {
 
     /// Returns a copy with physical bit `i` flipped.
     ///
-    /// # Panics
-    ///
-    /// Panics if `i >= 72`.
+    /// The bit index must be below 72; this precondition is checked in
+    /// debug builds only, so the decode hot path stays panic-free
+    /// (every in-tree caller derives `i` from a syndrome table that
+    /// holds valid positions).
     #[inline]
     #[must_use]
     pub fn with_bit_flipped(self, i: u32) -> Self {
-        assert!(i < Self::BITS, "bit index {i} out of range");
+        debug_assert!(i < Self::BITS, "bit index {i} out of range");
         let mut w = self;
         if i < 64 {
             w.data ^= 1u64 << (63 - i);

@@ -282,6 +282,7 @@ impl SecDed for Crc8Atm {
                 data: received.data(),
             };
         }
+        // indexing: a u8 syndrome into a 256-entry table.
         match self.syndrome_pos[s as usize] {
             -1 => DecodeOutcome::Detected,
             pos => {

@@ -303,6 +303,8 @@ impl Field {
         if a == 0 || b == 0 {
             0
         } else {
+            // indexing: log entries are < order, so the sum is < 2*order-1
+            // = exp.len(), and a u8 always indexes the 256-entry log.
             self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
         }
     }
@@ -328,6 +330,8 @@ impl Field {
         if a == 0 {
             None
         } else {
+            // indexing: log[a] < order for a != 0, so the difference is
+            // in 1..=order < exp.len(); a u8 indexes the 256-entry log.
             Some(self.exp[self.order() - self.log[a as usize] as usize])
         }
     }

@@ -280,6 +280,7 @@ impl Hamming7264 {
     /// Translates a Hamming position (1..=71) into a physical bit index
     /// (see [`CodeWord72`] for the physical order: MSB-first).
     fn position_to_physical(&self, p: u8) -> u32 {
+        // indexing: decode only passes syndromes in 1..=POSITIONS.
         PHYS_OF_POS[p as usize] as u32
     }
 }

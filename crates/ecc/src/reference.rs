@@ -100,6 +100,7 @@ impl RefHamming7264 {
             71 - p.trailing_zeros()
         } else {
             // Data bit di of the u64 word = physical 63 - di.
+            // indexing: decode only passes positions in 1..=71.
             63 - POS_TO_DATABIT[p as usize] as u32
         }
     }

@@ -131,6 +131,7 @@ pub struct Decoded {
 impl Decoded {
     /// The corrected data symbols (first *k* symbols of the codeword).
     pub fn data(&self, k: usize) -> &[u8] {
+        // indexing: callers pass the code's k < n == codeword length.
         &self.codeword[..k]
     }
 }
@@ -269,6 +270,7 @@ pub struct DecodedRef<'a> {
 impl DecodedRef<'_> {
     /// The corrected data symbols (first *k* symbols of the codeword).
     pub fn data(&self, k: usize) -> &[u8] {
+        // indexing: callers pass the code's k < n == codeword length.
         &self.codeword[..k]
     }
 }
@@ -355,6 +357,7 @@ impl ReedSolomon {
     #[inline(always)]
     fn fmul(&self, a: u8, b: u8) -> u8 {
         if self.fast256 {
+            // indexing: u8 operands into a 256x256 table.
             GF256_MUL[a as usize][b as usize]
         } else {
             self.field.mul(a, b)
@@ -439,6 +442,7 @@ impl ReedSolomon {
         if j == 0 {
             return received.iter().fold(0u8, |acc, &c| acc ^ c);
         }
+        // indexing: j < nsym <= MAX_NSYM rows; received.len() == n <= MAX_N.
         let weights = &self.synd_const[j][..received.len()];
         let mut acc = 0u8;
         for (&c, &w) in received.iter().zip(weights) {
@@ -466,18 +470,23 @@ impl ReedSolomon {
     /// capability (including decoder-detected inconsistencies and degenerate
     /// field divisions — this path never panics on received data).
     ///
-    /// # Panics
-    ///
-    /// Panics if `received.len() != n` or an erasure index is out of range.
+    /// A malformed call (`received.len() != n` or an out-of-range
+    /// erasure index) is a caller bug: debug builds assert, release
+    /// builds report it as [`RsError::Detected`] so the decode hot path
+    /// stays panic-free end to end.
     pub fn decode_with<'s>(
         &self,
         received: &[u8],
         erasures: &[usize],
         scratch: &'s mut RsScratch,
     ) -> Result<DecodedRef<'s>, RsError> {
-        assert_eq!(received.len(), self.n, "expected {} symbols", self.n);
-        for &e in erasures {
-            assert!(e < self.n, "erasure index {e} out of range");
+        debug_assert_eq!(received.len(), self.n, "expected {} symbols", self.n);
+        debug_assert!(
+            erasures.iter().all(|&e| e < self.n),
+            "erasure index out of range"
+        );
+        if received.len() != self.n || erasures.iter().any(|&e| e >= self.n) {
+            return Err(RsError::Detected);
         }
         let nsym = self.nsym();
         if erasures.len() > nsym {
@@ -490,12 +499,15 @@ impl ReedSolomon {
         let mut any = 0u8;
         for j in 0..nsym {
             let v = self.syndrome_j(received, j);
+            // indexing: j < nsym <= MAX_NSYM == synd.len().
             s.synd[j] = v;
             any |= v;
         }
+        // indexing: n <= MAX_N == codeword.len() (checked at build).
         s.codeword[..self.n].copy_from_slice(received);
         if any == 0 {
             return Ok(DecodedRef {
+                // indexing: n <= MAX_N; `..0` is the empty prefix.
                 codeword: &s.codeword[..self.n],
                 corrected: &s.corrected[..0],
             });
@@ -508,9 +520,11 @@ impl ReedSolomon {
         s.gamma[0] = 1;
         let mut gamma_len = 1usize;
         for &idx in erasures {
+            // indexing: idx < n <= MAX_N (validated at entry).
             let x = self.x_pow[idx];
             let mut i = gamma_len;
             while i >= 1 {
+                // indexing: 1 <= i <= gamma_len <= e <= nsym < gamma.len().
                 s.gamma[i] ^= self.fmul(x, s.gamma[i - 1]);
                 i -= 1;
             }
@@ -520,11 +534,14 @@ impl ReedSolomon {
         // Forney syndromes: coefficients e..nsym-1 of Γ(x)·S(x).
         for i in e..nsym {
             let mut v = 0u8;
+            // indexing: gamma_len == e + 1 <= nsym + 1 == gamma.len().
             for (g, &gc) in s.gamma[..gamma_len].iter().enumerate() {
                 if g <= i && i - g < nsym {
+                    // indexing: guarded above, i - g < nsym == synd.len().
                     v ^= self.fmul(gc, s.synd[i - g]);
                 }
             }
+            // indexing: i - e < nsym - e <= forney.len().
             s.forney[i - e] = v;
         }
         let forney_len = nsym - e;
@@ -532,6 +549,7 @@ impl ReedSolomon {
         // Berlekamp–Massey on the Forney syndromes finds the error locator σ.
         let sigma_len = self
             .berlekamp_massey_into(
+                // indexing: forney_len = nsym - e <= MAX_NSYM == forney.len().
                 &s.forney[..forney_len],
                 &mut s.sigma,
                 &mut s.prev,
@@ -546,13 +564,17 @@ impl ReedSolomon {
         // Errata locator Ψ = σ·Γ (degree errors + e ≤ nsym after the check
         // above; Ψ(0) = σ(0)·Γ(0) = 1, so Ψ ≠ 0 and has ≤ deg Ψ roots).
         let psi_len = sigma_len + gamma_len - 1;
+        // indexing: psi_len <= nsym + 1 <= POLY_CAP == psi.len(), since
+        // sigma_len <= errors + 1, gamma_len == e + 1, 2*errors + e <= nsym.
         s.psi[..psi_len].fill(0);
         for i in 0..sigma_len {
+            // indexing: i < sigma_len <= sigma.len().
             let si = s.sigma[i];
             if si == 0 {
                 continue;
             }
             for j in 0..gamma_len {
+                // indexing: i + j <= psi_len - 1; j < gamma_len.
                 s.psi[i + j] ^= self.fmul(si, s.gamma[j]);
             }
         }
@@ -563,16 +585,19 @@ impl ReedSolomon {
         let mut positions = [0usize; MAX_NSYM];
         let mut npos = 0usize;
         for i in 0..self.n {
+            // indexing: i < n <= MAX_N == x_inv_pow.len().
             let x_inv = self.x_inv_pow[i];
             let v = match psi_len {
                 2 => s.psi[0] ^ self.fmul(s.psi[1], x_inv),
                 3 => s.psi[0] ^ self.fmul(s.psi[1] ^ self.fmul(s.psi[2], x_inv), x_inv),
+                // indexing: psi_len <= POLY_CAP == psi.len() (above).
                 _ => self.poly_eval_fast(&s.psi[..psi_len], x_inv),
             };
             if v == 0 {
                 if npos == MAX_NSYM {
                     return Err(RsError::Detected);
                 }
+                // indexing: npos < MAX_NSYM checked just above.
                 positions[npos] = i;
                 npos += 1;
             }
@@ -587,6 +612,7 @@ impl ReedSolomon {
             let mut v = 0u8;
             let j_lo = (i + 1).saturating_sub(psi_len);
             for j in j_lo..=i.min(nsym - 1) {
+                // indexing: j < nsym == synd.len(); i - j < psi_len.
                 v ^= self.fmul(s.synd[j], s.psi[i - j]);
             }
             *slot = v;
@@ -598,6 +624,7 @@ impl ReedSolomon {
         let pp_len = psi_len - 1;
         let mut i = 0usize;
         while i < pp_len {
+            // indexing: i + 1 < psi_len <= POLY_CAP == both lengths.
             psi_prime[i] = s.psi[i + 1];
             i += 2;
         }
@@ -605,12 +632,15 @@ impl ReedSolomon {
         // Forney magnitudes: e_k = X_k · Ω(X_k⁻¹) / Ψ'(X_k⁻¹). Degenerate
         // divisions surface as Detected instead of panicking.
         let mut mags = [0u8; MAX_NSYM];
+        // indexing: npos <= MAX_NSYM == positions.len() == mags.len().
         for (p, &i) in positions[..npos].iter().enumerate() {
-            let xk = self.x_pow[i];
+            let xk = self.x_pow[i]; // indexing: i < n <= MAX_N.
             let xk_inv = f.try_inv(xk).ok_or(RsError::Detected)?;
+            // indexing: pp_len < POLY_CAP; nsym <= MAX_NSYM == omega.len().
             let denom = self.poly_eval_fast(&psi_prime[..pp_len], xk_inv);
             let num = self.fmul(xk, self.poly_eval_fast(&omega[..nsym], xk_inv));
             let mag = f.try_div(num, denom).ok_or(RsError::Detected)?;
+            // indexing: p < npos <= mags.len(); i < n <= codeword.len().
             mags[p] = mag;
             s.codeword[i] ^= mag;
         }
@@ -622,8 +652,10 @@ impl ReedSolomon {
         // npos·nsym products instead of n·nsym.
         let mut residual = 0u8;
         for j in 0..nsym {
+            // indexing: j < nsym == synd.len(); npos <= positions.len().
             let mut v = s.synd[j];
             for (p, &i) in positions[..npos].iter().enumerate() {
+                // indexing: p < npos; j < MAX_NSYM rows; i < n <= MAX_N.
                 v ^= self.fmul(mags[p], self.synd_const[j][i]);
             }
             residual |= v;
@@ -634,13 +666,17 @@ impl ReedSolomon {
         // Report only positions whose value actually changed (an erasure may
         // have held the correct value by luck).
         let mut ncorr = 0usize;
+        // indexing: npos <= MAX_NSYM == corrected.len().
         for &i in &positions[..npos] {
+            // indexing: each position i < n bounds codeword and received.
             if s.codeword[i] != received[i] {
+                // indexing: ncorr <= npos <= MAX_NSYM; i < n (above).
                 s.corrected[ncorr] = i;
                 ncorr += 1;
             }
         }
         Ok(DecodedRef {
+            // indexing: n <= MAX_N; ncorr <= npos <= corrected.len().
             codeword: &s.codeword[..self.n],
             corrected: &s.corrected[..ncorr],
         })
@@ -670,8 +706,10 @@ impl ReedSolomon {
         let mut m = 1usize;
         let mut b = 1u8;
         for n in 0..synd.len() {
+            // indexing: n < synd.len() by the loop bound.
             let mut delta = synd[n];
             for i in 1..=l.min(sigma_len - 1) {
+                // indexing: i <= sigma_len - 1; i <= l <= n keeps n - i >= 0.
                 delta ^= self.fmul(sigma[i], synd[n - i]);
             }
             if delta == 0 {
@@ -683,19 +721,23 @@ impl ReedSolomon {
             let new_len = sigma_len.max(prev_len + m);
             debug_assert!(new_len <= POLY_CAP);
             if 2 * l <= n {
+                // indexing: sigma_len <= new_len <= POLY_CAP (asserted).
                 tmp[..sigma_len].copy_from_slice(&sigma[..sigma_len]);
                 let tmp_len = sigma_len;
                 for i in 0..prev_len {
+                    // indexing: i + m < prev_len + m <= new_len <= POLY_CAP.
                     sigma[i + m] ^= self.fmul(coef, prev[i]);
                 }
                 sigma_len = new_len;
                 l = n + 1 - l;
+                // indexing: tmp_len <= POLY_CAP (copy above).
                 prev[..tmp_len].copy_from_slice(&tmp[..tmp_len]);
                 prev_len = tmp_len;
                 b = delta;
                 m = 1;
             } else {
                 for i in 0..prev_len {
+                    // indexing: i + m < prev_len + m <= new_len <= POLY_CAP.
                     sigma[i + m] ^= self.fmul(coef, prev[i]);
                 }
                 sigma_len = new_len;
@@ -703,6 +745,7 @@ impl ReedSolomon {
             }
         }
         // Trim trailing zeros so sigma_len - 1 == degree.
+        // indexing: 1 <= sigma_len <= POLY_CAP throughout the trim.
         while sigma_len > 1 && sigma[sigma_len - 1] == 0 {
             sigma_len -= 1;
         }
@@ -917,9 +960,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn wrong_length_panics() {
-        chipkill_rs().decode(&[0u8; 17], &[]).unwrap();
+    #[cfg_attr(debug_assertions, should_panic)]
+    fn wrong_length_is_rejected() {
+        // Debug builds assert on the malformed call; release builds
+        // report it as Detected without panicking.
+        let rs = chipkill_rs();
+        let mut scratch = RsScratch::new();
+        let r = rs.decode_with(&[0u8; 17], &[], &mut scratch).map(|_| ());
+        assert_eq!(r, Err(RsError::Detected));
     }
 
     #[test]

@@ -131,14 +131,17 @@ pub trait SecDed {
             bad_beats: 0,
         };
         for (i, &w) in beats.iter().enumerate() {
+            // indexing: i enumerates the BEATS_PER_LINE input beats and
+            // out.data has exactly BEATS_PER_LINE slots.
+            let d = &mut out.data[i];
             match self.decode(w) {
-                DecodeOutcome::Clean { data } => out.data[i] = data,
+                DecodeOutcome::Clean { data } => *d = data,
                 DecodeOutcome::Corrected { data, .. } => {
-                    out.data[i] = data;
+                    *d = data;
                     out.corrected_beats |= 1 << i;
                 }
                 DecodeOutcome::Detected => {
-                    out.data[i] = w.data();
+                    *d = w.data();
                     out.bad_beats |= 1 << i;
                 }
             }

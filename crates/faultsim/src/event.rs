@@ -319,7 +319,9 @@ impl<'a> LifetimeSampler<'a> {
     #[inline]
     fn sample_mode<R: Rng + ?Sized>(&self, rng: &mut R) -> (FaultExtent, Persistence) {
         let u = rng.next_u64();
+        // indexing: masked to ALIAS_SLOTS - 1 (power of two), in bounds.
         let slot = &self.alias[(u & (ALIAS_SLOTS as u64 - 1)) as usize];
+        // indexing: a bool (0 or 1) selecting from a two-element array.
         [slot.alias, slot.primary][usize::from(u >> 4 < slot.thresh)]
     }
 

@@ -120,11 +120,10 @@ impl FitRates {
         self.rows
             .iter()
             .find(|r| r.extent == extent)
-            .map(|r| match persistence {
+            .map_or(0.0, |r| match persistence {
                 Persistence::Transient => r.transient_fit,
                 Persistence::Permanent => r.permanent_fit,
             })
-            .unwrap_or(0.0)
     }
 
     /// Expected number of faults per chip over `hours`.

@@ -291,9 +291,7 @@ impl MonteCarlo {
     /// Worker threads this configuration resolves to.
     pub fn threads(&self) -> usize {
         if self.config.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             self.config.threads
         }
@@ -699,6 +697,7 @@ fn run_trials(
             let verdict = model.evaluate_isolated(&mut rng, extent, persistence);
             if matches!(verdict, Verdict::Due | Verdict::Sdc) {
                 let year = ((time_hours * YEAR_RECIP) as usize).min(years - 1);
+                // indexing: year is clamped to years - 1 above.
                 partial.failures_by_year[year] += 1;
                 partial.counts.bump(P_EXTENT0 + extent.index());
                 partial.counts.bump(if verdict == Verdict::Due {
@@ -719,6 +718,7 @@ fn run_trials(
             match verdict {
                 Verdict::Due | Verdict::Sdc => {
                     let year = ((e.time_hours * YEAR_RECIP) as usize).min(years - 1);
+                    // indexing: year is clamped to years - 1 above.
                     partial.failures_by_year[year] += 1;
                     partial.counts.bump(P_EXTENT0 + e.fault.extent.index());
                     partial.counts.bump(if verdict == Verdict::Due {

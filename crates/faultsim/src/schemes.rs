@@ -581,7 +581,10 @@ fn max_chips_with_common_line(base: &FaultRange, cands: &[(u32, FaultRange)]) ->
                 continue;
             }
             if let Some(next) = current.intersect(range) {
+                // Tiny per-call scratch Vec, bounded by the candidate count.
+                // alloc: at most chips-per-rank pushes, amortized growth.
                 used.push(*chip);
+                // indexing: i < cands.len(), so i + 1 is a valid start.
                 rec(next, &cands[i + 1..], used, best);
                 used.pop();
             }

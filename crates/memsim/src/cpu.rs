@@ -121,8 +121,7 @@ impl Core {
             let rob_limit = self
                 .outstanding
                 .front()
-                .map(|&oldest| oldest + self.rob_size)
-                .unwrap_or(u64::MAX);
+                .map_or(u64::MAX, |&oldest| oldest + self.rob_size);
             if self.retired >= rob_limit {
                 self.stalls.rob_full_cycles += 1;
                 break;

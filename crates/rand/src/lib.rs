@@ -171,16 +171,19 @@ impl SampleUniform for f64 {
 }
 
 impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    // An empty range is a caller bug; the check is debug-only so
+    // simulation hot loops stay panic-free in release.
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
-        assert!(self.start < self.end, "gen_range: empty range");
+        debug_assert!(self.start < self.end, "gen_range: empty range");
         T::sample_uniform(self.start, self.end, false, rng)
     }
 }
 
 impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    // Same debug-only precondition as `Range` above.
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
         let (lo, hi) = self.into_inner();
-        assert!(lo <= hi, "gen_range: empty range");
+        debug_assert!(lo <= hi, "gen_range: empty range");
         T::sample_uniform(lo, hi, true, rng)
     }
 }

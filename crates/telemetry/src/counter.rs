@@ -56,6 +56,7 @@ impl Counter {
     /// Adds `n` to the calling thread's shard.
     #[inline]
     pub fn add(&self, n: u64) {
+        // indexing: shard_index() is `thread id % SHARDS`, always in bounds.
         self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -69,16 +70,19 @@ impl Counter {
     /// writers may land between shard loads, so a racing read observes
     /// some value between "all adds that happened-before" and "all adds
     /// so far" — never a torn or decreasing total once writers stop.
+    /// Acquire pairs with the hot path's Relaxed adds: any write that
+    /// happened-before the snapshot is visible in it (XA102 boundary).
     pub fn value(&self) -> u64 {
         self.shards
             .iter()
-            .fold(0u64, |acc, s| acc.wrapping_add(s.0.load(Ordering::Relaxed)))
+            .fold(0u64, |acc, s| acc.wrapping_add(s.0.load(Ordering::Acquire)))
     }
 
     /// Zeroes every shard (run-report binaries reset before a run).
+    /// Release publishes the zeroes to subsequent Acquire snapshots.
     pub fn reset(&self) {
         for s in &self.shards {
-            s.0.store(0, Ordering::Relaxed);
+            s.0.store(0, Ordering::Release);
         }
     }
 }

@@ -66,31 +66,35 @@ impl Histogram {
     /// Records one observation of `v`.
     #[inline]
     pub fn record(&self, v: u64) {
+        // indexing: bucket_of clamps to BUCKETS - 1, always in bounds.
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Number of observations in bucket `i`.
+    ///
+    /// Read-side boundary: Acquire pairs with the hot path's Relaxed
+    /// increments (XA102), as do the other getters below.
     pub fn bucket(&self, i: usize) -> u64 {
-        self.buckets[i].load(Ordering::Relaxed)
+        self.buckets[i].load(Ordering::Acquire)
     }
 
     /// Total observations.
     pub fn count(&self) -> u64 {
         self.buckets
             .iter()
-            .fold(0u64, |acc, b| acc.wrapping_add(b.load(Ordering::Relaxed)))
+            .fold(0u64, |acc, b| acc.wrapping_add(b.load(Ordering::Acquire)))
     }
 
     /// Wrapping sum of all recorded values.
     pub fn sum(&self) -> u64 {
-        self.sum.load(Ordering::Relaxed)
+        self.sum.load(Ordering::Acquire)
     }
 
     /// Largest recorded value (0 if empty).
     pub fn max(&self) -> u64 {
-        self.max.load(Ordering::Relaxed)
+        self.max.load(Ordering::Acquire)
     }
 
     /// Mean recorded value (0.0 if empty).
@@ -109,7 +113,7 @@ impl Histogram {
     pub fn sample(&self) -> crate::export::HistogramSample {
         let mut buckets = [0u64; BUCKETS];
         for (out, b) in buckets.iter_mut().zip(self.buckets.iter()) {
-            *out = b.load(Ordering::Relaxed);
+            *out = b.load(Ordering::Acquire);
         }
         crate::export::HistogramSample {
             buckets,
@@ -118,13 +122,14 @@ impl Histogram {
         }
     }
 
-    /// Clears every bucket and the sum/max.
+    /// Clears every bucket and the sum/max. Release publishes the
+    /// zeroes to subsequent Acquire snapshots (XA102 boundary).
     pub fn reset(&self) {
         for b in &self.buckets {
-            b.store(0, Ordering::Relaxed);
+            b.store(0, Ordering::Release);
         }
-        self.sum.store(0, Ordering::Relaxed);
-        self.max.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Release);
+        self.max.store(0, Ordering::Release);
     }
 }
 

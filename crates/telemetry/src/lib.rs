@@ -82,9 +82,10 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Turns instrumentation on or off process-wide.
+/// Turns instrumentation on or off process-wide. Release pairs with
+/// the hot path's Relaxed `enabled()` loads (XA102 boundary).
 pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::Relaxed);
+    ENABLED.store(on, Ordering::Release);
 }
 
 /// Adds one to `c` when telemetry is enabled. The one-liner for

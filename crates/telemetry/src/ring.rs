@@ -106,6 +106,7 @@ impl<const N: usize> Ring<N> {
     /// Appends an event, overwriting the oldest once full.
     #[inline]
     pub fn push(&mut self, e: Event) {
+        // indexing: head is kept < N by the modular bump below.
         self.buf[self.head] = e;
         self.head = (self.head + 1) % N;
         if self.len < N {
@@ -123,6 +124,7 @@ impl<const N: usize> Ring<N> {
     /// The retained events, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &Event> {
         let start = (self.head + N - self.len) % N;
+        // indexing: reduced mod N, always in bounds.
         (0..self.len).map(move |i| &self.buf[(start + i) % N])
     }
 

@@ -31,8 +31,12 @@ impl<const N: usize> Tallies<N> {
     }
 
     /// Adds `n` to slot `i`.
+    ///
+    /// Callers pass enum discriminants strictly below `N`; a bad index
+    /// is a programming error surfaced in tests.
     #[inline]
     pub fn add(&mut self, i: usize, n: u64) {
+        // indexing: slot contract above — discriminants are < N.
         self.vals[i] = self.vals[i].wrapping_add(n);
     }
 

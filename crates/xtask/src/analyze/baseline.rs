@@ -1,0 +1,197 @@
+//! The checked-in baseline/suppression file for xed-analyze.
+//!
+//! Format (`xed-analyze.baseline` at the workspace root):
+//!
+//! ```text
+//! # comment
+//! XA103 crates/telemetry/src/registry.rs metrics::LEGACY_COUNT
+//!   justification: kept for dashboard compatibility until PR 9.
+//! ```
+//!
+//! An entry is `RULE FILE SYMBOL` on one line followed by a mandatory
+//! indented `justification:` line. Entries suppress exact
+//! `(rule, file, symbol)` matches — **except** findings attributed to a
+//! named hot-path group, which can never be suppressed (ISSUE 6: hot
+//! paths are fixed, not baselined). Entries that match nothing are
+//! reported as stale so the file shrinks as debt is paid.
+
+use super::rules::Finding;
+
+/// One parsed baseline entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    pub rule: String,
+    pub file: String,
+    pub symbol: String,
+    pub justification: String,
+    /// 1-based line in the baseline file (for diagnostics).
+    pub line: usize,
+}
+
+/// Parses the baseline text; hard errors (malformed lines, missing
+/// justifications) abort the run rather than silently weakening the gate.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, line)) = lines.next() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = t.split_whitespace().collect();
+        if parts.len() != 3 || !parts[0].starts_with("XA") && !parts[0].starts_with("XL") {
+            return Err(format!(
+                "baseline line {}: expected `RULE FILE SYMBOL`, got `{t}`",
+                idx + 1
+            ));
+        }
+        let justification = match lines.peek() {
+            Some((_, next)) if next.trim_start().starts_with("justification:") => {
+                let j = next
+                    .trim_start()
+                    .trim_start_matches("justification:")
+                    .trim()
+                    .to_string();
+                lines.next();
+                j
+            }
+            _ => {
+                return Err(format!(
+                    "baseline line {}: entry `{t}` is missing its `justification:` line",
+                    idx + 1
+                ))
+            }
+        };
+        if justification.is_empty() {
+            return Err(format!(
+                "baseline line {}: empty justification for `{t}`",
+                idx + 1
+            ));
+        }
+        entries.push(Entry {
+            rule: parts[0].to_string(),
+            file: parts[1].to_string(),
+            symbol: parts[2].to_string(),
+            justification,
+            line: idx + 1,
+        });
+    }
+    Ok(entries)
+}
+
+/// Result of applying a baseline to raw findings.
+#[derive(Debug)]
+pub struct Applied {
+    /// Findings that survive (gate failures).
+    pub kept: Vec<Finding>,
+    /// Count of findings suppressed by baseline entries.
+    pub suppressed: usize,
+    /// Non-gating warnings: stale entries.
+    pub warnings: Vec<String>,
+}
+
+/// Applies baseline entries. A baseline entry matching a hot-path
+/// (grouped) finding is rejected: the finding is kept *and* an extra
+/// finding flags the illegal suppression attempt.
+pub fn apply(findings: Vec<Finding>, entries: &[Entry]) -> Applied {
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    let mut used = vec![false; entries.len()];
+
+    for f in findings {
+        let hit = entries
+            .iter()
+            .position(|e| e.rule == f.rule && e.file == f.file && e.symbol == f.symbol);
+        match hit {
+            Some(i) if f.group.is_none() => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            Some(i) => {
+                used[i] = true;
+                let entry = &entries[i];
+                kept.push(Finding {
+                    rule: f.rule,
+                    file: f.file.clone(),
+                    line: f.line,
+                    symbol: f.symbol.clone(),
+                    group: f.group,
+                    message: format!(
+                        "baseline entry (line {}) tries to suppress a hot-path \
+                         finding; hot paths are fixed, not baselined",
+                        entry.line
+                    ),
+                });
+                kept.push(f);
+            }
+            None => kept.push(f),
+        }
+    }
+
+    let warnings = entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, u)| !**u)
+        .map(|(e, _)| {
+            format!(
+                "stale baseline entry at line {}: `{} {} {}` (justified as: {}) \
+                 matches no finding — remove it",
+                e.line, e.rule, e.file, e.symbol, e.justification
+            )
+        })
+        .collect();
+
+    Applied {
+        kept,
+        suppressed,
+        warnings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, group: Option<&'static str>) -> Finding {
+        Finding {
+            rule,
+            file: "crates/a/src/lib.rs".to_string(),
+            line: 10,
+            symbol: "a::f".to_string(),
+            group,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip_and_missing_justification() {
+        let good = "# c\nXA103 crates/a/src/lib.rs a::f\n  justification: legacy.\n";
+        let entries = parse(good).expect("parses");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "XA103");
+        assert_eq!(entries[0].justification, "legacy.");
+
+        let bad = "XA103 crates/a/src/lib.rs a::f\nXA101 f s\n";
+        assert!(parse(bad).is_err());
+    }
+
+    #[test]
+    fn suppresses_ungrouped_rejects_hot_and_reports_stale() {
+        let entries = parse(
+            "XA103 crates/a/src/lib.rs a::f\n justification: x.\n\
+             XA100 crates/a/src/lib.rs a::f\n justification: y.\n\
+             XA101 crates/b/src/lib.rs b::g\n justification: z.\n",
+        )
+        .expect("parses");
+        let out = apply(
+            vec![finding("XA103", None), finding("XA100", Some("hot"))],
+            &entries,
+        );
+        assert_eq!(out.suppressed, 1);
+        // Hot finding kept twice: the rejection note plus the original.
+        assert_eq!(out.kept.len(), 2);
+        assert!(out.kept[0].message.contains("hot-path"));
+        assert_eq!(out.warnings.len(), 1, "{:?}", out.warnings);
+        assert!(out.warnings[0].contains("b::g"));
+    }
+}

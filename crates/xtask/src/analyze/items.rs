@@ -1,0 +1,1072 @@
+//! Item extraction: from a token stream to per-file `fn`/`impl`/`trait`
+//! records, `use` maps, and declared type names.
+//!
+//! This is a *recognizer*, not a parser: it walks the token stream once,
+//! tracking brace depth and a scope stack (modules, `impl` blocks,
+//! `trait` blocks), and records every `fn` it sees at item position
+//! together with the token range of its body. Function bodies are not
+//! descended into here — call extraction over body ranges happens in
+//! [`crate::analyze::graph`].
+//!
+//! Recognized context (the resolution heuristics feed on all of it):
+//!
+//! * `use` declarations, including nested groups and `as` renames —
+//!   per-file alias → path map;
+//! * `impl Type` / `impl Trait for Type` — methods get a self type and
+//!   an optional trait name;
+//! * `trait Name` — default-bodied methods are recorded as trait
+//!   defaults (callable through any implementor);
+//! * `struct` / `enum` declarations — their names (and tuple-variant
+//!   names) form the constructor set, so `Shard(x)` or `Some(x)` is
+//!   never mistaken for a function call;
+//! * `#[cfg(test)]` — attached to a `mod`/`fn`, marks everything inside
+//!   as test code (analyzed rules skip it, matching the xed-lint
+//!   convention).
+
+use super::lexer::{Tok, TokKind};
+
+/// One `use` alias: `alias` names `path` in this file.
+#[derive(Debug, Clone)]
+pub struct UseEntry {
+    /// The name the file refers to (`last segment` or the `as` rename).
+    pub alias: String,
+    /// Full path segments, e.g. `["xed_ecc", "secded", "SecDed"]`.
+    pub path: Vec<String>,
+}
+
+/// One extracted function (free fn, inherent/trait-impl method, or
+/// trait default method).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Crate name (underscore form, e.g. `xed_ecc`).
+    pub krate: String,
+    /// Module path within the crate (file modules + inline `mod`s).
+    pub module: Vec<String>,
+    /// `Some(type)` for methods in an `impl` block, `Some(trait)` for
+    /// trait-default methods.
+    pub self_type: Option<String>,
+    /// The trait being implemented (`impl Trait for Type`) or declared.
+    pub trait_name: Option<String>,
+    /// `true` for a default-bodied method in a `trait` block.
+    pub is_trait_default: bool,
+    /// Function name.
+    pub name: String,
+    /// File index into [`Workspace::files`].
+    pub file: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token range of the body (including the outer braces) in the
+    /// file's token vec; `None` for bodyless trait signatures.
+    pub body: Option<(usize, usize)>,
+    /// `(param name, main type ident)` — the last capitalized ident of
+    /// each parameter's type, e.g. `("rng", "R")`, `("beats", "CodeWord72")`.
+    pub params: Vec<(String, String)>,
+    /// Generic parameters with their trait bounds' last idents, e.g.
+    /// `("R", ["Rng"])`.
+    pub generics: Vec<(String, Vec<String>)>,
+    /// Inside a `#[cfg(test)]` module or attached to the fn itself.
+    pub in_cfg_test: bool,
+}
+
+impl FnItem {
+    /// `crate::module::Type::name`-style display path.
+    pub fn qualified(&self) -> String {
+        let mut s = self.krate.clone();
+        for m in &self.module {
+            s.push_str("::");
+            s.push_str(m);
+        }
+        if let Some(t) = &self.self_type {
+            s.push_str("::");
+            s.push_str(t);
+        }
+        s.push_str("::");
+        s.push_str(&self.name);
+        s
+    }
+}
+
+/// One `impl` block: the implementing type and the trait, if any.
+#[derive(Debug, Clone)]
+pub struct ImplDecl {
+    /// Self type name.
+    pub self_type: String,
+    /// `Some(trait)` for `impl Trait for Type`.
+    pub trait_name: Option<String>,
+}
+
+/// One parsed source file with its token stream and extracted context.
+#[derive(Debug)]
+pub struct FileAst {
+    /// Path relative to the workspace root.
+    pub rel_path: String,
+    /// Crate name (underscore form).
+    pub krate: String,
+    /// The full token stream.
+    pub toks: Vec<Tok>,
+    /// `use` alias map.
+    pub uses: Vec<UseEntry>,
+    /// `struct`/`enum` type names declared in this file.
+    pub types: Vec<String>,
+    /// Constructor-position names: tuple structs and enum variants.
+    pub ctors: Vec<String>,
+    /// `impl` blocks declared in this file.
+    pub impls: Vec<ImplDecl>,
+    /// Named struct fields as `(field, outer type ident)` — the receiver
+    /// typing source for `x.field.method(…)` call sites.
+    pub fields: Vec<(String, String)>,
+    /// Raw source lines (1-based via `line - 1` indexing); kept so the
+    /// rules can look up `justification:`-style comments near a site.
+    pub raw: Vec<String>,
+}
+
+/// The parsed workspace: all files plus the global function list.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Parsed files.
+    pub files: Vec<FileAst>,
+    /// Every extracted function, across all files.
+    pub fns: Vec<FnItem>,
+}
+
+impl Workspace {
+    /// Parses one file's source text into the workspace.
+    pub fn add_file(&mut self, rel_path: &str, krate: &str, module: &[String], src: &str) {
+        let toks = super::lexer::tokenize(src);
+        if std::env::var("XED_ANALYZE_TRACE").is_ok() {
+            eprintln!("tokenized {rel_path}: {} toks", toks.len());
+        }
+        let file_idx = self.files.len();
+        let mut file = FileAst {
+            rel_path: rel_path.to_string(),
+            krate: krate.to_string(),
+            toks,
+            uses: Vec::new(),
+            types: Vec::new(),
+            ctors: Vec::new(),
+            impls: Vec::new(),
+            fields: Vec::new(),
+            raw: src.lines().map(str::to_string).collect(),
+        };
+        let mut fns = Vec::new();
+        extract(&mut file, krate, module, file_idx, &mut fns);
+        self.files.push(file);
+        self.fns.extend(fns);
+    }
+
+    /// Finds a function by `Type::name` or plain `name` within a crate,
+    /// returning all matches.
+    pub fn find_fns(&self, krate: &str, self_type: Option<&str>, name: &str) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.krate == krate
+                    && f.name == name
+                    && match self_type {
+                        Some(t) => f.self_type.as_deref() == Some(t),
+                        None => f.self_type.is_none(),
+                    }
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Scope kinds tracked during the walk.
+#[derive(Debug)]
+enum Scope {
+    Module(String),
+    Impl(ImplDecl),
+    Trait(String),
+    /// A brace the walker entered but does not model (static initializer,
+    /// macro body, …).
+    Opaque,
+}
+
+struct Walker<'a> {
+    toks: &'a [Tok],
+    i: usize,
+    scopes: Vec<(Scope, usize)>, // (scope, depth at open)
+    depth: usize,
+    cfg_test_depth: Option<usize>,
+}
+
+impl<'a> Walker<'a> {
+    fn peek(&self, k: usize) -> Option<&Tok> {
+        self.toks.get(self.i + k)
+    }
+
+    fn bump(&mut self) -> Option<&'a Tok> {
+        let t = self.toks.get(self.i);
+        self.i += 1;
+        t
+    }
+
+    /// Skips a balanced `(…)`, `[…]`, or `{…}` group whose opener is the
+    /// current token. No-op if the current token is not an opener.
+    fn skip_group(&mut self) {
+        let Some(open) = self.peek(0) else { return };
+        let (o, c) = match open.text.as_str() {
+            "(" => ('(', ')'),
+            "[" => ('[', ']'),
+            "{" => ('{', '}'),
+            _ => return,
+        };
+        let mut depth = 0usize;
+        while let Some(t) = self.bump() {
+            if t.is_punct(o) {
+                depth += 1;
+            } else if t.is_punct(c) {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Skips a balanced generic argument list starting at `<`. Handles
+    /// nesting and ignores `->`'s `>`.
+    fn skip_generics(&mut self) {
+        if !self.peek(0).is_some_and(|t| t.is_punct('<')) {
+            return;
+        }
+        let mut depth = 0isize;
+        let mut prev_minus = false;
+        while let Some(t) = self.bump() {
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') && !prev_minus {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            } else if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                self.i -= 1;
+                self.skip_group();
+            }
+            prev_minus = t.is_punct('-');
+        }
+    }
+}
+
+fn extract(
+    file: &mut FileAst,
+    krate: &str,
+    base_module: &[String],
+    file_idx: usize,
+    fns: &mut Vec<FnItem>,
+) {
+    let toks = std::mem::take(&mut file.toks);
+    let mut w = Walker {
+        toks: &toks,
+        i: 0,
+        scopes: Vec::new(),
+        depth: 0,
+        cfg_test_depth: None,
+    };
+    let mut pending_cfg_test = false;
+    let mut watchdog = (0usize, 0usize); // (last index, stuck count)
+
+    while w.i < w.toks.len() {
+        if w.i == watchdog.0 {
+            watchdog.1 += 1;
+            // invariant: every branch below either bumps or breaks; a
+            // token revisited this often means a parser bug, and skipping
+            // it is strictly better than hanging the gate.
+            if watchdog.1 > 16 {
+                w.bump();
+                continue;
+            }
+        } else {
+            watchdog = (w.i, 0);
+        }
+        // Attributes: `#[...]` / `#![...]` — note cfg(test), skip the group.
+        if w.peek(0).is_some_and(|t| t.is_punct('#')) {
+            let bang = usize::from(w.peek(1).is_some_and(|t| t.is_punct('!')));
+            if w.peek(1 + bang).is_some_and(|t| t.is_punct('[')) {
+                w.bump(); // '#'
+                if bang == 1 {
+                    w.bump(); // '!'
+                }
+                let start = w.i;
+                w.skip_group(); // [...]
+                let attr: Vec<&str> = w.toks[start..w.i].iter().map(|t| t.text.as_str()).collect();
+                if attr
+                    .windows(3)
+                    .any(|s| s[0] == "cfg" && s[1] == "(" && s[2] == "test")
+                {
+                    pending_cfg_test = true;
+                }
+                continue;
+            }
+        }
+
+        let Some(t) = w.peek(0) else { break };
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Ident, "use") => {
+                w.bump();
+                parse_use(&mut w, &mut file.uses);
+                pending_cfg_test = false;
+            }
+            (TokKind::Ident, "mod") => {
+                w.bump();
+                let name = match w.peek(0) {
+                    Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+                    _ => String::new(),
+                };
+                w.bump();
+                if w.peek(0).is_some_and(|t| t.is_punct('{')) {
+                    w.bump();
+                    w.depth += 1;
+                    w.scopes.push((Scope::Module(name), w.depth));
+                    if pending_cfg_test && w.cfg_test_depth.is_none() {
+                        w.cfg_test_depth = Some(w.depth);
+                    }
+                }
+                // `mod name;` — file modules are walked separately.
+                pending_cfg_test = false;
+            }
+            (TokKind::Ident, "struct") => {
+                w.bump();
+                if let Some(t) = w.peek(0) {
+                    if t.kind == TokKind::Ident {
+                        let name = t.text.clone();
+                        file.types.push(name.clone());
+                        w.bump();
+                        w.skip_generics();
+                        if w.peek(0).is_some_and(|t| t.is_punct('(')) {
+                            file.ctors.push(name);
+                        } else {
+                            extract_fields(w.toks, w.i, &mut file.fields);
+                        }
+                    }
+                }
+                skip_item_rest(&mut w);
+                pending_cfg_test = false;
+            }
+            (TokKind::Ident, "enum") => {
+                w.bump();
+                if let Some(t) = w.peek(0) {
+                    if t.kind == TokKind::Ident {
+                        file.types.push(t.text.clone());
+                        w.bump();
+                    }
+                }
+                w.skip_generics();
+                // Record variant names as constructors (conservative: all
+                // of them; unit variants never appear call-position).
+                if w.peek(0).is_some_and(|t| t.is_punct('{')) {
+                    let start = w.i;
+                    w.skip_group();
+                    let body = &w.toks[start..w.i];
+                    let mut d = 0usize;
+                    for (k, t) in body.iter().enumerate() {
+                        match t.text.as_str() {
+                            "{" | "(" | "[" => d += 1,
+                            "}" | ")" | "]" => d = d.saturating_sub(1),
+                            _ => {
+                                if d == 1
+                                    && t.kind == TokKind::Ident
+                                    && t.text.chars().next().is_some_and(char::is_uppercase)
+                                    && body.get(k + 1).is_some_and(|n| n.is_punct('('))
+                                {
+                                    file.ctors.push(t.text.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+                pending_cfg_test = false;
+            }
+            (TokKind::Ident, "trait") => {
+                w.bump();
+                let name = match w.peek(0) {
+                    Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+                    _ => String::new(),
+                };
+                w.bump();
+                // Skip generics / supertrait bounds / where clause.
+                while let Some(t) = w.peek(0) {
+                    if t.is_punct('{') {
+                        break;
+                    }
+                    if t.is_punct('<') {
+                        w.skip_generics();
+                    } else {
+                        w.bump();
+                    }
+                }
+                if w.peek(0).is_some_and(|t| t.is_punct('{')) {
+                    w.bump();
+                    w.depth += 1;
+                    w.scopes.push((Scope::Trait(name), w.depth));
+                    if pending_cfg_test && w.cfg_test_depth.is_none() {
+                        w.cfg_test_depth = Some(w.depth);
+                    }
+                }
+                pending_cfg_test = false;
+            }
+            (TokKind::Ident, "impl") => {
+                w.bump();
+                w.skip_generics();
+                let decl = parse_impl_header(&mut w);
+                if w.peek(0).is_some_and(|t| t.is_punct('{')) {
+                    w.bump();
+                    w.depth += 1;
+                    if let Some(d) = &decl {
+                        file.impls.push(d.clone());
+                        w.scopes.push((Scope::Impl(d.clone()), w.depth));
+                    } else {
+                        w.scopes.push((Scope::Opaque, w.depth));
+                    }
+                    if pending_cfg_test && w.cfg_test_depth.is_none() {
+                        w.cfg_test_depth = Some(w.depth);
+                    }
+                }
+                pending_cfg_test = false;
+            }
+            (TokKind::Ident, "fn") => {
+                let line = t.line;
+                w.bump();
+                let item = parse_fn(&mut w, krate, base_module, file_idx, line, pending_cfg_test);
+                if let Some(f) = item {
+                    fns.push(f);
+                }
+                pending_cfg_test = false;
+            }
+            (TokKind::Punct, "{") => {
+                w.bump();
+                w.depth += 1;
+                w.scopes.push((Scope::Opaque, w.depth));
+                if pending_cfg_test && w.cfg_test_depth.is_none() {
+                    w.cfg_test_depth = Some(w.depth);
+                }
+                pending_cfg_test = false;
+            }
+            (TokKind::Punct, "}") => {
+                w.bump();
+                if let Some((_, d)) = w.scopes.last() {
+                    if *d == w.depth {
+                        w.scopes.pop();
+                    }
+                }
+                if w.cfg_test_depth == Some(w.depth) {
+                    w.cfg_test_depth = None;
+                }
+                w.depth = w.depth.saturating_sub(1);
+            }
+            _ => {
+                w.bump();
+            }
+        }
+    }
+    file.toks = toks;
+}
+
+/// After a `struct Name…`: skips the remainder (tuple body + `;`, brace
+/// body, or bare `;`).
+/// Extracts `name: Type` pairs from a braced struct body starting at or
+/// after token index `from` (the walker position just past the struct
+/// name/generics). Does not consume — `skip_item_rest` still walks the
+/// group. The recorded type is the *outer* type ident (`Vec` for
+/// `Vec<Event>`), which is what receiver classification needs.
+fn extract_fields(toks: &[Tok], from: usize, fields: &mut Vec<(String, String)>) {
+    // Find the `{` before any `;` (a `;` first means unit struct).
+    let mut j = from;
+    loop {
+        match toks.get(j) {
+            Some(t) if t.is_punct('{') => break,
+            Some(t) if t.is_punct(';') => return,
+            Some(_) => j += 1,
+            None => return,
+        }
+    }
+    let mut depth = 0usize;
+    let mut k = j;
+    while let Some(t) = toks.get(k) {
+        match t.text.as_str() {
+            "{" | "(" | "[" => depth += 1,
+            "}" | ")" | "]" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return;
+                }
+            }
+            _ => {
+                // A field starts at depth 1 as `name :` preceded by `{`,
+                // `,`, or visibility tokens.
+                if depth == 1
+                    && t.kind == TokKind::Ident
+                    && !matches!(t.text.as_str(), "pub" | "crate" | "super")
+                    && toks.get(k + 1).is_some_and(|x| x.is_punct(':'))
+                    && !toks.get(k + 2).is_some_and(|x| x.is_punct(':'))
+                {
+                    // Outer type: first ident after `:` skipping refs,
+                    // lifetimes, and `mut`/`dyn`.
+                    let mut m = k + 2;
+                    while toks.get(m).is_some_and(|x| {
+                        x.is_punct('&')
+                            || x.kind == TokKind::Lifetime
+                            || x.is_ident("mut")
+                            || x.is_ident("dyn")
+                    }) {
+                        m += 1;
+                    }
+                    if let Some(ty) = toks.get(m) {
+                        if ty.kind == TokKind::Ident
+                            && ty.text.chars().next().is_some_and(char::is_uppercase)
+                        {
+                            fields.push((t.text.clone(), ty.text.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+}
+
+fn skip_item_rest(w: &mut Walker<'_>) {
+    while let Some(t) = w.peek(0) {
+        if t.is_punct(';') {
+            w.bump();
+            return;
+        }
+        if t.is_punct('{') || t.is_punct('(') {
+            w.skip_group();
+            if w.peek(0).is_some_and(|t| t.is_punct(';')) {
+                w.bump();
+            }
+            return;
+        }
+        if t.is_punct('<') {
+            w.skip_generics();
+        } else {
+            w.bump();
+        }
+    }
+}
+
+/// Parses the `Path` or `Trait for Path` part of an impl header, leaving
+/// the walker at the opening `{`.
+fn parse_impl_header(w: &mut Walker<'_>) -> Option<ImplDecl> {
+    let mut first: Vec<String> = Vec::new();
+    let mut second: Vec<String> = Vec::new();
+    let mut saw_for = false;
+    while let Some(t) = w.peek(0) {
+        if t.is_punct('{') {
+            break;
+        }
+        if t.is_ident("where") {
+            // Skip the where clause up to the `{`.
+            while let Some(t) = w.peek(0) {
+                if t.is_punct('{') {
+                    break;
+                }
+                if t.is_punct('<') {
+                    w.skip_generics();
+                } else {
+                    w.bump();
+                }
+            }
+            break;
+        }
+        if t.is_ident("for") {
+            saw_for = true;
+            w.bump();
+            continue;
+        }
+        if t.is_punct('<') {
+            w.skip_generics();
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            if saw_for {
+                second.push(t.text.clone());
+            } else {
+                first.push(t.text.clone());
+            }
+        }
+        w.bump();
+    }
+    let (trait_path, type_path) = if saw_for {
+        (Some(first), second)
+    } else {
+        (None, first)
+    };
+    let self_type = type_path.last()?.clone();
+    Some(ImplDecl {
+        self_type,
+        trait_name: trait_path.and_then(|p| p.last().cloned()),
+    })
+}
+
+/// Parses one `fn` after the keyword: name, generics, params, body range.
+fn parse_fn(
+    w: &mut Walker<'_>,
+    krate: &str,
+    base_module: &[String],
+    file_idx: usize,
+    line: u32,
+    attr_cfg_test: bool,
+) -> Option<FnItem> {
+    let name = match w.peek(0) {
+        Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+        _ => return None,
+    };
+    w.bump();
+
+    // Generics: `<R: Rng + ?Sized, const N: usize>` → bound map.
+    let mut generics = Vec::new();
+    if w.peek(0).is_some_and(|t| t.is_punct('<')) {
+        let start = w.i;
+        w.skip_generics();
+        generics = parse_generic_bounds(&w.toks[start..w.i]);
+    }
+
+    // Params.
+    let mut params = Vec::new();
+    if w.peek(0).is_some_and(|t| t.is_punct('(')) {
+        let start = w.i;
+        w.skip_group();
+        params = parse_params(&w.toks[start..w.i]);
+    }
+
+    // Return type / where clause: scan to the body `{` or a `;`.
+    loop {
+        match w.peek(0) {
+            None => return None,
+            Some(t) if t.is_punct(';') => {
+                w.bump();
+                return Some(make_fn(
+                    w,
+                    krate,
+                    base_module,
+                    file_idx,
+                    line,
+                    name,
+                    None,
+                    params,
+                    generics,
+                    attr_cfg_test,
+                ));
+            }
+            Some(t) if t.is_punct('{') => break,
+            Some(t) if t.is_punct('<') => w.skip_generics(),
+            Some(t) if t.is_punct('(') || t.is_punct('[') => w.skip_group(),
+            _ => {
+                w.bump();
+            }
+        }
+    }
+    let body_start = w.i;
+    w.skip_group();
+    let body = Some((body_start, w.i));
+    Some(make_fn(
+        w,
+        krate,
+        base_module,
+        file_idx,
+        line,
+        name,
+        body,
+        params,
+        generics,
+        attr_cfg_test,
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_fn(
+    w: &Walker<'_>,
+    krate: &str,
+    base_module: &[String],
+    file_idx: usize,
+    line: u32,
+    name: String,
+    body: Option<(usize, usize)>,
+    params: Vec<(String, String)>,
+    generics: Vec<(String, Vec<String>)>,
+    attr_cfg_test: bool,
+) -> FnItem {
+    let mut module: Vec<String> = base_module.to_vec();
+    let mut self_type = None;
+    let mut trait_name = None;
+    let mut is_trait_default = false;
+    for (scope, _) in &w.scopes {
+        match scope {
+            Scope::Module(m) => module.push(m.clone()),
+            Scope::Impl(d) => {
+                self_type = Some(d.self_type.clone());
+                trait_name = d.trait_name.clone();
+            }
+            Scope::Trait(t) => {
+                self_type = Some(t.clone());
+                trait_name = Some(t.clone());
+                is_trait_default = body.is_some();
+            }
+            Scope::Opaque => {}
+        }
+    }
+    FnItem {
+        krate: krate.to_string(),
+        module,
+        self_type,
+        trait_name,
+        is_trait_default,
+        name,
+        file: file_idx,
+        line,
+        body,
+        params,
+        generics,
+        in_cfg_test: attr_cfg_test || w.cfg_test_depth.is_some(),
+    }
+}
+
+/// `<R: Rng + ?Sized, const N: usize, 'a>` → `[("R", ["Rng"])]`.
+fn parse_generic_bounds(toks: &[Tok]) -> Vec<(String, Vec<String>)> {
+    let mut out: Vec<(String, Vec<String>)> = Vec::new();
+    let mut depth = 0isize;
+    let mut k = 0usize;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth -= 1;
+        } else if depth == 1 && t.kind == TokKind::Ident {
+            if t.text == "const" {
+                // `const N: usize` — skip name and type.
+                k += 1;
+                while k < toks.len() && !toks[k].is_punct(',') && !toks[k].is_punct('>') {
+                    k += 1;
+                }
+                continue;
+            }
+            let name = t.text.clone();
+            let mut bounds = Vec::new();
+            if !toks.get(k + 1).is_some_and(|n| n.is_punct(':')) {
+                // Unbounded parameter (`<T, …>`): record and move on —
+                // failing to advance here used to hang the parser.
+                out.push((name, bounds));
+                k += 1;
+                continue;
+            }
+            {
+                // Collect bound idents until `,` or the closing `>`.
+                let mut j = k + 2;
+                let mut d2 = 0isize;
+                let mut last_ident: Option<String> = None;
+                while j < toks.len() {
+                    let b = &toks[j];
+                    if b.is_punct('<') {
+                        d2 += 1;
+                    } else if b.is_punct('>') {
+                        if d2 == 0 {
+                            break;
+                        }
+                        d2 -= 1;
+                    } else if d2 == 0 && b.is_punct(',') {
+                        break;
+                    } else if d2 == 0 && b.kind == TokKind::Ident {
+                        last_ident = Some(b.text.clone());
+                    } else if d2 == 0 && b.is_punct('+') {
+                        if let Some(li) = last_ident.take() {
+                            bounds.push(li);
+                        }
+                    }
+                    j += 1;
+                }
+                if let Some(li) = last_ident {
+                    bounds.push(li);
+                }
+                k = j;
+            }
+            bounds.retain(|b| b != "Sized" && b != "Send" && b != "Sync");
+            out.push((name, bounds));
+            continue;
+        }
+        k += 1;
+    }
+    out
+}
+
+/// `(self, rng: &mut R, beats: &[CodeWord72; N])` →
+/// `[("rng", "R"), ("beats", "CodeWord72")]`. The "main type ident" is
+/// the last capitalized identifier of the parameter's type.
+fn parse_params(toks: &[Tok]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    // Split on top-level commas (depth 1 = inside the parens).
+    let mut depth = 0isize;
+    let mut cur: Vec<&Tok> = Vec::new();
+    let mut groups: Vec<Vec<&Tok>> = Vec::new();
+    for t in toks {
+        match t.text.as_str() {
+            "(" | "[" | "{" => {
+                depth += 1;
+                if depth > 1 {
+                    cur.push(t);
+                }
+            }
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth >= 1 {
+                    cur.push(t);
+                }
+            }
+            "," if depth == 1 => groups.push(std::mem::take(&mut cur)),
+            _ => {
+                if depth >= 1 {
+                    cur.push(t);
+                }
+            }
+        }
+    }
+    if !cur.is_empty() {
+        groups.push(cur);
+    }
+    for g in groups {
+        let Some(colon) = g.iter().position(|t| t.is_punct(':')) else {
+            continue; // `self`, `&mut self`, …
+        };
+        let name = match g[..colon].iter().rev().find(|t| t.kind == TokKind::Ident) {
+            Some(t) => t.text.clone(),
+            None => continue,
+        };
+        let ty = g[colon + 1..]
+            .iter()
+            .rev()
+            .find(|t| {
+                t.kind == TokKind::Ident && t.text.chars().next().is_some_and(char::is_uppercase)
+            })
+            .map(|t| t.text.clone());
+        if let Some(ty) = ty {
+            out.push((name, ty));
+        }
+    }
+    out
+}
+
+/// Parses a `use` tree after the keyword, pushing alias entries.
+/// Handles `a::b::C`, `a::{B, c::D}`, `a::B as E`, and glob `a::*`
+/// (recorded with alias `*`).
+fn parse_use(w: &mut Walker<'_>, out: &mut Vec<UseEntry>) {
+    let mut prefix: Vec<String> = Vec::new();
+    parse_use_tree(w, &mut prefix, out);
+    if w.peek(0).is_some_and(|t| t.is_punct(';')) {
+        w.bump();
+    }
+}
+
+fn parse_use_tree(w: &mut Walker<'_>, prefix: &mut Vec<String>, out: &mut Vec<UseEntry>) {
+    let base_len = prefix.len();
+    loop {
+        match w.peek(0) {
+            Some(t) if t.kind == TokKind::Ident && t.text == "as" => {
+                w.bump();
+                if let Some(t) = w.peek(0) {
+                    if t.kind == TokKind::Ident {
+                        out.push(UseEntry {
+                            alias: t.text.clone(),
+                            path: prefix.clone(),
+                        });
+                        w.bump();
+                    }
+                }
+                prefix.truncate(base_len);
+                return;
+            }
+            Some(t) if t.kind == TokKind::Ident => {
+                prefix.push(t.text.clone());
+                w.bump();
+            }
+            Some(t) if t.is_punct('*') => {
+                w.bump();
+                out.push(UseEntry {
+                    alias: "*".to_string(),
+                    path: prefix.clone(),
+                });
+                prefix.truncate(base_len);
+                return;
+            }
+            Some(t) if t.is_punct(':') => {
+                w.bump(); // consume both colons of `::`
+                if w.peek(0).is_some_and(|t| t.is_punct(':')) {
+                    w.bump();
+                }
+                if w.peek(0).is_some_and(|t| t.is_punct('{')) {
+                    w.bump();
+                    loop {
+                        parse_use_tree(w, prefix, out);
+                        match w.peek(0) {
+                            Some(t) if t.is_punct(',') => {
+                                w.bump();
+                                if w.peek(0).is_some_and(|t| t.is_punct('}')) {
+                                    w.bump();
+                                    break;
+                                }
+                            }
+                            Some(t) if t.is_punct('}') => {
+                                w.bump();
+                                break;
+                            }
+                            _ => break,
+                        }
+                    }
+                    prefix.truncate(base_len);
+                    return;
+                }
+            }
+            _ => {
+                // End of this tree node: emit the leaf (last segment).
+                if prefix.len() > base_len {
+                    if let Some(last) = prefix.last() {
+                        out.push(UseEntry {
+                            alias: last.clone(),
+                            path: prefix.clone(),
+                        });
+                    }
+                }
+                prefix.truncate(base_len);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Workspace {
+        let mut ws = Workspace::default();
+        ws.add_file("crates/x/src/lib.rs", "x", &[], src);
+        ws
+    }
+
+    #[test]
+    fn extracts_free_fns_and_bodies() {
+        let ws = parse("pub fn alpha() -> u32 { beta() }\nfn beta() -> u32 { 7 }\n");
+        assert_eq!(ws.fns.len(), 2);
+        assert_eq!(ws.fns[0].name, "alpha");
+        assert_eq!(ws.fns[0].line, 1);
+        assert!(ws.fns[0].body.is_some());
+        assert_eq!(ws.fns[1].name, "beta");
+        assert!(ws.fns[1].self_type.is_none());
+    }
+
+    #[test]
+    fn impl_methods_get_self_type_and_trait() {
+        let src = "struct Foo(u32);\nimpl Foo { fn m(&self) {} }\n\
+                   impl Clone for Foo { fn clone(&self) -> Self { Foo(self.0) } }";
+        let ws = parse(src);
+        let m = ws.fns.iter().find(|f| f.name == "m").expect("m");
+        assert_eq!(m.self_type.as_deref(), Some("Foo"));
+        assert_eq!(m.trait_name, None);
+        let c = ws.fns.iter().find(|f| f.name == "clone").expect("clone");
+        assert_eq!(c.self_type.as_deref(), Some("Foo"));
+        assert_eq!(c.trait_name.as_deref(), Some("Clone"));
+        assert!(ws.files[0].ctors.contains(&"Foo".to_string()));
+    }
+
+    #[test]
+    fn trait_default_methods_are_flagged() {
+        let src = "trait T { fn req(&self); fn def(&self) -> u32 { 1 } }";
+        let ws = parse(src);
+        let req = ws.fns.iter().find(|f| f.name == "req").expect("req");
+        assert!(req.body.is_none());
+        assert!(!req.is_trait_default);
+        let def = ws.fns.iter().find(|f| f.name == "def").expect("def");
+        assert!(def.body.is_some());
+        assert!(def.is_trait_default);
+        assert_eq!(def.self_type.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn generic_impls_resolve_to_base_type_name() {
+        let src = "impl<const N: usize> Ring<N> { fn push(&mut self) {} }\n\
+                   impl<'a> Drop for Span<'a> { fn drop(&mut self) {} }";
+        let ws = parse(src);
+        let p = ws.fns.iter().find(|f| f.name == "push").expect("push");
+        assert_eq!(p.self_type.as_deref(), Some("Ring"));
+        let d = ws.fns.iter().find(|f| f.name == "drop").expect("drop");
+        assert_eq!(d.self_type.as_deref(), Some("Span"));
+        assert_eq!(d.trait_name.as_deref(), Some("Drop"));
+    }
+
+    #[test]
+    fn params_and_generic_bounds() {
+        let src = "fn eval<R: Rng + ?Sized>(rng: &mut R, e: &FaultEvent, n: usize) {}";
+        let ws = parse(src);
+        let f = &ws.fns[0];
+        assert_eq!(
+            f.params,
+            vec![
+                ("rng".to_string(), "R".to_string()),
+                ("e".to_string(), "FaultEvent".to_string())
+            ]
+        );
+        assert_eq!(f.generics, vec![("R".to_string(), vec!["Rng".to_string()])]);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn inside() {}\n}\nfn after() {}";
+        let ws = parse(src);
+        let live = ws.fns.iter().find(|f| f.name == "live").expect("live");
+        assert!(!live.in_cfg_test);
+        let inside = ws.fns.iter().find(|f| f.name == "inside").expect("in");
+        assert!(inside.in_cfg_test);
+        assert_eq!(inside.module, vec!["tests"]);
+        let after = ws.fns.iter().find(|f| f.name == "after").expect("after");
+        assert!(!after.in_cfg_test);
+    }
+
+    #[test]
+    fn use_trees_flatten_with_renames_and_groups() {
+        let src = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+                   use crate::event::LifetimeSampler;\n\
+                   use xed_ecc::secded::SecDed as Code;\n\
+                   use rand::rngs::*;\n";
+        let ws = parse(src);
+        let find = |a: &str| {
+            ws.files[0]
+                .uses
+                .iter()
+                .find(|u| u.alias == a)
+                .map(|u| u.path.join("::"))
+        };
+        assert_eq!(
+            find("AtomicU64"),
+            Some("std::sync::atomic::AtomicU64".into())
+        );
+        assert_eq!(find("Ordering"), Some("std::sync::atomic::Ordering".into()));
+        assert_eq!(
+            find("LifetimeSampler"),
+            Some("crate::event::LifetimeSampler".into())
+        );
+        assert_eq!(find("Code"), Some("xed_ecc::secded::SecDed".into()));
+        assert_eq!(find("*"), Some("rand::rngs".into()));
+    }
+
+    #[test]
+    fn enum_variants_join_the_constructor_set() {
+        let src = "enum Verdict { Benign, Corrected }\n\
+                   enum Outcome { Clean { data: u64 }, Hit(u32) }";
+        let ws = parse(src);
+        assert!(ws.files[0].types.contains(&"Verdict".to_string()));
+        assert!(ws.files[0].types.contains(&"Outcome".to_string()));
+        assert!(ws.files[0].ctors.contains(&"Hit".to_string()));
+    }
+
+    #[test]
+    fn qualified_names() {
+        let src = "impl Foo { fn m(&self) {} }";
+        let mut ws = Workspace::default();
+        ws.add_file("crates/x/src/sub.rs", "x_crate", &["sub".into()], src);
+        assert_eq!(ws.fns[0].qualified(), "x_crate::sub::Foo::m");
+    }
+}

@@ -205,10 +205,10 @@ pub fn scan_workspace(root: &Path) -> Result<Vec<Finding>, String> {
 /// unlike [`scan_file`], test modules are exactly where the rule looks.
 pub fn scan_ignores(rel_path: &str, text: &str) -> Vec<Finding> {
     let lines: Vec<&str> = text.lines().collect();
+    let san = crate::analyze::lexer::sanitize_lines(text);
     let mut findings = Vec::new();
     for (idx, &raw) in lines.iter().enumerate() {
-        let code = strip_comment(raw);
-        // xed-lint: allow(XL011)
+        let code = san.get(idx).map_or(raw, String::as_str);
         if !code.contains("#[ignore") {
             continue;
         }
@@ -248,16 +248,23 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), std::io::E
 /// seeded-violation check can exercise the engine directly.
 pub fn scan_file(rel_path: &str, text: &str) -> Vec<Finding> {
     let lines: Vec<&str> = text.lines().collect();
-    let hash_names = hash_container_names(&lines);
+    // Comment- and string-free view of the same lines (sanitize_lines
+    // keeps line count and column alignment): content rules match here,
+    // so `.unwrap()` in a doc comment or `panic!` in an error-message
+    // string is never a finding. Waivers and `invariant:` justifications
+    // are read from the raw text, where the comments live.
+    let san = crate::analyze::lexer::sanitize_lines(text);
+    let san_refs: Vec<&str> = san.iter().map(String::as_str).collect();
+    let hash_names = hash_container_names(&san_refs);
     let mut findings = Vec::new();
 
     for (idx, &raw) in lines.iter().enumerate() {
         let line_no = idx + 1;
         // Everything from the unit-test marker to EOF is exempt.
-        if raw.contains("#[cfg(test)]") {
+        let code = san_refs.get(idx).copied().unwrap_or(raw);
+        if code.contains("#[cfg(test)]") {
             break;
         }
-        let code = strip_comment(raw);
         let trimmed = code.trim();
         if trimmed.is_empty() {
             continue;
@@ -387,20 +394,6 @@ fn has_waiver(line: &str, rule: &str) -> bool {
         .any(|rest| rest.split(')').next().is_some_and(|ids| ids.contains(rule)))
 }
 
-/// Strips a trailing `//` comment (string-literal `//` is rare enough in
-/// this workspace that the heuristic is acceptable; waivers still work
-/// because they are checked against the raw line).
-fn strip_comment(line: &str) -> &str {
-    let t = line.trim_start();
-    if t.starts_with("//") {
-        return "";
-    }
-    match line.find("//") {
-        Some(i) => &line[..i],
-        None => line,
-    }
-}
-
 /// `== 0.5`, `!= 1.0`, `0.0 ==`, ... — equality against a float literal.
 fn has_float_equality(code: &str) -> bool {
     let bytes = code.as_bytes();
@@ -451,11 +444,10 @@ fn ends_with_float_literal(s: &str) -> bool {
 /// `let mut name = HashMap::new()`).
 fn hash_container_names(lines: &[&str]) -> Vec<String> {
     let mut names = Vec::new();
-    for &line in lines {
-        if line.contains("#[cfg(test)]") {
+    for &code in lines {
+        if code.contains("#[cfg(test)]") {
             break;
         }
-        let code = strip_comment(line);
         for marker in ["HashMap<", "HashMap::", "HashSet<", "HashSet::"] {
             if !code.contains(marker) {
                 continue;
@@ -533,6 +525,52 @@ mod tests {
         assert_eq!(rules("let x = y.unwrap();"), vec!["XL001"]);
         assert_eq!(rules("panic!(\"boom\");"), vec!["XL003"]);
         assert_eq!(rules("unreachable!(\"no\");"), vec!["XL003"]);
+    }
+
+    // Adversarial fixtures for the token-stream re-base: rule text
+    // appearing inside comments or string literals must never match.
+    #[test]
+    fn comment_mentions_are_not_findings() {
+        assert!(rules("// .unwrap() would be wrong here\nlet x = y?;").is_empty());
+        assert!(rules("/* panic!(\"no\") */ let x = 1;").is_empty());
+        assert!(rules("/// Returns None instead of .expect(\"...\").\nfn f() {}").is_empty());
+        assert!(rules("//! thread_rng is banned in this crate.\nfn f() {}").is_empty());
+    }
+
+    #[test]
+    fn string_literal_mentions_are_not_findings() {
+        assert!(rules("let s = \"call .unwrap() at your peril\";").is_empty());
+        assert!(rules("let s = \"panic!(boom)\";").is_empty());
+        assert!(rules(r##"let s = r#"x.unwrap() and unreachable!(now)"#;"##).is_empty());
+        assert!(rules("let s = \"thread_rng in a message\";").is_empty());
+    }
+
+    #[test]
+    fn real_finding_next_to_decoy_text_still_fires() {
+        // The decoy string on the same line must not mask the real call.
+        assert_eq!(
+            rules("let x = y.unwrap(); let s = \"fine: .unwrap()\";"),
+            vec!["XL001"]
+        );
+        // A `#[cfg(test)]` inside a string is not the test-module marker.
+        assert_eq!(
+            rules("let s = \"#[cfg(test)]\";\nlet x = y.unwrap();"),
+            vec!["XL001"]
+        );
+    }
+
+    #[test]
+    fn alloc_rule_ignores_comment_and_string_decoys() {
+        let hot = "crates/ecc/src/secded.rs";
+        assert!(scan_file(hot, "// Vec::new() is banned here\nlet x = 1;").is_empty());
+        assert!(scan_file(hot, "let s = \"vec![1, 2]\";").is_empty());
+        assert_eq!(
+            scan_file(hot, "let v = Vec::new();")
+                .iter()
+                .map(|f| f.rule)
+                .collect::<Vec<_>>(),
+            vec!["XL009"]
+        );
     }
 
     #[test]

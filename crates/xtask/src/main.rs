@@ -2,20 +2,28 @@
 //!
 //! ```text
 //! cargo run -p xtask -- lint [--format text|json] [--root PATH]
+//! cargo run -p xtask -- analyze [--format text|json] [--root PATH]
+//!                               [--baseline PATH]
 //! cargo run -p xtask -- verify-matrix [--quick|--full] [--regen-golden]
 //!                                     [--format text|json]
 //! ```
 //!
-//! `lint` runs the `xed-lint` static-analysis pass: heuristic source rules
-//! over the library crates (see [`lint`] for the rule catalogue) plus the
-//! linked golden-value rules (see [`golden`]). Exits nonzero if any
-//! error-severity finding survives.
+//! `lint` runs the `xed-lint` static-analysis pass: line-level source
+//! rules over the comment/string-sanitized library crates (see [`lint`]
+//! for the rule catalogue) plus the linked golden-value rules (see
+//! [`golden`]). Exits nonzero if any error-severity finding survives.
+//!
+//! `analyze` runs the `xed-analyze` pass (see [`analyze`]): a workspace
+//! call graph with transitive panic/alloc-freedom proofs over the named
+//! hot paths, an atomic-ordering audit, and the metric-registry closure
+//! check, gated through `xed-analyze.baseline`.
 //!
 //! `verify-matrix` runs the `xed-testkit` cross-validation matrix (see
 //! [`verify`]): exhaustive small-geometry oracle, analytic gate,
 //! metamorphic laws, golden conformance traces, de-flake audit. Exits
 //! nonzero if any oracle disagrees with the simulator.
 
+mod analyze;
 mod golden;
 mod lint;
 mod metrics_check;
@@ -29,6 +37,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
+        Some("analyze") => analyze::run(&args[1..]),
         Some("verify-matrix") => verify::run(&args[1..]),
         Some(other) => {
             eprintln!("unknown command `{other}`");
@@ -43,6 +52,8 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: cargo run -p xtask -- lint [--format text|json] [--root PATH]\n\
+                     \x20      cargo run -p xtask -- analyze [--format text|json] [--root PATH] \
+                     [--baseline PATH]\n\
                      \x20      cargo run -p xtask -- verify-matrix [--quick|--full] \
                      [--regen-golden] [--format text|json]";
 

@@ -1,0 +1,32 @@
+//! Fixture for the xed-analyze integration tests: the `ecc-decode` hot
+//! group with seeded XA100/XA101 violations. This crate is never
+//! compiled; only its token stream matters.
+
+pub struct SecDed;
+
+impl SecDed {
+    /// Seeded: a panic macro and an unjustified non-literal index.
+    pub fn decode_line(&self, word: u64, at: usize, table: &[u64]) -> u64 {
+        if word == 0 {
+            panic!("zero word"); // seed XA100 (panic macro)
+        }
+        table[at] // seed XA100 (unjustified index)
+    }
+}
+
+pub struct ReedSolomon;
+
+impl ReedSolomon {
+    /// Seeded: a `format!` allocation, plus a transitive unwrap through
+    /// the `first_symbol` helper below.
+    pub fn decode_with(&self, received: &[u8]) -> usize {
+        let label = format!("n={}", received.len()); // seed XA101 (format macro)
+        first_symbol(received) as usize + label.len()
+    }
+}
+
+/// Reached only from `ReedSolomon::decode_with`; the unwrap here must
+/// be reported transitively under the `ecc-decode` group.
+fn first_symbol(received: &[u8]) -> u8 {
+    received.first().copied().unwrap() // seed XA100 (transitive unwrap)
+}

@@ -1,0 +1,53 @@
+//! Fixture for the xed-analyze integration tests: the `mc-trial` hot
+//! group with seeded XA100/XA101/XA102 violations, a stray `SeqCst`,
+//! and the live `metrics::…` references the XA103 closure rule needs.
+//! This crate is never compiled; only its token stream matters.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+static GLOBAL_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Seeded: an untyped alloc-capable receiver (`scratch.push`).
+pub fn run_trials(trials: u64) -> u64 {
+    let mut scratch = scratch_buffer();
+    scratch.push(trials); // seed XA101 (untyped alloc-capable receiver)
+    trials
+}
+
+/// `Vec::new()` does not allocate, so this helper must stay clean even
+/// though it is inside the `mc-trial` closure.
+fn scratch_buffer() -> Vec<u64> {
+    Vec::new()
+}
+
+pub struct SchemeModel {
+    epoch: AtomicU64,
+}
+
+impl SchemeModel {
+    /// Seeded: a hot-path Acquire load, and an `expect` whose
+    /// precondition is not argued anywhere nearby.
+    pub fn evaluate(&self, seed: Option<u64>) -> u64 {
+        let e = self.epoch.load(Ordering::Acquire); // seed XA102 (hot non-Relaxed)
+        e + seed.expect("seed is always set") // seed XA100 (bare expect)
+    }
+
+    /// Seeded: a `vec!` allocation and a call the graph cannot resolve.
+    pub fn evaluate_isolated(&self, seed: u64) -> u64 {
+        let lanes = vec![seed; 4]; // seed XA101 (vec macro)
+        mystery_mix(seed) + lanes.len() as u64 // seed XA100 (unresolved hole)
+    }
+}
+
+/// Not on any hot path; its `SeqCst` must still be flagged by the
+/// global ordering sweep.
+pub fn epoch_now() -> u64 {
+    GLOBAL_EPOCH.load(Ordering::SeqCst) // seed XA102 (stray SeqCst)
+}
+
+/// Keeps `metrics::TRIALS` and `metrics::LATENCY` live for the
+/// registry-closure rule; the dead gauge is deliberately absent here.
+pub fn note_trial(now: u64) {
+    metrics::TRIALS.incr();
+    metrics::LATENCY.record(now);
+}

@@ -1,0 +1,12 @@
+//! Fixture metric registry for the XA103 closure rule.
+
+use crate::{Counter, Histogram};
+
+/// Written by the fault-simulation fixture as `metrics::TRIALS`.
+pub static TRIALS: Counter = Counter::new();
+
+/// Recorded by the fault-simulation fixture as `metrics::LATENCY`.
+pub static LATENCY: Histogram = Histogram::new();
+
+/// Seeded XA103: registered but referenced nowhere outside this file.
+pub static DEAD_GAUGE: Counter = Counter::new();

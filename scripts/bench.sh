@@ -35,3 +35,14 @@ cargo build --release -q -p xed-bench --bin mc_throughput --bin ecc_throughput
 # run.
 cargo run -q -p xtask -- verify-matrix --full ||
     printf 'warning: verify-matrix --full failed (non-gating here; run it locally)\n'
+
+# Non-gating: run the ECC kernels under miri to catch UB the test suite
+# can't (the workspace forbids unsafe, so this guards std/core misuse
+# and future regressions). Skips cleanly where the miri component is
+# not installed — CI images bake only the stable toolchain.
+if cargo miri --version >/dev/null 2>&1; then
+    cargo miri test -p xed-ecc ||
+        printf 'warning: cargo miri test -p xed-ecc failed (non-gating)\n'
+else
+    printf 'miri not installed; skipping the xed-ecc miri lane\n'
+fi

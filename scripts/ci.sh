@@ -17,8 +17,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 step "xed-lint (static analysis + golden constants)"
 cargo run -q -p xtask -- lint
 
-step "cargo build --release"
-cargo build --release
+# Gating: call-graph proofs over the named hot paths (DESIGN.md §13) —
+# transitive panic/alloc freedom, atomic-ordering audit, registry
+# closure. Budget: well under 2 s including the cargo wrapper.
+step "xed-analyze (call-graph hot-path proofs)"
+cargo run -q -p xtask -- analyze
+
+# --workspace: the root manifest is both package and workspace, and a
+# bare build would compile only the `xed` facade — the smoke steps below
+# need the xed-bench binaries.
+step "cargo build --release --workspace"
+cargo build --release --workspace
 
 step "cargo test -q"
 cargo test -q --workspace
