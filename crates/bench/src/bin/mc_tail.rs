@@ -1,0 +1,293 @@
+//! `mc_tail`: rare-event tail-probability benchmark (DESIGN.md §14).
+//!
+//! Compares the importance-sampled rare-event engine
+//! ([`xed_faultsim::rareevent`]) against plain Monte-Carlo **at fixed
+//! wall-clock** on the Chipkill-class schemes, whose lifetime failure
+//! probabilities (10⁻⁶ … 10⁻⁸) sit far below what unweighted trials can
+//! resolve. For each scheme:
+//!
+//! 1. run the tail estimator for `--samples` conditioned trials (timed);
+//! 2. measure the plain engine's throughput on the same scheme and run it
+//!    for the same wall-clock the tail estimator used;
+//! 3. report both estimates side by side with their relative 95 % CI
+//!    widths; the headline is the **CI-width improvement** — how much
+//!    tighter the importance-sampled interval is than the plain one the
+//!    same compute budget buys (equivalently, `√(effective-trial
+//!    multiplier)` after normalizing for per-trial cost).
+//!
+//! With `--check`, the run *gates*: the improvement must be ≥ 10x for
+//! XedChipkill and DoubleChipkill (the PR's acceptance bar; the effective
+//! trial multiplier target is ≥ 100x).
+//!
+//! Results merge into the `mc_throughput` trajectory file as a `"tail"`
+//! section when `--out` points at an existing report (the default,
+//! `BENCH_faultsim.json`, is written by `scripts/bench.sh` in that order),
+//! or become a standalone report otherwise.
+//!
+//! ```text
+//! cargo run --release -p xed-bench --bin mc_tail -- \
+//!     [--samples N] [--seed N] [--out PATH] [--check] [--smoke]
+//! ```
+
+use std::fmt::Write as _;
+use xed_bench::rule;
+use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
+use xed_faultsim::rareevent::{TailConfig, TailEstimate, TailSimulator};
+use xed_faultsim::schemes::Scheme;
+
+/// The schemes with tail-class failure probabilities. The first two carry
+/// the `--check` gate; the plain-Chipkill pair is context.
+const TAIL_SCHEMES: [Scheme; 4] = [
+    Scheme::XedChipkill,
+    Scheme::DoubleChipkill,
+    Scheme::Chipkill,
+    Scheme::ChipkillX4,
+];
+
+/// Schemes the `--check` gate applies to.
+const GATED: [Scheme; 2] = [Scheme::XedChipkill, Scheme::DoubleChipkill];
+
+/// Acceptance bar: IS relative CI width must beat plain MC's by this
+/// factor at fixed wall-clock on the gated schemes.
+const MIN_CI_IMPROVEMENT: f64 = 10.0;
+
+struct Args {
+    samples: u64,
+    seed: u64,
+    out: String,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        samples: 1_000_000,
+        seed: 2016,
+        out: "BENCH_faultsim.json".to_string(),
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut grab =
+            |name: &str| -> String { it.next().unwrap_or_else(|| panic!("usage: {name} <value>")) };
+        match arg.as_str() {
+            "--samples" => args.samples = grab("--samples").parse().expect("--samples <u64>"),
+            "--seed" => args.seed = grab("--seed").parse().expect("--seed <u64>"),
+            "--out" => args.out = grab("--out"),
+            "--check" => args.check = true,
+            "--smoke" => args.samples = 100_000,
+            other => eprintln!("(ignoring unknown argument {other})"),
+        }
+    }
+    assert!(args.samples > 0, "--samples must be positive");
+    args
+}
+
+/// The side-by-side comparison for one scheme.
+struct Comparison {
+    tail: TailEstimate,
+    /// Plain-MC trials the tail run's wall-clock buys on this scheme.
+    plain_trials: u64,
+    /// Plain-MC estimate from actually running those trials.
+    plain_p: f64,
+    plain_failures: u64,
+    /// Plain relative 95 % CI width at `plain_trials`, computed from the
+    /// (sharper) tail estimate of `p` so a zero-failure plain run still
+    /// yields a finite width.
+    plain_relative_ci95: f64,
+    /// `plain_relative_ci95 / tail.relative_ci95()`: the fixed-wall-clock
+    /// precision multiplier.
+    ci_improvement: f64,
+    /// `effective_trials / plain_trials`: effective-throughput multiplier
+    /// at fixed wall-clock (`ci_improvement²`, up to rounding).
+    effective_multiplier: f64,
+}
+
+fn compare(scheme: Scheme, args: &Args) -> Comparison {
+    let tail = TailSimulator::new(TailConfig {
+        samples: args.samples,
+        seed: args.seed,
+        ..TailConfig::default()
+    })
+    .run(scheme);
+
+    // Measure the plain engine on this scheme, then give it the same
+    // wall-clock the tail estimator consumed.
+    let probe = MonteCarlo::new(MonteCarloConfig {
+        samples: 500_000,
+        seed: args.seed,
+        ..MonteCarloConfig::default()
+    })
+    .run_timed(scheme);
+    let plain_trials = ((probe.stats.samples_per_sec * tail.wall_seconds) as u64).max(10_000);
+    let plain = MonteCarlo::new(MonteCarloConfig {
+        samples: plain_trials,
+        seed: args.seed,
+        ..MonteCarloConfig::default()
+    })
+    .run(scheme);
+
+    // Plain MC's precision at that trial count. Using the tail estimate of
+    // p keeps this finite when the plain run observes zero failures —
+    // which on these schemes it usually does.
+    let p = tail.p_fail;
+    let plain_relative_ci95 = if p > 0.0 {
+        1.96 * (p * (1.0 - p) / plain_trials as f64).sqrt() / p
+    } else {
+        f64::INFINITY
+    };
+    let ci_improvement = plain_relative_ci95 / tail.relative_ci95();
+    let effective_multiplier = tail.effective_trials() / plain_trials as f64;
+    Comparison {
+        tail,
+        plain_trials,
+        plain_p: plain.lifetime_failure_probability(),
+        plain_failures: plain.failures(),
+        plain_relative_ci95,
+        ci_improvement,
+        effective_multiplier,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    println!("mc_tail: importance-sampled rare-event benchmark");
+    println!(
+        "({} conditioned samples/scheme, seed {}, plain MC at matched wall-clock)\n",
+        args.samples, args.seed
+    );
+    println!(
+        "{:26} {:>15} {:>10} {:>11} {:>11} {:>9} {:>9}",
+        "scheme", "mode", "p_fail", "rel ci95", "plain rel", "ci gain", "eff gain"
+    );
+    rule(97);
+
+    let mut rows: Vec<(Scheme, Comparison)> = Vec::new();
+    for scheme in TAIL_SCHEMES {
+        let c = compare(scheme, &args);
+        println!(
+            "{:26} {:>15} {:>10.3e} {:>11.5} {:>11.5} {:>8.1}x {:>8.0}x",
+            scheme.label(),
+            c.tail.mode.label(),
+            c.tail.p_fail,
+            c.tail.relative_ci95(),
+            c.plain_relative_ci95,
+            c.ci_improvement,
+            c.effective_multiplier,
+        );
+        rows.push((scheme, c));
+    }
+    rule(97);
+
+    for (scheme, c) in &rows {
+        println!(
+            "{}: plain MC spent the same wall-clock on {} trials and saw {} failure(s) \
+             (p = {})",
+            scheme.label(),
+            c.plain_trials,
+            c.plain_failures,
+            xed_bench::sci(c.plain_p),
+        );
+    }
+
+    let json = render_tail_json(&args, &rows);
+    write_merged(&args.out, &json);
+
+    if args.check {
+        let mut failed = false;
+        for scheme in GATED {
+            let c = &rows
+                .iter()
+                .find(|(s, _)| *s == scheme)
+                .expect("gated scheme is in TAIL_SCHEMES")
+                .1;
+            let ok = c.ci_improvement >= MIN_CI_IMPROVEMENT;
+            println!(
+                "check {scheme:?}: ci-width improvement {:.1}x (need ≥ {MIN_CI_IMPROVEMENT}x) — {}",
+                c.ci_improvement,
+                if ok { "ok" } else { "FAIL" }
+            );
+            failed |= !ok;
+        }
+        assert!(
+            !failed,
+            "rare-event engine misses the fixed-wall-clock CI-improvement bar"
+        );
+    }
+}
+
+/// Renders the `"tail"` section object.
+fn render_tail_json(args: &Args, rows: &[(Scheme, Comparison)]) -> String {
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "    \"samples\": {},", args.samples);
+    let _ = writeln!(j, "    \"seed\": {},", args.seed);
+    let _ = writeln!(j, "    \"schemes\": [");
+    for (i, (scheme, c)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "      {{\"scheme\": \"{scheme:?}\", \"mode\": \"{}\", \"min_faults\": {}, \
+             \"conditioning_probability\": {:.6e}, \"clique_rho\": {:.6e}, \
+             \"p_fail\": {:.6e}, \"p_due\": {:.6e}, \"p_sdc\": {:.6e}, \
+             \"failures\": {}, \"ci95\": {:.6e}, \"ci99\": {:.6e}, \
+             \"relative_ci95\": {:.6}, \"effective_trials\": {:.3e}, \
+             \"wall_seconds\": {:.4}, \
+             \"plain\": {{\"trials_same_wall\": {}, \"p_fail\": {:.6e}, \
+             \"failures\": {}, \"relative_ci95\": {}}}, \
+             \"ci_width_improvement\": {:.2}, \
+             \"effective_trial_multiplier\": {:.1}}}{comma}",
+            c.tail.mode.label(),
+            c.tail.min_faults,
+            c.tail.conditioning_probability,
+            c.tail.clique_rho,
+            c.tail.p_fail,
+            c.tail.p_due,
+            c.tail.p_sdc,
+            c.tail.failures,
+            c.tail.ci95(),
+            c.tail.ci99(),
+            c.tail.relative_ci95(),
+            c.tail.effective_trials(),
+            c.tail.wall_seconds,
+            c.plain_trials,
+            c.plain_p,
+            c.plain_failures,
+            if c.plain_relative_ci95.is_finite() {
+                format!("{:.6}", c.plain_relative_ci95)
+            } else {
+                "null".to_string()
+            },
+            c.ci_improvement,
+            c.effective_multiplier,
+        );
+    }
+    let _ = writeln!(j, "    ]");
+    j.push_str("  }");
+    j
+}
+
+/// Merges the tail section into an existing `mc_throughput` report, or
+/// writes a minimal standalone report when none exists.
+fn write_merged(path: &str, tail_json: &str) {
+    let merged = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            let body = trimmed.strip_suffix('}').unwrap_or_else(|| {
+                panic!("{path} does not end with a JSON object; refusing to merge")
+            });
+            // Drop a stale tail section from a previous merge so reruns
+            // stay idempotent.
+            let body = match body.find("  \"tail\": {") {
+                Some(idx) => body[..idx].trim_end().trim_end_matches(','),
+                None => body.trim_end(),
+            };
+            format!("{body},\n  \"tail\": {tail_json}\n}}\n")
+        }
+        Err(_) => format!(
+            "{{\n  \"schema\": \"xed-report-v1\",\n  \"report\": \"mc_tail\",\n  \
+             \"tail\": {tail_json}\n}}\n"
+        ),
+    };
+    std::fs::write(path, merged).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("\nwrote tail section into {path}");
+}

@@ -118,24 +118,31 @@ fn main() {
 
     // Per-scheme throughput (each scheme alone, default thread count).
     println!(
-        "{:38} {:>14} {:>9} {:>10} {:>8}",
-        "scheme", "samples/sec", "ns/trial", "failures", "zero%"
+        "{:38} {:>14} {:>9} {:>10} {:>8} {:>10}",
+        "scheme", "samples/sec", "ns/trial", "failures", "zero%", "rel ci95"
     );
-    rule(84);
+    rule(95);
     let mut per_scheme: Vec<(Scheme, Measurement)> = Vec::new();
     for scheme in Scheme::ALL {
         let m = best_of(&base_config, &[scheme], args.repeats);
+        let p = m.results[0].lifetime_failure_probability();
+        let rel = if p > 0.0 {
+            format!("{:.3}", m.results[0].confidence95() / p)
+        } else {
+            "inf".to_string()
+        };
         println!(
-            "{:38} {:>14.0} {:>9.1} {:>10} {:>7.1}%",
+            "{:38} {:>14.0} {:>9.1} {:>10} {:>7.1}% {:>10}",
             scheme.label(),
             m.stats.samples_per_sec,
             1e9 / m.stats.samples_per_sec,
             m.results[0].failures(),
             100.0 * m.stats.zero_fault_samples as f64 / m.stats.samples as f64,
+            rel,
         );
         per_scheme.push((scheme, m));
     }
-    rule(84);
+    rule(95);
 
     // Headline: EccDimm vs the pre-rewrite baseline.
     let headline = &per_scheme
@@ -223,14 +230,28 @@ fn render_json(
     let _ = writeln!(j, "  \"per_scheme\": [");
     for (i, (scheme, m)) in per_scheme.iter().enumerate() {
         let comma = if i + 1 < per_scheme.len() { "," } else { "" };
+        let r = &m.results[0];
+        let p = r.lifetime_failure_probability();
+        // Relative CI width renders null when no failure was observed —
+        // exactly the plain-MC blind spot the mc_tail lane quantifies.
+        let rel = if p > 0.0 {
+            format!("{:.6}", r.confidence95() / p)
+        } else {
+            "null".to_string()
+        };
         let _ = writeln!(
             j,
             "    {{\"scheme\": \"{scheme:?}\", \"samples_per_sec\": {:.0}, \
-             \"failures\": {}, \"due\": {}, \"sdc\": {}, \"zero_fault_fraction\": {:.4}}}{comma}",
+             \"failures\": {}, \"due\": {}, \"sdc\": {}, \"p_fail\": {:.3e}, \
+             \"ci95\": {:.3e}, \"ci99\": {:.3e}, \"relative_ci95\": {rel}, \
+             \"zero_fault_fraction\": {:.4}}}{comma}",
             m.stats.samples_per_sec,
-            m.results[0].failures(),
-            m.results[0].due,
-            m.results[0].sdc,
+            r.failures(),
+            r.due,
+            r.sdc,
+            p,
+            r.confidence95(),
+            r.confidence99(),
             m.stats.zero_fault_samples as f64 / m.stats.samples as f64,
         );
     }

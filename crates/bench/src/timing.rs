@@ -302,11 +302,24 @@ pub fn write_reliability_sidecar(
         .param("seed", J::U(seed));
     for (label, r) in labels.iter().zip(results) {
         let curve: Vec<String> = r.curve().iter().map(|&p| J::F(p).render()).collect();
+        // Binomial confidence half-widths on the lifetime probability; the
+        // relative width (ci95 / p) is the per-scheme precision figure the
+        // rare-event engine is benchmarked against (renders null when no
+        // failure was observed).
+        let p = r.lifetime_failure_probability();
+        let rel = if p > 0.0 {
+            J::F(r.confidence95() / p)
+        } else {
+            J::F(f64::INFINITY)
+        };
         report.row(&[
             ("scheme", J::S(label.clone())),
             ("p_fail_7y", J::F(r.failure_probability(7.0))),
             ("due", J::U(r.due)),
             ("sdc", J::U(r.sdc)),
+            ("ci95", J::F(r.confidence95())),
+            ("ci99", J::F(r.confidence99())),
+            ("relative_ci95", rel),
             ("curve", J::Raw(format!("[{}]", curve.join(",")))),
         ]);
     }

@@ -65,7 +65,7 @@ pub(crate) const POS_TO_DATABIT: [i8; POSITIONS + 1] = POSITION_TABLES.1;
 /// i.e. row `c` of the H-matrix restricted to the data columns. The runtime
 /// syndrome is then seven GF(2) dot products, each one `AND` + popcount
 /// parity fold, instead of a 64-iteration bit loop.
-const DATA_MASKS: [u64; CHECKS] = build_data_masks();
+pub(crate) const DATA_MASKS: [u64; CHECKS] = build_data_masks();
 
 const fn build_data_masks() -> [u64; CHECKS] {
     let mut masks = [0u64; CHECKS];

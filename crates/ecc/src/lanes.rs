@@ -1,0 +1,326 @@
+//! Lane-transposed (bit-sliced) batch entry points for the SECDED codes.
+//!
+//! The scalar codecs process one 72-bit codeword at a time: seven AND +
+//! popcount-parity folds per word ([`crate::hamming`]), or a table walk
+//! ([`crate::crc8`]). A memory-system simulation, however, touches
+//! codewords in bulk — a scrub pass or a fault-injection batch checks
+//! thousands of words whose *validity bit* is all that matters. This
+//! module transposes 64 codewords into word lanes (the same layout as the
+//! Monte-Carlo driver's 64-trial blocks): after a 64×64 bit transpose,
+//! *data bit `i` of all 64 words* lives in one `u64`, and check bit `c` of
+//! all 64 words is the XOR of the slices selected by row `c` of the
+//! H-matrix. One XOR per matrix entry replaces one AND + popcount per
+//! word, and the 64 validity bits come out as a single mask word.
+//!
+//! The kernel is code-agnostic: [`LaneSecDed::for_code`] derives the mask
+//! rows of **any** GF(2)-linear systematic `(72,64)` code by probing its
+//! scalar encoder on the 64 basis vectors, so the same lane kernel serves
+//! both the Hamming and the CRC8-ATM code (both are linear; construction
+//! verifies this). The scalar codecs in [`crate::hamming`] / [`crate::crc8`]
+//! remain the oracles the lane kernels are differentially tested against.
+
+use crate::codeword::CodeWord72;
+use crate::secded::SecDed;
+
+/// Number of codewords per lane-transposed block.
+pub const LANES: usize = 64;
+
+/// Check bits per codeword.
+const CHECKS: usize = 8;
+
+/// Transposes a 64×64 bit matrix: bit `l` of `out[b]` equals bit `b` of
+/// `input[l]`.
+///
+/// In codeword terms: feeding 64 data words produces 64 *bit slices*,
+/// where slice `b` collects bit `b` of every word — lane `l` of each slice
+/// belongs to word `l`. The transform is an involution (applying it twice
+/// returns the input), so the same routine maps both directions.
+///
+/// Classic mask-and-shift block transpose: swap the off-diagonal 32×32
+/// blocks, then the off-diagonal 16×16 blocks within each half, and so on
+/// down to single bits — 6 rounds of 32 XOR-swap steps instead of 4096
+/// single-bit moves.
+pub fn transpose64(input: &[u64; LANES]) -> [u64; LANES] {
+    // The block-swap rounds below transpose with most-significant-first
+    // row/column labels; reversing the rows on the way in and out converts
+    // that into the least-significant-first contract documented above.
+    let mut a = [0u64; LANES];
+    for (i, slot) in a.iter_mut().enumerate() {
+        *slot = input[LANES - 1 - i];
+    }
+    let mut j = 32usize;
+    let mut m = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < LANES {
+            // indexing: the stride formula below keeps bit j of k clear,
+            // so k | j < 64.
+            let t = (a[k] ^ (a[k | j] >> j)) & m;
+            a[k] ^= t;
+            a[k | j] ^= t << j;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+    a.reverse();
+    a
+}
+
+/// Lane-parallel batch kernel for a GF(2)-linear systematic SECDED code.
+///
+/// Holds the eight H-matrix mask rows of the code (including the row of
+/// the overall-parity/extension bit, which basis probing captures like any
+/// other check bit). Cheap to construct; build one per code and reuse it.
+///
+/// ```
+/// use xed_ecc::lanes::{LaneSecDed, LANES};
+/// use xed_ecc::{Crc8Atm, SecDed};
+///
+/// let code = Crc8Atm::new();
+/// let lane = LaneSecDed::for_code(&code);
+/// let data: [u64; LANES] = std::array::from_fn(|i| 0x0123_4567_89AB_CDEF ^ i as u64);
+/// let words = lane.encode_batch(&data);
+/// assert_eq!(lane.valid_mask(&words), u64::MAX);
+/// assert_eq!(words[3], code.encode(data[3]));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LaneSecDed {
+    /// `masks[c]` has bit `i` set iff data bit `i` participates in check
+    /// bit `c` — row `c` of the code's H-matrix restricted to the data
+    /// columns.
+    masks: [u64; CHECKS],
+}
+
+impl LaneSecDed {
+    /// Derives the lane kernel of `code` by probing its scalar encoder on
+    /// the 64 basis vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is not GF(2)-linear: the zero word must encode to
+    /// a zero check byte, and a superposition spot-check must match the
+    /// XOR of the basis encodings. (Both in-tree SECDED codes are linear.)
+    pub fn for_code<C: SecDed>(code: &C) -> Self {
+        assert_eq!(
+            code.encode(0).check(),
+            0,
+            "code is affine, not linear: zero data must have zero check"
+        );
+        let mut masks = [0u64; CHECKS];
+        for i in 0..64u32 {
+            let check = code.encode(1u64 << i).check();
+            for (c, mask) in masks.iter_mut().enumerate() {
+                if (check >> c) & 1 == 1 {
+                    *mask |= 1u64 << i;
+                }
+            }
+        }
+        let kernel = Self { masks };
+        // Linearity spot-check beyond the basis: any disagreement between
+        // the probed masks and the scalar encoder on a superposition means
+        // the code is not linear and the kernel would be silently wrong.
+        for probe in [0xDEAD_BEEF_0BAD_F00Du64, 0x0123_4567_89AB_CDEF, u64::MAX] {
+            assert_eq!(
+                kernel.check_byte_scalar(probe),
+                code.encode(probe).check(),
+                "code is not GF(2)-linear; lane kernel unsupported"
+            );
+        }
+        kernel
+    }
+
+    /// The probed H-matrix mask rows (row `c` restricted to the data
+    /// columns).
+    pub fn masks(&self) -> &[u64; CHECKS] {
+        &self.masks
+    }
+
+    /// Check byte of one word from the probed masks (construction-time
+    /// verification only; runtime batches use the lane kernel).
+    fn check_byte_scalar(&self, data: u64) -> u8 {
+        let mut check = 0u8;
+        for (c, &mask) in self.masks.iter().enumerate() {
+            check |= (((data & mask).count_ones() & 1) as u8) << c;
+        }
+        check
+    }
+
+    /// Check bit `c` of all 64 words of a *transposed* data block: the XOR
+    /// of the bit slices selected by mask row `c`.
+    fn check_lanes(&self, slices: &[u64; LANES]) -> [u64; CHECKS] {
+        let mut out = [0u64; CHECKS];
+        for (c, &mask) in self.masks.iter().enumerate() {
+            let mut acc = 0u64;
+            let mut m = mask;
+            while m != 0 {
+                // indexing: trailing_zeros of a nonzero u64 is < 64.
+                acc ^= slices[m.trailing_zeros() as usize];
+                m &= m - 1;
+            }
+            out[c] = acc;
+        }
+        out
+    }
+
+    /// Computes the check bytes of 64 data words lane-parallel.
+    pub fn check_bytes(&self, data: &[u64; LANES]) -> [u8; LANES] {
+        let lanes = self.check_lanes(&transpose64(data));
+        let mut out = [0u8; LANES];
+        for (l, byte) in out.iter_mut().enumerate() {
+            for (c, &lane) in lanes.iter().enumerate() {
+                *byte |= (((lane >> l) & 1) as u8) << c;
+            }
+        }
+        out
+    }
+
+    /// Encodes 64 data words into codewords lane-parallel. Equals 64 calls
+    /// to the scalar [`SecDed::encode`].
+    pub fn encode_batch(&self, data: &[u64; LANES]) -> [CodeWord72; LANES] {
+        let checks = self.check_bytes(data);
+        std::array::from_fn(|l| CodeWord72::new(data[l], checks[l]))
+    }
+
+    /// Classifies 64 received words at once: bit `l` of the result is set
+    /// iff `words[l]` is a valid codeword.
+    ///
+    /// For a systematic linear code, validity is exactly agreement between
+    /// the received check byte and the one recomputed from the received
+    /// data — the batch form of [`SecDed::is_valid`]. The mask fans
+    /// straight into the bit-sliced consumers (one branch decides whether
+    /// a whole block needs scalar-path attention), never materializing 64
+    /// booleans.
+    pub fn valid_mask(&self, words: &[CodeWord72; LANES]) -> u64 {
+        let mut data = [0u64; LANES];
+        for (l, w) in words.iter().enumerate() {
+            data[l] = w.data();
+        }
+        let expected = self.check_lanes(&transpose64(&data));
+        // Transpose the received check bytes into 8 lanes of 64.
+        let mut received = [0u64; CHECKS];
+        for (l, w) in words.iter().enumerate() {
+            let check = w.check();
+            for (c, lane) in received.iter_mut().enumerate() {
+                *lane |= u64::from((check >> c) & 1) << l;
+            }
+        }
+        let mut diff = 0u64;
+        for c in 0..CHECKS {
+            diff |= expected[c] ^ received[c];
+        }
+        !diff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crc8::Crc8Atm;
+    use crate::hamming::Hamming7264;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_block(rng: &mut StdRng) -> [u64; LANES] {
+        std::array::from_fn(|_| rng.gen())
+    }
+
+    #[test]
+    fn transpose_matches_per_bit_extraction() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let m = random_block(&mut rng);
+        let t = transpose64(&m);
+        for (b, slice) in t.iter().enumerate() {
+            for (l, word) in m.iter().enumerate() {
+                assert_eq!(
+                    (slice >> l) & 1,
+                    (word >> b) & 1,
+                    "slice {b}, lane {l} disagree"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_an_involution() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let m = random_block(&mut rng);
+        assert_eq!(transpose64(&transpose64(&m)), m);
+    }
+
+    #[test]
+    fn hamming_masks_match_the_codec_tables() {
+        // Basis probing must rediscover the codec's own H-matrix rows for
+        // the seven Hamming check bits (bit 7, the overall parity, has no
+        // codec-side mask — its row is derived inside check_bits).
+        let lane = LaneSecDed::for_code(&Hamming7264::new());
+        for (c, &mask) in crate::hamming::DATA_MASKS.iter().enumerate() {
+            assert_eq!(lane.masks()[c], mask, "check bit {c}");
+        }
+    }
+
+    #[test]
+    fn encode_batch_matches_scalar_hamming_and_crc8() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let data = random_block(&mut rng);
+        let hamming = Hamming7264::new();
+        let crc = Crc8Atm::new();
+        for words in [
+            LaneSecDed::for_code(&hamming).encode_batch(&data),
+            LaneSecDed::for_code(&crc).encode_batch(&data),
+        ] {
+            for l in 0..LANES {
+                assert_eq!(words[l].data(), data[l]);
+            }
+        }
+        let lane_h = LaneSecDed::for_code(&hamming).encode_batch(&data);
+        let lane_c = LaneSecDed::for_code(&crc).encode_batch(&data);
+        for l in 0..LANES {
+            assert_eq!(lane_h[l], hamming.encode(data[l]), "hamming lane {l}");
+            assert_eq!(lane_c[l], crc.encode(data[l]), "crc8 lane {l}");
+        }
+    }
+
+    #[test]
+    fn valid_mask_matches_scalar_is_valid() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let hamming = Hamming7264::new();
+        let crc = Crc8Atm::new();
+        for _ in 0..20 {
+            let data = random_block(&mut rng);
+            for (code, lane) in [
+                (&hamming as &dyn SecDed, LaneSecDed::for_code(&hamming)),
+                (&crc as &dyn SecDed, LaneSecDed::for_code(&crc)),
+            ] {
+                let mut words: [CodeWord72; LANES] = std::array::from_fn(|l| code.encode(data[l]));
+                // Corrupt a random subset with 1–3 bit flips each.
+                for w in words.iter_mut() {
+                    if rng.gen_bool(0.5) {
+                        for _ in 0..rng.gen_range(1..=3u32) {
+                            *w = w.with_bit_flipped(rng.gen_range(0..72));
+                        }
+                    }
+                }
+                let mask = lane.valid_mask(&words);
+                for (l, w) in words.iter().enumerate() {
+                    assert_eq!(
+                        (mask >> l) & 1 == 1,
+                        code.is_valid(*w),
+                        "lane {l} disagrees with scalar is_valid"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_clean_blocks_and_all_corrupt_blocks() {
+        let lane = LaneSecDed::for_code(&Crc8Atm::new());
+        let code = Crc8Atm::new();
+        let clean: [CodeWord72; LANES] = std::array::from_fn(|l| code.encode(l as u64 * 3));
+        assert_eq!(lane.valid_mask(&clean), u64::MAX);
+        let corrupt: [CodeWord72; LANES] =
+            std::array::from_fn(|l| clean[l].with_bit_flipped((l % 72) as u32));
+        assert_eq!(lane.valid_mask(&corrupt), 0);
+    }
+}

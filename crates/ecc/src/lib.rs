@@ -19,6 +19,9 @@
 //!   on [`rs`].
 //! * [`detection`] — the Monte-Carlo harness that regenerates Table II
 //!   (detection rate of random and burst errors).
+//! * [`lanes`] — lane-transposed (bit-sliced) batch entry points: 64
+//!   codewords encoded or validity-classified at once via a 64×64 bit
+//!   transpose and per-H-row XOR folds.
 //! * [`reference`] — the original bit-serial / `Vec`-allocating codecs, kept
 //!   as the oracle the word-parallel hot-path kernels are differentially
 //!   tested against.
@@ -49,6 +52,7 @@ pub mod crc8;
 pub mod detection;
 pub mod gf;
 pub mod hamming;
+pub mod lanes;
 pub mod parity;
 pub mod reference;
 pub mod rs;

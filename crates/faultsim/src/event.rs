@@ -26,7 +26,7 @@ pub struct FaultEvent {
 /// Mean above which [`poisson`] splits the draw into independent chunks
 /// (`exp(-30)` is still comfortably inside `f64` range; the paper's system
 /// means are all below 1).
-const POISSON_CHUNK: f64 = 30.0;
+pub(crate) const POISSON_CHUNK: f64 = 30.0;
 
 /// Samples a Poisson-distributed count with mean `lambda`.
 ///
@@ -154,6 +154,30 @@ impl PoissonSampler {
     #[inline]
     pub fn is_zero(&self, u0: u64) -> bool {
         self.lambda <= POISSON_CHUNK && (u0 >> 11) < self.zero_thresh
+    }
+
+    /// Lane-transposed form of [`Self::is_zero`]: classifies 64 headline
+    /// draws at once, returning a word whose bit `ℓ` is set iff lane `ℓ`
+    /// is *not* provably zero-count.
+    ///
+    /// The λ-range test hoists out of the lane loop, leaving one
+    /// shift+compare+or per lane — straight-line, branch-free, and
+    /// bit-for-bit equivalent to 64 scalar [`Self::is_zero`] calls. The
+    /// bit-sliced Monte-Carlo kernel pops this word to credit a whole
+    /// block's zero-fault trials in one tally add and spills only the set
+    /// bits to the scalar event machinery.
+    #[inline]
+    pub fn nonzero_mask(&self, u0s: &[u64; 64]) -> u64 {
+        if self.lambda > POISSON_CHUNK {
+            // Conservative, like is_zero: a headline draw alone cannot
+            // prove a zero count on the chunked large-λ path.
+            return u64::MAX;
+        }
+        let mut mask = 0u64;
+        for (lane, &u0) in u0s.iter().enumerate() {
+            mask |= u64::from((u0 >> 11) >= self.zero_thresh) << lane;
+        }
+        mask
     }
 
     /// Draws one Poisson count with the first uniform supplied as the raw
@@ -348,6 +372,15 @@ impl<'a> LifetimeSampler<'a> {
         self.poisson.is_zero(u0)
     }
 
+    /// Lane-transposed [`Self::is_zero_fault`] over a 64-trial block: bit
+    /// `ℓ` of the result is set iff the trial whose headline draw is
+    /// `u0s[ℓ]` needs the full event machinery (see
+    /// [`PoissonSampler::nonzero_mask`]).
+    #[inline]
+    pub fn nonzero_mask(&self, u0s: &[u64; 64]) -> u64 {
+        self.poisson.nonzero_mask(u0s)
+    }
+
     /// [`Self::sample_into`] with the trial's first uniform supplied as the
     /// raw 64-bit value `u0` (see [`PoissonSampler::sample_split`]); `rng`
     /// carries every draw after it.
@@ -397,12 +430,16 @@ impl<'a> LifetimeSampler<'a> {
         self.push_events(count, rng, out);
     }
 
-    /// Generates `count` events into `out`, sorted by arrival time.
+    /// Appends exactly `count` fresh events to `out` **without clearing
+    /// or sorting** — the rare-event engine interleaves these with forced
+    /// fault cliques and orders the combined timeline itself.
     #[inline]
-    fn push_events<R: Rng + ?Sized>(&self, count: u32, rng: &mut R, out: &mut Vec<FaultEvent>) {
-        if count == 0 {
-            return;
-        }
+    pub fn events_append<R: Rng + ?Sized>(
+        &self,
+        count: u32,
+        rng: &mut R,
+        out: &mut Vec<FaultEvent>,
+    ) {
         out.reserve(count as usize);
         for _ in 0..count {
             let (extent, persistence) = self.sample_mode(rng);
@@ -412,6 +449,15 @@ impl<'a> LifetimeSampler<'a> {
                 fault: Fault::sample(rng, extent, persistence, &self.geom),
             });
         }
+    }
+
+    /// Generates `count` events into `out`, sorted by arrival time.
+    #[inline]
+    fn push_events<R: Rng + ?Sized>(&self, count: u32, rng: &mut R, out: &mut Vec<FaultEvent>) {
+        if count == 0 {
+            return;
+        }
+        self.events_append(count, rng, out);
         if out.len() > 1 {
             out.sort_unstable_by(|a, b| a.time_hours.total_cmp(&b.time_hours));
         }
@@ -558,6 +604,34 @@ mod tests {
             let _: f64 = reference.gen();
         }
         assert_eq!(rng, reference, "fast path must draw exactly one uniform");
+    }
+
+    #[test]
+    fn nonzero_mask_agrees_with_scalar_is_zero() {
+        // The lane classifier must be bit-for-bit the 64 scalar calls —
+        // this is what licenses the bit-sliced kernel's bulk zero-fault
+        // credit and spill set.
+        let rates = FitRates::table_i();
+        let geom = DramGeometry::x8_2gb();
+        let sampler = LifetimeSampler::new(&rates, geom, 72, LIFETIME_YEARS);
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..200 {
+            let mut u0s = [0u64; 64];
+            for slot in u0s.iter_mut() {
+                *slot = rng.gen::<u64>();
+            }
+            let mask = sampler.nonzero_mask(&u0s);
+            for (lane, &u0) in u0s.iter().enumerate() {
+                assert_eq!(
+                    mask >> lane & 1 == 1,
+                    !sampler.is_zero_fault(u0),
+                    "lane {lane}"
+                );
+            }
+        }
+        // Large λ: conservative all-ones (headline draw proves nothing).
+        let big = PoissonSampler::new(120.0);
+        assert_eq!(big.nonzero_mask(&[0u64; 64]), u64::MAX);
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //! * [`scaling`] — birthtime ("scaling") fault modeling;
 //! * [`schemes`] — the protection schemes the paper compares;
 //! * [`montecarlo`] — the work-stealing, thread-count-invariant
-//!   simulation driver (per-trial counter-based RNG streams);
+//!   simulation driver (per-trial counter-based RNG streams, bit-sliced
+//!   64-lane trial classification);
+//! * [`rareevent`] — the importance-sampled rare-event engine for
+//!   Table-IV-class tail probabilities;
 //! * [`analytic`] — closed-form cross-checks for the Monte-Carlo results.
 //!
 //! # Example: probability of system failure under XED
@@ -45,6 +48,7 @@ pub mod fault;
 pub mod fit;
 pub mod geometry;
 pub mod montecarlo;
+pub mod rareevent;
 pub mod scaling;
 pub mod schemes;
 pub mod system;
@@ -52,6 +56,9 @@ pub mod system;
 pub use fault::{FaultExtent, FaultRange, Persistence};
 pub use fit::FitRates;
 pub use geometry::DramGeometry;
-pub use montecarlo::{MonteCarlo, MonteCarloConfig, RunReport, RunStats, SchemeResult};
+pub use montecarlo::{
+    MonteCarlo, MonteCarloConfig, RunReport, RunStats, SchemeResult, TrialKernel,
+};
+pub use rareevent::{TailConfig, TailEstimate, TailMode, TailSimulator};
 pub use schemes::Scheme;
 pub use system::SystemConfig;

@@ -21,6 +21,13 @@
 //!   parallel across schemes and no core idles at the tail. All
 //!   accumulators are `u64` counters (commutative merges), so the claim
 //!   order cannot affect results.
+//! * **Bit-sliced trial classification.** The default [`TrialKernel`]
+//!   processes trials in 64-lane blocks: the block's headline draws come
+//!   from one Weyl-incremented SplitMix64 sweep, the zero-fault decisions
+//!   transpose into a single `nonzero` word, one popcount credits the
+//!   whole block's zero-fault trials, and only set bits spill to the
+//!   scalar event machinery — bit-identical to the scalar loop by
+//!   construction (see DESIGN.md §14).
 //! * **Allocation-free hot loop.** Each worker owns reusable event/active
 //!   buffers; `LifetimeSampler::sample_into` writes into them, and the
 //!   zero-fault fast path draws only the Poisson count (one uniform) for
@@ -41,12 +48,38 @@ use xed_telemetry::{registry::metrics, Tallies};
 
 /// Trials claimed per scheduler steal. Large enough that the atomic
 /// `fetch_add` is noise (one per ~4k trials), small enough that the tail
-/// imbalance at the end of a run is microseconds.
+/// imbalance at the end of a run is microseconds. A multiple of [`LANES`],
+/// so every full chunk decomposes into whole bit-sliced blocks.
 const STEAL_CHUNK: u64 = 4096;
+
+/// Trials per bit-sliced block: one trial per bit of the classification
+/// word (see [`TrialKernel::BitSliced`]).
+const LANES: u64 = 64;
 
 /// `1 / HOURS_PER_YEAR`: the failure-year bucket divide as a multiply
 /// (the hot loop computes it on every recorded failure).
 const YEAR_RECIP: f64 = 1.0 / HOURS_PER_YEAR;
+
+/// Which per-trial evaluation kernel the driver runs.
+///
+/// Both kernels consume the identical counter-based streams and produce
+/// **bit-identical** [`SchemeResult`]s (enforced by tier-1 tests and the
+/// ci.sh equivalence gate); the choice only affects how fast the ~75 %
+/// zero-fault trials are classified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrialKernel {
+    /// 64-lane bit-sliced classification (default): headline draws for a
+    /// whole trial block are generated with one Weyl add + SplitMix64 mix
+    /// per lane ([`Streams::split_first_block`]), transposed into a single
+    /// `nonzero` word by [`LifetimeSampler::nonzero_mask`], credited to
+    /// the zero-fault tally with one popcount, and only the set bits spill
+    /// into the scalar event machinery.
+    #[default]
+    BitSliced,
+    /// The straight scalar loop, one trial at a time — kept as the live
+    /// differential oracle for the bit-sliced path.
+    Scalar,
+}
 
 /// Monte-Carlo run configuration.
 #[derive(Debug, Clone)]
@@ -65,6 +98,9 @@ pub struct MonteCarloConfig {
     pub params: ModelParams,
     /// Per-chip FIT rates.
     pub rates: FitRates,
+    /// Per-trial evaluation kernel (bit-sliced by default; results are
+    /// bit-identical either way).
+    pub kernel: TrialKernel,
 }
 
 impl Default for MonteCarloConfig {
@@ -76,6 +112,7 @@ impl Default for MonteCarloConfig {
             threads: 0,
             params: ModelParams::default(),
             rates: FitRates::table_i(),
+            kernel: TrialKernel::default(),
         }
     }
 }
@@ -487,6 +524,8 @@ impl MonteCarlo {
         let wall_seconds = start.elapsed().as_secs_f64();
 
         let mut zero_fault_samples = 0u64;
+        let mut bitslice_blocks = 0u64;
+        let mut bitslice_spills = 0u64;
         let results: Vec<SchemeResult> = schemes
             .iter()
             .enumerate()
@@ -510,6 +549,8 @@ impl MonteCarlo {
                 result.due = counts.get(P_DUE);
                 result.sdc = counts.get(P_SDC);
                 zero_fault_samples += counts.get(P_ZERO_FAULT);
+                bitslice_blocks += counts.get(P_BITSLICE_BLOCKS);
+                bitslice_spills += counts.get(P_BITSLICE_SPILLS);
                 for (i, slot) in result.failures_by_extent.iter_mut().enumerate() {
                     *slot = counts.get(P_EXTENT0 + i);
                 }
@@ -535,6 +576,8 @@ impl MonteCarlo {
             metrics::FAULTSIM_ZERO_FAULT_TRIALS.add(zero_fault_samples);
             metrics::FAULTSIM_DUE.add(results.iter().map(|r| r.due).sum());
             metrics::FAULTSIM_SDC.add(results.iter().map(|r| r.sdc).sum());
+            metrics::FAULTSIM_BITSLICE_BLOCKS.add(bitslice_blocks);
+            metrics::FAULTSIM_BITSLICE_SPILLS.add(bitslice_spills);
         }
         (results, stats)
     }
@@ -547,7 +590,12 @@ const P_ZERO_FAULT: usize = 2;
 /// First of six failure-extent slots (indexed like
 /// [`crate::fault::FaultExtent::ALL`]).
 const P_EXTENT0: usize = 3;
-const P_SLOTS: usize = P_EXTENT0 + 6;
+/// 64-lane blocks classified by the bit-sliced kernel.
+const P_BITSLICE_BLOCKS: usize = P_EXTENT0 + 6;
+/// Trials a bit-sliced block spilled to the scalar event machinery
+/// (the popcount of the block's `nonzero` word).
+const P_BITSLICE_SPILLS: usize = P_BITSLICE_BLOCKS + 1;
+const P_SLOTS: usize = P_BITSLICE_SPILLS + 1;
 
 /// Per-worker, per-scheme accumulator. The fixed-size counters live in
 /// one owned [`Tallies`] block (plain adds, commutative merge — the
@@ -637,6 +685,7 @@ fn worker(
             &models[si],
             sampler,
             streams,
+            config.kernel,
             first,
             count,
             years,
@@ -660,82 +709,169 @@ fn run_trials(
     model: &SchemeModel,
     sampler: &LifetimeSampler<'_>,
     streams: &Streams,
+    kernel: TrialKernel,
     first: u64,
     count: u64,
     years: usize,
     partial: &mut Partial,
     scratch: &mut Scratch,
 ) {
-    let exposure = model.params().transient_exposure_hours;
-    for trial in first..first + count {
-        // Trial randomness is the split form of stream `trial`: the
-        // headline draw decides the zero-fault fast path without paying
-        // for generator construction, and `split_rest` carries the
-        // (rare) remaining draws. Still a pure function of
-        // `(seed, scheme, trial)` — thread-count invariance intact.
+    match kernel {
+        TrialKernel::Scalar => {
+            for trial in first..first + count {
+                // Trial randomness is the split form of stream `trial`:
+                // the headline draw decides the zero-fault fast path
+                // without paying for generator construction, and
+                // `split_rest` carries the (rare) remaining draws. Still a
+                // pure function of `(seed, scheme, trial)` — thread-count
+                // invariance intact.
+                let u0 = streams.split_first(trial);
+                run_trial(model, sampler, streams, trial, u0, years, partial, scratch);
+            }
+        }
+        TrialKernel::BitSliced => {
+            run_trials_bitsliced(
+                model, sampler, streams, first, count, years, partial, scratch,
+            );
+        }
+    }
+}
+
+/// The bit-sliced kernel: classifies whole 64-trial blocks.
+///
+/// Per block, one [`Streams::split_first_block`] fills the 64 headline
+/// draws (one Weyl add + SplitMix64 mix per lane — the index multiply is
+/// hoisted), [`LifetimeSampler::nonzero_mask`] transposes the zero-fault
+/// decisions into one word, a single popcount credits the whole block's
+/// zero-fault trials to the tally, and only the set bits spill into
+/// [`run_trial`]. Spilled lanes consume *exactly* the draws the scalar
+/// kernel would — `u0` is handed over, `split_rest` is keyed by trial —
+/// so results are bit-identical to [`TrialKernel::Scalar`] by
+/// construction. The tail of a short chunk (< 64 trials) runs scalar.
+#[allow(clippy::too_many_arguments)]
+fn run_trials_bitsliced(
+    model: &SchemeModel,
+    sampler: &LifetimeSampler<'_>,
+    streams: &Streams,
+    first: u64,
+    count: u64,
+    years: usize,
+    partial: &mut Partial,
+    scratch: &mut Scratch,
+) {
+    let end = first + count;
+    let mut block = first;
+    let mut u0s = [0u64; LANES as usize];
+    while block + LANES <= end {
+        streams.split_first_block(block, &mut u0s);
+        let nonzero = sampler.nonzero_mask(&u0s);
+        let spills = u64::from(nonzero.count_ones());
+        partial.counts.add(P_ZERO_FAULT, LANES - spills);
+        partial.counts.bump(P_BITSLICE_BLOCKS);
+        partial.counts.add(P_BITSLICE_SPILLS, spills);
+        let mut m = nonzero;
+        while m != 0 {
+            let lane = m.trailing_zeros() as u64;
+            m &= m - 1;
+            // indexing: lane < 64 (trailing_zeros of a non-zero u64).
+            let u0 = u0s[lane as usize];
+            run_trial(
+                model,
+                sampler,
+                streams,
+                block + lane,
+                u0,
+                years,
+                partial,
+                scratch,
+            );
+        }
+        block += LANES;
+    }
+    for trial in block..end {
         let u0 = streams.split_first(trial);
-        if sampler.is_zero_fault(u0) {
-            partial.counts.bump(P_ZERO_FAULT);
-            continue;
+        run_trial(model, sampler, streams, trial, u0, years, partial, scratch);
+    }
+}
+
+/// Evaluates one trial whose headline draw `u0` is already taken. The
+/// single per-trial body shared by both kernels — the scalar loop calls it
+/// for every trial, the bit-sliced kernel only for spilled lanes (where
+/// the `is_zero_fault` test is a redundant-but-cheap recheck that keeps
+/// the draw sequence identical).
+#[allow(clippy::too_many_arguments)]
+fn run_trial(
+    model: &SchemeModel,
+    sampler: &LifetimeSampler<'_>,
+    streams: &Streams,
+    trial: u64,
+    u0: u64,
+    years: usize,
+    partial: &mut Partial,
+    scratch: &mut Scratch,
+) {
+    let exposure = model.params().transient_exposure_hours;
+    if sampler.is_zero_fault(u0) {
+        partial.counts.bump(P_ZERO_FAULT);
+        return;
+    }
+    let mut rng = streams.split_rest(trial);
+    let count = sampler.count_split(u0, &mut rng);
+    if count == 0 {
+        // Unreachable for λ ≤ 30 (is_zero_fault caught it); kept for
+        // the chunked large-λ Poisson path, where the headline draw
+        // alone cannot prove the count is zero.
+        partial.counts.bump(P_ZERO_FAULT);
+        return;
+    }
+    if count == 1 {
+        // Single-fault lifetime (~86 % of the non-empty ones): the
+        // only evaluation sees an empty active set, where the verdict
+        // never depends on the chip or address range the fault struck
+        // (`SchemeModel::evaluate_isolated`). Skip those draws, the
+        // event buffer, and the expiry/view bookkeeping entirely.
+        let (extent, persistence, time_hours) = sampler.sample_mode_time(&mut rng);
+        let verdict = model.evaluate_isolated(&mut rng, extent, persistence);
+        if matches!(verdict, Verdict::Due | Verdict::Sdc) {
+            let year = ((time_hours * YEAR_RECIP) as usize).min(years - 1);
+            // indexing: year is clamped to years - 1 above.
+            partial.failures_by_year[year] += 1;
+            partial.counts.bump(P_EXTENT0 + extent.index());
+            partial.counts.bump(if verdict == Verdict::Due {
+                P_DUE
+            } else {
+                P_SDC
+            });
         }
-        let mut rng = streams.split_rest(trial);
-        let count = sampler.count_split(u0, &mut rng);
-        if count == 0 {
-            // Unreachable for λ ≤ 30 (is_zero_fault caught it); kept for
-            // the chunked large-λ Poisson path, where the headline draw
-            // alone cannot prove the count is zero.
-            partial.counts.bump(P_ZERO_FAULT);
-            continue;
-        }
-        if count == 1 {
-            // Single-fault lifetime (~86 % of the non-empty ones): the
-            // only evaluation sees an empty active set, where the verdict
-            // never depends on the chip or address range the fault struck
-            // (`SchemeModel::evaluate_isolated`). Skip those draws, the
-            // event buffer, and the expiry/view bookkeeping entirely.
-            let (extent, persistence, time_hours) = sampler.sample_mode_time(&mut rng);
-            let verdict = model.evaluate_isolated(&mut rng, extent, persistence);
-            if matches!(verdict, Verdict::Due | Verdict::Sdc) {
-                let year = ((time_hours * YEAR_RECIP) as usize).min(years - 1);
+        return;
+    }
+    sampler.events_into(count, &mut rng, &mut scratch.events);
+    scratch.active.clear();
+    for e in &scratch.events {
+        scratch.active.retain(|&(expiry, _)| expiry > e.time_hours);
+        scratch.view.clear();
+        scratch.view.extend(scratch.active.iter().map(|&(_, f)| f));
+        let verdict = model.evaluate(&mut rng, e, &scratch.view);
+        match verdict {
+            Verdict::Due | Verdict::Sdc => {
+                let year = ((e.time_hours * YEAR_RECIP) as usize).min(years - 1);
                 // indexing: year is clamped to years - 1 above.
                 partial.failures_by_year[year] += 1;
-                partial.counts.bump(P_EXTENT0 + extent.index());
+                partial.counts.bump(P_EXTENT0 + e.fault.extent.index());
                 partial.counts.bump(if verdict == Verdict::Due {
                     P_DUE
                 } else {
                     P_SDC
                 });
+                break;
             }
-            continue;
-        }
-        sampler.events_into(count, &mut rng, &mut scratch.events);
-        scratch.active.clear();
-        for e in &scratch.events {
-            scratch.active.retain(|&(expiry, _)| expiry > e.time_hours);
-            scratch.view.clear();
-            scratch.view.extend(scratch.active.iter().map(|&(_, f)| f));
-            let verdict = model.evaluate(&mut rng, e, &scratch.view);
-            match verdict {
-                Verdict::Due | Verdict::Sdc => {
-                    let year = ((e.time_hours * YEAR_RECIP) as usize).min(years - 1);
-                    // indexing: year is clamped to years - 1 above.
-                    partial.failures_by_year[year] += 1;
-                    partial.counts.bump(P_EXTENT0 + e.fault.extent.index());
-                    partial.counts.bump(if verdict == Verdict::Due {
-                        P_DUE
-                    } else {
-                        P_SDC
-                    });
-                    break;
+            Verdict::Corrected | Verdict::Benign => match e.fault.persistence {
+                Persistence::Permanent => scratch.active.push((f64::INFINITY, *e)),
+                Persistence::Transient if exposure > 0.0 => {
+                    scratch.active.push((e.time_hours + exposure, *e));
                 }
-                Verdict::Corrected | Verdict::Benign => match e.fault.persistence {
-                    Persistence::Permanent => scratch.active.push((f64::INFINITY, *e)),
-                    Persistence::Transient if exposure > 0.0 => {
-                        scratch.active.push((e.time_hours + exposure, *e));
-                    }
-                    Persistence::Transient => {}
-                },
-            }
+                Persistence::Transient => {}
+            },
         }
     }
 }
@@ -779,6 +915,36 @@ mod tests {
                 .collect();
             assert_eq!(results[0], results[1], "{scheme}: 1 vs 3 threads");
             assert_eq!(results[0], results[2], "{scheme}: 1 vs 8 threads");
+        }
+    }
+
+    #[test]
+    fn bit_sliced_kernel_is_bit_identical_to_scalar() {
+        // The bit-sliced kernel must reproduce the scalar path bit for
+        // bit: same streams, same draws, same verdicts per trial. Sample
+        // counts straddle block boundaries (64·k, ±1) so the scalar tail
+        // path is exercised too. Combined with
+        // `replaying_every_trial_reproduces_the_aggregate_result` (which
+        // pins the scalar semantics per trial), aggregate equality here
+        // proves the per-trial failure sets are identical — each trial's
+        // stream is keyed by (seed, scheme, trial), never by kernel.
+        for samples in [6_336u64, 6_337, 6_399] {
+            for scheme in [Scheme::EccDimm, Scheme::Xed, Scheme::XedChipkill] {
+                let run = |kernel| {
+                    MonteCarlo::new(MonteCarloConfig {
+                        samples,
+                        seed: 7,
+                        kernel,
+                        ..MonteCarloConfig::default()
+                    })
+                    .run(scheme)
+                };
+                assert_eq!(
+                    run(TrialKernel::BitSliced),
+                    run(TrialKernel::Scalar),
+                    "{scheme} at {samples} samples"
+                );
+            }
         }
     }
 

@@ -318,6 +318,28 @@ pub mod rngs {
             splitmix64(&mut sm)
         }
 
+        /// Headline draws ([`Self::split_first`]) for the 64 consecutive
+        /// streams `first .. first + 64`, one per output lane.
+        ///
+        /// Bit-identical to 64 individual `split_first` calls: the
+        /// per-stream SplitMix64 key is `base + index·φ`, which advances
+        /// by a single Weyl add (`key += φ`) between adjacent indices, so
+        /// the block form hoists the index multiply out of the lane loop
+        /// and leaves a straight-line add+mix per lane — the shape the
+        /// bit-sliced Monte-Carlo kernel wants for classifying a 64-trial
+        /// block.
+        #[inline]
+        pub fn split_first_block(&self, first: u64, out: &mut [u64; 64]) {
+            let mut key = self
+                .base
+                .wrapping_add(first.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            for slot in out.iter_mut() {
+                let mut sm = key;
+                *slot = splitmix64(&mut sm);
+                key = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            }
+        }
+
         /// The generator carrying stream `index`'s draws *after* its
         /// [`Self::split_first`] headline value.
         #[inline]
@@ -437,6 +459,23 @@ mod tests {
             Streams::new(42).stream(0).gen::<u64>(),
             Streams::new(43).stream(0).gen::<u64>()
         );
+    }
+
+    #[test]
+    fn split_first_block_matches_individual_split_first() {
+        // The bit-sliced Monte-Carlo kernel relies on the block form being
+        // draw-for-draw identical to the scalar headline draws, including
+        // across wrapping key arithmetic.
+        use super::rngs::Streams;
+        let s = Streams::new(0xDEAD_BEEF);
+        for &first in &[0u64, 1, 63, 64, 4096, u64::MAX - 70] {
+            let mut block = [0u64; 64];
+            s.split_first_block(first, &mut block);
+            for (lane, &got) in block.iter().enumerate() {
+                let want = s.split_first(first.wrapping_add(lane as u64));
+                assert_eq!(got, want, "first {first}, lane {lane}");
+            }
+        }
     }
 
     #[test]

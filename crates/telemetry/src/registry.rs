@@ -57,6 +57,12 @@ pub mod metrics {
     pub static FAULTSIM_STEAL_CHUNK_TRIALS: Histogram = Histogram::new();
     pub static FAULTSIM_CHUNK_NS: Histogram = Histogram::new();
     pub static FAULTSIM_TRIAL_NS: Histogram = Histogram::new();
+    pub static FAULTSIM_BITSLICE_BLOCKS: Counter = Counter::new();
+    pub static FAULTSIM_BITSLICE_SPILLS: Counter = Counter::new();
+    pub static FAULTSIM_TAIL_RUNS: Counter = Counter::new();
+    pub static FAULTSIM_TAIL_TRIALS: Counter = Counter::new();
+    pub static FAULTSIM_TAIL_FORCED_PAIRS: Counter = Counter::new();
+    pub static FAULTSIM_TAIL_FALLBACKS: Counter = Counter::new();
 
     // -- memsim: the cycle-level memory simulator -------------------------
     pub static MEMSIM_SCHED_READS_DONE: Counter = Counter::new();
@@ -128,6 +134,12 @@ pub static CATALOGUE: &[MetricDef] = &[
     h("faultsim.steal.chunk_trials", "Trials per claimed work-stealing chunk", &metrics::FAULTSIM_STEAL_CHUNK_TRIALS),
     h("faultsim.chunk_ns", "Wall nanoseconds per work-stealing chunk", &metrics::FAULTSIM_CHUNK_NS),
     h("faultsim.trial_ns", "Average nanoseconds per trial, sampled per chunk", &metrics::FAULTSIM_TRIAL_NS),
+    c("faultsim.bitslice.blocks", "64-lane blocks classified by the bit-sliced trial kernel", &metrics::FAULTSIM_BITSLICE_BLOCKS),
+    c("faultsim.bitslice.spills", "Trials a bit-sliced block spilled to the scalar event machinery", &metrics::FAULTSIM_BITSLICE_SPILLS),
+    c("faultsim.tail.runs", "Rare-event (importance-sampled) tail-estimation invocations", &metrics::FAULTSIM_TAIL_RUNS),
+    c("faultsim.tail.trials", "Conditioned trials simulated by the rare-event engine", &metrics::FAULTSIM_TAIL_TRIALS),
+    c("faultsim.tail.forced_pairs", "Rare-event trials using the pair-forced proposal", &metrics::FAULTSIM_TAIL_FORCED_PAIRS),
+    c("faultsim.tail.fallbacks", "Tail requests that fell back to count-conditioning or plain MC", &metrics::FAULTSIM_TAIL_FALLBACKS),
     c("memsim.sched.reads_done", "Demand reads completed by the memory controller", &metrics::MEMSIM_SCHED_READS_DONE),
     c("memsim.sched.writes_done", "Writebacks issued to DRAM", &metrics::MEMSIM_SCHED_WRITES_DONE),
     h("memsim.sched.queue_depth", "Read-queue depth observed at each enqueue", &metrics::MEMSIM_SCHED_QUEUE_DEPTH),

@@ -921,8 +921,15 @@ fn parse_use_tree(w: &mut Walker<'_>, prefix: &mut Vec<String>, out: &mut Vec<Us
                 }
             }
             _ => {
-                // End of this tree node: emit the leaf (last segment).
-                if prefix.len() > base_len {
+                // End of this tree node: emit the leaf (last segment). A
+                // `self` leaf (`use a::b::{self, C}`) names the parent
+                // module, so drop the keyword and alias the segment above.
+                let had_self =
+                    prefix.len() > base_len && prefix.last().is_some_and(|s| s == "self");
+                if had_self {
+                    prefix.pop();
+                }
+                if prefix.len() > base_len || (had_self && !prefix.is_empty()) {
                     if let Some(last) = prefix.last() {
                         out.push(UseEntry {
                             alias: last.clone(),
@@ -1050,6 +1057,28 @@ mod tests {
         );
         assert_eq!(find("Code"), Some("xed_ecc::secded::SecDed".into()));
         assert_eq!(find("*"), Some("rand::rngs".into()));
+    }
+
+    #[test]
+    fn use_group_self_aliases_the_parent_module() {
+        let src = "use xed_testkit::analytic_gate::{self, GateScope};\n";
+        let ws = parse(src);
+        let find = |a: &str| {
+            ws.files[0]
+                .uses
+                .iter()
+                .find(|u| u.alias == a)
+                .map(|u| u.path.join("::"))
+        };
+        assert_eq!(
+            find("analytic_gate"),
+            Some("xed_testkit::analytic_gate".into())
+        );
+        assert_eq!(
+            find("GateScope"),
+            Some("xed_testkit::analytic_gate::GateScope".into())
+        );
+        assert_eq!(find("self"), None);
     }
 
     #[test]

@@ -101,6 +101,11 @@ pub const HOT_GROUPS: &[GroupSpec] = &[
             },
             EntrySpec {
                 krate: "xed_faultsim",
+                self_type: None,
+                name: "run_trials_bitsliced",
+            },
+            EntrySpec {
+                krate: "xed_faultsim",
                 self_type: Some("SchemeModel"),
                 name: "evaluate",
             },
@@ -108,6 +113,11 @@ pub const HOT_GROUPS: &[GroupSpec] = &[
                 krate: "xed_faultsim",
                 self_type: Some("SchemeModel"),
                 name: "evaluate_isolated",
+            },
+            EntrySpec {
+                krate: "xed_faultsim",
+                self_type: Some("TailPlan"),
+                name: "run_trial",
             },
         ],
     },

@@ -10,9 +10,12 @@
 //!    combination on a tiny geometry, classifier vs hardware data path;
 //! 3. **analytic gate** — Monte-Carlo estimates vs closed forms at 99%
 //!    binomial confidence plus documented model bands;
-//! 4. **metamorphic laws** — invariances, monotonicities and dominance
+//! 4. **tail gate** — the importance-sampled rare-event estimates vs the
+//!    same closed forms, plus clique-forced vs count-conditioned
+//!    cross-mode agreement (the reweighting math on trial);
+//! 5. **metamorphic laws** — invariances, monotonicities and dominance
 //!    orderings between runs;
-//! 5. **golden traces** — byte-exact `xed-trace-v1` conformance, plus a
+//! 6. **golden traces** — byte-exact `xed-trace-v1` conformance, plus a
 //!    live telemetry-snapshot diff pinned against the replayed trials.
 //!
 //! `--quick` (the default) is the tier-1 CI setting; `--full` widens the
@@ -66,6 +69,7 @@ pub fn run(args: &[String]) -> ExitCode {
         deflake_audit(),
         exhaustive_oracle(full),
         analytic(full),
+        analytic_tail(full),
         laws(full),
     ];
     if regen {
@@ -171,6 +175,22 @@ fn analytic(full: bool) -> Section {
     let report = analytic_gate::run(scope);
     Section {
         name: "analytic gate",
+        pass: report.is_clean(),
+        detail: report.summary(),
+    }
+}
+
+/// Section 3b: the importance-sampled tail estimator vs closed forms
+/// and vs its own count-conditioned mode (DESIGN.md §14).
+fn analytic_tail(full: bool) -> Section {
+    let scope = if full {
+        GateScope::Full
+    } else {
+        GateScope::Quick
+    };
+    let report = analytic_gate::run_tail(scope);
+    Section {
+        name: "tail gate",
         pass: report.is_clean(),
         detail: report.summary(),
     }

@@ -81,7 +81,7 @@ fn fixture_text_format_reports_proofs_and_unresolved() {
     assert_eq!(out.status.code(), Some(1));
     let text = String::from_utf8_lossy(&out.stdout).into_owned();
     assert!(text.contains("proof [ecc-decode]: 2 entry fn(s), closure of 3 fn(s)"));
-    assert!(text.contains("proof [mc-trial]: 3 entry fn(s), closure of 5 fn(s)"));
+    assert!(text.contains("proof [mc-trial]: 5 entry fn(s), closure of 7 fn(s)"));
     assert!(text.contains("proof [telemetry-write]: 14 entry fn(s), closure of 14 fn(s)"));
     assert!(text.contains("unresolved bucket: 1 distinct callee(s), 1 site(s)"));
     assert!(text.contains("mystery_mix (1 site(s), e.g. crates/faultsim/src/lib.rs:38)"));

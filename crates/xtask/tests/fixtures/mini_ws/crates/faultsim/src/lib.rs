@@ -39,6 +39,31 @@ impl SchemeModel {
     }
 }
 
+/// Hot entry: the 64-lane block kernel. Deliberately clean — exercises
+/// registration of a multi-entry group member without a seeded
+/// violation.
+pub fn run_trials_bitsliced(blocks: u64) -> u64 {
+    let mut acc = 0;
+    let mut b = 0;
+    while b < blocks {
+        acc += 1;
+        b += 1;
+    }
+    acc
+}
+
+pub struct TailPlan {
+    min_faults: u64,
+}
+
+impl TailPlan {
+    /// Hot entry: one importance-sampled conditioned trial. Clean, like
+    /// `run_trials_bitsliced` above.
+    pub fn run_trial(&self, draw: u64) -> u64 {
+        self.min_faults + draw
+    }
+}
+
 /// Not on any hot path; its `SeqCst` must still be flagged by the
 /// global ordering sweep.
 pub fn epoch_now() -> u64 {

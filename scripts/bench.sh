@@ -6,6 +6,10 @@
 #   mc_throughput   Monte-Carlo engine — per-scheme samples/sec, thread
 #                   scaling, whole-suite run_all sweep; writes
 #                   BENCH_faultsim.json at the repo root.
+#   mc_tail         rare-event engine — importance-sampled tail CIs vs
+#                   plain MC at fixed wall-clock; merges a "tail"
+#                   section into BENCH_faultsim.json (must run after
+#                   mc_throughput) and gates on the >=10x CI-width bar.
 #   ecc_throughput  ECC kernel decode path — words/sec for the
 #                   word-parallel Hamming/CRC8/RS kernels vs the
 #                   bit-serial `reference` module; writes BENCH_ecc.json.
@@ -17,13 +21,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -q -p xed-bench --bin mc_throughput --bin ecc_throughput
+cargo build --release -q -p xed-bench --bin mc_throughput --bin mc_tail --bin ecc_throughput
 
 # --baseline: throughput of the engine before the counter-based-stream
 # rewrite (static partitioning, per-trial allocation), measured on this
 # container at commit f846d95 with EccDimm, 1M samples, seed 2016. The
 # rewrite's acceptance bar is >=3x this number.
 ./target/release/mc_throughput --baseline 23780432 "$@"
+
+# Runs after mc_throughput so its "tail" section merges into the report
+# that run just wrote. --check gates the PR acceptance bar: >=10x
+# fixed-wall-clock CI-width improvement on XedChipkill and
+# DoubleChipkill.
+./target/release/mc_tail --check "$@"
 
 # ecc_throughput measures its bit-serial baseline live (the `reference`
 # module ships in the same binary), so no frozen --baseline is needed.

@@ -32,6 +32,15 @@ cargo build --release --workspace
 step "cargo test -q"
 cargo test -q --workspace
 
+# Gating: the bit-sliced trial kernel must stay bit-identical to the
+# scalar path under *release* codegen too — the debug `cargo test`
+# above proves the unoptimized build, this re-runs the equivalence and
+# thread-invariance sweeps at the optimization level the benchmarks
+# and figure binaries actually ship (DESIGN.md §14.1).
+step "bit-sliced vs scalar kernel equivalence (release)"
+cargo test -q --release -p xed-faultsim --lib \
+    bit_sliced_kernel_is_bit_identical_to_scalar
+
 # Gating: the xed-testkit cross-validation matrix (DESIGN.md §12) —
 # exhaustive small-geometry oracle, analytic gate, metamorphic laws,
 # golden xed-trace-v1 conformance, de-flake audit, telemetry-diff pin.
@@ -45,6 +54,15 @@ cargo run -q -p xtask -- verify-matrix --quick
 step "mc_throughput --smoke (non-gating)"
 ./target/release/mc_throughput --smoke --out target/BENCH_faultsim.smoke.json ||
     printf 'warning: mc_throughput smoke failed (non-gating)\n'
+
+# Non-gating: the rare-event tail lane at smoke scale — exercises the
+# clique-forced/count-conditioned estimators, the plain-MC comparison,
+# and the "tail" JSON merge into the report mc_throughput just wrote.
+# The >=10x CI-width gate only runs in scripts/bench.sh at full scale;
+# smoke-scale ratios are noise.
+step "mc_tail --smoke (non-gating)"
+./target/release/mc_tail --smoke --out target/BENCH_faultsim.smoke.json ||
+    printf 'warning: mc_tail smoke failed (non-gating)\n'
 
 step "ecc_throughput --smoke (non-gating)"
 ./target/release/ecc_throughput --smoke --out target/BENCH_ecc.smoke.json ||
