@@ -9,10 +9,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 use xed_bench::timing::Group;
+use xed_faultsim::engine::Sweep;
 use xed_faultsim::event::sample_lifetime;
 use xed_faultsim::fit::{FitRates, LIFETIME_YEARS};
 use xed_faultsim::geometry::DramGeometry;
-use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
 use xed_faultsim::schemes::Scheme;
 use xed_memsim::overlay::ReliabilityScheme;
 use xed_memsim::sim::{SimConfig, Simulation};
@@ -28,13 +28,8 @@ fn faultsim_benches() {
     });
 
     g.bench("mc_10k_systems_xed", || {
-        let mc = MonteCarlo::new(MonteCarloConfig {
-            samples: 10_000,
-            seed: 9,
-            threads: 1,
-            ..Default::default()
-        });
-        mc.run(black_box(Scheme::Xed))
+        let sweep = Sweep::new(10_000, 9).with_threads(1);
+        sweep.monte_carlo().run(black_box(Scheme::Xed))
     });
 }
 

@@ -11,7 +11,8 @@
 //! `cargo run --release -p xed-bench --bin ablation_intersection`
 
 use xed_bench::{rule, sci, throughput_footer, Options};
-use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig, RunStats, SchemeResult};
+use xed_faultsim::engine::Sweep;
+use xed_faultsim::montecarlo::{RunStats, SchemeResult};
 use xed_faultsim::schemes::{ModelParams, Scheme};
 
 fn main() {
@@ -65,11 +66,7 @@ fn run_all(
         require_line_intersection: intersection,
         ..Default::default()
     };
-    MonteCarlo::new(MonteCarloConfig {
-        samples,
-        seed,
-        params,
-        ..Default::default()
-    })
-    .run_all_timed(schemes)
+    Sweep::new(samples, seed)
+        .with_params(params)
+        .run_all(schemes)
 }

@@ -16,7 +16,7 @@ use xed_bench::{rule, sci, throughput_footer, Options};
 use xed_ecc::detection::{measure, ErrorModel};
 use xed_ecc::secded::SecDed;
 use xed_ecc::{Crc8Atm, Hamming7264};
-use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
+use xed_faultsim::engine::Sweep;
 use xed_faultsim::schemes::{ModelParams, Scheme};
 
 /// Fraction of multi-bit chip-fault patterns assumed burst-shaped (I/O,
@@ -50,13 +50,9 @@ fn main() {
             on_die_miss: weighted,
             ..Default::default()
         };
-        let report = MonteCarlo::new(MonteCarloConfig {
-            samples: opts.samples,
-            seed: opts.seed,
-            params,
-            ..Default::default()
-        })
-        .run_timed(Scheme::Xed);
+        let report = Sweep::new(opts.samples, opts.seed)
+            .with_params(params)
+            .run_one(Scheme::Xed);
         let p = report.result.failure_probability(7.0);
         total_stats = Some(match total_stats {
             None => report.stats,

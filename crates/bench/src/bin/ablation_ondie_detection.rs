@@ -9,7 +9,8 @@
 //! `cargo run --release -p xed-bench --bin ablation_ondie_detection`
 
 use xed_bench::{rule, sci, throughput_footer, Options};
-use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig, RunStats};
+use xed_faultsim::engine::Sweep;
+use xed_faultsim::montecarlo::RunStats;
 use xed_faultsim::schemes::{ModelParams, Scheme};
 
 fn main() {
@@ -30,13 +31,9 @@ fn main() {
             on_die_miss: miss,
             ..Default::default()
         };
-        let report = MonteCarlo::new(MonteCarloConfig {
-            samples: opts.samples,
-            seed: opts.seed,
-            params,
-            ..Default::default()
-        })
-        .run_timed(Scheme::Xed);
+        let report = Sweep::new(opts.samples, opts.seed)
+            .with_params(params)
+            .run_one(Scheme::Xed);
         let r = &report.result;
         total_stats = Some(match total_stats {
             None => report.stats,

@@ -9,7 +9,7 @@
 //! `cargo run --release -p xed-bench --bin ablation_scrubbing`
 
 use xed_bench::{rule, sci, throughput_footer, Options};
-use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
+use xed_faultsim::engine::Sweep;
 use xed_faultsim::schemes::{ModelParams, Scheme};
 
 fn main() {
@@ -34,13 +34,8 @@ fn main() {
             transient_exposure_hours: hours,
             ..Default::default()
         };
-        let mc = MonteCarlo::new(MonteCarloConfig {
-            samples: opts.samples,
-            seed: opts.seed,
-            params,
-            ..Default::default()
-        });
-        let (results, stats) = mc.run_all_timed(&[Scheme::Xed, Scheme::Chipkill]);
+        let sweep = Sweep::new(opts.samples, opts.seed).with_params(params);
+        let (results, stats) = sweep.run_all(&[Scheme::Xed, Scheme::Chipkill]);
         total_stats = Some(match total_stats {
             None => stats,
             Some(acc) => stats.merge(&acc),

@@ -8,17 +8,13 @@
 //! `cargo run --release -p xed-bench --bin failure_attribution`
 
 use xed_bench::{rule, throughput_footer, Options};
+use xed_faultsim::engine::Sweep;
 use xed_faultsim::fault::FaultExtent;
-use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
 use xed_faultsim::schemes::Scheme;
 
 fn main() {
     let opts = Options::from_args();
-    let mc = MonteCarlo::new(MonteCarloConfig {
-        samples: opts.samples,
-        seed: opts.seed,
-        ..Default::default()
-    });
+    let sweep = Sweep::new(opts.samples, opts.seed);
 
     println!(
         "Failure attribution by triggering fault extent ({} systems/scheme)\n",
@@ -37,7 +33,7 @@ fn main() {
         Scheme::Chipkill,
         Scheme::DoubleChipkill,
     ];
-    let (results, stats) = mc.run_all_timed(&schemes);
+    let (results, stats) = sweep.run_all(&schemes);
     for (scheme, r) in schemes.iter().zip(&results) {
         print!("{:42}", scheme.label());
         for (_, count) in r.attribution() {

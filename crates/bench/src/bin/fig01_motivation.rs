@@ -11,8 +11,8 @@
 //! the Table I input rates.)
 
 use xed_bench::{rule, sci, throughput_footer, write_reliability_sidecar, Options};
+use xed_faultsim::engine::Sweep;
 use xed_faultsim::fit::FitRates;
-use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
 use xed_faultsim::schemes::Scheme;
 
 fn main() {
@@ -21,11 +21,7 @@ fn main() {
         print_table_i();
     }
 
-    let mc = MonteCarlo::new(MonteCarloConfig {
-        samples: opts.samples,
-        seed: opts.seed,
-        ..Default::default()
-    });
+    let sweep = Sweep::new(opts.samples, opts.seed);
 
     println!("Figure 1: effectiveness of reliability solutions in presence of On-Die ECC");
     println!("({} systems/scheme, 7-year lifetime)\n", opts.samples);
@@ -36,7 +32,7 @@ fn main() {
     rule(100);
 
     let schemes = [Scheme::NonEcc, Scheme::EccDimm, Scheme::Chipkill];
-    let (results, stats) = mc.run_all_timed(&schemes);
+    let (results, stats) = sweep.run_all(&schemes);
     let mut probs = Vec::new();
     for (scheme, r) in schemes.iter().zip(&results) {
         let curve: Vec<String> = r.curve().iter().map(|&p| sci(p)).collect();

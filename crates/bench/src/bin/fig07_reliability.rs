@@ -8,16 +8,12 @@
 //! `cargo run --release -p xed-bench --bin fig07_reliability`
 
 use xed_bench::{rule, sci, throughput_footer, write_reliability_sidecar, Options};
-use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
+use xed_faultsim::engine::Sweep;
 use xed_faultsim::schemes::Scheme;
 
 fn main() {
     let opts = Options::from_args();
-    let mc = MonteCarlo::new(MonteCarloConfig {
-        samples: opts.samples,
-        seed: opts.seed,
-        ..Default::default()
-    });
+    let sweep = Sweep::new(opts.samples, opts.seed);
 
     println!("Figure 7: reliability of ECC-DIMM, XED, and Chipkill");
     println!(
@@ -31,7 +27,7 @@ fn main() {
     rule(100);
 
     let schemes = [Scheme::EccDimm, Scheme::Chipkill, Scheme::Xed];
-    let (results, stats) = mc.run_all_timed(&schemes);
+    let (results, stats) = sweep.run_all(&schemes);
     let mut probs = Vec::new();
     for (scheme, r) in schemes.iter().zip(&results) {
         let curve: Vec<String> = r.curve().iter().map(|&p| sci(p)).collect();

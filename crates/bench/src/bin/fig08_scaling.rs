@@ -9,7 +9,7 @@
 //! `cargo run --release -p xed-bench --bin fig08_scaling`
 
 use xed_bench::{rule, sci, throughput_footer, write_reliability_sidecar, Options};
-use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
+use xed_faultsim::engine::Sweep;
 use xed_faultsim::scaling::ScalingFaults;
 use xed_faultsim::schemes::{ModelParams, Scheme};
 
@@ -19,12 +19,7 @@ fn main() {
         scaling: ScalingFaults::paper_default(),
         ..Default::default()
     };
-    let mc = MonteCarlo::new(MonteCarloConfig {
-        samples: opts.samples,
-        seed: opts.seed,
-        params,
-        ..Default::default()
-    });
+    let sweep = Sweep::new(opts.samples, opts.seed).with_params(params);
 
     println!("Figure 8: reliability with scaling faults at 1e-4");
     println!("({} systems/scheme, 7-year lifetime)\n", opts.samples);
@@ -35,7 +30,7 @@ fn main() {
     rule(100);
 
     let schemes = [Scheme::EccDimm, Scheme::Chipkill, Scheme::Xed];
-    let (batch, stats) = mc.run_all_timed(&schemes);
+    let (batch, stats) = sweep.run_all(&schemes);
     let mut results = Vec::new();
     for (scheme, r) in schemes.iter().zip(&batch) {
         let curve: Vec<String> = r.curve().iter().map(|&p| sci(p)).collect();

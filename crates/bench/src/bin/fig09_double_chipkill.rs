@@ -8,18 +8,14 @@
 //! `cargo run --release -p xed-bench --bin fig09_double_chipkill`
 
 use xed_bench::{rule, sci, throughput_footer, write_reliability_sidecar, Options};
-use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
+use xed_faultsim::engine::Sweep;
 use xed_faultsim::schemes::Scheme;
 
 fn main() {
     let opts = Options::from_args();
     // The x4 schemes fail rarely; use more samples by default.
     let samples = opts.samples.max(4_000_000);
-    let mc = MonteCarlo::new(MonteCarloConfig {
-        samples,
-        seed: opts.seed,
-        ..Default::default()
-    });
+    let sweep = Sweep::new(samples, opts.seed);
 
     println!("Figure 9: Single-Chipkill, Double-Chipkill, and XED-based Single-Chipkill (x4)");
     println!("({samples} systems/scheme, 7-year lifetime)\n");
@@ -34,7 +30,7 @@ fn main() {
         Scheme::DoubleChipkill,
         Scheme::XedChipkill,
     ];
-    let (batch, stats) = mc.run_all_timed(&schemes);
+    let (batch, stats) = sweep.run_all(&schemes);
     let mut results = Vec::new();
     for (scheme, r) in schemes.iter().zip(&batch) {
         let curve: Vec<String> = r.curve().iter().map(|&p| sci(p)).collect();

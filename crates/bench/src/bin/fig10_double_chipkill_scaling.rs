@@ -7,7 +7,7 @@
 //! `cargo run --release -p xed-bench --bin fig10_double_chipkill_scaling`
 
 use xed_bench::{rule, sci, throughput_footer, write_reliability_sidecar, Options};
-use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
+use xed_faultsim::engine::Sweep;
 use xed_faultsim::scaling::ScalingFaults;
 use xed_faultsim::schemes::{ModelParams, Scheme};
 
@@ -18,12 +18,7 @@ fn main() {
         scaling: ScalingFaults::paper_default(),
         ..Default::default()
     };
-    let mc = MonteCarlo::new(MonteCarloConfig {
-        samples,
-        seed: opts.seed,
-        params,
-        ..Default::default()
-    });
+    let sweep = Sweep::new(samples, opts.seed).with_params(params);
 
     println!("Figure 10: x4 chipkill-class schemes with scaling faults at 1e-4");
     println!("({samples} systems/scheme, 7-year lifetime)\n");
@@ -38,7 +33,7 @@ fn main() {
         Scheme::DoubleChipkill,
         Scheme::XedChipkill,
     ];
-    let (batch, stats) = mc.run_all_timed(&schemes);
+    let (batch, stats) = sweep.run_all(&schemes);
     let mut results = Vec::new();
     for (scheme, r) in schemes.iter().zip(&batch) {
         let curve: Vec<String> = r.curve().iter().map(|&p| sci(p)).collect();

@@ -31,8 +31,8 @@
 
 use std::fmt::Write as _;
 use xed_bench::rule;
-use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
-use xed_faultsim::rareevent::{TailConfig, TailEstimate, TailSimulator};
+use xed_faultsim::engine::{self, Estimate, Query, Sweep};
+use xed_faultsim::rareevent::TailEstimate;
 use xed_faultsim::schemes::Scheme;
 
 /// The schemes with tail-class failure probabilities. The first two carry
@@ -103,28 +103,20 @@ struct Comparison {
 }
 
 fn compare(scheme: Scheme, args: &Args) -> Comparison {
-    let tail = TailSimulator::new(TailConfig {
-        samples: args.samples,
-        seed: args.seed,
-        ..TailConfig::default()
-    })
-    .run(scheme);
+    // The tail run goes through the engine facade — the same entry the
+    // `xedd` daemon serves `kind=tail` queries from.
+    let est = engine::evaluate(&Query::tail(scheme, args.samples, args.seed))
+        .expect("paper-default tail query is valid");
+    let Estimate::Tail(tail) = est else {
+        unreachable!("tail queries produce tail estimates")
+    };
+    let tail = *tail;
 
     // Measure the plain engine on this scheme, then give it the same
     // wall-clock the tail estimator consumed.
-    let probe = MonteCarlo::new(MonteCarloConfig {
-        samples: 500_000,
-        seed: args.seed,
-        ..MonteCarloConfig::default()
-    })
-    .run_timed(scheme);
+    let probe = Sweep::new(500_000, args.seed).run_one(scheme);
     let plain_trials = ((probe.stats.samples_per_sec * tail.wall_seconds) as u64).max(10_000);
-    let plain = MonteCarlo::new(MonteCarloConfig {
-        samples: plain_trials,
-        seed: args.seed,
-        ..MonteCarloConfig::default()
-    })
-    .run(scheme);
+    let plain = Sweep::new(plain_trials, args.seed).run_one(scheme).result;
 
     // Plain MC's precision at that trial count. Using the tail estimate of
     // p keeps this finite when the plain run observes zero failures —

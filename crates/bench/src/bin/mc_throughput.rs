@@ -22,7 +22,8 @@
 
 use std::fmt::Write as _;
 use xed_bench::rule;
-use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig, RunStats, SchemeResult};
+use xed_faultsim::engine::Sweep;
+use xed_faultsim::montecarlo::{RunStats, SchemeResult};
 use xed_faultsim::schemes::Scheme;
 
 /// Throughput of the engine before the counter-based-stream rewrite
@@ -80,14 +81,13 @@ struct Measurement {
     results: Vec<SchemeResult>,
 }
 
-/// Runs `schemes` under `config` `repeats` times and keeps the fastest
+/// Runs `schemes` under `sweep` `repeats` times and keeps the fastest
 /// run's stats (the results are identical across repeats by construction;
 /// debug-asserted here).
-fn best_of(config: &MonteCarloConfig, schemes: &[Scheme], repeats: u32) -> Measurement {
-    let mc = MonteCarlo::new(config.clone());
-    let (mut results, mut stats) = mc.run_all_timed(schemes);
+fn best_of(sweep: &Sweep, schemes: &[Scheme], repeats: u32) -> Measurement {
+    let (mut results, mut stats) = sweep.run_all(schemes);
     for _ in 1..repeats {
-        let (r, s) = mc.run_all_timed(schemes);
+        let (r, s) = sweep.run_all(schemes);
         assert_eq!(r, results, "engine must be deterministic across repeats");
         if s.samples_per_sec > stats.samples_per_sec {
             stats = s;
@@ -104,11 +104,7 @@ fn main() {
         // to bound the cost of the always-on telemetry counters.
         xed_telemetry::set_enabled(false);
     }
-    let base_config = MonteCarloConfig {
-        samples: args.samples,
-        seed: args.seed,
-        ..Default::default()
-    };
+    let base = Sweep::new(args.samples, args.seed);
 
     println!("mc_throughput: Monte-Carlo engine benchmark");
     println!(
@@ -124,7 +120,7 @@ fn main() {
     rule(95);
     let mut per_scheme: Vec<(Scheme, Measurement)> = Vec::new();
     for scheme in Scheme::ALL {
-        let m = best_of(&base_config, &[scheme], args.repeats);
+        let m = best_of(&base, &[scheme], args.repeats);
         let p = m.results[0].lifetime_failure_probability();
         let rel = if p > 0.0 {
             format!("{:.3}", m.results[0].confidence95() / p)
@@ -160,11 +156,8 @@ fn main() {
     println!("\nthread scaling (EccDimm, results asserted bit-identical):");
     let mut scaling: Vec<(usize, RunStats)> = Vec::new();
     for threads in [1usize, 2, 4, 8] {
-        let config = MonteCarloConfig {
-            threads,
-            ..base_config.clone()
-        };
-        let m = best_of(&config, &[Scheme::EccDimm], args.repeats);
+        let pinned = base.clone().with_threads(threads);
+        let m = best_of(&pinned, &[Scheme::EccDimm], args.repeats);
         assert_eq!(
             m.results[0], headline.results[0],
             "thread count changed the simulation result"
@@ -177,7 +170,7 @@ fn main() {
     }
 
     // Whole-suite sweep: all schemes sharing one work-stealing pool.
-    let sweep = best_of(&base_config, &Scheme::ALL, args.repeats);
+    let sweep = best_of(&base, &Scheme::ALL, args.repeats);
     for ((scheme, solo), swept) in per_scheme.iter().zip(&sweep.results) {
         assert_eq!(
             &solo.results[0], swept,

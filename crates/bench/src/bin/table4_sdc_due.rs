@@ -10,8 +10,8 @@
 
 use xed_bench::{rule, sci, throughput_footer, Options};
 use xed_faultsim::analytic::xed_vulnerability;
+use xed_faultsim::engine::Sweep;
 use xed_faultsim::fit::FitRates;
-use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
 use xed_faultsim::schemes::Scheme;
 use xed_faultsim::system::SystemConfig;
 
@@ -53,12 +53,7 @@ fn main() {
 
     // Cross-check the analytic multi-chip floor and DUE split against the
     // full Monte-Carlo (which reports whole-system = 8 DIMM-rank numbers).
-    let mc = MonteCarlo::new(MonteCarloConfig {
-        samples: opts.samples,
-        seed: opts.seed,
-        ..Default::default()
-    });
-    let report = mc.run_timed(Scheme::Xed);
+    let report = Sweep::new(opts.samples, opts.seed).run_one(Scheme::Xed);
     let r = &report.result;
     println!(
         "\nMonte-Carlo cross-check ({} systems of 8 DIMM-ranks):",

@@ -1,0 +1,296 @@
+//! `xedd_load`: load harness for the `xedd` reliability daemon
+//! (DESIGN.md §15).
+//!
+//! Boots an in-process daemon on an ephemeral port and drives it over
+//! real TCP through three phases:
+//!
+//! 1. **cold** — distinct queries, every one a cache miss that runs the
+//!    full Monte-Carlo evaluation;
+//! 2. **warm** — a multi-threaded client storm over the now-memoized
+//!    keys, measuring the O(1) repeat-query path;
+//! 3. **coalesce** — K concurrent identical requests against a fresh
+//!    key, held provably in-flight (the harness reads the leader's first
+//!    streamed partial before launching followers), asserting exactly
+//!    one evaluation served all K.
+//!
+//! Writes an `xed-report-v1` trajectory to `--out` (default
+//! `BENCH_xedd.json`). `--check` gates the PR acceptance bar: warm-cache
+//! p50 latency at least 100x below cold p50.
+//!
+//! ```text
+//! cargo run --release -p xed-bench --bin xedd_load -- \
+//!     [--samples N] [--seed N] [--clients N] [--requests N] \
+//!     [--out PATH] [--check] [--smoke]
+//! ```
+
+use std::time::Instant;
+use xed_bench::{rule, Report, J};
+use xedd::http::{self, ChunkStream};
+use xedd::{Server, XeddConfig};
+
+struct Args {
+    /// Trials per cold query (sets how expensive a miss is).
+    samples: u64,
+    seed: u64,
+    /// Warm-phase client threads.
+    clients: usize,
+    /// Warm-phase requests per client.
+    requests: usize,
+    /// Distinct cold keys (and the warm working set).
+    cold_queries: usize,
+    out: String,
+    check: bool,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        samples: 4_000_000,
+        seed: 2016,
+        clients: 4,
+        requests: 50,
+        cold_queries: 6,
+        out: "BENCH_xedd.json".to_string(),
+        check: false,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut grab =
+            |name: &str| -> String { it.next().unwrap_or_else(|| panic!("usage: {name} <value>")) };
+        match arg.as_str() {
+            "--samples" => args.samples = grab("--samples").parse().expect("--samples <u64>"),
+            "--seed" => args.seed = grab("--seed").parse().expect("--seed <u64>"),
+            "--clients" => args.clients = grab("--clients").parse().expect("--clients <usize>"),
+            "--requests" => args.requests = grab("--requests").parse().expect("--requests <usize>"),
+            "--out" => args.out = grab("--out"),
+            "--check" => args.check = true,
+            "--smoke" => {
+                // Quick non-gating CI smoke: exercise every phase in well
+                // under a second; latency ratios at this scale are noise,
+                // so --check is ignored under --smoke.
+                args.samples = 100_000;
+                args.requests = 10;
+                args.cold_queries = 3;
+                args.smoke = true;
+            }
+            other => eprintln!("(ignoring unknown argument {other})"),
+        }
+    }
+    assert!(args.clients >= 1 && args.requests >= 1 && args.cold_queries >= 1);
+    args
+}
+
+/// Sorted-latency percentile (nearest-rank), in microseconds.
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_us.len() as f64).ceil() as usize;
+    sorted_us[rank.clamp(1, sorted_us.len()) - 1]
+}
+
+/// Latency summary of one phase.
+#[derive(Debug, Clone, Copy)]
+struct Phase {
+    requests: usize,
+    p50_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+}
+
+fn summarize(mut latencies_us: Vec<f64>) -> Phase {
+    latencies_us.sort_by(|a, b| a.total_cmp(b));
+    let mean = latencies_us.iter().sum::<f64>() / latencies_us.len().max(1) as f64;
+    Phase {
+        requests: latencies_us.len(),
+        p50_us: percentile(&latencies_us, 50.0),
+        p99_us: percentile(&latencies_us, 99.0),
+        mean_us: mean,
+    }
+}
+
+fn timed_get(addr: &str, target: &str) -> (f64, http::ClientResponse) {
+    let t = Instant::now();
+    let resp = http::client_get(addr, target).unwrap_or_else(|e| panic!("GET {target}: {e}"));
+    (t.elapsed().as_nanos() as f64 / 1e3, resp)
+}
+
+fn query_target(args: &Args, key: usize) -> String {
+    format!(
+        "/v1/query?scheme=xed&samples={}&seed={}",
+        args.samples,
+        args.seed + key as u64
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let server = Server::start(XeddConfig {
+        workers: (args.clients + 2).max(4),
+        ..XeddConfig::default()
+    })
+    .expect("bind an ephemeral port");
+    let addr = server.addr();
+
+    println!("xedd_load: daemon load harness on {addr}");
+    println!(
+        "({} trials/query, {} cold keys, {} clients x {} warm requests)\n",
+        args.samples, args.cold_queries, args.clients, args.requests
+    );
+
+    // -- phase 1: cold misses ---------------------------------------------
+    let mut cold_lat = Vec::with_capacity(args.cold_queries);
+    for key in 0..args.cold_queries {
+        let (us, resp) = timed_get(&addr, &query_target(&args, key));
+        assert_eq!(resp.status, 200, "cold query failed: {}", resp.body);
+        assert_eq!(
+            resp.header("x-xedd-cache"),
+            Some("miss"),
+            "cold query was unexpectedly cached"
+        );
+        cold_lat.push(us);
+    }
+    let cold = summarize(cold_lat);
+
+    // -- phase 2: warm storm over the memoized working set ----------------
+    let warm_lat: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|client| {
+                let addr = addr.clone();
+                let args = &args;
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(args.requests);
+                    for i in 0..args.requests {
+                        let key = (client + i) % args.cold_queries;
+                        let (us, resp) = timed_get(&addr, &query_target(args, key));
+                        assert_eq!(
+                            resp.header("x-xedd-cache"),
+                            Some("hit"),
+                            "warm request missed the cache"
+                        );
+                        lat.push(us);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("warm client thread"))
+            .collect()
+    });
+    let warm = summarize(warm_lat);
+
+    // -- phase 3: coalescing under concurrency ----------------------------
+    // Fresh key, streamed partials. Reading the leader's first chunk
+    // before launching followers proves the flight is still open when
+    // they arrive, making "one evaluation for K requests" deterministic.
+    let evals_before = xed_telemetry::registry::metrics::XEDD_EVALUATIONS.value();
+    let coalesced_before = xed_telemetry::registry::metrics::XEDD_COALESCED.value();
+    let fresh = format!(
+        "/v1/query?scheme=xed&samples={}&block={}&seed={}&partials=1",
+        args.samples.max(4),
+        (args.samples.max(4) / 4).max(1),
+        args.seed + args.cold_queries as u64
+    );
+    let coalesce_clients = args.clients.max(3);
+    let mut leader = ChunkStream::open(&addr, &fresh).expect("open leader stream");
+    let first = leader
+        .next_chunk()
+        .expect("leader first chunk")
+        .expect("leader stream ended early");
+    let follower_bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..coalesce_clients)
+            .map(|_| {
+                let addr = addr.clone();
+                let fresh = fresh.clone();
+                scope.spawn(move || {
+                    let mut stream = ChunkStream::open(&addr, &fresh).expect("follower stream");
+                    let chunks = stream.drain().expect("follower chunks");
+                    chunks.last().expect("follower saw no chunks").clone()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("follower thread"))
+            .collect()
+    });
+    let mut leader_chunks = vec![first];
+    leader_chunks.extend(leader.drain().expect("leader chunks"));
+    let leader_body = leader_chunks.last().expect("leader saw no chunks");
+    for body in &follower_bodies {
+        assert_eq!(body, leader_body, "follower diverged from the leader");
+    }
+    let evaluations = xed_telemetry::registry::metrics::XEDD_EVALUATIONS.value() - evals_before;
+    let coalesced = xed_telemetry::registry::metrics::XEDD_COALESCED.value() - coalesced_before;
+    assert_eq!(
+        evaluations,
+        1,
+        "{} concurrent identical requests ran {evaluations} evaluations",
+        coalesce_clients + 1
+    );
+
+    // -- report -----------------------------------------------------------
+    println!(
+        "{:<10} {:>9} {:>12} {:>12} {:>12}",
+        "phase", "requests", "p50", "p99", "mean"
+    );
+    rule(60);
+    for (name, phase) in [("cold", &cold), ("warm", &warm)] {
+        println!(
+            "{:<10} {:>9} {:>9.0} us {:>9.0} us {:>9.0} us",
+            name, phase.requests, phase.p50_us, phase.p99_us, phase.mean_us
+        );
+    }
+    rule(60);
+    let speedup = cold.p50_us / warm.p50_us.max(1e-9);
+    println!(
+        "\nwarm-cache speedup: {speedup:.0}x at p50 ({:.0} us -> {:.0} us)",
+        cold.p50_us, warm.p50_us
+    );
+    println!(
+        "coalescing: {} concurrent identical requests -> {evaluations} evaluation ({coalesced} coalesced)",
+        coalesce_clients + 1
+    );
+
+    let mut report = Report::new("xedd_load");
+    report
+        .param("samples_per_query", J::U(args.samples))
+        .param("seed", J::U(args.seed))
+        .param("cold_queries", J::U(args.cold_queries as u64))
+        .param("clients", J::U(args.clients as u64))
+        .param("requests_per_client", J::U(args.requests as u64))
+        .param("warm_speedup_p50", J::F(speedup));
+    for (name, phase) in [("cold", &cold), ("warm", &warm)] {
+        report.row(&[
+            ("phase", J::S(name.to_string())),
+            ("requests", J::U(phase.requests as u64)),
+            ("p50_us", J::F(phase.p50_us)),
+            ("p99_us", J::F(phase.p99_us)),
+            ("mean_us", J::F(phase.mean_us)),
+        ]);
+    }
+    report.row(&[
+        ("phase", J::S("coalesce".to_string())),
+        ("requests", J::U(coalesce_clients as u64 + 1)),
+        ("evaluations", J::U(evaluations)),
+        ("coalesced", J::U(coalesced)),
+    ]);
+    report.write(&args.out);
+
+    server.shutdown();
+
+    if args.check && !args.smoke {
+        assert!(
+            speedup >= 100.0,
+            "acceptance: warm p50 ({:.0} us) must be >=100x below cold p50 ({:.0} us), got {speedup:.1}x",
+            warm.p50_us,
+            cold.p50_us
+        );
+        println!("check passed: warm p50 is {speedup:.0}x below cold (bar: 100x)");
+    } else if args.check {
+        println!("(--check ignored under --smoke: latency ratios at smoke scale are noise)");
+    }
+}

@@ -23,6 +23,9 @@
 //!   64-lane trial classification);
 //! * [`rareevent`] — the importance-sampled rare-event engine for
 //!   Table-IV-class tail probabilities;
+//! * [`engine`] — the query facade every consumer (figure binaries,
+//!   benches, the `xedd` daemon) evaluates through: canonical config
+//!   keys, streaming partial-confidence evaluation, batch sweeps;
 //! * [`analytic`] — closed-form cross-checks for the Monte-Carlo results.
 //!
 //! # Example: probability of system failure under XED
@@ -43,6 +46,7 @@
 //! ```
 
 pub mod analytic;
+pub mod engine;
 pub mod event;
 pub mod fault;
 pub mod fit;
@@ -53,6 +57,7 @@ pub mod scaling;
 pub mod schemes;
 pub mod system;
 
+pub use engine::{evaluate, evaluate_streaming, CanonicalKey, Estimate, Progress, Query, Sweep};
 pub use fault::{FaultExtent, FaultRange, Persistence};
 pub use fit::FitRates;
 pub use geometry::DramGeometry;

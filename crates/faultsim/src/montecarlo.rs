@@ -201,6 +201,42 @@ impl SchemeResult {
         let p = self.lifetime_failure_probability();
         2.576 * (p * (1.0 - p) / self.samples as f64).sqrt()
     }
+
+    /// Folds another result for the *same scheme* over a *disjoint trial
+    /// range* into this one.
+    ///
+    /// Every field is a plain `u64` tally, so accumulating the range runs
+    /// `[0, B), [B, 2B), …` produced by [`MonteCarlo::run_range_timed`]
+    /// is **bit-identical** to one batch run over the union of the ranges
+    /// — trial randomness is a pure function of `(seed, scheme, trial)`,
+    /// never of how the trial space was partitioned. This is the merge
+    /// that backs the streaming engine facade (`faultsim::engine`) and
+    /// the `xedd` partial-confidence responses.
+    pub fn merge_from(&mut self, other: &SchemeResult) {
+        debug_assert_eq!(self.scheme, other.scheme, "merging different schemes");
+        debug_assert_eq!(
+            self.failures_by_year.len(),
+            other.failures_by_year.len(),
+            "merging different lifetimes"
+        );
+        self.samples += other.samples;
+        self.due += other.due;
+        self.sdc += other.sdc;
+        for (a, b) in self
+            .failures_by_year
+            .iter_mut()
+            .zip(&other.failures_by_year)
+        {
+            *a += b;
+        }
+        for (a, b) in self
+            .failures_by_extent
+            .iter_mut()
+            .zip(&other.failures_by_extent)
+        {
+            *a += b;
+        }
+    }
 }
 
 /// One classifier decision inside a replayed trial ([`MonteCarlo::replay_trial`]).
@@ -298,7 +334,7 @@ impl RunStats {
 
 /// A [`SchemeResult`] plus the [`RunStats`] of the invocation that
 /// produced it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// The (thread-count-invariant) simulation outcome.
     pub result: SchemeResult,
@@ -345,7 +381,22 @@ impl MonteCarlo {
     /// Like [`Self::run`], additionally reporting wall time and
     /// samples/sec for this invocation.
     pub fn run_timed(&self, scheme: Scheme) -> RunReport {
-        let (mut results, stats) = self.run_many(&[scheme]);
+        self.run_range_timed(scheme, 0, self.config.samples)
+    }
+
+    /// Simulates trials `[first, first + count)` of one scheme, in
+    /// parallel, ignoring the configured sample count.
+    ///
+    /// Trial randomness is a pure function of `(seed, scheme, trial)`, so
+    /// accumulating consecutive range runs with
+    /// [`SchemeResult::merge_from`] reproduces a single batch run of the
+    /// union **bit-for-bit** — the primitive behind the streaming
+    /// `faultsim::engine` facade and `xedd`'s partial-confidence
+    /// responses. Range boundaries need not align with the 64-lane
+    /// bit-sliced blocks or the work-stealing chunks.
+    pub fn run_range_timed(&self, scheme: Scheme, first: u64, count: u64) -> RunReport {
+        assert!(count > 0, "need at least one trial in the range");
+        let (mut results, stats) = self.run_many(&[scheme], first, count);
         // invariant: run_many returns exactly one result per input scheme.
         let result = results.pop().expect("one scheme in, one result out");
         RunReport { result, stats }
@@ -361,16 +412,15 @@ impl MonteCarlo {
     /// randomness is keyed by `(seed, scheme, trial)` — never by worker or
     /// batch composition.
     pub fn run_all(&self, schemes: &[Scheme]) -> Vec<SchemeResult> {
-        self.run_many(schemes).0
+        self.run_all_timed(schemes).0
     }
 
     /// Like [`Self::run_all`], additionally reporting aggregate throughput
     /// stats for the whole invocation.
     pub fn run_all_timed(&self, schemes: &[Scheme]) -> (Vec<SchemeResult>, RunStats) {
-        self.run_many(schemes)
+        self.run_many(schemes, 0, self.config.samples)
     }
 
-    /// The shared engine behind `run`/`run_all`.
     /// Replays one trial of `scheme` and returns its full decision
     /// timeline.
     ///
@@ -475,7 +525,15 @@ impl MonteCarlo {
         replay
     }
 
-    fn run_many(&self, schemes: &[Scheme]) -> (Vec<SchemeResult>, RunStats) {
+    /// The shared engine behind `run`/`run_all`/`run_range_timed`:
+    /// simulates trials `[first, first + count)` of every scheme in
+    /// `schemes` over one work-stealing pool.
+    fn run_many(
+        &self,
+        schemes: &[Scheme],
+        first: u64,
+        count: u64,
+    ) -> (Vec<SchemeResult>, RunStats) {
         let threads = self.threads();
         let config = &self.config;
         let years = config.years.ceil() as usize;
@@ -483,7 +541,7 @@ impl MonteCarlo {
             .iter()
             .map(|&s| SchemeModel::new(s, config.params))
             .collect();
-        let chunks_per_scheme = config.samples.div_ceil(STEAL_CHUNK);
+        let chunks_per_scheme = count.div_ceil(STEAL_CHUNK);
         // invariant: chunks_per_scheme ≤ samples and scheme counts are tiny
         // (≤ dozens), so the chunk-id space cannot overflow u64 for any
         // simulation size a machine can actually run.
@@ -507,6 +565,8 @@ impl MonteCarlo {
                             next_chunk,
                             chunks_per_scheme,
                             total_chunks,
+                            first,
+                            count,
                             years,
                         )
                     })
@@ -532,7 +592,7 @@ impl MonteCarlo {
             .map(|(si, &scheme)| {
                 let mut result = SchemeResult {
                     scheme,
-                    samples: config.samples,
+                    samples: count,
                     failures_by_year: vec![0; years],
                     due: 0,
                     sdc: 0,
@@ -558,7 +618,7 @@ impl MonteCarlo {
             })
             .collect();
 
-        let samples = config.samples * schemes.len() as u64;
+        let samples = count * schemes.len() as u64;
         let stats = RunStats {
             wall_seconds,
             samples_per_sec: samples as f64 / wall_seconds.max(1e-9),
@@ -630,14 +690,18 @@ struct Scratch {
 
 /// One work-stealing worker: claims chunk ids from `next_chunk` until the
 /// space is exhausted. Chunk `c` maps to trials
-/// `[(c % chunks_per_scheme) · STEAL_CHUNK ..][..count]` of scheme
-/// `c / chunks_per_scheme`.
+/// `[range_first + (c % chunks_per_scheme) · STEAL_CHUNK ..][..n]` of
+/// scheme `c / chunks_per_scheme`, where the range covers
+/// `[range_first, range_first + range_count)`.
+#[allow(clippy::too_many_arguments)]
 fn worker(
     models: &[SchemeModel],
     config: &MonteCarloConfig,
     next_chunk: &AtomicU64,
     chunks_per_scheme: u64,
     total_chunks: u64,
+    range_first: u64,
+    range_count: u64,
     years: usize,
 ) -> Vec<Partial> {
     let mut partials: Vec<Partial> = models.iter().map(|_| Partial::new(years)).collect();
@@ -675,8 +739,9 @@ fn worker(
             break;
         }
         let si = (c / chunks_per_scheme) as usize;
-        let first = (c % chunks_per_scheme) * STEAL_CHUNK;
-        let count = STEAL_CHUNK.min(config.samples - first);
+        let offset = (c % chunks_per_scheme) * STEAL_CHUNK;
+        let first = range_first + offset;
+        let count = STEAL_CHUNK.min(range_count - offset);
         let (sampler, streams) = &contexts[si];
         // Chunk wall time is reporting-only metadata (never fed back into
         // the simulation), same as run_many's outer timer.
@@ -945,6 +1010,48 @@ mod tests {
                     "{scheme} at {samples} samples"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn merged_range_runs_are_bit_identical_to_one_batch_run() {
+        // The streaming contract: accumulating consecutive range runs with
+        // merge_from reproduces the batch run of the union bit for bit.
+        // Block sizes straddle both the 64-lane bit-sliced blocks and the
+        // 4096-trial steal chunks, so unaligned range starts are covered.
+        let mc = quick(20_000);
+        for scheme in [Scheme::EccDimm, Scheme::Xed] {
+            let batch = mc.run(scheme);
+            for block in [1_000u64, 4_096, 4_100, 6_337] {
+                let mut done = 0u64;
+                let mut acc: Option<SchemeResult> = None;
+                while done < 20_000 {
+                    let n = block.min(20_000 - done);
+                    let part = mc.run_range_timed(scheme, done, n).result;
+                    match acc.as_mut() {
+                        Some(acc) => acc.merge_from(&part),
+                        None => acc = Some(part),
+                    }
+                    done += n;
+                }
+                assert_eq!(
+                    acc.expect("at least one block"),
+                    batch,
+                    "{scheme} at block size {block}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_prefix_matches_smaller_batch_run() {
+        // A partial estimate after N trials must equal what a batch run of
+        // exactly N samples reports — the bit-reproducibility claim xedd
+        // makes for every streamed chunk.
+        for n in [4_096u64, 5_000, 12_288] {
+            let prefix = quick(20_000).run_range_timed(Scheme::Xed, 0, n).result;
+            let batch = quick(n).run(Scheme::Xed);
+            assert_eq!(prefix, batch, "prefix of {n} trials");
         }
     }
 

@@ -103,6 +103,46 @@ impl Scheme {
         }
     }
 
+    /// Short stable identifier used in URLs, JSON payloads and CLI flags.
+    ///
+    /// [`Scheme::parse`] accepts these (and common alternative spellings)
+    /// case- and punctuation-insensitively.
+    pub const fn id(self) -> &'static str {
+        match self {
+            Scheme::NonEcc => "non-ecc",
+            Scheme::EccDimm => "ecc-dimm",
+            Scheme::Xed => "xed",
+            Scheme::Chipkill => "chipkill",
+            Scheme::ChipkillX4 => "chipkill-x4",
+            Scheme::XedChipkill => "xed-chipkill",
+            Scheme::DoubleChipkill => "double-chipkill",
+        }
+    }
+
+    /// Parses a scheme name, tolerating case, `-`/`_`/space punctuation
+    /// and the common alternative spellings (`secded`, `single-chipkill`,
+    /// …). Every spelling of one scheme canonicalizes to the same variant,
+    /// so semantically-equal queries hash to the same canonical key no
+    /// matter how the scheme was written.
+    pub fn parse(name: &str) -> Option<Scheme> {
+        let mut key = String::with_capacity(name.len());
+        for c in name.chars() {
+            if c.is_ascii_alphanumeric() {
+                key.push(c.to_ascii_lowercase());
+            }
+        }
+        match key.as_str() {
+            "nonecc" | "noecc" | "none" => Some(Scheme::NonEcc),
+            "eccdimm" | "ecc" | "secded" => Some(Scheme::EccDimm),
+            "xed" => Some(Scheme::Xed),
+            "chipkill" | "chipkillx8" => Some(Scheme::Chipkill),
+            "chipkillx4" | "singlechipkill" => Some(Scheme::ChipkillX4),
+            "xedchipkill" | "xedsinglechipkill" => Some(Scheme::XedChipkill),
+            "doublechipkill" | "dck" => Some(Scheme::DoubleChipkill),
+            _ => None,
+        }
+    }
+
     /// Human-readable name used in reports.
     pub fn label(self) -> &'static str {
         match self {

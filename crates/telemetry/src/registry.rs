@@ -64,6 +64,21 @@ pub mod metrics {
     pub static FAULTSIM_TAIL_FORCED_PAIRS: Counter = Counter::new();
     pub static FAULTSIM_TAIL_FALLBACKS: Counter = Counter::new();
 
+    // -- xedd: the reliability-as-a-service daemon ------------------------
+    pub static XEDD_REQUESTS: Counter = Counter::new();
+    pub static XEDD_CACHE_HITS: Counter = Counter::new();
+    pub static XEDD_CACHE_MISSES: Counter = Counter::new();
+    pub static XEDD_CACHE_EVICTIONS: Counter = Counter::new();
+    pub static XEDD_COALESCED: Counter = Counter::new();
+    pub static XEDD_EVALUATIONS: Counter = Counter::new();
+    pub static XEDD_SHED: Counter = Counter::new();
+    pub static XEDD_HTTP_ERRORS: Counter = Counter::new();
+    pub static XEDD_STREAM_CHUNKS: Counter = Counter::new();
+    pub static XEDD_EARLY_STOPS: Counter = Counter::new();
+    pub static XEDD_QUEUE_DEPTH: Histogram = Histogram::new();
+    pub static XEDD_TTFC_NS: Histogram = Histogram::new();
+    pub static XEDD_REQUEST_NS: Histogram = Histogram::new();
+
     // -- memsim: the cycle-level memory simulator -------------------------
     pub static MEMSIM_SCHED_READS_DONE: Counter = Counter::new();
     pub static MEMSIM_SCHED_WRITES_DONE: Counter = Counter::new();
@@ -140,6 +155,19 @@ pub static CATALOGUE: &[MetricDef] = &[
     c("faultsim.tail.trials", "Conditioned trials simulated by the rare-event engine", &metrics::FAULTSIM_TAIL_TRIALS),
     c("faultsim.tail.forced_pairs", "Rare-event trials using the pair-forced proposal", &metrics::FAULTSIM_TAIL_FORCED_PAIRS),
     c("faultsim.tail.fallbacks", "Tail requests that fell back to count-conditioning or plain MC", &metrics::FAULTSIM_TAIL_FALLBACKS),
+    c("xedd.requests", "HTTP reliability queries accepted by the daemon", &metrics::XEDD_REQUESTS),
+    c("xedd.cache.hits", "Queries answered from the canonical-key memo cache", &metrics::XEDD_CACHE_HITS),
+    c("xedd.cache.misses", "Queries whose canonical key was not cached", &metrics::XEDD_CACHE_MISSES),
+    c("xedd.cache.evictions", "Cached estimates evicted by the sharded LRU policy", &metrics::XEDD_CACHE_EVICTIONS),
+    c("xedd.coalesced", "Requests that attached to an identical in-flight computation", &metrics::XEDD_COALESCED),
+    c("xedd.evaluations", "Engine evaluations actually run (misses minus coalesced)", &metrics::XEDD_EVALUATIONS),
+    c("xedd.shed", "Requests rejected 503 by admission control (queue full)", &metrics::XEDD_SHED),
+    c("xedd.http.errors", "Malformed or invalid requests answered 4xx", &metrics::XEDD_HTTP_ERRORS),
+    c("xedd.stream.chunks", "Partial-confidence chunks streamed to clients", &metrics::XEDD_STREAM_CHUNKS),
+    c("xedd.early_stops", "Streaming evaluations stopped early by epsilon", &metrics::XEDD_EARLY_STOPS),
+    h("xedd.queue.depth", "Accepted-connection queue depth observed at each enqueue", &metrics::XEDD_QUEUE_DEPTH),
+    h("xedd.ttfc_ns", "Nanoseconds from request parse to first response chunk", &metrics::XEDD_TTFC_NS),
+    h("xedd.request_ns", "Nanoseconds from request parse to response complete", &metrics::XEDD_REQUEST_NS),
     c("memsim.sched.reads_done", "Demand reads completed by the memory controller", &metrics::MEMSIM_SCHED_READS_DONE),
     c("memsim.sched.writes_done", "Writebacks issued to DRAM", &metrics::MEMSIM_SCHED_WRITES_DONE),
     h("memsim.sched.queue_depth", "Read-queue depth observed at each enqueue", &metrics::MEMSIM_SCHED_QUEUE_DEPTH),
@@ -248,6 +276,9 @@ mod tests {
             "memsim.sched.queue_depth",
             "core.xed.catchword_collisions",
             "ecc.lines_decoded",
+            "xedd.cache.hits",
+            "xedd.coalesced",
+            "xedd.shed",
         ] {
             assert!(find(id).is_some(), "required metric {id} missing");
         }

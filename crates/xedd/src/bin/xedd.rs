@@ -1,0 +1,88 @@
+//! The `xedd` daemon binary.
+//!
+//! ```text
+//! xedd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!      [--shards N] [--selftest]
+//! ```
+//!
+//! `--selftest` boots a daemon on an ephemeral port, drives the full
+//! smoke sequence against it (see `xedd::selftest`) and exits non-zero on
+//! the first broken contract — this is the mode `scripts/ci.sh` gates on.
+
+use std::process::ExitCode;
+use xedd::{selftest, Server, XeddConfig};
+
+const USAGE: &str =
+    "usage: xedd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--shards N] [--selftest]
+  --addr HOST:PORT  bind address (default 127.0.0.1:7433; port 0 = ephemeral)
+  --workers N       worker threads draining the request queue (default 4)
+  --queue N         admission-control queue bound; beyond it requests get 503 (default 64)
+  --cache N         memo-cache capacity in responses (default 256)
+  --shards N        memo-cache lock stripes (default 8)
+  --selftest        run the end-to-end smoke sequence and exit";
+
+/// Parses the value of a `--flag VALUE` pair.
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, String> {
+    value
+        .as_deref()
+        .and_then(|v| v.parse::<T>().ok())
+        .ok_or_else(|| format!("{flag} needs a value (see --help)"))
+}
+
+fn parse_config(args: impl Iterator<Item = String>) -> Result<(XeddConfig, bool), String> {
+    let mut config = XeddConfig {
+        addr: "127.0.0.1:7433".to_string(),
+        ..XeddConfig::default()
+    };
+    let mut run_selftest = false;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = parse_value(&arg, args.next())?,
+            "--workers" => config.workers = parse_value(&arg, args.next())?,
+            "--queue" => config.queue_limit = parse_value(&arg, args.next())?,
+            "--cache" => config.cache_capacity = parse_value(&arg, args.next())?,
+            "--shards" => config.cache_shards = parse_value(&arg, args.next())?,
+            "--selftest" => run_selftest = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok((config, run_selftest))
+}
+
+fn main() -> ExitCode {
+    let (config, run_selftest) = match parse_config(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if run_selftest {
+        return match selftest::run(|line| println!("{line}")) {
+            Ok(()) => {
+                println!("selftest: all checks passed");
+                ExitCode::SUCCESS
+            }
+            Err(reason) => {
+                eprintln!("{reason}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match Server::start(config) {
+        Ok(server) => {
+            println!("xedd listening on {}", server.addr());
+            // Serve until killed: the daemon has no richer lifecycle than
+            // its process (ci.sh uses --selftest, which shuts down cleanly).
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(reason) => {
+            eprintln!("xedd: {reason}");
+            ExitCode::FAILURE
+        }
+    }
+}

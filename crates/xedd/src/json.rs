@@ -1,0 +1,258 @@
+//! A minimal, zero-dependency JSON syntax validator and value extractor.
+//!
+//! `xedd` renders all JSON by hand (workspace convention: no
+//! serialization dependency), so the selftest and integration tests need
+//! an independent check that what the daemon emits — response bodies,
+//! streamed chunk lines, the `/metrics` export — is well-formed. This is
+//! a strict recursive-descent parser over the RFC 8259 grammar; it
+//! validates syntax and offers flat field extraction, nothing more.
+
+/// `true` if `text` is exactly one well-formed JSON value (with optional
+/// surrounding whitespace).
+pub fn is_valid(text: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    if !parse_value(bytes, &mut pos, 0) {
+        return false;
+    }
+    skip_ws(bytes, &mut pos);
+    pos == bytes.len()
+}
+
+/// Extracts the raw text of a top-level `"field": value` pair from a JSON
+/// object rendered on one line. Flat lookup only (no path traversal): the
+/// first occurrence of the quoted field name at any nesting level wins,
+/// which is exact for the flat objects the daemon emits.
+pub fn field<'a>(text: &'a str, name: &str) -> Option<&'a str> {
+    let needle = format!("\"{name}\":");
+    let start = text.find(&needle)? + needle.len();
+    let rest = &text[start..];
+    let bytes = rest.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let value_start = pos;
+    if !parse_value(bytes, &mut pos, 0) {
+        return None;
+    }
+    rest.get(value_start..pos)
+}
+
+/// Extracts a numeric field as `f64` (`null` and non-numbers give
+/// `None`).
+pub fn number_field(text: &str, name: &str) -> Option<f64> {
+    field(text, name)?.parse::<f64>().ok()
+}
+
+/// Recursion guard: deeper nesting than this is rejected (the daemon
+/// never emits more than a few levels).
+const MAX_DEPTH: usize = 32;
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> bool {
+    if depth > MAX_DEPTH {
+        return false;
+    }
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, b"true"),
+        Some(b'f') => parse_literal(bytes, pos, b"false"),
+        Some(b'n') => parse_literal(bytes, pos, b"null"),
+        Some(_) => parse_number(bytes, pos),
+        None => false,
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+    if bytes[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> bool {
+    *pos += 1; // consume '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') || !parse_string(bytes, pos) {
+            return false;
+        }
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return false;
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        if !parse_value(bytes, pos, depth + 1) {
+            return false;
+        }
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> bool {
+    *pos += 1; // consume '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if !parse_value(bytes, pos, depth + 1) {
+            return false;
+        }
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // consume opening quote
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return true;
+            }
+            b'\\' => match bytes.get(*pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                Some(b'u') => {
+                    let hex = bytes.get(*pos + 2..*pos + 6);
+                    match hex {
+                        Some(h) if h.iter().all(u8::is_ascii_hexdigit) => *pos += 6,
+                        _ => return false,
+                    }
+                }
+                _ => return false,
+            },
+            0x00..=0x1f => return false,
+            _ => *pos += 1,
+        }
+    }
+    false
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> bool {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    // Integer part: one leading zero, or a nonzero digit run.
+    match bytes.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+                *pos += 1;
+            }
+        }
+        _ => return false,
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            return false;
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            return false;
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    *pos > start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_json() {
+        for text in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-1.5e-9",
+            "\"a \\\"quoted\\\" string\"",
+            r#"{"a":1,"b":[1,2,{"c":null}],"d":"x"}"#,
+            r#"  {"trials":1000,"p_fail":0.00125,"done":false}  "#,
+            r#"{"u":"é"}"#,
+        ] {
+            assert!(is_valid(text), "{text} should parse");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        for text in [
+            "",
+            "{",
+            "}",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "[1,]",
+            "{\"a\":1,}",
+            "01",
+            "1.",
+            "1e",
+            "nul",
+            "\"unterminated",
+            "{\"a\":1}{\"b\":2}",
+            "\"bad\\q\"",
+        ] {
+            assert!(!is_valid(text), "{text} should be rejected");
+        }
+    }
+
+    #[test]
+    fn extracts_fields() {
+        let text = r#"{"trials":1000,"p_fail":1.25e-3,"nested":{"x":2},"s":"v","n":null}"#;
+        assert_eq!(field(text, "trials"), Some("1000"));
+        assert_eq!(number_field(text, "p_fail"), Some(1.25e-3));
+        assert_eq!(field(text, "nested"), Some("{\"x\":2}"));
+        assert_eq!(field(text, "s"), Some("\"v\""));
+        assert_eq!(field(text, "n"), Some("null"));
+        assert_eq!(field(text, "missing"), None);
+        assert_eq!(number_field(text, "n"), None);
+    }
+}

@@ -1,0 +1,39 @@
+//! `xedd` — reliability-as-a-service over the `xed-faultsim` engine.
+//!
+//! A zero-dependency daemon (blocking accept, worker thread pool, minimal
+//! HTTP/1.1) that answers the engine's reliability queries with three
+//! properties the raw engine cannot offer callers (DESIGN.md §15):
+//!
+//! * **Memoization** ([`cache`]): completed responses are keyed by the
+//!   query's 128-bit canonical hash — sorted FIT rows, canonical scheme
+//!   encoding — in a sharded, lock-striped exact-LRU cache, so a repeat
+//!   query (however it is spelled) is answered in O(1), byte-identical
+//!   to the cold computation.
+//! * **Coalescing** ([`coalesce`]): concurrent identical-key requests
+//!   attach to the one in-flight computation and replay its byte stream —
+//!   K clients, one evaluation.
+//! * **Streaming partial confidence** ([`render`], [`server`]): lifetime
+//!   queries can stream one NDJSON line per trial block with tightening
+//!   95 %/99 % CIs, honoring an `epsilon` early-stop target, and every
+//!   partial is bit-identical to a batch run of that many trials (the
+//!   engine's counter-based RNG-stream contract).
+//!
+//! Admission control backs the whole thing: a bounded accept queue that
+//! sheds load with `503` instead of queueing into timeout, with the full
+//! `xedd.*` metric catalogue exported at `/metrics`.
+//!
+//! The [`selftest`] module is the end-to-end gate `scripts/ci.sh` runs
+//! against a real socket.
+
+pub mod cache;
+pub mod coalesce;
+pub mod http;
+pub mod json;
+pub mod render;
+pub mod selftest;
+pub mod server;
+
+pub use cache::MemoCache;
+pub use coalesce::Coalescer;
+pub use render::CachedResponse;
+pub use server::{Server, XeddConfig};

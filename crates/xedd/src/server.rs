@@ -1,0 +1,504 @@
+//! The daemon: a blocking-accept listener feeding a bounded queue drained
+//! by a worker thread pool.
+//!
+//! Request lifecycle (DESIGN.md §15):
+//!
+//! 1. **Admission.** The acceptor thread pushes the connection onto a
+//!    bounded queue. At the limit it sheds load instead: an immediate
+//!    `503` (`xedd.shed`) — queueing deeper would only convert overload
+//!    into timeouts.
+//! 2. **Normalization.** A worker parses the request and builds the
+//!    canonical engine [`Query`]; its 128-bit canonical key is the
+//!    identity for both memoization and coalescing.
+//! 3. **Memoization.** A key hit replays the stored response — including
+//!    every streamed partial line — byte-for-byte in O(1).
+//! 4. **Coalescing.** On a miss, the first request becomes the flight
+//!    leader and evaluates once; concurrent identical requests follow the
+//!    flight and stream the leader's bytes as they are produced.
+//!
+//! Responses carry `X-Xedd-Cache: hit | miss | coalesced` so clients (and
+//! the selftest) can observe which path served them without the body
+//! differing by a byte.
+
+use crate::cache::MemoCache;
+use crate::coalesce::{Coalescer, Join, LeaderGuard};
+use crate::http;
+use crate::render::{self, CachedResponse};
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use xed_faultsim::engine::Query;
+use xed_telemetry::registry::{self, metrics};
+
+/// Per-connection socket read timeout: a stalled client must not pin a
+/// worker forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct XeddConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads draining the request queue.
+    pub workers: usize,
+    /// Admission-control bound: accepted-but-unserviced connections
+    /// beyond this are shed with `503`.
+    pub queue_limit: usize,
+    /// Memo-cache capacity in responses.
+    pub cache_capacity: usize,
+    /// Memo-cache lock stripes.
+    pub cache_shards: usize,
+}
+
+impl Default for XeddConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_limit: 64,
+            cache_capacity: 256,
+            cache_shards: 8,
+        }
+    }
+}
+
+/// State shared by the acceptor and every worker.
+#[derive(Debug)]
+struct Inner {
+    cache: MemoCache,
+    coalescer: Coalescer,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    queue_limit: usize,
+    shutdown: AtomicBool,
+}
+
+/// A running daemon. Dropping it shuts the listener and workers down.
+#[derive(Debug)]
+pub struct Server {
+    port: u16,
+    inner: Arc<Inner>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and starts the acceptor plus worker pool.
+    pub fn start(config: XeddConfig) -> Result<Server, String> {
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+        let port = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?
+            .port();
+        let inner = Arc::new(Inner {
+            cache: MemoCache::new(config.cache_capacity, config.cache_shards),
+            coalescer: Coalescer::new(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            queue_limit: config.queue_limit.max(1),
+            shutdown: AtomicBool::new(false),
+        });
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || accept_loop(&listener, &inner))
+        };
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Ok(Server {
+            port,
+            inner,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound TCP port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// The loopback address clients reach the daemon at.
+    pub fn addr(&self) -> String {
+        format!("127.0.0.1:{}", self.port)
+    }
+
+    /// Signals shutdown and joins the acceptor and workers. Queued
+    /// connections are drained before workers exit.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.acceptor.is_none() {
+            return;
+        }
+        // Release pairs with the Acquire loads in the accept and worker
+        // loops (the workspace's boundary ordering discipline, XA102).
+        self.inner.shutdown.store(true, Ordering::Release);
+        // Unblock the blocking accept with a throwaway connection; the
+        // acceptor re-checks the flag before queueing anything.
+        let _ = TcpStream::connect(("127.0.0.1", self.port));
+        self.inner.queue_cv.notify_all();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Accepts connections and applies admission control.
+fn accept_loop(listener: &TcpListener, inner: &Inner) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if inner.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            continue;
+        };
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let mut queue = match inner.queue.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if queue.len() >= inner.queue_limit {
+            drop(queue);
+            metrics::XEDD_SHED.incr();
+            let mut stream = stream;
+            let _ = http::write_response(
+                &mut stream,
+                503,
+                &[("Retry-After", "1")],
+                "{\"error\":\"overloaded: request queue is full\"}",
+            );
+            continue;
+        }
+        queue.push_back(stream);
+        metrics::XEDD_QUEUE_DEPTH.record(queue.len() as u64);
+        drop(queue);
+        inner.queue_cv.notify_one();
+    }
+}
+
+/// Pops queued connections and serves them until shutdown.
+fn worker_loop(inner: &Inner) {
+    loop {
+        let mut queue = match inner.queue.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let stream = loop {
+            if let Some(stream) = queue.pop_front() {
+                break stream;
+            }
+            if inner.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            queue = match inner.queue_cv.wait(queue) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        };
+        drop(queue);
+        handle_connection(inner, stream);
+    }
+}
+
+/// Serves one connection: parse, route, respond, close.
+fn handle_connection(inner: &Inner, stream: TcpStream) {
+    metrics::XEDD_REQUESTS.incr();
+    // Wall-clock latency telemetry for /metrics; never in a response body.
+    let started = Instant::now(); // xed-lint: allow(XL005)
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    match http::read_request(&mut reader) {
+        Ok(request) if request.method == "GET" => route(inner, &mut stream, &request, started),
+        Ok(request) => {
+            metrics::XEDD_HTTP_ERRORS.incr();
+            let body = format!(
+                "{{\"error\":\"method {} not supported; use GET\"}}",
+                request.method
+            );
+            let _ = http::write_response(&mut stream, 400, &[], &body);
+        }
+        Err(reason) => {
+            metrics::XEDD_HTTP_ERRORS.incr();
+            let body = format!(
+                "{{\"error\":{}}}",
+                xed_telemetry::export::json_string(&reason)
+            );
+            let _ = http::write_response(&mut stream, 400, &[], &body);
+        }
+    }
+    metrics::XEDD_REQUEST_NS.record(started.elapsed().as_nanos() as u64);
+}
+
+fn route(inner: &Inner, stream: &mut TcpStream, request: &http::Request, started: Instant) {
+    match request.path.as_str() {
+        "/healthz" => {
+            let _ = http::write_response(stream, 200, &[], "{\"ok\":true}");
+        }
+        "/metrics" => {
+            let body = format!(
+                "{{\"schema\":\"xedd-metrics-v1\",\"metrics\":{}}}",
+                registry::snapshot().to_json_array()
+            );
+            let _ = http::write_response(stream, 200, &[], &body);
+        }
+        "/v1/query" => handle_query(inner, stream, &request.params, started),
+        _ => {
+            metrics::XEDD_HTTP_ERRORS.incr();
+            let _ = http::write_response(stream, 404, &[], "{\"error\":\"no such route\"}");
+        }
+    }
+}
+
+/// Records time-to-first-content once per request.
+#[derive(Debug)]
+struct Ttfc {
+    started: Instant,
+    recorded: bool,
+}
+
+impl Ttfc {
+    fn new(started: Instant) -> Self {
+        Self {
+            started,
+            recorded: false,
+        }
+    }
+
+    fn mark(&mut self) {
+        if !self.recorded {
+            self.recorded = true;
+            metrics::XEDD_TTFC_NS.record(self.started.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+fn handle_query(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    params: &[(String, String)],
+    started: Instant,
+) {
+    // `partials` is transport framing, not query identity: strip it
+    // before the canonical key is derived.
+    let mut partials: Option<bool> = None;
+    let mut engine_params = Vec::with_capacity(params.len());
+    for (name, value) in params {
+        if name == "partials" {
+            match value.as_str() {
+                "1" | "true" | "yes" => partials = Some(true),
+                "0" | "false" | "no" => partials = Some(false),
+                _ => {
+                    metrics::XEDD_HTTP_ERRORS.incr();
+                    let _ = http::write_response(
+                        stream,
+                        400,
+                        &[],
+                        "{\"error\":\"parameter partials: expected a boolean\"}",
+                    );
+                    return;
+                }
+            }
+        } else {
+            engine_params.push((name.clone(), value.clone()));
+        }
+    }
+    let query = match http::query_from_params(&engine_params) {
+        Ok(query) => query,
+        Err(reason) => {
+            metrics::XEDD_HTTP_ERRORS.incr();
+            let body = format!(
+                "{{\"error\":{}}}",
+                xed_telemetry::export::json_string(&reason)
+            );
+            let _ = http::write_response(stream, 400, &[], &body);
+            return;
+        }
+    };
+    // Streamed partial-confidence framing: on by default for early-stop
+    // queries (the partials are the point), overridable either way.
+    let streaming = partials.unwrap_or(query.epsilon.is_some());
+    let mut ttfc = Ttfc::new(started);
+
+    let key = query.canonical_key();
+    if let Some(cached) = inner.cache.lookup(&key) {
+        serve_cached(stream, &cached, streaming, "hit", &mut ttfc);
+        return;
+    }
+    match inner.coalescer.join(key) {
+        Join::Leader(leader) => {
+            serve_as_leader(inner, stream, &query, leader, streaming, &mut ttfc);
+        }
+        Join::Follower(flight) => {
+            metrics::XEDD_COALESCED.incr();
+            if streaming {
+                if http::write_chunked_head(stream, &[("X-Xedd-Cache", "coalesced")]).is_err() {
+                    let _ = flight.wait();
+                    return;
+                }
+                let result = flight.follow(|line| {
+                    ttfc.mark();
+                    metrics::XEDD_STREAM_CHUNKS.incr();
+                    let _ = http::write_chunk(stream, line);
+                });
+                match result {
+                    Ok(response) => {
+                        ttfc.mark();
+                        metrics::XEDD_STREAM_CHUNKS.incr();
+                        let _ = http::write_chunk(stream, &response.body);
+                    }
+                    Err(reason) => {
+                        let _ = http::write_chunk(stream, &error_line(&reason));
+                    }
+                }
+                let _ = http::write_chunked_end(stream);
+            } else {
+                match flight.wait() {
+                    Ok(response) => {
+                        ttfc.mark();
+                        let _ = http::write_response(
+                            stream,
+                            200,
+                            &[("X-Xedd-Cache", "coalesced")],
+                            &response.body,
+                        );
+                    }
+                    Err(reason) => {
+                        metrics::XEDD_HTTP_ERRORS.incr();
+                        let body = format!(
+                            "{{\"error\":{}}}",
+                            xed_telemetry::export::json_string(&reason)
+                        );
+                        let _ = http::write_response(stream, 500, &[], &body);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs the one real evaluation for a flight, streaming to this client
+/// and publishing every line to attached followers.
+fn serve_as_leader(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    query: &Query,
+    leader: LeaderGuard<'_>,
+    streaming: bool,
+    ttfc: &mut Ttfc,
+) {
+    metrics::XEDD_EVALUATIONS.incr();
+    let head_ok = if streaming {
+        http::write_chunked_head(stream, &[("X-Xedd-Cache", "miss")]).is_ok()
+    } else {
+        true
+    };
+    let result = render::evaluate_to_response(query, |line| {
+        leader.publish_line(line);
+        if streaming && head_ok {
+            ttfc.mark();
+            metrics::XEDD_STREAM_CHUNKS.incr();
+            let _ = http::write_chunk(stream, line);
+        }
+    });
+    match result {
+        Ok(response) => {
+            let response = Arc::new(response);
+            if crate::json::field(&response.body, "early_stop") == Some("true") {
+                metrics::XEDD_EARLY_STOPS.incr();
+            }
+            inner.cache.insert(*leader.key(), Arc::clone(&response));
+            leader.finish(Ok(Arc::clone(&response)));
+            if streaming {
+                if head_ok {
+                    ttfc.mark();
+                    metrics::XEDD_STREAM_CHUNKS.incr();
+                    let _ = http::write_chunk(stream, &response.body);
+                    let _ = http::write_chunked_end(stream);
+                }
+            } else {
+                ttfc.mark();
+                let _ =
+                    http::write_response(stream, 200, &[("X-Xedd-Cache", "miss")], &response.body);
+            }
+        }
+        Err(reason) => {
+            metrics::XEDD_HTTP_ERRORS.incr();
+            leader.finish(Err(reason.clone()));
+            if streaming {
+                if head_ok {
+                    let _ = http::write_chunk(stream, &error_line(&reason));
+                    let _ = http::write_chunked_end(stream);
+                }
+            } else {
+                let body = format!(
+                    "{{\"error\":{}}}",
+                    xed_telemetry::export::json_string(&reason)
+                );
+                let _ = http::write_response(stream, 400, &[], &body);
+            }
+        }
+    }
+}
+
+/// Replays a memoized response — the O(1) repeat-query path. Byte-for-byte
+/// identical to the cold response in both framings.
+fn serve_cached(
+    stream: &mut TcpStream,
+    cached: &CachedResponse,
+    streaming: bool,
+    tag: &str,
+    ttfc: &mut Ttfc,
+) {
+    if streaming {
+        if http::write_chunked_head(stream, &[("X-Xedd-Cache", tag)]).is_err() {
+            return;
+        }
+        for line in &cached.progress_lines {
+            ttfc.mark();
+            metrics::XEDD_STREAM_CHUNKS.incr();
+            if http::write_chunk(stream, line).is_err() {
+                return;
+            }
+        }
+        ttfc.mark();
+        metrics::XEDD_STREAM_CHUNKS.incr();
+        let _ = http::write_chunk(stream, &cached.body);
+        let _ = http::write_chunked_end(stream);
+    } else {
+        ttfc.mark();
+        let _ = http::write_response(stream, 200, &[("X-Xedd-Cache", tag)], &cached.body);
+    }
+}
+
+fn error_line(reason: &str) -> String {
+    format!(
+        "{{\"error\":{},\"done\":true}}",
+        xed_telemetry::export::json_string(reason)
+    )
+}

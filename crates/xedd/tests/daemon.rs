@@ -1,0 +1,97 @@
+//! Integration tests: a real daemon on an ephemeral port, driven over
+//! TCP. The full smoke sequence lives in `xedd::selftest` (run both as a
+//! unit test and by `scripts/ci.sh` through `xedd --selftest`); these
+//! cover the daemon behaviors the smoke sequence leaves out — admission
+//! control, method filtering, cache behavior across distinct queries.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+use xedd::http;
+use xedd::{Server, XeddConfig};
+
+fn start(workers: usize, queue_limit: usize) -> Server {
+    Server::start(XeddConfig {
+        workers,
+        queue_limit,
+        ..XeddConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+#[test]
+fn distinct_queries_get_distinct_cached_answers() {
+    let server = start(2, 16);
+    let addr = server.addr();
+    let a = "/v1/query?scheme=xed&samples=50000&seed=1";
+    let b = "/v1/query?scheme=ecc-dimm&samples=50000&seed=1";
+    let cold_a = http::client_get(&addr, a).expect("query a");
+    let cold_b = http::client_get(&addr, b).expect("query b");
+    assert_eq!(cold_a.header("x-xedd-cache"), Some("miss"));
+    assert_eq!(cold_b.header("x-xedd-cache"), Some("miss"));
+    assert_ne!(
+        cold_a.body, cold_b.body,
+        "different schemes, different answers"
+    );
+    let warm_a = http::client_get(&addr, a).expect("repeat a");
+    let warm_b = http::client_get(&addr, b).expect("repeat b");
+    assert_eq!(warm_a.header("x-xedd-cache"), Some("hit"));
+    assert_eq!(warm_b.header("x-xedd-cache"), Some("hit"));
+    assert_eq!(warm_a.body, cold_a.body);
+    assert_eq!(warm_b.body, cold_b.body);
+    server.shutdown();
+}
+
+#[test]
+fn non_get_methods_are_rejected() {
+    let server = start(1, 4);
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    write!(stream, "POST /v1/query HTTP/1.1\r\nHost: x\r\n\r\n").expect("send");
+    let mut reader = std::io::BufReader::new(stream);
+    let resp = http::read_client_response(&mut reader).expect("response");
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("GET"), "{}", resp.body);
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_with_503() {
+    // One worker, queue bound 1. Pin the worker with a connection that
+    // never sends its request, let a second occupy the queue slot, and a
+    // third must be shed immediately with 503 by the acceptor.
+    let server = start(1, 1);
+    let addr = server.addr();
+    let pin = TcpStream::connect(&addr).expect("pin connection");
+    std::thread::sleep(Duration::from_millis(150)); // worker pops `pin`, blocks reading
+    let queued = TcpStream::connect(&addr).expect("queued connection");
+    std::thread::sleep(Duration::from_millis(150)); // acceptor queues it (depth = bound)
+    let shed = http::client_get(&addr, "/healthz").expect("shed response");
+    assert_eq!(shed.status, 503, "over-bound request must be shed");
+    assert!(shed.body.contains("overloaded"), "{}", shed.body);
+    // Unblock the worker before shutdown: closing both sockets fails
+    // their reads instantly instead of waiting out the read timeout.
+    drop(pin);
+    drop(queued);
+    server.shutdown();
+}
+
+#[test]
+fn ephemeral_servers_bind_distinct_ports() {
+    let a = start(1, 4);
+    let b = start(1, 4);
+    assert_ne!(a.port(), b.port());
+    assert_eq!(
+        http::client_get(&a.addr(), "/healthz")
+            .expect("a healthy")
+            .status,
+        200
+    );
+    assert_eq!(
+        http::client_get(&b.addr(), "/healthz")
+            .expect("b healthy")
+            .status,
+        200
+    );
+    a.shutdown();
+    b.shutdown();
+}

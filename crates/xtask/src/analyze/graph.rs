@@ -765,6 +765,11 @@ fn resolve_path(ws: &Workspace, ix: &Indexes, caller: &FnItem, segs: &[String]) 
     if ix.ctors.contains(name) {
         return Target::Ctor;
     }
+    // The prelude's `drop` free function (no workspace crate defines
+    // one — `Drop::drop` is a method and indexed separately).
+    if segs.len() == 1 && name == "drop" {
+        return Target::Std("std::mem::drop".to_string());
+    }
     Target::Unresolved(segs.join("::"))
 }
 

@@ -72,9 +72,12 @@ pub struct Analysis {
     pub groups: Vec<GroupReport>,
 }
 
-/// The three hot-path groups whose closures XA100/XA101 prove. These
-/// are the paths ISSUE 6 names: the ECC decode kernels, the Monte-Carlo
-/// trial evaluation, and the telemetry write path.
+/// The hot-path groups whose closures XA100/XA101 prove: the ECC decode
+/// kernels, the Monte-Carlo trial evaluation, the telemetry write path,
+/// and the `xedd` daemon's memoized repeat-query path (canonical-key
+/// derivation plus the cache hit lookup — the two stages every repeat
+/// request runs, which DESIGN.md §15 requires to be O(1) and
+/// panic-free).
 pub const HOT_GROUPS: &[GroupSpec] = &[
     GroupSpec {
         name: "ecc-decode",
@@ -193,6 +196,21 @@ pub const HOT_GROUPS: &[GroupSpec] = &[
                 krate: "xed_telemetry",
                 self_type: None,
                 name: "observe",
+            },
+        ],
+    },
+    GroupSpec {
+        name: "xedd-request",
+        entries: &[
+            EntrySpec {
+                krate: "xed_faultsim",
+                self_type: Some("Query"),
+                name: "canonical_key",
+            },
+            EntrySpec {
+                krate: "xedd",
+                self_type: Some("MemoCache"),
+                name: "lookup",
             },
         ],
     },

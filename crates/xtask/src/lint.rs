@@ -1,8 +1,9 @@
 //! The `xed-lint` scanning engine: line-based heuristic rules over the
 //! library crates, plus hooks for the linked golden-value rules.
 //!
-//! Scope: `crates/{ecc,faultsim,core,memsim,telemetry}/src/**/*.rs` — the
-//! *library* crates whose correctness the simulations rest on. Benches,
+//! Scope: `crates/{ecc,faultsim,core,memsim,telemetry,xedd}/src/**/*.rs`
+//! — the *library* crates whose correctness the simulations (and the
+//! daemon serving them) rest on. Benches,
 //! examples, integration tests, the vendored `rand` shim and this crate
 //! are exempt, as is everything from a file's `#[cfg(test)]` marker to its
 //! end (the repo convention keeps unit-test modules last).
@@ -112,7 +113,7 @@ fn json_string(s: &str) -> String {
 }
 
 /// The library crates the source rules scan.
-pub const LIBRARY_CRATES: [&str; 5] = ["ecc", "faultsim", "core", "memsim", "telemetry"];
+pub const LIBRARY_CRATES: [&str; 6] = ["ecc", "faultsim", "core", "memsim", "telemetry", "xedd"];
 
 /// Designated allocation-free hot modules (rule XL009). The `ecc` entries
 /// hold the word-parallel decode kernels the simulators call per memory

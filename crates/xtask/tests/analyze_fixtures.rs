@@ -57,7 +57,11 @@ fn fixture_detects_every_seeded_rule() {
     let json = String::from_utf8_lossy(&out.stdout).into_owned();
 
     let count = |rule: &str| json.matches(&format!("\"rule\":\"{rule}\"")).count();
-    assert_eq!(count("XA100"), 5, "panic, index, unwrap, expect, hole");
+    assert_eq!(
+        count("XA100"),
+        6,
+        "panic, index, unwrap, expect, hole, cache index"
+    );
     assert_eq!(count("XA101"), 3, "format!, vec!, untyped push");
     assert_eq!(
         count("XA102"),
@@ -83,6 +87,7 @@ fn fixture_text_format_reports_proofs_and_unresolved() {
     assert!(text.contains("proof [ecc-decode]: 2 entry fn(s), closure of 3 fn(s)"));
     assert!(text.contains("proof [mc-trial]: 5 entry fn(s), closure of 7 fn(s)"));
     assert!(text.contains("proof [telemetry-write]: 14 entry fn(s), closure of 14 fn(s)"));
+    assert!(text.contains("proof [xedd-request]: 2 entry fn(s), closure of 4 fn(s)"));
     assert!(text.contains("unresolved bucket: 1 distinct callee(s), 1 site(s)"));
     assert!(text.contains("mystery_mix (1 site(s), e.g. crates/faultsim/src/lib.rs:38)"));
 }

@@ -76,3 +76,38 @@ pub fn note_trial(now: u64) {
     metrics::TRIALS.incr();
     metrics::LATENCY.record(now);
 }
+
+/// The daemon-facing query identity for the `xedd-request` hot group.
+pub struct Query {
+    seed: u64,
+}
+
+pub struct CanonicalKey {
+    pub hi: u64,
+    pub lo: u64,
+}
+
+impl Query {
+    /// Hot entry: canonical-key derivation. Deliberately clean — the
+    /// repeat-query path must prove panic- and allocation-free.
+    pub fn canonical_key(&self) -> CanonicalKey {
+        let hi = mix_word(self.seed);
+        CanonicalKey {
+            hi,
+            lo: mix_word(hi),
+        }
+    }
+}
+
+impl CanonicalKey {
+    /// In the `xedd-request` closure via the xedd fixture's
+    /// `MemoCache::lookup`. Clean.
+    pub fn shard(&self, shards: u64) -> u64 {
+        self.hi % shards
+    }
+}
+
+/// Shared by both canonical-key lanes; clean helper in the closure.
+fn mix_word(z: u64) -> u64 {
+    z ^ (z >> 31)
+}

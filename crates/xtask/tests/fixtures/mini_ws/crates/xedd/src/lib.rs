@@ -1,0 +1,18 @@
+//! Fixture for the xed-analyze integration tests: the cache side of the
+//! `xedd-request` hot group, with one seeded XA100 indexing violation
+//! (the real crate proves the same bound with an `indexing:` comment).
+//! This crate is never compiled; only its token stream matters.
+
+pub struct MemoCache {
+    shards: Vec<u64>,
+}
+
+impl MemoCache {
+    /// Hot entry: the daemon's memoized repeat-query path. Reaches
+    /// `CanonicalKey::shard` in the faultsim fixture, exercising a
+    /// cross-crate closure.
+    pub fn lookup(&self, key: &CanonicalKey) -> u64 {
+        let idx = key.shard(self.shards.len() as u64) as usize;
+        self.shards[idx] // seed XA100 (unjustified non-literal index)
+    }
+}

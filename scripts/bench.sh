@@ -21,7 +21,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -q -p xed-bench --bin mc_throughput --bin mc_tail --bin ecc_throughput
+cargo build --release -q -p xed-bench --bin mc_throughput --bin mc_tail --bin ecc_throughput --bin xedd_load
 
 # --baseline: throughput of the engine before the counter-based-stream
 # rewrite (static partitioning, per-trial allocation), measured on this
@@ -38,6 +38,13 @@ cargo build --release -q -p xed-bench --bin mc_throughput --bin mc_tail --bin ec
 # ecc_throughput measures its bit-serial baseline live (the `reference`
 # module ships in the same binary), so no frozen --baseline is needed.
 ./target/release/ecc_throughput "$@"
+
+# xedd_load drives the reliability daemon's request path over real TCP:
+# cold misses, the memoized O(1) repeat path, and coalesced concurrent
+# identical requests; writes BENCH_xedd.json. --check gates the PR
+# acceptance bar (warm-cache p50 >=100x below cold; auto-ignored under
+# --smoke, where the ratio is noise).
+./target/release/xedd_load --check "$@"
 
 # Non-gating: the full verification matrix (every same-domain chip pair in
 # the exhaustive oracle, 4M-sample analytic gate). ci.sh gates on --quick;

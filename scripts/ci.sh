@@ -47,6 +47,14 @@ cargo test -q --release -p xed-faultsim --lib \
 step "verify-matrix --quick"
 cargo run -q -p xtask -- verify-matrix --quick
 
+# Gating: the daemon's end-to-end smoke (DESIGN.md §15) — boots on an
+# ephemeral port, then exercises cold miss / warm hit byte-equality,
+# canonical-key spelling invariance, streamed-partials consistency with
+# batch, 400 rejection of unknown params, and the /metrics registry,
+# all in-process over real TCP.
+step "xedd --selftest"
+./target/release/xedd --selftest
+
 # Non-gating: exercise the benchmark harness end to end (engine, thread
 # sweep, JSON writer) at smoke scale. Throughput numbers from a loaded CI
 # box are noise, so a slow run must not fail the gate — only a crash or a
