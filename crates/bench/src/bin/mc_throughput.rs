@@ -17,14 +17,21 @@
 //! ```text
 //! cargo run --release -p xed-bench --bin mc_throughput -- \
 //!     [--samples N] [--seed N] [--repeats N] [--baseline SPS] \
-//!     [--out PATH] [--smoke] [--no-telemetry]
+//!     [--out PATH] [--smoke] [--no-telemetry] [--trace]
 //! ```
+//!
+//! `--trace` enables the request-tracing span path (DESIGN.md §16) with
+//! a live root span, so every work-stealing chunk records a
+//! `scheduler_chunk` span into the flight rings — the configuration
+//! `scripts/bench.sh` uses to bound tracing overhead against the
+//! default run.
 
 use std::fmt::Write as _;
 use xed_bench::rule;
 use xed_faultsim::engine::Sweep;
 use xed_faultsim::montecarlo::{RunStats, SchemeResult};
 use xed_faultsim::schemes::Scheme;
+use xed_telemetry::trace::{next_span_id, next_trace_id, set_current, set_trace_enabled, SpanCtx};
 
 /// Throughput of the engine before the counter-based-stream rewrite
 /// (static partitioning, per-trial heap allocation): `Scheme::EccDimm`,
@@ -39,6 +46,7 @@ struct Args {
     baseline: f64,
     out: String,
     telemetry: bool,
+    trace: bool,
 }
 
 fn parse_args() -> Args {
@@ -49,6 +57,7 @@ fn parse_args() -> Args {
         baseline: PRE_PR_BASELINE_SPS,
         out: "BENCH_faultsim.json".to_string(),
         telemetry: true,
+        trace: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -61,6 +70,7 @@ fn parse_args() -> Args {
             "--baseline" => args.baseline = grab("--baseline").parse().expect("--baseline <f64>"),
             "--out" => args.out = grab("--out"),
             "--no-telemetry" => args.telemetry = false,
+            "--trace" => args.trace = true,
             "--smoke" => {
                 // Quick non-gating CI smoke: exercise every code path in a
                 // few hundred milliseconds; numbers are not representative.
@@ -103,6 +113,16 @@ fn main() {
         // The ci.sh overhead check compares this path against the default
         // to bound the cost of the always-on telemetry counters.
         xed_telemetry::set_enabled(false);
+    }
+    if args.trace {
+        // With recording on and a current span installed, every scheduler
+        // chunk records a span — the worst-case tracing configuration the
+        // bench.sh overhead check measures.
+        set_trace_enabled(true);
+        set_current(Some(SpanCtx {
+            trace_id: next_trace_id(),
+            span_id: next_span_id(),
+        }));
     }
     let base = Sweep::new(args.samples, args.seed);
 

@@ -30,6 +30,7 @@ use crate::montecarlo::{
 use crate::rareevent::{TailConfig, TailEstimate, TailMode, TailSimulator};
 use crate::schemes::{ModelParams, Scheme};
 use std::fmt;
+use xed_telemetry::trace::{self, Phase, SpanCtx, SpanEvent};
 
 /// Trials per streamed partial-confidence block (¼ of the paper-scale
 /// second at the measured ~100M samples/sec, and a multiple of both the
@@ -502,6 +503,35 @@ pub fn evaluate(query: &Query) -> Result<Estimate, String> {
 pub fn evaluate_streaming(
     query: &Query,
     mut sink: impl FnMut(&Progress),
+) -> Result<Estimate, String> {
+    let Some(caller) = trace::current() else {
+        return evaluate_streaming_inner(query, &mut sink);
+    };
+    // Traced request: run under an Evaluate span so the scheduler-chunk
+    // spans the workers record nest beneath it, not the caller's span.
+    let span_id = trace::next_span_id();
+    trace::set_current(Some(SpanCtx {
+        trace_id: caller.trace_id,
+        span_id,
+    }));
+    let t_start = trace::now_ns();
+    let result = evaluate_streaming_inner(query, &mut sink);
+    trace::set_current(Some(caller));
+    trace::record_span(SpanEvent {
+        trace_id: caller.trace_id,
+        span_id,
+        parent: caller.span_id,
+        phase: Phase::Evaluate,
+        a: u64::from(result.is_err()),
+        t_start,
+        t_end: trace::now_ns(),
+    });
+    result
+}
+
+fn evaluate_streaming_inner(
+    query: &Query,
+    sink: &mut impl FnMut(&Progress),
 ) -> Result<Estimate, String> {
     query.validate()?;
     let q = query.canonicalized();

@@ -44,6 +44,7 @@ use crate::schemes::{ModelParams, Scheme, SchemeModel, Verdict};
 use rand::rngs::Streams;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+use xed_telemetry::trace::{self, Phase, SpanCtx, SpanEvent};
 use xed_telemetry::{registry::metrics, Tallies};
 
 /// Trials claimed per scheduler steal. Large enough that the atomic
@@ -550,6 +551,11 @@ impl MonteCarlo {
             .expect("chunk-id space overflow");
         let next_chunk = AtomicU64::new(0);
 
+        // Capture the caller's span context before fanning out: the
+        // scoped workers are fresh threads, so the tracing thread-local
+        // does not propagate on its own.
+        let span_ctx = trace::current();
+
         // Wall-clock timing is reporting-only metadata; the simulation
         // itself stays deterministic.
         let start = Instant::now(); // xed-lint: allow(XL005)
@@ -568,6 +574,7 @@ impl MonteCarlo {
                             first,
                             count,
                             years,
+                            span_ctx,
                         )
                     })
                 })
@@ -703,6 +710,7 @@ fn worker(
     range_first: u64,
     range_count: u64,
     years: usize,
+    span_ctx: Option<SpanCtx>,
 ) -> Vec<Partial> {
     let mut partials: Vec<Partial> = models.iter().map(|_| Partial::new(years)).collect();
     let contexts: Vec<(LifetimeSampler<'_>, Streams)> = models
@@ -744,8 +752,10 @@ fn worker(
         let count = STEAL_CHUNK.min(range_count - offset);
         let (sampler, streams) = &contexts[si];
         // Chunk wall time is reporting-only metadata (never fed back into
-        // the simulation), same as run_many's outer timer.
-        let chunk_start = telemetry_on.then(Instant::now); // xed-lint: allow(XL005)
+        // the simulation), same as run_many's outer timer. The clock is
+        // also read when the calling request is traced, so each chunk can
+        // land in the flight recorder as a SchedulerChunk span.
+        let chunk_start = (telemetry_on || span_ctx.is_some()).then(Instant::now); // xed-lint: allow(XL005)
         run_trials(
             &models[si],
             sampler,
@@ -759,10 +769,24 @@ fn worker(
         );
         if let Some(start) = chunk_start {
             let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            metrics::FAULTSIM_STEAL_CHUNKS.incr();
-            metrics::FAULTSIM_STEAL_CHUNK_TRIALS.record(count);
-            metrics::FAULTSIM_CHUNK_NS.record(ns);
-            metrics::FAULTSIM_TRIAL_NS.record(ns / count);
+            if telemetry_on {
+                metrics::FAULTSIM_STEAL_CHUNKS.incr();
+                metrics::FAULTSIM_STEAL_CHUNK_TRIALS.record(count);
+                metrics::FAULTSIM_CHUNK_NS.record(ns);
+                metrics::FAULTSIM_TRIAL_NS.record(ns / count);
+            }
+            if let Some(ctx) = span_ctx {
+                let t_end = trace::now_ns();
+                trace::record_span(SpanEvent {
+                    trace_id: ctx.trace_id,
+                    span_id: trace::next_span_id(),
+                    parent: ctx.span_id,
+                    phase: Phase::SchedulerChunk,
+                    a: count,
+                    t_start: t_end.saturating_sub(ns),
+                    t_end,
+                });
+            }
         }
     }
     partials

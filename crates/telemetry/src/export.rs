@@ -9,6 +9,7 @@
 //! `BENCH_*.json` trajectories and `results/fig*.json` sidecars share.
 
 use crate::hist::{bucket_bounds, BUCKETS};
+use crate::trace::SpanEvent;
 
 /// An immutable capture of one histogram.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +37,27 @@ impl HistogramSample {
         } else {
             self.sum as f64 / n as f64
         }
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0 ..= 1.0`) of the recorded
+    /// values: the inclusive high edge of the log2 bucket the rank lands
+    /// in (0 for an empty histogram). Quantiles from log2 buckets are
+    /// resolution-limited by construction — good to a factor of 2, which
+    /// is what a latency dashboard needs.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum = cum.wrapping_add(b);
+            if cum >= rank {
+                return bucket_bounds(i).1;
+            }
+        }
+        self.max
     }
 
     /// The non-empty buckets as `(lo, hi, count)` triples, in value order.
@@ -194,6 +216,41 @@ impl Snapshot {
         out
     }
 
+    /// Renders every metric in the Prometheus text exposition format
+    /// (version 0.0.4): dotted IDs become underscore names, counters one
+    /// sample each, histograms as cumulative `_bucket{le="..."}` series
+    /// (inclusive log2 bucket high edges, zero-delta buckets elided) plus
+    /// the `+Inf` terminal, `_sum`, and `_count`. The output must satisfy
+    /// [`prometheus_check`]; `xedd --selftest` gates on that.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::with_capacity(16 * 1024);
+        for s in &self.samples {
+            let name = s.id.replace('.', "_");
+            out.push_str(&format!("# HELP {name} {}\n", s.help));
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+                }
+                SampleValue::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let count = h.count();
+                    let mut cum = 0u64;
+                    for (i, &n) in h.buckets.iter().enumerate() {
+                        if n == 0 {
+                            continue;
+                        }
+                        cum = cum.wrapping_add(n);
+                        let (_, hi) = bucket_bounds(i);
+                        out.push_str(&format!("{name}_bucket{{le=\"{hi}\"}} {cum}\n"));
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {count}\n"));
+                    out.push_str(&format!("{name}_sum {}\n{name}_count {count}\n", h.sum));
+                }
+            }
+        }
+        out
+    }
+
     /// Renders an aligned, human-readable table of the *active* metrics
     /// (an all-zero catalogue row is noise in a run report).
     pub fn to_table(&self) -> String {
@@ -280,6 +337,196 @@ pub fn json_string(s: &str) -> String {
         }
     }
     out.push('"');
+    out
+}
+
+/// Validates Prometheus text-exposition output: line grammar, metric
+/// name charset, and histogram series invariants (monotone cumulative
+/// buckets ending in `+Inf`, with `_count` equal to the `+Inf` sample).
+/// This is the independent format self-check `xedd --selftest` runs over
+/// the daemon's own `/metrics?format=prometheus` response.
+///
+/// # Errors
+///
+/// Returns the first violated rule, naming the offending line.
+pub fn prometheus_check(text: &str) -> Result<(), String> {
+    fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    // (histogram base name) -> (last cumulative, saw +Inf, inf value)
+    let mut histograms: Vec<(String, Option<u64>, Option<u64>)> = Vec::new();
+    let mut counts: Vec<(String, u64)> = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or_default();
+            let name = parts.next().unwrap_or_default();
+            match keyword {
+                "HELP" => {
+                    if !valid_name(name) || parts.next().is_none() {
+                        return Err(format!("malformed HELP line: {line}"));
+                    }
+                }
+                "TYPE" => {
+                    let kind = parts.next().unwrap_or_default();
+                    if !valid_name(name) {
+                        return Err(format!("malformed TYPE line: {line}"));
+                    }
+                    match kind {
+                        "histogram" => histograms.push((name.to_string(), None, None)),
+                        "counter" | "gauge" => {}
+                        other => return Err(format!("unknown TYPE `{other}`: {line}")),
+                    }
+                }
+                _ => return Err(format!("unknown comment keyword: {line}")),
+            }
+            continue;
+        }
+        // Sample line: `name[{labels}] value`.
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("sample line has no value: {line}"))?;
+        if value != "+Inf" && value != "-Inf" && value != "NaN" && value.parse::<f64>().is_err() {
+            return Err(format!("unparseable sample value `{value}`: {line}"));
+        }
+        let (name, labels) = match series.split_once('{') {
+            Some((n, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("unterminated label set: {line}"))?;
+                (n, Some(labels))
+            }
+            None => (series, None),
+        };
+        if !valid_name(name) {
+            return Err(format!("invalid metric name `{name}`: {line}"));
+        }
+        if let Some(labels) = labels {
+            for pair in labels.split(',') {
+                let Some((k, v)) = pair.split_once('=') else {
+                    return Err(format!("malformed label `{pair}`: {line}"));
+                };
+                if !valid_name(k) || !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                    return Err(format!("malformed label `{pair}`: {line}"));
+                }
+            }
+        }
+        // Histogram series bookkeeping.
+        if let Some(base) = name.strip_suffix("_bucket") {
+            let Some(h) = histograms.iter_mut().find(|(n, _, _)| n == base) else {
+                return Err(format!(
+                    "`{name}` has no TYPE histogram declaration: {line}"
+                ));
+            };
+            let le = labels
+                .and_then(|l| l.strip_prefix("le=\""))
+                .and_then(|l| l.strip_suffix('"'))
+                .ok_or_else(|| format!("bucket without an le label: {line}"))?;
+            let cum: u64 = value
+                .parse()
+                .map_err(|_| format!("non-integer bucket count: {line}"))?;
+            if let Some(prev) = h.1 {
+                if cum < prev {
+                    return Err(format!("bucket series not cumulative: {line}"));
+                }
+            }
+            if h.2.is_some() {
+                return Err(format!("bucket after the +Inf terminal: {line}"));
+            }
+            h.1 = Some(cum);
+            if le == "+Inf" {
+                h.2 = Some(cum);
+            }
+        } else if let Some(base) = name.strip_suffix("_count") {
+            if histograms.iter().any(|(n, _, _)| n == base) {
+                let c: u64 = value
+                    .parse()
+                    .map_err(|_| format!("non-integer _count: {line}"))?;
+                counts.push((base.to_string(), c));
+            }
+        }
+    }
+    for (name, _, inf) in &histograms {
+        let Some(inf) = inf else {
+            return Err(format!("histogram `{name}` has no +Inf bucket"));
+        };
+        let Some((_, count)) = counts.iter().find(|(n, _)| n == name) else {
+            return Err(format!("histogram `{name}` has no _count sample"));
+        };
+        if count != inf {
+            return Err(format!(
+                "histogram `{name}`: _count {count} != +Inf bucket {inf}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The trace-span export format identifier; bump on any rendering change.
+pub const SPANS_FORMAT: &str = "xed-trace-spans-v1";
+
+/// Drains a copy of the flight-recorder rings into `(slot, event)` pairs,
+/// oldest first per slot, optionally keeping only one trace id.
+pub fn collect_spans(trace_filter: Option<u64>) -> Vec<(usize, SpanEvent)> {
+    let mut out = Vec::new();
+    crate::trace::with_slots(|slot, buf| {
+        for e in buf.iter() {
+            if trace_filter.is_none_or(|t| t == e.trace_id) {
+                out.push((slot, *e));
+            }
+        }
+    });
+    out
+}
+
+/// Appends a nanosecond tick as a microsecond JSON number with three
+/// decimals (the Chrome trace format's `ts`/`dur` unit is microseconds).
+fn push_us(out: &mut String, ns: u64) {
+    out.push_str(&format!("{}.{:03}", ns / 1000, ns % 1000));
+}
+
+/// Renders `(slot, event)` pairs as a `xed-trace-spans-v1` document: a
+/// Chrome-tracing/Perfetto JSON object of complete (`"ph":"X"`) events,
+/// one per span, with the flight slot as `tid` and the trace id carried
+/// in `args` as fixed-width hex. Deterministic for fixed input — the
+/// testkit pins a golden rendering byte-for-byte.
+pub fn spans_to_chrome_json(events: &[(usize, SpanEvent)]) -> String {
+    let mut out = String::with_capacity(128 + events.len() * 192);
+    out.push_str("{\"schema\":\"");
+    out.push_str(SPANS_FORMAT);
+    out.push_str("\",\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    for (i, (slot, e)) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"xedd\",\"ph\":\"X\",\"ts\":",
+            e.phase.label()
+        ));
+        push_us(&mut out, e.t_start);
+        out.push_str(",\"dur\":");
+        push_us(&mut out, e.t_end.saturating_sub(e.t_start));
+        out.push_str(&format!(
+            ",\"pid\":1,\"tid\":{slot},\"args\":{{\"trace\":\"{:016x}\",\"span\":{},\"parent\":{},\"a\":{}}}}}",
+            e.trace_id, e.span_id, e.parent, e.a
+        ));
+    }
+    if !events.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]}");
     out
 }
 
@@ -393,6 +640,123 @@ mod tests {
 
         metrics::ECC_RS_ERASURES.reset();
         metrics::MEMSIM_SCHED_READ_LATENCY.reset();
+    }
+
+    #[test]
+    fn quantile_returns_bucket_upper_bounds() {
+        let h = Histogram::new();
+        assert_eq!(h.sample().quantile(0.5), 0, "empty histogram");
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        let s = h.sample();
+        // Ranks 1-2 land in [8,15], 3-4 in [16,31]/[32,63], 5 in [512,1023].
+        assert_eq!(s.quantile(0.0), 15);
+        assert_eq!(s.quantile(0.2), 15);
+        assert_eq!(s.quantile(0.5), 31);
+        assert_eq!(s.quantile(0.99), 1023);
+        assert_eq!(s.quantile(1.0), 1023);
+    }
+
+    #[test]
+    fn prometheus_text_renders_and_self_checks() {
+        metrics::ECC_DUE_WORDS.reset();
+        metrics::MEMSIM_SCHED_QUEUE_DEPTH.reset();
+        metrics::ECC_DUE_WORDS.add(5);
+        for v in [1u64, 3, 900] {
+            metrics::MEMSIM_SCHED_QUEUE_DEPTH.record(v);
+        }
+        let text = registry::snapshot().to_prometheus_text();
+        prometheus_check(&text).expect("own exposition must self-check clean");
+        assert!(text.contains("# TYPE ecc_due_words counter\necc_due_words 5\n"));
+        assert!(text.contains("# TYPE memsim_sched_queue_depth histogram\n"));
+        assert!(text.contains("memsim_sched_queue_depth_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("memsim_sched_queue_depth_bucket{le=\"3\"} 2\n"));
+        assert!(text.contains("memsim_sched_queue_depth_bucket{le=\"1023\"} 3\n"));
+        assert!(text.contains("memsim_sched_queue_depth_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("memsim_sched_queue_depth_sum 904\n"));
+        assert!(text.contains("memsim_sched_queue_depth_count 3\n"));
+        metrics::ECC_DUE_WORDS.reset();
+        metrics::MEMSIM_SCHED_QUEUE_DEPTH.reset();
+    }
+
+    #[test]
+    fn prometheus_check_rejects_malformed_expositions() {
+        for (text, why) in [
+            ("metric_without_value\n", "no value"),
+            ("9bad_name 1\n", "bad name"),
+            ("m{le=\"1\" 1\n", "unterminated labels"),
+            ("m{le1} 1\n", "malformed label"),
+            ("m nope\n", "unparseable value"),
+            ("# TYPE m summary\n", "unknown type"),
+            (
+                "# TYPE m histogram\nm_bucket{le=\"+Inf\"} 1\nm_sum 1\n",
+                "no _count",
+            ),
+            (
+                "# TYPE m histogram\nm_bucket{le=\"1\"} 1\nm_sum 1\nm_count 1\n",
+                "no +Inf",
+            ),
+            (
+                "# TYPE m histogram\nm_bucket{le=\"1\"} 2\nm_bucket{le=\"2\"} 1\n",
+                "not cumulative",
+            ),
+            (
+                "# TYPE m histogram\nm_bucket{le=\"+Inf\"} 2\nm_sum 1\nm_count 1\n",
+                "_count != +Inf",
+            ),
+            ("m_bucket{le=\"1\"} 1\n", "bucket without TYPE"),
+        ] {
+            assert!(prometheus_check(text).is_err(), "must reject: {why}");
+        }
+        assert!(prometheus_check("").is_ok(), "empty exposition is valid");
+    }
+
+    #[test]
+    fn spans_export_is_deterministic_chrome_json() {
+        use crate::trace::{Phase, SpanEvent};
+        let events = [
+            (
+                0usize,
+                SpanEvent {
+                    trace_id: 0xDEAD_BEEF,
+                    span_id: 1,
+                    parent: 0,
+                    phase: Phase::Request,
+                    a: 0,
+                    t_start: 1_500,
+                    t_end: 2_000_250,
+                },
+            ),
+            (
+                3usize,
+                SpanEvent {
+                    trace_id: 0xDEAD_BEEF,
+                    span_id: 2,
+                    parent: 1,
+                    phase: Phase::SchedulerChunk,
+                    a: 4096,
+                    t_start: 10_000,
+                    t_end: 20_000,
+                },
+            ),
+        ];
+        let doc = spans_to_chrome_json(&events);
+        assert_eq!(doc, spans_to_chrome_json(&events), "must be deterministic");
+        assert!(doc.starts_with(
+            "{\"schema\":\"xed-trace-spans-v1\",\"displayTimeUnit\":\"ns\",\"traceEvents\":["
+        ));
+        assert!(doc.contains(
+            "{\"name\":\"request\",\"cat\":\"xedd\",\"ph\":\"X\",\"ts\":1.500,\"dur\":1998.750,\
+             \"pid\":1,\"tid\":0,\"args\":{\"trace\":\"00000000deadbeef\",\"span\":1,\"parent\":0,\"a\":0}}"
+        ));
+        assert!(doc.contains("\"name\":\"scheduler_chunk\""));
+        assert!(doc.contains("\"a\":4096"));
+        assert!(doc.ends_with("\n]}"));
+        assert_eq!(
+            spans_to_chrome_json(&[]),
+            "{\"schema\":\"xed-trace-spans-v1\",\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}"
+        );
     }
 
     #[test]

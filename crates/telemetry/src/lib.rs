@@ -12,9 +12,10 @@
 //! * **Zero dependencies, offline-friendly.** Pure `std`; the exporters
 //!   hand-render JSON exactly like the rest of the workspace.
 //! * **Allocation-free hot paths.** [`Counter`], [`Histogram`], [`Ring`],
-//!   and [`Tallies`] never touch the heap after construction (xed-lint
-//!   XL009 is enforced over these modules). Allocation is confined to the
-//!   snapshot/export layer, which runs once per report.
+//!   [`Tallies`], and the [`trace`] flight rings never touch the heap
+//!   after construction (xed-lint XL009 is enforced over these modules).
+//!   Allocation is confined to the snapshot/export layer, which runs once
+//!   per report.
 //! * **Owned tallies, publish-at-merge.** Code on a nanosecond budget
 //!   (the Monte-Carlo trial loop, the batched line decode) accumulates
 //!   into *owned* [`Tallies`] blocks with plain adds — zero atomics — and
@@ -59,6 +60,7 @@ pub mod registry;
 pub mod ring;
 pub mod span;
 pub mod tally;
+pub mod trace;
 
 pub use counter::Counter;
 pub use export::{HistogramSample, MetricSample, SampleValue, Snapshot};
@@ -67,6 +69,7 @@ pub use registry::{snapshot, MetricDef, MetricSource};
 pub use ring::{Event, EventKind, Ring};
 pub use span::Span;
 pub use tally::Tallies;
+pub use trace::{SpanCtx, SpanEvent, TraceBuf};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -78,6 +78,20 @@ pub mod metrics {
     pub static XEDD_QUEUE_DEPTH: Histogram = Histogram::new();
     pub static XEDD_TTFC_NS: Histogram = Histogram::new();
     pub static XEDD_REQUEST_NS: Histogram = Histogram::new();
+    pub static XEDD_FLIGHT_DUMPS: Counter = Counter::new();
+    pub static XEDD_PHASE_ADMISSION_NS: Histogram = Histogram::new();
+    pub static XEDD_PHASE_CACHE_NS: Histogram = Histogram::new();
+    pub static XEDD_PHASE_COALESCE_NS: Histogram = Histogram::new();
+    pub static XEDD_PHASE_EVALUATE_NS: Histogram = Histogram::new();
+    pub static XEDD_PHASE_STREAM_NS: Histogram = Histogram::new();
+    pub static XEDD_ENDPOINT_HEALTHZ_NS: Histogram = Histogram::new();
+    pub static XEDD_ENDPOINT_METRICS_NS: Histogram = Histogram::new();
+    pub static XEDD_ENDPOINT_QUERY_NS: Histogram = Histogram::new();
+    pub static XEDD_ENDPOINT_FLIGHT_NS: Histogram = Histogram::new();
+
+    // -- telemetry: the tracing subsystem's own bookkeeping ----------------
+    pub static TELEMETRY_TRACE_SPANS: Counter = Counter::new();
+    pub static TELEMETRY_TRACE_DROPPED: Counter = Counter::new();
 
     // -- memsim: the cycle-level memory simulator -------------------------
     pub static MEMSIM_SCHED_READS_DONE: Counter = Counter::new();
@@ -168,6 +182,18 @@ pub static CATALOGUE: &[MetricDef] = &[
     h("xedd.queue.depth", "Accepted-connection queue depth observed at each enqueue", &metrics::XEDD_QUEUE_DEPTH),
     h("xedd.ttfc_ns", "Nanoseconds from request parse to first response chunk", &metrics::XEDD_TTFC_NS),
     h("xedd.request_ns", "Nanoseconds from request parse to response complete", &metrics::XEDD_REQUEST_NS),
+    c("xedd.flight.dumps", "Flight-recorder dumps (panic, shed burst, or /debug/flight)", &metrics::XEDD_FLIGHT_DUMPS),
+    h("xedd.phase.admission_ns", "Nanoseconds a request waited in the admission queue", &metrics::XEDD_PHASE_ADMISSION_NS),
+    h("xedd.phase.cache_ns", "Nanoseconds canonicalizing the query and probing the memo cache", &metrics::XEDD_PHASE_CACHE_NS),
+    h("xedd.phase.coalesce_ns", "Nanoseconds a follower waited on a coalesced leader", &metrics::XEDD_PHASE_COALESCE_NS),
+    h("xedd.phase.evaluate_ns", "Nanoseconds inside engine evaluation (leader side)", &metrics::XEDD_PHASE_EVALUATE_NS),
+    h("xedd.phase.stream_ns", "Nanoseconds streaming partial-confidence chunks to a client", &metrics::XEDD_PHASE_STREAM_NS),
+    h("xedd.endpoint.healthz_ns", "Request latency of the /healthz endpoint", &metrics::XEDD_ENDPOINT_HEALTHZ_NS),
+    h("xedd.endpoint.metrics_ns", "Request latency of the /metrics endpoint", &metrics::XEDD_ENDPOINT_METRICS_NS),
+    h("xedd.endpoint.query_ns", "Request latency of the /v1/query endpoint", &metrics::XEDD_ENDPOINT_QUERY_NS),
+    h("xedd.endpoint.flight_ns", "Request latency of the /debug/flight endpoint", &metrics::XEDD_ENDPOINT_FLIGHT_NS),
+    c("telemetry.trace.spans", "Span events written into the tracing flight rings", &metrics::TELEMETRY_TRACE_SPANS),
+    c("telemetry.trace.dropped", "Span events that overwrote an unread flight-ring slot", &metrics::TELEMETRY_TRACE_DROPPED),
     c("memsim.sched.reads_done", "Demand reads completed by the memory controller", &metrics::MEMSIM_SCHED_READS_DONE),
     c("memsim.sched.writes_done", "Writebacks issued to DRAM", &metrics::MEMSIM_SCHED_WRITES_DONE),
     h("memsim.sched.queue_depth", "Read-queue depth observed at each enqueue", &metrics::MEMSIM_SCHED_QUEUE_DEPTH),

@@ -24,7 +24,13 @@ pub struct Span<'a> {
 
 impl<'a> Span<'a> {
     /// Starts timing against `hist`.
+    ///
+    /// Bind the result to a *named* variable: `let _ = Span::start(..)`
+    /// drops the span immediately, recording a zero-width measurement
+    /// (the Rust `_` pattern never binds, so Drop runs on the spot).
+    /// Use `let _span = ...` to time a scope.
     #[inline]
+    #[must_use = "dropping a Span records it; `let _ = ...` records a zero-width span"]
     pub fn start(hist: &'a Histogram) -> Self {
         Self {
             hist,
@@ -79,5 +85,25 @@ mod tests {
             let _span = Span::start(&h);
         }
         assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn underscore_binding_records_a_zero_width_span() {
+        // The footgun #[must_use] + XL012's named-binding note guard
+        // against: `_` never binds, so the span drops (and records)
+        // immediately instead of timing the scope below it.
+        let h = Histogram::new();
+        #[allow(clippy::let_underscore_must_use)]
+        let _ = Span::start(&h);
+        assert_eq!(
+            h.count(),
+            1,
+            "`let _ = Span::start(..)` must have recorded at the binding"
+        );
+        assert!(
+            h.max() < 1_000_000,
+            "the span must be zero-width (recorded instantly), saw {} ns",
+            h.max()
+        );
     }
 }

@@ -20,6 +20,9 @@
 //!   RNG streams;
 //! * [`trace`] — golden conformance traces in the stable `xed-trace-v1`
 //!   JSON format, with a regeneration path;
+//! * [`spans`] — golden conformance for the `xed-trace-spans-v1` span
+//!   export (`xedd`'s `/debug/flight` wire format), pinned byte-for-byte
+//!   from a synthetic fixture covering every request phase;
 //! * [`forced`] — the corner RNG that makes every Monte-Carlo Bernoulli
 //!   draw deterministic, turning `SchemeModel::evaluate` into a pure
 //!   function the oracle can enumerate;
@@ -38,6 +41,7 @@ pub mod forced;
 pub mod metamorphic;
 pub mod oracle;
 pub mod seeds;
+pub mod spans;
 pub mod trace;
 
 pub use forced::{Assumption, Corner, ForcedRng};

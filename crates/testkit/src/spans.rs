@@ -1,0 +1,184 @@
+//! Golden conformance check for the `xed-trace-spans-v1` span export.
+//!
+//! The flight recorder's Chrome-tracing/Perfetto JSON rendering
+//! ([`xed_telemetry::export::spans_to_chrome_json`]) is a wire format:
+//! `xedd` serves it at `/debug/flight`, dumps it on panic, and external
+//! viewers parse it. This module pins the rendering byte-for-byte
+//! against a golden file, using a fixed synthetic request trace — one
+//! root span with every phase a real coalesced request can record —
+//! so any change to field order, number formatting (µs with three
+//! decimals), hex width, or the envelope shows up as a reviewable diff
+//! rather than a silently broken `/debug/flight` consumer.
+//!
+//! Same stability contract as [`crate::trace`]: bump
+//! [`xed_telemetry::export::SPANS_FORMAT`] on any deliberate rendering
+//! change and regenerate via `cargo xtask verify-matrix --regen-golden`.
+
+use xed_telemetry::export::spans_to_chrome_json;
+use xed_telemetry::trace::{Phase, SpanEvent};
+
+/// Path of the golden file relative to the testkit crate root.
+pub const GOLDEN_PATH: &str = "golden/spans_v1.json";
+
+/// The golden document, baked in at compile time.
+pub fn golden() -> &'static str {
+    include_str!("../golden/spans_v1.json")
+}
+
+/// The synthetic `(slot, event)` fixture: one fully traced request
+/// (trace id `0xC0FFEE42`) exercising every [`Phase`] variant, plus a
+/// second trace id to pin that the export does not filter or reorder
+/// across traces. Timestamps are fixed nanosecond ticks chosen to
+/// exercise the µs-with-three-decimals rendering (sub-µs remainders,
+/// zero-length spans).
+pub fn fixture() -> Vec<(usize, SpanEvent)> {
+    let t = 0xC0FF_EE42u64;
+    let span = |slot: usize, span_id: u32, parent: u32, phase: Phase, a: u64, s: u64, e: u64| {
+        (
+            slot,
+            SpanEvent {
+                trace_id: t,
+                span_id,
+                parent,
+                phase,
+                a,
+                t_start: s,
+                t_end: e,
+            },
+        )
+    };
+    vec![
+        span(0, 1, 0, Phase::Request, 200, 1_000, 5_000_750),
+        span(0, 2, 1, Phase::Admission, 0, 1_000, 2_500),
+        span(0, 3, 1, Phase::CacheLookup, 0, 2_600, 3_100),
+        span(0, 4, 1, Phase::CoalesceLead, 0, 3_200, 4_900_000),
+        span(0, 5, 4, Phase::Evaluate, 0, 3_300, 4_899_000),
+        span(2, 6, 5, Phase::SchedulerChunk, 4096, 10_000, 2_000_000),
+        span(3, 7, 5, Phase::SchedulerChunk, 4096, 10_000, 10_000),
+        // A concurrent follower on another trace, replaying the leader's
+        // stream: coalesce_follow carries the leader trace id in `a`.
+        (
+            1,
+            SpanEvent {
+                trace_id: 0xF011_0001,
+                span_id: 1,
+                parent: 0,
+                phase: Phase::CoalesceFollow,
+                a: t,
+                t_start: 3_250,
+                t_end: 4_950_125,
+            },
+        ),
+        (
+            1,
+            SpanEvent {
+                trace_id: 0xF011_0001,
+                span_id: 2,
+                parent: 0,
+                phase: Phase::Stream,
+                a: 25,
+                t_start: 4_950_200,
+                t_end: 4_999_999,
+            },
+        ),
+    ]
+}
+
+/// Renders the fixture through the real exporter.
+pub fn render() -> String {
+    let mut doc = spans_to_chrome_json(&fixture());
+    doc.push('\n');
+    doc
+}
+
+/// Result of the golden comparison.
+#[derive(Debug, Clone)]
+pub struct SpansCheck {
+    /// Whether the rendered document equals the golden file.
+    pub matches: bool,
+    /// First differing line (1-based) when `matches` is false.
+    pub first_diff_line: Option<usize>,
+}
+
+/// Renders the fixture and compares against the golden file.
+pub fn check() -> SpansCheck {
+    let rendered = render();
+    let gold = golden();
+    let matches = rendered == gold;
+    let first_diff_line = (!matches).then(|| {
+        rendered
+            .lines()
+            .zip(gold.lines())
+            .position(|(a, b)| a != b)
+            .map_or_else(
+                || rendered.lines().count().min(gold.lines().count()) + 1,
+                |i| i + 1,
+            )
+    });
+    SpansCheck {
+        matches,
+        first_diff_line,
+    }
+}
+
+/// Regenerates the golden file in the source tree; returns the path
+/// written. Only reachable via `verify-matrix --regen-golden`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from writing the golden file.
+pub fn regenerate() -> std::io::Result<String> {
+    let path = format!("{}/{GOLDEN_PATH}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&path, render())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(render(), render());
+    }
+
+    #[test]
+    fn fixture_covers_every_phase() {
+        let fixture = fixture();
+        for phase in Phase::ALL {
+            assert!(
+                fixture.iter().any(|(_, e)| e.phase == phase),
+                "fixture must exercise phase {:?}",
+                phase
+            );
+        }
+    }
+
+    #[test]
+    fn golden_spans_match() {
+        let check = check();
+        assert!(
+            check.matches,
+            "golden spans_v1.json stale (first diff at line {:?}); \
+             regenerate with `cargo xtask verify-matrix --regen-golden` \
+             and review the diff",
+            check.first_diff_line
+        );
+    }
+
+    #[test]
+    fn document_shape_is_stable() {
+        let doc = render();
+        assert!(doc.starts_with("{\"schema\":\"xed-trace-spans-v1\""));
+        assert!(doc.contains("\"displayTimeUnit\":\"ns\""));
+        // Trace ids render as fixed-width hex; µs values carry three
+        // decimals (5_000_750 ns → 5000.750 µs span, ts 1.000).
+        assert!(doc.contains("\"trace\":\"00000000c0ffee42\""));
+        assert!(doc.contains("\"ts\":1.000,\"dur\":4999.750"));
+        // The zero-length scheduler chunk renders as dur 0.000.
+        assert!(doc.contains("\"dur\":0.000"));
+        // The follower's span carries the leader trace id in `a`.
+        assert!(doc.contains("\"name\":\"coalesce_follow\""));
+        assert!(doc.contains(&format!("\"a\":{}", 0xC0FF_EE42u64)));
+    }
+}

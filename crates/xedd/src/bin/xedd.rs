@@ -13,12 +13,13 @@ use std::process::ExitCode;
 use xedd::{selftest, Server, XeddConfig};
 
 const USAGE: &str =
-    "usage: xedd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--shards N] [--selftest]
+    "usage: xedd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--shards N] [--no-trace] [--selftest]
   --addr HOST:PORT  bind address (default 127.0.0.1:7433; port 0 = ephemeral)
   --workers N       worker threads draining the request queue (default 4)
   --queue N         admission-control queue bound; beyond it requests get 503 (default 64)
   --cache N         memo-cache capacity in responses (default 256)
   --shards N        memo-cache lock stripes (default 8)
+  --no-trace        disable request tracing (flight recorder, /debug/flight)
   --selftest        run the end-to-end smoke sequence and exit";
 
 /// Parses the value of a `--flag VALUE` pair.
@@ -43,6 +44,7 @@ fn parse_config(args: impl Iterator<Item = String>) -> Result<(XeddConfig, bool)
             "--queue" => config.queue_limit = parse_value(&arg, args.next())?,
             "--cache" => config.cache_capacity = parse_value(&arg, args.next())?,
             "--shards" => config.cache_shards = parse_value(&arg, args.next())?,
+            "--no-trace" => config.tracing = false,
             "--selftest" => run_selftest = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
@@ -59,6 +61,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Flight-recorder dump on any panic: the rings hold the last span
+    // events per worker — exactly the context a crash report needs. The
+    // hook prints the panic info itself rather than chaining the taken
+    // default hook (calling an opaque boxed hook is an unresolvable call
+    // for xed-analyze, and the default's message is just `info`).
+    std::panic::set_hook(Box::new(|info| {
+        eprintln!("{info}");
+        xedd::server::dump_flight_to_stderr("panic");
+    }));
     if run_selftest {
         return match selftest::run(|line| println!("{line}")) {
             Ok(()) => {

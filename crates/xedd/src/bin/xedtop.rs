@@ -1,0 +1,90 @@
+//! `xedtop` — live terminal dashboard for a running `xedd` daemon.
+//!
+//! ```text
+//! xedtop [--addr HOST:PORT] [--interval SECS] [--once]
+//! ```
+//!
+//! Polls `/metrics?format=prometheus` and `/debug/flight`, derives qps /
+//! cache-hit / coalesce / shed rates plus per-phase p50/p99 latencies,
+//! and repaints the terminal every interval. `--once` prints a single
+//! frame and exits (what the docs and scripts use).
+
+use std::process::ExitCode;
+use xedd::{http, top};
+
+const USAGE: &str = "usage: xedtop [--addr HOST:PORT] [--interval SECS] [--once]
+  --addr HOST:PORT  daemon address to poll (default 127.0.0.1:7433)
+  --interval SECS   seconds between polls (default 2)
+  --once            render one frame and exit";
+
+struct Args {
+    addr: String,
+    interval: u64,
+    once: bool,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut parsed = Args {
+        addr: "127.0.0.1:7433".to_string(),
+        interval: 2,
+        once: false,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                parsed.addr = args.next().ok_or("--addr needs a value")?;
+            }
+            "--interval" => {
+                parsed.interval = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--interval needs a number of seconds")?;
+            }
+            "--once" => parsed.once = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    parsed.interval = parsed.interval.max(1);
+    Ok(parsed)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut prev: Option<Vec<top::Sample>> = None;
+    loop {
+        let scrape = match http::client_get(&args.addr, "/metrics?format=prometheus") {
+            Ok(response) => response.body,
+            Err(reason) => {
+                eprintln!("xedtop: {reason}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // The flight dump is best-effort decoration: keep rendering the
+        // counters even if it fails mid-poll.
+        let flight = http::client_get(&args.addr, "/debug/flight")
+            .map(|response| response.body)
+            .unwrap_or_default();
+        let cur = top::parse_prometheus(&scrape);
+        let r = match &prev {
+            Some(prev) => top::rates(prev, &cur, args.interval as f64),
+            None => top::rates(&cur, &cur, args.interval as f64),
+        };
+        let frame = top::render(&cur, &r, &flight);
+        if args.once {
+            print!("{frame}");
+            return ExitCode::SUCCESS;
+        }
+        // ANSI clear + home, then the frame.
+        print!("\x1b[2J\x1b[H{frame}");
+        prev = Some(cur);
+        std::thread::sleep(std::time::Duration::from_secs(args.interval));
+    }
+}

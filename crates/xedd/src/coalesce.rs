@@ -17,6 +17,7 @@
 
 use crate::render::CachedResponse;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use xed_faultsim::engine::CanonicalKey;
 
@@ -39,6 +40,10 @@ struct FlightState {
 pub struct Flight {
     state: Mutex<FlightState>,
     cv: Condvar,
+    /// The leader's trace id (0 until the leader announces it) — what a
+    /// follower records as the `a` attribute of its `CoalesceFollow`
+    /// span, tying the two traces together.
+    leader_trace: AtomicU64,
 }
 
 /// Recovers a usable guard from a possibly-poisoned lock. Flight state
@@ -76,6 +81,15 @@ impl Flight {
                 Err(poisoned) => poisoned.into_inner(),
             };
         }
+    }
+
+    /// The leader's trace id, once announced via
+    /// [`LeaderGuard::set_trace`] (0 before that, or for untraced
+    /// leaders). Release/Acquire: a follower that saw the flight in the
+    /// table may read before the leader stores; 0 then is fine — the
+    /// handoff span simply lacks the edge.
+    pub fn leader_trace(&self) -> u64 {
+        self.leader_trace.load(Ordering::Acquire)
     }
 
     /// Blocks until the flight completes (no partial replay).
@@ -170,6 +184,12 @@ impl LeaderGuard<'_> {
         &self.key
     }
 
+    /// Announces the leader's trace id to followers (see
+    /// [`Flight::leader_trace`]).
+    pub fn set_trace(&self, trace_id: u64) {
+        self.flight.leader_trace.store(trace_id, Ordering::Release);
+    }
+
     /// Publishes one rendered partial line to all followers.
     pub fn publish_line(&self, line: &str) {
         let mut state = lock_state(&self.flight);
@@ -260,6 +280,23 @@ mod tests {
         assert_eq!(lines, ["line-0", "line-1"]);
         assert_eq!(result.expect("ok").body, "final");
         assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn leader_trace_id_reaches_followers() {
+        let c = Coalescer::new();
+        let leader = match c.join(key(1)) {
+            Join::Leader(g) => g,
+            Join::Follower(_) => panic!("first joiner must lead"),
+        };
+        let flight = match c.join(key(1)) {
+            Join::Follower(f) => f,
+            Join::Leader(_) => panic!("must follow"),
+        };
+        assert_eq!(flight.leader_trace(), 0, "unannounced trace reads as 0");
+        leader.set_trace(0xABCD);
+        assert_eq!(flight.leader_trace(), 0xABCD);
+        leader.finish(Ok(response("done")));
     }
 
     #[test]

@@ -31,6 +31,10 @@ pub struct Request {
     pub path: String,
     /// Query parameters in request order, percent-decoded.
     pub params: Vec<(String, String)>,
+    /// A trace id propagated via the `X-Xedd-Trace` header (16 hex
+    /// digits), if the client sent a well-formed one. Malformed values
+    /// are ignored, never errors — tracing must not fail a request.
+    pub trace: Option<u64>,
 }
 
 /// Reads one line (CRLF- or LF-terminated) with a length bound.
@@ -59,8 +63,9 @@ fn read_line(reader: &mut impl BufRead) -> Result<String, String> {
 }
 
 /// Parses one request from a buffered stream: request line plus headers
-/// up to the blank line. Headers are consumed and discarded (the daemon
-/// keys on the request line alone).
+/// up to the blank line. Headers are consumed and discarded, except
+/// `X-Xedd-Trace`, whose value (16 hex digits) propagates a caller's
+/// trace id into the daemon's span records.
 pub fn read_request(reader: &mut impl BufRead) -> Result<Request, String> {
     let line = read_line(reader)?;
     let mut parts = line.split_ascii_whitespace();
@@ -74,16 +79,35 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, String> {
         Some((p, q)) => (p, Some(q)),
         None => (target, None),
     };
+    let mut trace = None;
     for _ in 0..MAX_HEADERS {
-        if read_request_header(reader)?.is_none() {
+        let Some(header) = read_request_header(reader)? else {
             return Ok(Request {
                 method,
                 path: percent_decode(raw_path)?,
                 params: parse_query_string(raw_query.unwrap_or(""))?,
+                trace,
             });
+        };
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("x-xedd-trace") {
+                trace = parse_trace_id(value.trim());
+            }
         }
     }
     Err("too many headers".to_string())
+}
+
+/// Parses an `X-Xedd-Trace` header value: exactly 16 lowercase-or-upper
+/// hex digits, nonzero. Anything else is `None` (ignored).
+pub fn parse_trace_id(value: &str) -> Option<u64> {
+    if value.len() != 16 {
+        return None;
+    }
+    match u64::from_str_radix(value, 16) {
+        Ok(0) | Err(_) => None,
+        Ok(id) => Some(id),
+    }
 }
 
 /// Reads one header line; `None` marks the end-of-headers blank line.
@@ -286,9 +310,24 @@ pub fn write_response(
     extra_headers: &[(&str, &str)],
     body: &str,
 ) -> std::io::Result<()> {
+    write_response_typed(stream, status, "application/json", extra_headers, body)
+}
+
+/// Like [`write_response`] with an explicit `Content-Type` — the
+/// Prometheus exposition on `/metrics?format=prometheus` is plain text,
+/// not JSON.
+pub fn write_response_typed(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
     let mut head = String::with_capacity(256);
     head.push_str(status_line(status));
-    head.push_str("\r\nContent-Type: application/json\r\nConnection: close\r\n");
+    head.push_str("\r\nContent-Type: ");
+    head.push_str(content_type);
+    head.push_str("\r\nConnection: close\r\n");
     for (name, value) in extra_headers {
         head.push_str(name);
         head.push_str(": ");
@@ -379,10 +418,24 @@ impl ChunkStream {
     /// Sends a GET and parses the response head. The response must be
     /// chunked (it is an error to open a Content-Length body this way).
     pub fn open(addr: &str, target: &str) -> Result<ChunkStream, String> {
+        Self::open_with(addr, target, &[])
+    }
+
+    /// Like [`ChunkStream::open`], with extra request headers (e.g.
+    /// `("X-Xedd-Trace", "00000000deadbeef")` to propagate a trace id).
+    pub fn open_with(
+        addr: &str,
+        target: &str,
+        extra_headers: &[(&str, &str)],
+    ) -> Result<ChunkStream, String> {
         let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let mut extra = String::new();
+        for (name, value) in extra_headers {
+            extra.push_str(&format!("{name}: {value}\r\n"));
+        }
         write!(
             stream,
-            "GET {target} HTTP/1.1\r\nHost: xedd\r\nConnection: close\r\n\r\n"
+            "GET {target} HTTP/1.1\r\nHost: xedd\r\nConnection: close\r\n{extra}\r\n"
         )
         .map_err(|e| format!("send request: {e}"))?;
         let mut reader = std::io::BufReader::new(stream);
@@ -454,13 +507,28 @@ impl ChunkStream {
     }
 }
 
-/// A blocking one-shot GET against `addr` (used by the selftest and the
-/// integration tests; the daemon itself never makes outbound requests).
+/// A blocking one-shot GET against `addr` (used by the selftest, the
+/// integration tests, and `xedtop`; the daemon itself never makes
+/// outbound requests).
 pub fn client_get(addr: &str, target: &str) -> Result<ClientResponse, String> {
+    client_get_with(addr, target, &[])
+}
+
+/// Like [`client_get`], with extra request headers (e.g. a propagated
+/// `X-Xedd-Trace` id).
+pub fn client_get_with(
+    addr: &str,
+    target: &str,
+    extra_headers: &[(&str, &str)],
+) -> Result<ClientResponse, String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut extra = String::new();
+    for (name, value) in extra_headers {
+        extra.push_str(&format!("{name}: {value}\r\n"));
+    }
     write!(
         stream,
-        "GET {target} HTTP/1.1\r\nHost: xedd\r\nConnection: close\r\n\r\n"
+        "GET {target} HTTP/1.1\r\nHost: xedd\r\nConnection: close\r\n{extra}\r\n"
     )
     .map_err(|e| format!("send request: {e}"))?;
     let mut reader = std::io::BufReader::new(stream);
@@ -563,6 +631,20 @@ mod tests {
                 ("samples".to_string(), "1000".to_string()),
             ]
         );
+        assert_eq!(req.trace, None, "no trace header, no trace id");
+    }
+
+    #[test]
+    fn captures_a_propagated_trace_header() {
+        let raw = "GET /healthz HTTP/1.1\r\nHost: x\r\nX-Xedd-Trace: 00000000DEADBEEF\r\n\r\n";
+        let req = read_request(&mut Cursor::new(raw)).expect("well-formed");
+        assert_eq!(req.trace, Some(0xDEAD_BEEF));
+        // Malformed values are ignored, never request errors.
+        for bad in ["deadbeef", "zz000000deadbeef", "0000000000000000", ""] {
+            let raw = format!("GET / HTTP/1.1\r\nx-xedd-trace: {bad}\r\n\r\n");
+            let req = read_request(&mut Cursor::new(raw)).expect("well-formed");
+            assert_eq!(req.trace, None, "{bad:?} must be ignored");
+        }
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!
 //! Admission control backs the whole thing: a bounded accept queue that
 //! sheds load with `503` instead of queueing into timeout, with the full
-//! `xedd.*` metric catalogue exported at `/metrics`.
+//! `xedd.*` metric catalogue exported at `/metrics` (JSON and Prometheus
+//! text exposition). Every request runs under a trace id whose phase
+//! spans land in the flight-recorder rings (DESIGN.md §16), dumpable at
+//! `/debug/flight` and watchable live with the `xedtop` binary ([`top`]).
 //!
 //! The [`selftest`] module is the end-to-end gate `scripts/ci.sh` runs
 //! against a real socket.
@@ -32,6 +35,7 @@ pub mod json;
 pub mod render;
 pub mod selftest;
 pub mod server;
+pub mod top;
 
 pub use cache::MemoCache;
 pub use coalesce::Coalescer;

@@ -49,7 +49,24 @@ pub fn run(mut log: impl FnMut(&str)) -> Result<(), String> {
         crate::json::is_valid(&health.body),
         "/healthz body is not JSON",
     )?;
-    log("selftest: /healthz ok");
+    check(
+        crate::json::field(&health.body, "ok") == Some("true"),
+        "/healthz ok flag is not true",
+    )?;
+    check(
+        health.body.contains("\"git\":"),
+        "/healthz lacks build info (git hash)",
+    )?;
+    check(
+        crate::json::number_field(&health.body, "schemes")
+            == Some(xed_faultsim::schemes::Scheme::ALL.len() as f64),
+        "/healthz scheme registry size does not match Scheme::ALL",
+    )?;
+    check(
+        crate::json::number_field(&health.body, "uptime_seconds").is_some(),
+        "/healthz lacks uptime_seconds",
+    )?;
+    log("selftest: /healthz ok (build info present)");
 
     // -- cold query, then memoized replay ---------------------------------
     let target = "/v1/query?scheme=xed&samples=200000&seed=7";
@@ -119,12 +136,20 @@ pub fn run(mut log: impl FnMut(&str)) -> Result<(), String> {
         "leader stream ended before its first partial",
     )?;
     const FOLLOWERS: usize = 3;
+    // The first follower carries a known trace id, so the coalesce
+    // handoff span can be pulled out of the flight recorder afterwards.
+    const FOLLOWER_TRACE: &str = "00000000f0110001";
     let mut handles = Vec::new();
-    for _ in 0..FOLLOWERS {
+    for i in 0..FOLLOWERS {
         let addr = addr.clone();
         let slow = slow.to_string();
         handles.push(std::thread::spawn(move || {
-            ChunkStream::open(&addr, &slow).and_then(|mut s| s.drain())
+            let stream = if i == 0 {
+                ChunkStream::open_with(&addr, &slow, &[("X-Xedd-Trace", FOLLOWER_TRACE)])
+            } else {
+                ChunkStream::open(&addr, &slow)
+            };
+            stream.and_then(|mut s| s.drain())
         }));
     }
     let mut leader_chunks = vec![first.ok_or("leader first chunk missing")?];
@@ -164,6 +189,71 @@ pub fn run(mut log: impl FnMut(&str)) -> Result<(), String> {
         "selftest: {} concurrent identical requests -> 1 evaluation, {coalesced} coalesced",
         FOLLOWERS + 1
     ));
+
+    // -- trace propagation across the coalescer ---------------------------
+    // The leader's assigned trace id is echoed in its response headers;
+    // the traced follower's CoalesceFollow span must record it as the
+    // handoff edge (`a` attribute).
+    let leader_hex = leader
+        .header("x-xedd-trace")
+        .ok_or("leader response lacks the X-Xedd-Trace echo")?;
+    let leader_id = u64::from_str_radix(leader_hex, 16)
+        .map_err(|e| format!("selftest: leader trace id {leader_hex:?}: {e}"))?;
+    let follower_flight =
+        http::client_get(&addr, &format!("/debug/flight?trace={FOLLOWER_TRACE}"))?;
+    check(
+        follower_flight.status == 200,
+        "/debug/flight did not return 200",
+    )?;
+    check(
+        crate::json::is_valid(&follower_flight.body),
+        "/debug/flight body is not valid JSON",
+    )?;
+    check(
+        follower_flight
+            .body
+            .contains("\"name\":\"coalesce_follow\""),
+        "the traced follower's flight dump lacks its coalesce_follow span",
+    )?;
+    check(
+        follower_flight.body.contains(&format!("\"a\":{leader_id}")),
+        "the coalesce_follow span does not record the leader handoff (a = leader trace id)",
+    )?;
+    log("selftest: follower's trace records the leader handoff");
+
+    // -- end-to-end traced request ----------------------------------------
+    // A fresh traced query must leave every request phase in the flight
+    // recorder, exported as filterable xed-trace-spans-v1 JSON.
+    const TRACE: &str = "00000000c0ffee42";
+    let traced_target = "/v1/query?scheme=ecc-dimm&samples=200000&seed=99";
+    let traced = http::client_get_with(&addr, traced_target, &[("X-Xedd-Trace", TRACE)])?;
+    check(traced.status == 200, "traced query did not return 200")?;
+    check(
+        traced.header("x-xedd-trace") == Some(TRACE),
+        "traced query response does not echo X-Xedd-Trace",
+    )?;
+    let flight = http::client_get(&addr, &format!("/debug/flight?trace={TRACE}"))?;
+    check(
+        crate::json::is_valid(&flight.body),
+        "traced flight dump is not valid JSON",
+    )?;
+    check(
+        flight.body.contains("\"schema\":\"xed-trace-spans-v1\""),
+        "flight dump does not declare the xed-trace-spans-v1 schema",
+    )?;
+    for span in [
+        "admission",
+        "cache_lookup",
+        "coalesce_lead",
+        "evaluate",
+        "scheduler_chunk",
+    ] {
+        check(
+            flight.body.contains(&format!("\"name\":\"{span}\"")),
+            &format!("traced request's flight dump lacks the {span} span"),
+        )?;
+    }
+    log("selftest: traced request exports admission/cache/coalesce/evaluate/scheduler spans");
 
     // -- streamed epsilon early stop --------------------------------------
     let early_before = metrics::XEDD_EARLY_STOPS.value();
@@ -218,6 +308,24 @@ pub fn run(mut log: impl FnMut(&str)) -> Result<(), String> {
         )?;
     }
     log("selftest: error paths and /metrics ok");
+
+    // -- Prometheus text exposition ---------------------------------------
+    let prom = http::client_get(&addr, "/metrics?format=prometheus")?;
+    check(
+        prom.status == 200,
+        "/metrics?format=prometheus did not return 200",
+    )?;
+    xed_telemetry::export::prometheus_check(&prom.body)
+        .map_err(|e| format!("selftest: prometheus exposition failed its self-check: {e}"))?;
+    check(
+        prom.body.contains("xedd_phase_evaluate_ns_bucket"),
+        "prometheus exposition lacks the per-phase histograms",
+    )?;
+    check(
+        prom.body.contains("xedd_endpoint_query_ns_count"),
+        "prometheus exposition lacks the per-endpoint histograms",
+    )?;
+    log("selftest: /metrics prometheus exposition passes the format self-check");
 
     server.shutdown();
     log("selftest: clean shutdown");

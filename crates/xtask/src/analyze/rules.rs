@@ -179,6 +179,16 @@ pub const HOT_GROUPS: &[GroupSpec] = &[
             },
             EntrySpec {
                 krate: "xed_telemetry",
+                self_type: Some("TraceBuf"),
+                name: "record",
+            },
+            EntrySpec {
+                krate: "xed_telemetry",
+                self_type: None,
+                name: "record_span",
+            },
+            EntrySpec {
+                krate: "xed_telemetry",
                 self_type: None,
                 name: "enabled",
             },

@@ -30,6 +30,8 @@
 //! | XL011 | error    | `#[ignore]` without a linked `issue:` comment — scanned|
 //! |       |          | *full-text* (test modules included) over every crate's |
 //! |       |          | `src/` and the workspace `tests/` directory            |
+//! | XL012 | error    | a `trace::Phase` variant undocumented in DESIGN.md §16,|
+//! |       |          | or a discarded `Span::start` guard (see `trace_check`) |
 //!
 //! Waivers: `// xed-lint: allow(XL004)` on the offending line or the line
 //! directly above suppresses that rule for that line. XL002 is satisfied by
@@ -118,13 +120,15 @@ pub const LIBRARY_CRATES: [&str; 6] = ["ecc", "faultsim", "core", "memsim", "tel
 /// Designated allocation-free hot modules (rule XL009). The `ecc` entries
 /// hold the word-parallel decode kernels the simulators call per memory
 /// access; the `telemetry` entries are the recording primitives every
-/// instrumented hot loop touches. Heap traffic in either is a performance
+/// instrumented hot loop touches (including the flight-recorder span
+/// rings in `trace.rs` — the tracing write sits on every request and
+/// scheduler-chunk path). Heap traffic in either is a performance
 /// regression by definition. `ecc/gf.rs` (table construction),
 /// `ecc/reference.rs` (the designated home for the seed's `Vec`-returning
 /// pipeline) and `telemetry/export.rs` (the once-per-report snapshot
 /// layer) are exempt, as are doc comments and `#[cfg(test)]` modules
 /// everywhere.
-pub const ALLOC_FREE_HOT_MODULES: [&str; 12] = [
+pub const ALLOC_FREE_HOT_MODULES: [&str; 13] = [
     "crates/ecc/src/bits.rs",
     "crates/ecc/src/codeword.rs",
     "crates/ecc/src/crc8.rs",
@@ -137,6 +141,7 @@ pub const ALLOC_FREE_HOT_MODULES: [&str; 12] = [
     "crates/telemetry/src/hist.rs",
     "crates/telemetry/src/ring.rs",
     "crates/telemetry/src/tally.rs",
+    "crates/telemetry/src/trace.rs",
 ];
 
 fn is_alloc_free_hot_module(rel_path: &str) -> bool {

@@ -27,6 +27,7 @@ mod analyze;
 mod golden;
 mod lint;
 mod metrics_check;
+mod trace_check;
 mod verify;
 
 use std::env;
@@ -105,6 +106,7 @@ fn run_lint(args: &[String]) -> ExitCode {
     findings.extend(golden::check_fit_table());
     findings.extend(golden::check_catch_word_constants());
     findings.extend(metrics_check::check_metrics(&root));
+    findings.extend(trace_check::check_traces(&root));
 
     let errors = findings
         .iter()

@@ -15,8 +15,10 @@
 //!    cross-mode agreement (the reweighting math on trial);
 //! 5. **metamorphic laws** — invariances, monotonicities and dominance
 //!    orderings between runs;
-//! 6. **golden traces** — byte-exact `xed-trace-v1` conformance, plus a
-//!    live telemetry-snapshot diff pinned against the replayed trials.
+//! 6. **golden traces** — byte-exact `xed-trace-v1` conformance (plus
+//!    the `xed-trace-spans-v1` span-export golden, `xedd`'s
+//!    `/debug/flight` wire format) and a live telemetry-snapshot diff
+//!    pinned against the replayed trials.
 //!
 //! `--quick` (the default) is the tier-1 CI setting; `--full` widens the
 //! enumerations and sample counts for nightly runs. `--regen-golden`
@@ -30,7 +32,7 @@ use xed_faultsim::schemes::Scheme;
 use xed_testkit::analytic_gate::{self, GateScope};
 use xed_testkit::metamorphic;
 use xed_testkit::oracle::{self, OracleScope};
-use xed_testkit::{seeds, trace};
+use xed_testkit::{seeds, spans, trace};
 
 /// One section of the matrix: name, verdict, human-readable detail.
 struct Section {
@@ -225,16 +227,31 @@ fn golden_traces() -> Section {
             }
         ));
     }
+    let span_check = spans::check();
+    detail.push_str(&format!(
+        "  spans_v1          {}\n",
+        if span_check.matches {
+            "matches".to_string()
+        } else {
+            format!(
+                "STALE (first diff at line {:?}); regenerate with --regen-golden and review",
+                span_check.first_diff_line
+            )
+        }
+    ));
     Section {
         name: "golden traces",
-        pass: checks.iter().all(|c| c.matches),
+        pass: checks.iter().all(|c| c.matches) && span_check.matches,
         detail,
     }
 }
 
 /// Section 5 (regen mode): rewrite the golden files in the source tree.
 fn regenerate_golden() -> Section {
-    match trace::regenerate() {
+    match trace::regenerate().and_then(|mut paths| {
+        paths.push(spans::regenerate()?);
+        Ok(paths)
+    }) {
         Ok(paths) => Section {
             name: "golden traces (regenerated)",
             pass: true,

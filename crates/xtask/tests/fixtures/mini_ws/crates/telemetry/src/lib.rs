@@ -170,3 +170,22 @@ pub fn count(c: &Counter, n: u64) {
 pub fn observe(h: &Histogram, v: u64) {
     h.record(v);
 }
+
+pub struct TraceBuf {
+    events: [u64; 4],
+    head: usize,
+}
+
+impl TraceBuf {
+    /// Hot: overwrite-oldest span-event store.
+    pub fn record(&mut self, event: u64) {
+        // indexing: head is kept < 4 by the wrap below.
+        self.events[self.head] = event;
+        self.head = (self.head + 1) % 4;
+    }
+}
+
+/// Hot: free-function span record into a flight ring.
+pub fn record_span(buf: &mut TraceBuf, event: u64) {
+    buf.record(event);
+}

@@ -25,9 +25,11 @@ cargo run -q -p xtask -- analyze
 
 # --workspace: the root manifest is both package and workspace, and a
 # bare build would compile only the `xed` facade — the smoke steps below
-# need the xed-bench binaries.
+# need the xed-bench binaries. XEDD_GIT_HASH bakes the commit into the
+# daemon's /healthz build info (option_env!; "unknown" when absent).
 step "cargo build --release --workspace"
-cargo build --release --workspace
+XEDD_GIT_HASH="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)" \
+    cargo build --release --workspace
 
 step "cargo test -q"
 cargo test -q --workspace
@@ -47,13 +49,17 @@ cargo test -q --release -p xed-faultsim --lib \
 step "verify-matrix --quick"
 cargo run -q -p xtask -- verify-matrix --quick
 
-# Gating: the daemon's end-to-end smoke (DESIGN.md §15) — boots on an
-# ephemeral port, then exercises cold miss / warm hit byte-equality,
+# Gating: the daemon's end-to-end smoke (DESIGN.md §15, §16) — boots on
+# an ephemeral port, then exercises cold miss / warm hit byte-equality,
 # canonical-key spelling invariance, streamed-partials consistency with
-# batch, 400 rejection of unknown params, and the /metrics registry,
-# all in-process over real TCP.
-step "xedd --selftest"
-./target/release/xedd --selftest
+# batch, 400 rejection of unknown params, the /metrics registry (JSON
+# and Prometheus exposition), and the tracing path, all in-process over
+# real TCP. The grep re-asserts the trace case ran: a real traced
+# request must export admission/cache/coalesce/evaluate/scheduler spans
+# through /debug/flight.
+step "xedd --selftest (incl. trace-propagation gate)"
+./target/release/xedd --selftest | tee target/xedd.selftest.log
+grep -q "traced request exports" target/xedd.selftest.log
 
 # Non-gating: exercise the benchmark harness end to end (engine, thread
 # sweep, JSON writer) at smoke scale. Throughput numbers from a loaded CI
