@@ -1,0 +1,58 @@
+//! Ablation: what does *not knowing* the vendor's on-die code cost?
+//!
+//! DRAM vendors do not disclose their on-die ECC, so a real XED
+//! controller either runs a BEER-style inference campaign (DESIGN.md
+//! §17) or operates under residual ambiguity. This sweep walks the
+//! canonical knowledge ladder — known matrix, bit-exact inferred
+//! matrix, then 1/2/4/8 unresolved check rows — and prints each
+//! scheme estimate under it. The first two lines must be identical
+//! (exact recovery is free); the rest quantify the price of a
+//! pattern-starved campaign.
+//!
+//! `cargo run --release -p xed-bench --bin ablation_inferred_code`
+
+use xed_bench::{rule, sci, throughput_footer, Options};
+use xed_faultsim::engine::{code_model_family, code_model_ladder, Sweep};
+use xed_faultsim::montecarlo::RunStats;
+use xed_faultsim::schemes::Scheme;
+
+fn main() {
+    let opts = Options::from_args();
+    println!(
+        "Ablation: XED reliability vs controller knowledge of the on-die code\n\
+         ({} systems per point)\n",
+        opts.samples
+    );
+    println!(
+        "{:>14} {:>14} {:>10} {:>10}",
+        "code model", "P(fail,7y)", "DUE", "SDC"
+    );
+    rule(52);
+    let sweep = Sweep::new(opts.samples, opts.seed);
+    let points = code_model_family(&sweep, Scheme::Xed, &code_model_ladder());
+    let mut total_stats: Option<RunStats> = None;
+    for point in &points {
+        let r = &point.report.result;
+        total_stats = Some(match total_stats {
+            None => point.report.stats,
+            Some(acc) => point.report.stats.merge(&acc),
+        });
+        println!(
+            "{:>14} {:>14} {:>10} {:>10}",
+            point.code_model.to_string(),
+            sci(r.failure_probability(7.0)),
+            r.due,
+            r.sdc
+        );
+    }
+    rule(52);
+    println!(
+        "\nThe `known` and `inferred` rows are bit-identical — a full BEER recovery\n\
+         restores the disclosed-matrix estimate exactly. Each unresolved check row\n\
+         roughly doubles the plausible-escape syndrome set, so the ambiguous rows\n\
+         degrade toward the no-on-die-detection floor by `ambiguous:3`."
+    );
+    if let Some(stats) = total_stats {
+        throughput_footer(&stats);
+    }
+}

@@ -26,6 +26,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation_serial_mode",
     "ablation_catchword_width",
     "ablation_ondie_code",
+    "ablation_inferred_code",
     "failure_attribution",
 ];
 

@@ -1,0 +1,37 @@
+//! Inference of **undisclosed** on-die ECC functions, after BEER
+//! (Patel et al., MICRO 2020) and HARP (Patel et al., MICRO 2021).
+//!
+//! XED (the reproduced paper) assumes the controller knows the vendor's
+//! on-die (72,64) code. Real on-die ECC is proprietary and undisclosed.
+//! This module closes that gap in three steps, each differentially
+//! certified against the registered `xed_ecc` matrices:
+//!
+//! 1. **[`pattern`]** — validated BEER-style charge patterns (all-0 /
+//!    all-1 / walking-1 and arbitrary masks), with the degenerate
+//!    all-zero pattern rejected by a typed error at construction.
+//! 2. **[`solve`]** — the inference engine: craft patterns, observe
+//!    post-correction signatures through a black-box
+//!    [`RetentionOracle`], and recover the parity-check matrix up to
+//!    check-column permutation — or report a certified
+//!    [`AmbiguityClass`] when the probe budget underdetermines the
+//!    code, never a guess.
+//! 3. **[`miscorrect`]** — the HARP-style profiler: enumerate how the
+//!    (inferred or true) code turns 2-bit faults into 3-bit delivered
+//!    words and rank at-risk bit positions.
+//!
+//! [`code::SyndromeCode`] is the shared substrate: the systematic view
+//! of the real codecs (ground truth), erased-row SEC views, exhaustive
+//! small geometries, and seeded random SEC-DED codes.
+
+pub mod code;
+pub mod miscorrect;
+pub mod pattern;
+pub mod solve;
+
+pub use code::{CodeError, SynOutcome, SyndromeCode};
+pub use miscorrect::{profile, profile_brute_force, BitRisk, MiscorrectionProfile};
+pub use pattern::{ChargePattern, PatternError};
+pub use solve::{
+    infer, AmbiguityClass, AmbiguityReason, InferConfig, InferError, InferOutcome, InferredCode,
+    ProbeSignature, RetentionOracle, SecDedOracle, SyndromeOracle,
+};

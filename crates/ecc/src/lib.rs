@@ -19,6 +19,9 @@
 //!   on [`rs`].
 //! * [`detection`] — the Monte-Carlo harness that regenerates Table II
 //!   (detection rate of random and burst errors).
+//! * [`infer`] — BEER-style inference of *undisclosed* on-die codes from
+//!   retention-test probe signatures, plus the HARP-style miscorrection
+//!   profiler that ranks at-risk bit positions.
 //! * [`lanes`] — lane-transposed (bit-sliced) batch entry points: 64
 //!   codewords encoded or validity-classified at once via a 64×64 bit
 //!   transpose and per-H-row XOR folds.
@@ -52,6 +55,7 @@ pub mod crc8;
 pub mod detection;
 pub mod gf;
 pub mod hamming;
+pub mod infer;
 pub mod lanes;
 pub mod parity;
 pub mod reference;

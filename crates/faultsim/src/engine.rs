@@ -28,7 +28,7 @@ use crate::montecarlo::{
     MonteCarlo, MonteCarloConfig, RunReport, RunStats, SchemeResult, TrialKernel,
 };
 use crate::rareevent::{TailConfig, TailEstimate, TailMode, TailSimulator};
-use crate::schemes::{ModelParams, Scheme};
+use crate::schemes::{CodeModel, ModelParams, Scheme};
 use std::fmt;
 use xed_telemetry::trace::{self, Phase, SpanCtx, SpanEvent};
 
@@ -39,8 +39,9 @@ pub const DEFAULT_BLOCK: u64 = 1 << 18;
 
 /// Version tag absorbed first into every canonical key. Bump whenever the
 /// canonical encoding changes meaning, so stale caches can never alias a
-/// new encoding.
-const KEY_VERSION: u64 = 1;
+/// new encoding. v2: absorbs `ModelParams::code_model` (the inferred-code
+/// uncertainty knob).
+const KEY_VERSION: u64 = 2;
 
 /// Execution knobs: how a query runs, never *what* it computes. Excluded
 /// from [`Query::canonical_key`] — results are thread-count- and
@@ -161,6 +162,15 @@ impl Query {
         {
             return Err("transient_exposure_hours must be finite and non-negative".into());
         }
+        if let crate::schemes::CodeModel::InferredAmbiguous { unresolved_rows } =
+            self.params.code_model
+        {
+            if unresolved_rows > 8 {
+                return Err(format!(
+                    "code_model ambiguity must leave at most 8 unresolved rows, got {unresolved_rows}"
+                ));
+            }
+        }
         for row in self.rates.rows() {
             if !(row.transient_fit.is_finite()
                 && row.transient_fit >= 0.0
@@ -237,6 +247,9 @@ impl Query {
         h.word(u64::from(p.scaling.word_bits));
         h.word(u64::from(p.require_line_intersection));
         h.f64(p.transient_exposure_hours);
+        let (code_tag, code_arg) = p.code_model.key_tag();
+        h.word(code_tag);
+        h.word(code_arg);
 
         // FIT rows sorted by extent index, via an in-place insertion sort
         // over a fixed-size buffer: extents are unique (asserted by
@@ -710,6 +723,60 @@ impl Sweep {
     }
 }
 
+/// One point of the inferred-code scenario family: a scheme's lifetime
+/// estimate under one controller knowledge state.
+#[derive(Debug, Clone)]
+pub struct CodeModelPoint {
+    /// The knowledge state this point was evaluated under.
+    pub code_model: CodeModel,
+    /// The lifetime Monte-Carlo outcome.
+    pub report: RunReport,
+}
+
+/// The inferred-code scenario family (ROADMAP item 2): evaluates one
+/// scheme's lifetime estimate under each controller knowledge state in
+/// `models`, holding every other knob of `sweep` fixed, so the cost of
+/// *not* knowing the vendor's on-die code can be read off directly.
+///
+/// Two structural guarantees the differential tests pin down:
+///
+/// * the [`CodeModel::Known`] and [`CodeModel::InferredExact`] points are
+///   **bit-identical** — exact BEER recovery is free;
+/// * failure probability is monotonically non-decreasing in the number
+///   of unresolved check rows (more ambiguity can only hurt).
+pub fn code_model_family(
+    sweep: &Sweep,
+    scheme: Scheme,
+    models: &[CodeModel],
+) -> Vec<CodeModelPoint> {
+    models
+        .iter()
+        .map(|&code_model| {
+            let params = ModelParams {
+                code_model,
+                ..sweep.params
+            };
+            CodeModelPoint {
+                code_model,
+                report: sweep.clone().with_params(params).run_one(scheme),
+            }
+        })
+        .collect()
+}
+
+/// The canonical ladder of knowledge states the scenario pack compares:
+/// known → inferred-exact → increasingly pattern-starved campaigns.
+pub fn code_model_ladder() -> Vec<CodeModel> {
+    vec![
+        CodeModel::Known,
+        CodeModel::InferredExact,
+        CodeModel::InferredAmbiguous { unresolved_rows: 1 },
+        CodeModel::InferredAmbiguous { unresolved_rows: 2 },
+        CodeModel::InferredAmbiguous { unresolved_rows: 4 },
+        CodeModel::InferredAmbiguous { unresolved_rows: 8 },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -811,9 +878,67 @@ mod tests {
         rows[0].transient_fit += 0.1;
         q.rates = FitRates::custom(rows);
         variants.push(q);
+        let mut q = base.clone();
+        q.params.code_model = CodeModel::InferredExact;
+        variants.push(q);
+        let mut q = base.clone();
+        q.params.code_model = CodeModel::InferredAmbiguous { unresolved_rows: 2 };
+        variants.push(q);
+        let mut q = base.clone();
+        q.params.code_model = CodeModel::InferredAmbiguous { unresolved_rows: 3 };
+        variants.push(q);
         for (i, v) in variants.iter().enumerate() {
             assert_ne!(v.canonical_key(), key, "variant {i} must change the key");
         }
+        // Distinct ambiguity depths must also key apart from each other.
+        assert_ne!(
+            variants[variants.len() - 2].canonical_key(),
+            variants[variants.len() - 1].canonical_key()
+        );
+    }
+
+    #[test]
+    fn code_model_validation_rejects_impossible_ambiguity() {
+        let mut q = Query::lifetime(Scheme::Xed, 1_000, 7);
+        q.params.code_model = CodeModel::InferredAmbiguous { unresolved_rows: 9 };
+        assert!(q.validate().is_err());
+        q.params.code_model = CodeModel::InferredAmbiguous { unresolved_rows: 8 };
+        assert!(q.validate().is_ok());
+    }
+
+    #[test]
+    fn code_model_family_known_and_inferred_exact_are_bit_identical() {
+        let sweep = Sweep::new(20_000, 7);
+        let points = code_model_family(
+            &sweep,
+            Scheme::Xed,
+            &[CodeModel::Known, CodeModel::InferredExact],
+        );
+        assert_eq!(points.len(), 2);
+        assert_eq!(
+            points[0].report.result, points[1].report.result,
+            "exact inference must cost nothing"
+        );
+    }
+
+    #[test]
+    fn code_model_family_failures_grow_with_ambiguity() {
+        // More unresolved rows ⇒ higher effective miss ⇒ weakly more
+        // failures at fixed seed (the miss threshold only moves one way
+        // against the same uniform draws).
+        let sweep = Sweep::new(50_000, 7);
+        let points = code_model_family(&sweep, Scheme::Xed, &code_model_ladder());
+        assert_eq!(points.len(), code_model_ladder().len());
+        let fails: Vec<u64> = points.iter().map(|p| p.report.result.failures()).collect();
+        assert_eq!(fails[0], fails[1], "known vs inferred-exact");
+        assert!(
+            fails.windows(2).all(|w| w[0] <= w[1]),
+            "failures must be monotone in ambiguity: {fails:?}"
+        );
+        assert!(
+            fails[fails.len() - 1] > fails[0],
+            "full ambiguity must visibly hurt XED: {fails:?}"
+        );
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub mod scaling;
 pub mod schemes;
 pub mod system;
 
-pub use engine::{evaluate, evaluate_streaming, CanonicalKey, Estimate, Progress, Query, Sweep};
+pub use engine::{
+    code_model_family, code_model_ladder, evaluate, evaluate_streaming, CanonicalKey,
+    CodeModelPoint, Estimate, Progress, Query, Sweep,
+};
 pub use fault::{FaultExtent, FaultRange, Persistence};
 pub use fit::FitRates;
 pub use geometry::DramGeometry;
@@ -65,5 +68,5 @@ pub use montecarlo::{
     MonteCarlo, MonteCarloConfig, RunReport, RunStats, SchemeResult, TrialKernel,
 };
 pub use rareevent::{TailConfig, TailEstimate, TailMode, TailSimulator};
-pub use schemes::Scheme;
+pub use schemes::{CodeModel, Scheme};
 pub use system::SystemConfig;

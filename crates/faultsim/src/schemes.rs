@@ -183,6 +183,79 @@ impl Verdict {
     }
 }
 
+/// How much the memory controller knows about the *on-die* ECC function.
+///
+/// XED's baseline (and this repo's default) assumes the vendor's (72,64)
+/// code is disclosed. Real on-die ECC is proprietary; `xed_ecc::infer`
+/// implements BEER-style recovery of the parity-check matrix from
+/// retention-test probes, which either succeeds bit-exactly (up to the
+/// unobservable check-column relabeling) or certifies an ambiguity
+/// class. This knob propagates that epistemic state into the fault-model
+/// scenarios so lifetime/tail estimates can be compared across it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodeModel {
+    /// The vendor disclosed the code — the paper's assumption.
+    Known,
+    /// Inference recovered the full matrix (certified bit-exact against
+    /// ground truth). Indistinguishable from [`CodeModel::Known`] by
+    /// construction: an exactly recovered code predicts the same
+    /// detect/miss behavior, so results are bit-identical.
+    InferredExact,
+    /// Inference was pattern-starved: `unresolved_rows` of the 8 check
+    /// rows could not be distinguished. The controller must treat any
+    /// syndrome confined to the unresolved subspace as potentially
+    /// aliasing, inflating the effective on-die miss probability.
+    InferredAmbiguous {
+        /// Check rows (of 8) the probe campaign failed to resolve.
+        unresolved_rows: u8,
+    },
+}
+
+impl CodeModel {
+    /// Stable discriminant for canonical-key hashing.
+    pub(crate) fn key_tag(self) -> (u64, u64) {
+        match self {
+            CodeModel::Known => (0, 0),
+            CodeModel::InferredExact => (1, 0),
+            CodeModel::InferredAmbiguous { unresolved_rows } => (2, u64::from(unresolved_rows)),
+        }
+    }
+
+    /// The on-die miss probability under this knowledge state, given the
+    /// known-code baseline `base`.
+    ///
+    /// With `u` unresolved check rows, the controller can only evaluate
+    /// syndromes in the resolved `(8-u)`-dimensional quotient: each of
+    /// the `2^u − 1` nonzero unresolved-subspace cosets may collapse a
+    /// detectable syndrome onto one of the 73 correctable signatures
+    /// (72 single-bit columns + zero), so the escape mass grows as
+    /// `(2^u − 1) · 73/256` on top of the code's intrinsic miss:
+    /// `effective = base + (1 − base) · min(1, (2^u − 1) · 73/256)`.
+    /// `u = 0` (and both fully-known states) return `base` unchanged.
+    pub fn effective_on_die_miss(self, base: f64) -> f64 {
+        match self {
+            CodeModel::Known | CodeModel::InferredExact => base,
+            CodeModel::InferredAmbiguous { unresolved_rows } => {
+                let cosets = (1u64 << u32::from(unresolved_rows).min(63)) - 1;
+                let escape = (cosets as f64 * 73.0 / 256.0).min(1.0);
+                base + (1.0 - base) * escape
+            }
+        }
+    }
+}
+
+impl fmt::Display for CodeModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeModel::Known => f.write_str("known"),
+            CodeModel::InferredExact => f.write_str("inferred"),
+            CodeModel::InferredAmbiguous { unresolved_rows } => {
+                write!(f, "ambiguous:{unresolved_rows}")
+            }
+        }
+    }
+}
+
 /// Tunable response-model parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModelParams {
@@ -208,6 +281,11 @@ pub struct ModelParams {
     /// models immediate read-and-scrub; larger values let two transient
     /// faults coexist and defeat erasure schemes.
     pub transient_exposure_hours: f64,
+    /// The controller's knowledge of the on-die ECC function (default:
+    /// [`CodeModel::Known`], the paper's assumption). Inflates the
+    /// effective on-die miss probability under inferred-code ambiguity;
+    /// see [`CodeModel::effective_on_die_miss`].
+    pub code_model: CodeModel,
 }
 
 impl Default for ModelParams {
@@ -219,6 +297,7 @@ impl Default for ModelParams {
             scaling: ScalingFaults::none(),
             require_line_intersection: true,
             transient_exposure_hours: 0.0,
+            code_model: CodeModel::Known,
         }
     }
 }
@@ -277,6 +356,10 @@ pub struct SchemeModel {
     /// without consuming randomness). Half of Table I's faults are
     /// single-bit, so the Monte-Carlo hot loop short-circuits on this.
     bit_always_benign: bool,
+    /// Precomputed `params.code_model.effective_on_die_miss(on_die_miss)`
+    /// — under [`CodeModel::Known`] and [`CodeModel::InferredExact`] this
+    /// is exactly `params.on_die_miss`, keeping those runs bit-identical.
+    effective_on_die_miss: f64,
 }
 
 impl SchemeModel {
@@ -288,7 +371,14 @@ impl SchemeModel {
             params,
             config,
             bit_always_benign: params.on_die_ecc && !params.scaling.enabled(),
+            effective_on_die_miss: params.code_model.effective_on_die_miss(params.on_die_miss),
         }
+    }
+
+    /// The on-die miss probability actually used by the verdict logic:
+    /// the configured baseline, inflated under inferred-code ambiguity.
+    pub fn effective_on_die_miss(&self) -> f64 {
+        self.effective_on_die_miss
     }
 
     /// The scheme being modeled.
@@ -529,7 +619,7 @@ impl SchemeModel {
                     // (possible only for word faults) the erasure set is
                     // wrong and decoding fails.
                     if e.fault.extent == FaultExtent::Word
-                        && rng.gen::<f64>() < self.params.on_die_miss
+                        && rng.gen::<f64>() < self.effective_on_die_miss
                     {
                         return Verdict::Due;
                     }
@@ -564,7 +654,7 @@ impl SchemeModel {
             return Verdict::Corrected;
         }
         // Word fault confined to one line.
-        if rng.gen::<f64>() >= self.params.on_die_miss {
+        if rng.gen::<f64>() >= self.effective_on_die_miss {
             // Detected on die → catch-word → parity reconstruction.
             return Verdict::Corrected;
         }
@@ -950,6 +1040,78 @@ mod tests {
         // The intersection model disagrees (cf. xed_bank_faults test).
         let strict = SchemeModel::new(Scheme::Xed, ModelParams::default());
         assert_eq!(strict.concurrent_chips(&bank_fault(0, 3), &active), 1);
+    }
+
+    #[test]
+    fn known_and_inferred_exact_code_models_are_bit_identical() {
+        // The headline property of exact BEER recovery: a bit-exactly
+        // inferred code predicts the same on-die behavior as a disclosed
+        // one, so the verdict stream is *identical*, not merely close.
+        let known = SchemeModel::new(Scheme::Xed, ModelParams::default());
+        let inferred = SchemeModel::new(
+            Scheme::Xed,
+            ModelParams {
+                code_model: CodeModel::InferredExact,
+                ..ModelParams::default()
+            },
+        );
+        assert_eq!(
+            known.effective_on_die_miss(),
+            inferred.effective_on_die_miss()
+        );
+        for seed in 0..64u64 {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            let va = known.evaluate_isolated(&mut a, FaultExtent::Word, Persistence::Transient);
+            let vb = inferred.evaluate_isolated(&mut b, FaultExtent::Word, Persistence::Transient);
+            assert_eq!(va, vb);
+        }
+    }
+
+    #[test]
+    fn ambiguous_code_model_inflates_the_effective_miss_monotonically() {
+        let base = ModelParams::default().on_die_miss;
+        let mut prev = CodeModel::Known.effective_on_die_miss(base);
+        assert_eq!(prev, base);
+        assert_eq!(
+            CodeModel::InferredAmbiguous { unresolved_rows: 0 }.effective_on_die_miss(base),
+            base
+        );
+        for u in 1..=8u8 {
+            let eff =
+                CodeModel::InferredAmbiguous { unresolved_rows: u }.effective_on_die_miss(base);
+            // Weakly monotone; strictly while the escape mass has not yet
+            // saturated (every syndrome aliasing ⇒ miss pinned at 1).
+            assert!(eff >= prev, "u={u}: {eff} < {prev}");
+            if prev < 1.0 {
+                assert!(eff > prev, "u={u}: {eff} !> {prev}");
+            }
+            assert!(eff <= 1.0);
+            prev = eff;
+        }
+        // Fully unresolved: every syndrome may alias — miss saturates.
+        assert_eq!(
+            CodeModel::InferredAmbiguous { unresolved_rows: 8 }.effective_on_die_miss(base),
+            1.0
+        );
+    }
+
+    #[test]
+    fn code_model_display_and_key_tags_are_distinct() {
+        let models = [
+            CodeModel::Known,
+            CodeModel::InferredExact,
+            CodeModel::InferredAmbiguous { unresolved_rows: 2 },
+            CodeModel::InferredAmbiguous { unresolved_rows: 3 },
+        ];
+        let tags: Vec<(u64, u64)> = models.iter().map(|m| m.key_tag()).collect();
+        let shown: Vec<String> = models.iter().map(|m| m.to_string()).collect();
+        for (i, t) in tags.iter().enumerate() {
+            assert!(!tags[..i].contains(t));
+            assert!(!shown[..i].contains(&shown[i]));
+        }
+        assert_eq!(shown[0], "known");
+        assert_eq!(shown[3], "ambiguous:3");
     }
 
     #[test]

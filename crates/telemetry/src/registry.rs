@@ -128,6 +128,9 @@ pub mod metrics {
     pub static ECC_DUE_WORDS: Counter = Counter::new();
     pub static ECC_RS_CORRECTIONS: Counter = Counter::new();
     pub static ECC_RS_ERASURES: Counter = Counter::new();
+    pub static ECC_INFER_PROBES: Counter = Counter::new();
+    pub static ECC_INFER_RECOVERED: Counter = Counter::new();
+    pub static ECC_INFER_AMBIGUOUS: Counter = Counter::new();
 }
 
 /// Shorthand for a counter catalogue entry (keeps entries one-line for
@@ -224,6 +227,9 @@ pub static CATALOGUE: &[MetricDef] = &[
     c("ecc.due_words", "Codewords flagged detected-uncorrectable", &metrics::ECC_DUE_WORDS),
     c("ecc.rs.corrections", "Reed-Solomon symbols corrected (chipkill decode)", &metrics::ECC_RS_CORRECTIONS),
     c("ecc.rs.erasures", "Reed-Solomon erasure reconstructions", &metrics::ECC_RS_ERASURES),
+    c("ecc.infer.probes", "Retention probes issued by BEER-style code inference", &metrics::ECC_INFER_PROBES),
+    c("ecc.infer.recovered", "Inference runs that recovered the full matrix bit-exactly", &metrics::ECC_INFER_RECOVERED),
+    c("ecc.infer.ambiguous", "Inference runs ending in a certified ambiguity class", &metrics::ECC_INFER_AMBIGUOUS),
 ];
 
 /// Looks up a metric definition by ID.

@@ -1,0 +1,362 @@
+//! The code-inference differential harness (the `infer gate` of
+//! `cargo xtask verify-matrix`).
+//!
+//! BEER-style inference (`xed_ecc::infer`) claims it can recover an
+//! undisclosed on-die SECDED parity-check matrix from black-box
+//! retention probes — or certify exactly how much remains ambiguous.
+//! This gate holds that claim against ground truth:
+//!
+//! * **registered matrices** — inference against every registered
+//!   `xed_ecc` (72,64) codec (Hamming, CRC8-ATM) must recover the
+//!   canonical parity map **bit-exactly**;
+//! * **seeded round-trips** — random valid SEC-DED matrices nobody
+//!   hand-picked must round-trip through inference the same way;
+//! * **small-code oracle** — the exhaustively-checkable (8,4) geometry;
+//! * **relabel invariance** — inference must be invariant under check
+//!   relabeling of the true code (the unobservable degree of freedom);
+//! * **certified ambiguity** — a pattern-starved campaign must report
+//!   an [`xed_ecc::infer::AmbiguityClass`], never a guessed matrix;
+//! * **miscorrection census** — the fast column-algebra profiler must
+//!   match brute-force decoder enumeration count-for-count, on every
+//!   data word of the small geometries and on sampled words of the
+//!   (72,64) SEC view.
+//!
+//! Every probe issued is tallied into `ecc.infer.probes`, and each run
+//! bumps `ecc.infer.recovered` or `ecc.infer.ambiguous`, so daemon
+//! deployments that run inference self-checks expose their campaign
+//! volume through the standard registry.
+
+use crate::seeds;
+use xed_ecc::infer::{
+    infer, profile, profile_brute_force, InferConfig, InferOutcome, RetentionOracle, SecDedOracle,
+    SyndromeCode, SyndromeOracle,
+};
+use xed_ecc::{Crc8Atm, Hamming7264};
+use xed_telemetry::registry::metrics;
+
+/// How much work the gate does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InferScope {
+    /// Registered codecs + 2 random round-trips — the tier-1 CI
+    /// setting, ≤ 2 s.
+    Quick,
+    /// 8 random round-trips and a wider brute-force word sample.
+    Full,
+}
+
+impl InferScope {
+    fn random_roundtrips(self) -> u64 {
+        match self {
+            InferScope::Quick => 2,
+            InferScope::Full => 8,
+        }
+    }
+
+    fn brute_force_words(self) -> u64 {
+        match self {
+            InferScope::Quick => 4,
+            InferScope::Full => 32,
+        }
+    }
+}
+
+/// One inference-vs-ground-truth comparison.
+#[derive(Debug, Clone)]
+pub struct InferCheck {
+    /// What was checked.
+    pub label: String,
+    /// The observation backing the verdict.
+    pub detail: String,
+    /// Whether the check held.
+    pub pass: bool,
+}
+
+/// All checks of one gate invocation.
+#[derive(Debug, Clone)]
+pub struct InferReport {
+    /// One entry per comparison.
+    pub checks: Vec<InferCheck>,
+}
+
+impl InferReport {
+    /// `true` iff every check passed.
+    pub fn is_clean(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// One line per check for the driver's console output.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for c in &self.checks {
+            out.push_str(&format!(
+                "  {:<44} {}  ({})\n",
+                c.label,
+                if c.pass { "ok" } else { "FAIL" },
+                c.detail
+            ));
+        }
+        out
+    }
+}
+
+/// Runs inference against `oracle`, compares the outcome with the
+/// ground-truth canonical rows, and tallies the registry metrics.
+fn certify_recovery(
+    label: String,
+    oracle: &mut dyn RetentionOracle,
+    truth: &SyndromeCode,
+) -> InferCheck {
+    match infer(oracle, &InferConfig::default()) {
+        Ok(InferOutcome::Recovered(code)) => {
+            metrics::ECC_INFER_PROBES.add(code.probes_used);
+            metrics::ECC_INFER_RECOVERED.incr();
+            let exact = code.rows == truth.canonical_rows()
+                && code.k == truth.data_bits()
+                && code.r == truth.check_bits();
+            InferCheck {
+                label,
+                detail: format!(
+                    "{} probes, {} rows {}",
+                    code.probes_used,
+                    code.rows.len(),
+                    if exact { "bit-exact" } else { "MISMATCH" }
+                ),
+                pass: exact,
+            }
+        }
+        Ok(InferOutcome::Ambiguous(a)) => {
+            metrics::ECC_INFER_PROBES.add(a.probes_used);
+            metrics::ECC_INFER_AMBIGUOUS.incr();
+            InferCheck {
+                label,
+                detail: format!("unexpectedly ambiguous: {a:?}"),
+                pass: false,
+            }
+        }
+        Err(e) => InferCheck {
+            label,
+            detail: format!("inference error: {e}"),
+            pass: false,
+        },
+    }
+}
+
+/// Runs every check of the differential harness.
+pub fn run(scope: InferScope) -> InferReport {
+    let mut checks = Vec::new();
+
+    // 1. The registered (72,64) codecs, probed strictly as black boxes.
+    {
+        let truth = SyndromeCode::from_code72(&Hamming7264::new());
+        match truth {
+            Ok(truth) => {
+                let mut oracle = SecDedOracle::new(Hamming7264::new());
+                checks.push(certify_recovery(
+                    "recover Hamming(72,64)".into(),
+                    &mut oracle,
+                    &truth,
+                ));
+            }
+            Err(e) => checks.push(InferCheck {
+                label: "recover Hamming(72,64)".into(),
+                detail: format!("no systematic view: {e}"),
+                pass: false,
+            }),
+        }
+        match SyndromeCode::from_code72(&Crc8Atm::new()) {
+            Ok(truth) => {
+                let mut oracle = SecDedOracle::new(Crc8Atm::new());
+                checks.push(certify_recovery(
+                    "recover CRC8-ATM(72,64)".into(),
+                    &mut oracle,
+                    &truth,
+                ));
+            }
+            Err(e) => checks.push(InferCheck {
+                label: "recover CRC8-ATM(72,64)".into(),
+                detail: format!("no systematic view: {e}"),
+                pass: false,
+            }),
+        }
+    }
+
+    // 2. Seeded random SEC-DED round-trips: codes nobody hand-picked.
+    for i in 0..scope.random_roundtrips() {
+        let code = SyndromeCode::random_secded(seeds::INFER_ROUNDTRIP ^ i);
+        let mut oracle = SyndromeOracle::new(code);
+        checks.push(certify_recovery(
+            format!("recover random SEC-DED #{i}"),
+            &mut oracle,
+            &code,
+        ));
+    }
+
+    // 3. The exhaustively-checkable small geometry.
+    {
+        let code = SyndromeCode::secded8_4();
+        let mut oracle = SyndromeOracle::new(code);
+        checks.push(certify_recovery(
+            "recover (8,4) extended Hamming".into(),
+            &mut oracle,
+            &code,
+        ));
+    }
+
+    // 4. Relabel invariance: the recovered object must not depend on the
+    // (unobservable) physical order of the hidden check cells.
+    {
+        let code = SyndromeCode::random_secded(seeds::INFER_ROUNDTRIP ^ 0xFF);
+        let rot: Vec<u32> = (0..8u32).map(|c| (c + 5) % 8).collect();
+        let check = match code.permute_checks(&rot) {
+            Ok(relabeled) => {
+                let mut a = SyndromeOracle::new(code);
+                let mut b = SyndromeOracle::new(relabeled);
+                let ra = infer(&mut a, &InferConfig::default());
+                let rb = infer(&mut b, &InferConfig::default());
+                let pass = matches!(
+                    (&ra, &rb),
+                    (Ok(InferOutcome::Recovered(x)), Ok(InferOutcome::Recovered(y)))
+                        if x.rows == y.rows
+                );
+                InferCheck {
+                    label: "inference invariant under check relabeling".into(),
+                    detail: if pass {
+                        "identical canonical rows".into()
+                    } else {
+                        format!("{ra:?} vs {rb:?}")
+                    },
+                    pass,
+                }
+            }
+            Err(e) => InferCheck {
+                label: "inference invariant under check relabeling".into(),
+                detail: format!("relabel failed: {e}"),
+                pass: false,
+            },
+        };
+        checks.push(check);
+    }
+
+    // 5. Certified ambiguity: a pattern-starved campaign must say so.
+    {
+        let mut oracle = SecDedOracle::new(Hamming7264::new());
+        let out = infer(&mut oracle, &InferConfig { max_probes: 100 });
+        let check = match out {
+            Ok(InferOutcome::Ambiguous(a)) => {
+                metrics::ECC_INFER_PROBES.add(a.probes_used);
+                metrics::ECC_INFER_AMBIGUOUS.incr();
+                let pass = a.resolved_rows < a.r && a.probes_used <= 100;
+                InferCheck {
+                    label: "starved campaign certifies ambiguity".into(),
+                    detail: format!(
+                        "{}/{} rows resolved in {} probes ({:?})",
+                        a.resolved_rows, a.r, a.probes_used, a.reason
+                    ),
+                    pass,
+                }
+            }
+            other => InferCheck {
+                label: "starved campaign certifies ambiguity".into(),
+                detail: format!("expected Ambiguous, got {other:?}"),
+                pass: false,
+            },
+        };
+        checks.push(check);
+    }
+
+    // 6. Miscorrection census: fast profiler vs brute-force decoding.
+    checks.push(census_check(
+        "(8,4) SEC-DED census, all 16 words",
+        &SyndromeCode::secded8_4(),
+        0..16,
+    ));
+    checks.push(census_check(
+        "(8,4) SEC census, all 16 words",
+        &SyndromeCode::sec8_4(),
+        0..16,
+    ));
+    {
+        let label = "(71,64) Hamming SEC census, sampled words";
+        let check = match SyndromeCode::from_code72(&Hamming7264::new())
+            .and_then(|full| full.drop_row(7))
+        {
+            Ok(sec) => {
+                // Spread sampled words across the 64-bit space.
+                let words =
+                    (0..scope.brute_force_words()).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut c = census_check_iter(label, &sec, words);
+                // The SEC view must actually exercise the 3-bit path.
+                if c.pass {
+                    let p = profile(&sec);
+                    c.pass = p.miscorrected_data > 0 && !p.at_risk.is_empty();
+                    c.detail = format!(
+                        "{}; {} of {} doubles mis-correct into data bits",
+                        c.detail, p.miscorrected_data, p.doubles
+                    );
+                }
+                c
+            }
+            Err(e) => InferCheck {
+                label: label.into(),
+                detail: format!("no SEC view: {e}"),
+                pass: false,
+            },
+        };
+        checks.push(check);
+    }
+
+    InferReport { checks }
+}
+
+/// Asserts the fast profile equals the brute-force profile for every
+/// data word in `words` (count-for-count, including the at-risk ranking).
+fn census_check(label: &str, code: &SyndromeCode, words: std::ops::Range<u64>) -> InferCheck {
+    census_check_iter(label, code, words)
+}
+
+fn census_check_iter(
+    label: &str,
+    code: &SyndromeCode,
+    words: impl Iterator<Item = u64>,
+) -> InferCheck {
+    let fast = profile(code);
+    let mut tested = 0u64;
+    for data in words {
+        tested += 1;
+        let brute = profile_brute_force(code, data);
+        if fast != brute {
+            return InferCheck {
+                label: label.into(),
+                detail: format!("word {data:#x}: fast {fast:?} != brute {brute:?}"),
+                pass: false,
+            };
+        }
+    }
+    InferCheck {
+        label: label.into(),
+        detail: format!(
+            "{} words, 0 mismatches over {} doubles",
+            tested, fast.doubles
+        ),
+        pass: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_gate_is_clean_and_bumps_the_metrics() {
+        let before = metrics::ECC_INFER_PROBES.value();
+        let recovered_before = metrics::ECC_INFER_RECOVERED.value();
+        let ambiguous_before = metrics::ECC_INFER_AMBIGUOUS.value();
+        let report = run(InferScope::Quick);
+        assert!(report.is_clean(), "{}", report.summary());
+        // 2 codecs + 2 random + 1 small + relabel + ambiguity + 3 census.
+        assert_eq!(report.checks.len(), 10);
+        assert!(metrics::ECC_INFER_PROBES.value() > before);
+        assert!(metrics::ECC_INFER_RECOVERED.value() >= recovered_before + 5);
+        assert!(metrics::ECC_INFER_AMBIGUOUS.value() > ambiguous_before);
+    }
+}

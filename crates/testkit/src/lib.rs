@@ -15,6 +15,10 @@
 //! * [`analytic_gate`] — the **analytic oracle**: closed-form Poisson
 //!   single/double/triple-fault probabilities vs Monte-Carlo estimates,
 //!   gated at the 99 % binomial confidence bound;
+//! * [`infer_gate`] — the **code-inference differential harness**:
+//!   BEER-style inference against every registered `xed_ecc` matrix
+//!   (bit-exact recovery or certified ambiguity) and the HARP-style
+//!   miscorrection profiler against brute-force enumeration;
 //! * [`metamorphic`] — the **metamorphic suite**: scheme-ordering
 //!   invariances and dominance laws the paper implies, run from seeded
 //!   RNG streams;
@@ -38,6 +42,7 @@
 pub mod analytic_gate;
 pub mod datapath;
 pub mod forced;
+pub mod infer_gate;
 pub mod metamorphic;
 pub mod oracle;
 pub mod seeds;

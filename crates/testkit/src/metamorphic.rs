@@ -16,12 +16,16 @@
 //!   magnitude at the sample sizes used, so `≤` on raw counts is safe.
 //!
 //! Plus the executable form of the paper's §XI-C ALERT_n argument: an
-//! anonymous alert pin strictly weakens transient-fault handling.
+//! anonymous alert pin strictly weakens transient-fault handling — and
+//! the inference pack's law (DESIGN.md §17): reliability estimates
+//! derived from an inferred on-die code are invariant under data-bit
+//! column permutation of the true code.
 
 use crate::seeds;
 use xed_core::alert::{AlertDimm, AlertMode};
 use xed_core::chip::{ChipGeometry, OnDieCode, WordAddr};
 use xed_core::fault::{FaultKind, InjectedFault};
+use xed_ecc::infer::{profile, SyndromeCode};
 use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
 use xed_faultsim::scaling::ScalingFaults;
 use xed_faultsim::schemes::{ModelParams, Scheme};
@@ -190,6 +194,58 @@ pub fn run(samples: u64) -> LawReport {
         });
     }
 
+    // Law 6 — inferred-code column-permutation invariance: relabeling
+    // the data bits of the true on-die code permutes the recovered
+    // matrix's columns but cannot change any reliability estimate
+    // derived from it. The miscorrection census is a property of the
+    // column *set*, so the derived on-die miss — and therefore the full
+    // Monte-Carlo run it parameterizes — must be bit-identical, not
+    // statistically close. Run on the HARP-style SEC view (extended
+    // Hamming minus its overall-parity row), where the census is
+    // nontrivial.
+    {
+        let sec = SyndromeCode::from_code72(&xed_ecc::Hamming7264::new())
+            .expect("systematic view of Hamming7264")
+            .drop_row(7)
+            .expect("SEC view");
+        let perm: Vec<u32> = (0..sec.data_bits()).rev().collect();
+        let permuted = sec.permute_data(&perm).expect("reversal is a permutation");
+        let p0 = profile(&sec);
+        let p1 = profile(&permuted);
+        let same_census = p0.doubles == p1.doubles
+            && p0.detected == p1.detected
+            && p0.miscorrected_data == p1.miscorrected_data
+            && p0.miscorrected_check == p1.miscorrected_check
+            && p0.silent == p1.silent;
+        let run0 = mc_with(
+            samples,
+            ModelParams {
+                on_die_miss: p0.undetected_fraction(),
+                ..ModelParams::default()
+            },
+        )
+        .run(Scheme::Xed);
+        let run1 = mc_with(
+            samples,
+            ModelParams {
+                on_die_miss: p1.undetected_fraction(),
+                ..ModelParams::default()
+            },
+        )
+        .run(Scheme::Xed);
+        laws.push(LawResult {
+            law: "inferred-code column-perm invariance",
+            detail: format!(
+                "derived miss {:.6} vs {:.6}; failures {} vs {}",
+                p0.undetected_fraction(),
+                p1.undetected_fraction(),
+                run0.failures(),
+                run1.failures()
+            ),
+            holds: same_census && run0 == run1,
+        });
+    }
+
     LawReport { laws }
 }
 
@@ -235,7 +291,7 @@ mod tests {
     fn every_law_holds_at_smoke_scale() {
         let report = run(60_000);
         assert!(report.is_clean(), "{}", report.summary());
-        assert_eq!(report.laws.len(), 5);
+        assert_eq!(report.laws.len(), 6);
     }
 
     #[test]

@@ -41,6 +41,12 @@ pub const ANALYTIC_GATE: u64 = 0x6A7E;
 /// [`crate::datapath`] (each search derives per-candidate seeds from it).
 pub const DATAPATH_SEARCH: u64 = 0x0DDB;
 
+/// Seed of the BEER-style inference round-trips: random SEC-DED matrix
+/// generation in [`crate::infer_gate`] and `tests/infer_roundtrip.rs`
+/// (kept distinct so code-inference failures never alias a Monte-Carlo
+/// stream).
+pub const INFER_ROUNDTRIP: u64 = 0xBEE0;
+
 /// Flags seed literals in test source that bypass the named constants.
 ///
 /// Returns one message per offending line. The audit looks for the two

@@ -14,7 +14,7 @@ use xed_faultsim::engine::{Query, QueryKind};
 use xed_faultsim::fault::FaultExtent;
 use xed_faultsim::fit::{FitRates, ModeRate};
 use xed_faultsim::rareevent::TailMode;
-use xed_faultsim::Scheme;
+use xed_faultsim::{CodeModel, Scheme};
 
 /// Longest request line / header line accepted, in bytes.
 const MAX_LINE: usize = 8 * 1024;
@@ -227,14 +227,34 @@ fn parse_bool(name: &str, value: &str) -> Result<bool, String> {
     }
 }
 
+/// Parses the `code_model` parameter: `known`, `inferred`, or
+/// `ambiguous:<unresolved_rows>` (mirroring the `Display` spellings of
+/// `CodeModel`).
+fn parse_code_model(value: &str) -> Result<CodeModel, String> {
+    match value {
+        "known" => Ok(CodeModel::Known),
+        "inferred" => Ok(CodeModel::InferredExact),
+        _ => match value.strip_prefix("ambiguous:") {
+            Some(rows) => Ok(CodeModel::InferredAmbiguous {
+                unresolved_rows: parse_num("code_model", rows)?,
+            }),
+            None => Err(format!(
+                "unknown code_model {value:?} (known | inferred | ambiguous:<rows>)"
+            )),
+        },
+    }
+}
+
 /// Builds an engine [`Query`] from decoded query parameters.
 ///
 /// Recognized parameters: `scheme` (required), `kind` (`lifetime` |
 /// `tail`), `samples`, `years`, `seed`, `epsilon`, `block`, `threads`,
 /// `force` (`clique` | `count` | `plain`), `fit`
 /// (`extent:transient:permanent,...`), `on_die_ecc`, `on_die_miss`,
-/// `scaling` (per-bit rate), `intersection`. Anything else is an error —
-/// a typo must never silently fall back to a default and alias another
+/// `scaling` (per-bit rate), `intersection`, `code_model` (`known` |
+/// `inferred` | `ambiguous:<rows>` — the controller's knowledge of the
+/// on-die ECC function, DESIGN.md §17). Anything else is an error — a
+/// typo must never silently fall back to a default and alias another
 /// query's cache key.
 pub fn query_from_params(params: &[(String, String)]) -> Result<Query, String> {
     let mut scheme: Option<Scheme> = None;
@@ -274,6 +294,7 @@ pub fn query_from_params(params: &[(String, String)]) -> Result<Query, String> {
             "on_die_miss" => query.params.on_die_miss = parse_num(name, value)?,
             "scaling" => query.params.scaling.bit_rate = parse_num(name, value)?,
             "intersection" => query.params.require_line_intersection = parse_bool(name, value)?,
+            "code_model" => query.params.code_model = parse_code_model(value)?,
             _ => return Err(format!("unknown parameter {name:?}")),
         }
     }
@@ -693,6 +714,35 @@ mod tests {
             }
         );
         assert_eq!((q.samples, q.seed, q.years), (5000, 11, 5.0));
+    }
+
+    #[test]
+    fn code_model_parameter_parses_all_spellings() {
+        for (spelling, expected) in [
+            ("known", CodeModel::Known),
+            ("inferred", CodeModel::InferredExact),
+            (
+                "ambiguous:2",
+                CodeModel::InferredAmbiguous { unresolved_rows: 2 },
+            ),
+            (
+                "ambiguous:0",
+                CodeModel::InferredAmbiguous { unresolved_rows: 0 },
+            ),
+        ] {
+            let q = query_from_params(&params(&[("scheme", "xed"), ("code_model", spelling)]))
+                .expect("valid");
+            assert_eq!(q.params.code_model, expected, "{spelling}");
+        }
+        // Default: the paper's known-code assumption.
+        let q = query_from_params(&params(&[("scheme", "xed")])).expect("valid");
+        assert_eq!(q.params.code_model, CodeModel::Known);
+        for bad in ["guessable", "ambiguous", "ambiguous:x", "ambiguous:9"] {
+            assert!(
+                query_from_params(&params(&[("scheme", "xed"), ("code_model", bad)])).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
     }
 
     #[test]

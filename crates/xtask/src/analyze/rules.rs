@@ -73,7 +73,10 @@ pub struct Analysis {
 }
 
 /// The hot-path groups whose closures XA100/XA101 prove: the ECC decode
-/// kernels, the Monte-Carlo trial evaluation, the telemetry write path,
+/// kernels, the code-inference syndrome kernels (`SyndromeCode::syndrome`
+/// and `::decode` run once per enumerated double inside the
+/// miscorrection census), the Monte-Carlo trial evaluation, the
+/// telemetry write path,
 /// and the `xedd` daemon's memoized repeat-query path (canonical-key
 /// derivation plus the cache hit lookup — the two stages every repeat
 /// request runs, which DESIGN.md §15 requires to be O(1) and
@@ -91,6 +94,21 @@ pub const HOT_GROUPS: &[GroupSpec] = &[
                 krate: "xed_ecc",
                 self_type: Some("ReedSolomon"),
                 name: "decode_with",
+            },
+        ],
+    },
+    GroupSpec {
+        name: "ecc-infer",
+        entries: &[
+            EntrySpec {
+                krate: "xed_ecc",
+                self_type: Some("SyndromeCode"),
+                name: "syndrome",
+            },
+            EntrySpec {
+                krate: "xed_ecc",
+                self_type: Some("SyndromeCode"),
+                name: "decode",
             },
         ],
     },

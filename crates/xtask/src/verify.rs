@@ -15,7 +15,11 @@
 //!    cross-mode agreement (the reweighting math on trial);
 //! 5. **metamorphic laws** — invariances, monotonicities and dominance
 //!    orderings between runs;
-//! 6. **golden traces** — byte-exact `xed-trace-v1` conformance (plus
+//! 6. **infer gate** — BEER-style code inference against every
+//!    registered `xed_ecc` matrix (bit-exact recovery or certified
+//!    ambiguity) and the miscorrection profiler against brute-force
+//!    decoder enumeration (DESIGN.md §17);
+//! 7. **golden traces** — byte-exact `xed-trace-v1` conformance (plus
 //!    the `xed-trace-spans-v1` span-export golden, `xedd`'s
 //!    `/debug/flight` wire format) and a live telemetry-snapshot diff
 //!    pinned against the replayed trials.
@@ -30,6 +34,7 @@ use std::process::ExitCode;
 use xed_faultsim::montecarlo::{MonteCarlo, MonteCarloConfig};
 use xed_faultsim::schemes::Scheme;
 use xed_testkit::analytic_gate::{self, GateScope};
+use xed_testkit::infer_gate::{self, InferScope};
 use xed_testkit::metamorphic;
 use xed_testkit::oracle::{self, OracleScope};
 use xed_testkit::{seeds, spans, trace};
@@ -73,6 +78,7 @@ pub fn run(args: &[String]) -> ExitCode {
         analytic(full),
         analytic_tail(full),
         laws(full),
+        infer(full),
     ];
     if regen {
         sections.push(regenerate_golden());
@@ -204,6 +210,23 @@ fn laws(full: bool) -> Section {
     let report = metamorphic::run(samples);
     Section {
         name: "metamorphic laws",
+        pass: report.is_clean(),
+        detail: report.summary(),
+    }
+}
+
+/// Section 4b: BEER-style code inference vs the registered matrices
+/// (bit-exact recovery or certified ambiguity) and the miscorrection
+/// profiler vs brute-force enumeration (DESIGN.md §17).
+fn infer(full: bool) -> Section {
+    let scope = if full {
+        InferScope::Full
+    } else {
+        InferScope::Quick
+    };
+    let report = infer_gate::run(scope);
+    Section {
+        name: "infer gate",
         pass: report.is_clean(),
         detail: report.summary(),
     }

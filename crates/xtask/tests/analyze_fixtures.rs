@@ -85,6 +85,7 @@ fn fixture_text_format_reports_proofs_and_unresolved() {
     assert_eq!(out.status.code(), Some(1));
     let text = String::from_utf8_lossy(&out.stdout).into_owned();
     assert!(text.contains("proof [ecc-decode]: 2 entry fn(s), closure of 3 fn(s)"));
+    assert!(text.contains("proof [ecc-infer]: 2 entry fn(s), closure of 2 fn(s)"));
     assert!(text.contains("proof [mc-trial]: 5 entry fn(s), closure of 7 fn(s)"));
     assert!(text.contains("proof [telemetry-write]: 16 entry fn(s), closure of 16 fn(s)"));
     assert!(text.contains("proof [xedd-request]: 2 entry fn(s), closure of 4 fn(s)"));

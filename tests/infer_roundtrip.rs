@@ -1,0 +1,110 @@
+//! Seeded round-trips through BEER-style code inference (DESIGN.md
+//! §17.2).
+//!
+//! Random valid SEC-DED parity maps nobody hand-picked must survive
+//! generate → black-box probe → solve → compare bit-exactly; a
+//! pattern-starved campaign must certify its ambiguity instead of
+//! guessing.
+
+use xed_ecc::infer::{
+    infer, AmbiguityReason, InferConfig, InferOutcome, SyndromeCode, SyndromeOracle,
+};
+use xed_testkit::seeds;
+
+#[test]
+fn random_secded_matrices_round_trip_bit_exactly() {
+    for salt in 0..12u64 {
+        let truth = SyndromeCode::random_secded(seeds::INFER_ROUNDTRIP ^ salt);
+        assert!(truth.is_secded(), "generator must emit SEC-DED codes");
+        let mut oracle = SyndromeOracle::new(truth);
+        let out = infer(&mut oracle, &InferConfig::default()).expect("inference runs");
+        match out {
+            InferOutcome::Recovered(code) => {
+                assert_eq!(code.k, truth.data_bits());
+                assert_eq!(code.r, truth.check_bits());
+                assert_eq!(
+                    code.rows,
+                    truth.canonical_rows(),
+                    "salt {salt}: recovered matrix differs from ground truth"
+                );
+                assert_eq!(
+                    code.probes_used,
+                    oracle.probes(),
+                    "probe accounting must match the oracle's own tally"
+                );
+            }
+            InferOutcome::Ambiguous(a) => {
+                panic!("salt {salt}: unexpectedly ambiguous: {a:?}")
+            }
+        }
+    }
+}
+
+#[test]
+fn inference_is_deterministic() {
+    let truth = SyndromeCode::random_secded(seeds::INFER_ROUNDTRIP);
+    let run = |_: u32| {
+        let mut oracle = SyndromeOracle::new(truth);
+        infer(&mut oracle, &InferConfig::default()).expect("inference runs")
+    };
+    let (a, b) = (run(0), run(1));
+    match (a, b) {
+        (InferOutcome::Recovered(x), InferOutcome::Recovered(y)) => {
+            assert_eq!(x.rows, y.rows);
+            assert_eq!(x.probes_used, y.probes_used);
+        }
+        other => panic!("expected two recoveries, got {other:?}"),
+    }
+}
+
+#[test]
+fn a_pattern_starved_campaign_certifies_its_ambiguity() {
+    let truth = SyndromeCode::random_secded(seeds::INFER_ROUNDTRIP ^ 0xA0);
+    // Enough budget for the singleton phase (64 probes) but far too
+    // little to identify the coset structure of a (72,64) code.
+    let starved = InferConfig { max_probes: 90 };
+    let mut oracle = SyndromeOracle::new(truth);
+    match infer(&mut oracle, &starved).expect("inference runs") {
+        InferOutcome::Ambiguous(a) => {
+            assert_eq!(a.r, truth.check_bits());
+            assert!(
+                a.resolved_rows < a.r,
+                "a starved run cannot resolve every row: {a:?}"
+            );
+            assert!(a.probes_used <= 90, "budget is a hard cap: {a:?}");
+            assert_eq!(a.reason, AmbiguityReason::ProbeBudgetExhausted);
+            assert!(a.unresolved_rows() >= 1);
+        }
+        InferOutcome::Recovered(code) => {
+            panic!("90 probes cannot identify a (72,64) code: {code:?}")
+        }
+    }
+}
+
+#[test]
+fn a_generous_budget_changes_nothing_but_headroom() {
+    // Doubling the budget must not change the recovered matrix or the
+    // probes actually spent — the solver never pads its campaign.
+    let truth = SyndromeCode::random_secded(seeds::INFER_ROUNDTRIP ^ 0xB1);
+    let tight = {
+        let mut oracle = SyndromeOracle::new(truth);
+        infer(&mut oracle, &InferConfig::default()).expect("inference runs")
+    };
+    let roomy = {
+        let mut oracle = SyndromeOracle::new(truth);
+        infer(
+            &mut oracle,
+            &InferConfig {
+                max_probes: InferConfig::default().max_probes * 2,
+            },
+        )
+        .expect("inference runs")
+    };
+    match (tight, roomy) {
+        (InferOutcome::Recovered(x), InferOutcome::Recovered(y)) => {
+            assert_eq!(x.rows, y.rows);
+            assert_eq!(x.probes_used, y.probes_used);
+        }
+        other => panic!("expected two recoveries, got {other:?}"),
+    }
+}

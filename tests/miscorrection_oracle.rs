@@ -1,0 +1,115 @@
+//! Exhaustive miscorrection oracle on the (8,4) geometry (DESIGN.md
+//! §17.3).
+//!
+//! The fast profiler (`xed_ecc::infer::profile`) claims to classify
+//! every 2-bit corruption by pure column algebra. This test is the
+//! independent check: enumerate every one of the C(8,2) = 28 doubles on
+//! every one of the 16 data words *by actually corrupting stored words
+//! and decoding them*, tally the outcomes with our own bookkeeping (no
+//! call into the profiler's brute-force path), and require the census
+//! to match count-for-count — including the HARP-style at-risk ranking.
+
+use xed_ecc::infer::{profile, profile_brute_force, SynOutcome, SyndromeCode};
+
+/// Our own enumeration of every double on one data word: returns
+/// (detected, miscorrected_check, miscorrected_data, silent,
+/// spurious-flip counts per position).
+fn enumerate_doubles(code: &SyndromeCode, data: u64) -> (u64, u64, u64, u64, Vec<u64>) {
+    let n = code.len_bits();
+    let k = code.data_bits();
+    let check = code.encode_check(data);
+    let (mut det, mut mis_check, mut mis_data, mut silent) = (0u64, 0u64, 0u64, 0u64);
+    let mut spurious = vec![0u64; n as usize];
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let mut d = data;
+            let mut c = check;
+            for p in [a, b] {
+                if p < k {
+                    d ^= 1u64 << p;
+                } else {
+                    c ^= 1u32 << (p - k);
+                }
+            }
+            match code.decode(d, c) {
+                SynOutcome::Clean => silent += 1,
+                SynOutcome::Detected => det += 1,
+                SynOutcome::CorrectedCheck { bit } => {
+                    mis_check += 1;
+                    spurious[(k + bit) as usize] += 1;
+                }
+                SynOutcome::CorrectedData { bit } => {
+                    mis_data += 1;
+                    spurious[bit as usize] += 1;
+                }
+            }
+        }
+    }
+    (det, mis_check, mis_data, silent, spurious)
+}
+
+/// Compares the fast profile with our enumeration on one word.
+fn assert_census_matches(code: &SyndromeCode, data: u64) {
+    let fast = profile(code);
+    let (det, mis_check, mis_data, silent, spurious) = enumerate_doubles(code, data);
+    assert_eq!(fast.detected, det, "detected, word {data:#x}");
+    assert_eq!(fast.miscorrected_check, mis_check, "check miscorrections");
+    assert_eq!(fast.miscorrected_data, mis_data, "data miscorrections");
+    assert_eq!(fast.silent, silent, "silent doubles");
+    assert_eq!(
+        fast.doubles,
+        det + mis_check + mis_data + silent,
+        "census partitions the doubles"
+    );
+    // The at-risk ranking must agree spurious-flip-for-spurious-flip.
+    for risk in &fast.at_risk {
+        assert_eq!(
+            risk.spurious_flips, spurious[risk.position as usize],
+            "at-risk count for position {}",
+            risk.position
+        );
+    }
+    let ranked: u64 = fast.at_risk.iter().map(|r| r.spurious_flips).sum();
+    assert_eq!(
+        ranked,
+        spurious.iter().sum::<u64>(),
+        "every spurious flip is ranked"
+    );
+}
+
+#[test]
+fn secded_8_4_detects_every_double_on_every_word() {
+    let code = SyndromeCode::secded8_4();
+    for data in 0..16u64 {
+        let (det, mis_check, mis_data, silent, _) = enumerate_doubles(&code, data);
+        assert_eq!(mis_check + mis_data + silent, 0, "word {data:#x}");
+        assert_eq!(det, 28, "C(8,2) doubles, word {data:#x}");
+        assert_census_matches(&code, data);
+    }
+    assert!(profile(&code).is_clean());
+}
+
+#[test]
+fn sec_8_4_census_matches_the_exhaustive_oracle_on_every_word() {
+    let code = SyndromeCode::sec8_4();
+    for data in 0..16u64 {
+        assert_census_matches(&code, data);
+    }
+    // The SEC view actually exercises the 3-bit-delivery path.
+    let fast = profile(&code);
+    assert!(fast.miscorrected_data > 0, "{fast:?}");
+    assert!(!fast.at_risk.is_empty());
+}
+
+#[test]
+fn the_census_is_data_independent() {
+    // The profiler's core claim: syndromes of 2-bit errors do not
+    // depend on the stored word, so one profile describes all words.
+    for code in [SyndromeCode::secded8_4(), SyndromeCode::sec8_4()] {
+        let reference = profile_brute_force(&code, 0);
+        for data in 1..16u64 {
+            assert_eq!(profile_brute_force(&code, data), reference);
+        }
+        assert_eq!(profile(&code), reference);
+    }
+}
